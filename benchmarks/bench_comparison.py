@@ -1,0 +1,198 @@
+"""E5 + E6 — the section 6.3 architecture comparison tables.
+
+E5: WSA vs SPA optimized for throughput (3x speed, ~4x bandwidth).
+E6: WSA-E vs SPA at large lattices (12x per-chip speed, (2L+10)B vs
+(128¾)B per-PE storage, L=1000: ~2x area at commercial memory density
+and ~1/20 bandwidth).
+"""
+
+import numpy as np
+
+from repro.core.comparison import (
+    compare_extensible,
+    compare_optimal_designs,
+    summarize_architectures,
+)
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.util.tables import Table
+
+
+def test_optimal_comparison(benchmark, report):
+    comp = benchmark(compare_optimal_designs)
+    table = Table(
+        "E5: WSA vs SPA at optimal operating points (section 6.3, first comparison)",
+        ["quantity", "WSA", "SPA", "paper"],
+    )
+    table.add_row("PEs per chip", comp.wsa.pes_per_chip, comp.spa.pes_per_chip, "4 vs 12")
+    table.add_row(
+        "throughput/chip (updates/s)",
+        f"{comp.wsa_summary.throughput_per_chip:.3g}",
+        f"{comp.spa_summary.throughput_per_chip:.3g}",
+        "SPA 3x faster",
+    )
+    table.add_row(
+        "main-memory bandwidth (bits/tick)",
+        f"{comp.wsa_summary.bandwidth_bits_per_tick:.0f}",
+        f"{comp.spa_summary.bandwidth_bits_per_tick:.0f}",
+        "64 vs 262 (~4x)",
+    )
+    table.add_row(
+        "access pattern",
+        comp.wsa_summary.access_pattern,
+        comp.spa_summary.access_pattern,
+        "raster vs row-staggered",
+    )
+    table.add_row(
+        "extensible",
+        comp.wsa_summary.extensible,
+        comp.spa_summary.extensible,
+        "SPA only",
+    )
+    table.add_row(
+        "speed ratio SPA/WSA", "", f"{comp.speedup_spa_over_wsa:.2f}", "3"
+    )
+    table.add_row(
+        "bandwidth ratio SPA/WSA",
+        "",
+        f"{comp.bandwidth_ratio_spa_over_wsa:.2f}",
+        "~4 (262/64=4.09)",
+    )
+    report(table)
+
+
+def test_extensible_comparison(benchmark, report):
+    comp = benchmark(compare_extensible, 1000)
+    b = PAPER_TECHNOLOGY.B
+    table = Table(
+        "E6: WSA-E vs SPA at L = 1000 (section 6.3, second comparison)",
+        ["quantity", "WSA-E", "SPA", "paper"],
+    )
+    table.add_row("PEs per chip", 1, comp.spa.pes_per_chip, "1 vs 12 (12x)")
+    table.add_row(
+        "bandwidth (bits/tick)",
+        comp.wsa_e.main_memory_bandwidth_bits_per_tick,
+        f"{comp.spa.main_memory_bandwidth_bits_per_tick:.0f}",
+        "16 vs 16L/W",
+    )
+    table.add_row(
+        "storage/PE (units of B)",
+        f"{comp.wsa_e.storage_area_per_pe / b:.1f}",
+        f"{comp.spa.storage_area_per_pe / b:.2f}",
+        "(2L+10) vs 128¾",
+    )
+    table.add_row(
+        "area ratio (κ=8 commercial)",
+        f"{comp.commercial_area_ratio_wsa_e_over_spa:.2f}",
+        "1",
+        "'about twice'",
+    )
+    table.add_row(
+        "bandwidth ratio",
+        f"1/{1 / comp.bandwidth_ratio_wsa_e_over_spa:.1f}",
+        "1",
+        "'about one twentieth'",
+    )
+    report(table)
+
+
+def test_lattice_size_sweep(benchmark, report):
+    """The penalty regimes: WSA-E area grows with L, SPA bandwidth grows
+    with L (the paper's closing point of section 6.3)."""
+
+    def sweep():
+        rows = []
+        for size in (500, 1000, 2000, 4000):
+            c = compare_extensible(size)
+            rows.append(
+                (
+                    size,
+                    f"{c.wsa_e.storage_area_per_pe / PAPER_TECHNOLOGY.B:.0f}B",
+                    c.wsa_e.main_memory_bandwidth_bits_per_tick,
+                    f"{c.spa.storage_area_per_pe / PAPER_TECHNOLOGY.B:.0f}B",
+                    f"{c.spa.main_memory_bandwidth_bits_per_tick:.0f}",
+                )
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table(
+        "E6: growth regimes vs lattice size",
+        ["L", "WSA-E storage/PE", "WSA-E bw (bits/tick)", "SPA storage/PE", "SPA bw (bits/tick)"],
+    )
+    table.add_rows(rows)
+    report(table)
+
+
+def test_commercial_density_ablation(benchmark, report):
+    """The κ the paper's 'about twice the area' implicitly assumes."""
+
+    def sweep():
+        rows = []
+        for kappa in (1.0, 2.0, 4.0, 8.0, 16.0):
+            c = compare_extensible(1000, commercial_density=kappa)
+            rows.append((kappa, f"{c.commercial_area_ratio_wsa_e_over_spa:.2f}"))
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table(
+        "E6-ablation: WSA-E/SPA area ratio vs off-chip memory density κ "
+        "(paper's 'about twice' needs κ≈8)",
+        ["κ", "area ratio"],
+    )
+    table.add_rows(rows)
+    report(table)
+
+
+def test_regime_map(benchmark, report):
+    """The conclusions' plane: 'Each has its preferred operating regime
+    in different parts of the throughput vs. lattice-size plane.'  The
+    regimes appear once the main-memory bandwidth budget binds."""
+    from repro.core.regimes import regime_map
+
+    lattice_sizes = [100, 400, 785, 1000, 2000, 4000]
+    chip_budgets = [1, 10, 100, 1000]
+
+    def build():
+        return {
+            budget: regime_map(
+                lattice_sizes, chip_budgets, bandwidth_budget_bits_per_tick=budget
+            )
+            for budget in (None, 64, 320)
+        }
+
+    maps = benchmark(build)
+    for budget, points in maps.items():
+        label = "unconstrained" if budget is None else f"{budget} bits/tick"
+        table = Table(
+            f"E5/E6: winning architecture, memory budget = {label} "
+            "(rows: lattice size L; columns: chip budget N)",
+            ["L \\ N"] + [str(n) for n in chip_budgets],
+        )
+        for lattice_size in lattice_sizes:
+            row = [p.winner for p in points if p.lattice_size == lattice_size]
+            table.add_row(lattice_size, *row)
+        report(table)
+    constrained = {
+        (p.lattice_size, p.num_chips): p.winner for p in maps[64]
+    }
+    assert constrained[(100, 10)] == "SPA"
+    assert constrained[(785, 100)] == "WSA"
+    assert constrained[(2000, 100)] == "WSA-E"
+
+
+def test_three_architecture_summary(benchmark, report):
+    rows = benchmark(summarize_architectures)
+    table = Table(
+        "E5/E6: all architectures side by side",
+        ["arch", "PEs/chip", "bw bits/tick", "storage/PE (B)", "pattern", "extensible"],
+    )
+    for r in rows:
+        table.add_row(
+            r.name,
+            f"{r.pes_per_chip:.0f}",
+            f"{r.bandwidth_bits_per_tick:.0f}",
+            f"{r.storage_area_per_pe / PAPER_TECHNOLOGY.B:.0f}",
+            r.access_pattern,
+            r.extensible,
+        )
+    report(table)

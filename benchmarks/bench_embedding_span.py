@@ -1,0 +1,94 @@
+"""E1 — Theorem 1 and the stream-embedding storage figures (section 3).
+
+Regenerates: span of every classical embedding vs the Theorem 1 lower
+bound n, and the hexagonal-neighborhood stream spread (the 2n / 2n−2
+delay-line figures that force 'about 2000 sites worth of memory' at
+n = 1000).
+"""
+
+from repro.lattice.embedding import (
+    block_embedding,
+    column_major_embedding,
+    diagonal_embedding,
+    hex_diagonal_pair_distance,
+    hex_neighborhood_stream_diameter,
+    minimum_span_lower_bound,
+    row_major_embedding,
+    snake_embedding,
+)
+from repro.util.tables import Table
+
+EMBEDDINGS = [
+    row_major_embedding,
+    column_major_embedding,
+    snake_embedding,
+    block_embedding,
+    diagonal_embedding,
+]
+
+
+def test_span_vs_theorem1(benchmark, report):
+    n = 256
+
+    def spans():
+        return [(make(n).name, make(n).span()) for make in EMBEDDINGS]
+
+    rows = benchmark(spans)
+    table = Table(
+        f"E1: embedding span at n = {n} vs Theorem 1 bound (span >= n = {n})",
+        ["embedding", "span", ">= n?"],
+    )
+    for name, span in rows:
+        table.add_row(name, span, span >= minimum_span_lower_bound(n))
+    report(table)
+
+
+def test_neighborhood_memory_figures(benchmark, report):
+    def figures():
+        rows = []
+        for n in (100, 500, 785, 1000):
+            emb = row_major_embedding(n)
+            rows.append(
+                (
+                    n,
+                    emb.span(),
+                    hex_neighborhood_stream_diameter(emb.positions),
+                    hex_diagonal_pair_distance(emb.positions),
+                )
+            )
+        return rows
+
+    rows = benchmark(figures)
+    table = Table(
+        "E1: row-major PE delay memory vs lattice size "
+        "(paper: 'about 2000 sites' at n = 1000; quoted pair gap 2n-2)",
+        ["n", "span", "hex neighborhood spread (2n)", "diagonal pair gap (2n-2)"],
+    )
+    table.add_rows(rows)
+    report(table)
+
+
+def test_random_placements_obey_theorem1(benchmark, report):
+    """Monte-Carlo face of Theorem 1: no random placement beats span n."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    n = 32
+
+    def trial_min_span():
+        from repro.lattice.embedding import array_span
+
+        best = 10**9
+        for _ in range(200):
+            perm = rng.permutation(n * n).reshape(n, n)
+            best = min(best, array_span(perm))
+        return best
+
+    best = benchmark(trial_min_span)
+    table = Table(
+        f"E1: best span over 200 random {n}x{n} placements",
+        ["best random span", "Theorem 1 bound", "row-major (optimal class)"],
+    )
+    table.add_row(best, n, row_major_embedding(n).span())
+    report(table)
+    assert best >= n

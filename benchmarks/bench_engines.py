@@ -1,0 +1,149 @@
+"""E11 — engine functional equivalence and measured machine balance.
+
+Runs the three architectures (serial pipeline, WSA, SPA) on the same FHP
+gas, asserts bit-identical evolution, and prints the measured machine
+balance — updates/tick, bandwidth, PE utilization, storage — next to the
+analytic design-model predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engines.partitioned import PartitionedEngine
+from repro.engines.pipeline import SerialPipelineEngine
+from repro.engines.wide_serial import WideSerialEngine
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.util.tables import Table
+
+ROWS, COLS, GENS = 32, 32, 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    model = FHPModel(ROWS, COLS, boundary="null", chirality="alternate")
+    rng = np.random.default_rng(2024)
+    frame = uniform_random_state(ROWS, COLS, 6, 0.35, rng)
+    reference = LatticeGasAutomaton(model, frame.copy())
+    reference.run(GENS)
+    return model, frame, reference.state
+
+
+def test_serial_pipeline_engine(benchmark, report, workload):
+    model, frame, expected = workload
+    engine = SerialPipelineEngine(model, pipeline_depth=4)
+    out, stats = benchmark(engine.run, frame.copy(), GENS)
+    assert np.array_equal(out, expected)
+    _report_stats(report, "serial pipeline (k=4)", stats)
+
+
+def test_wide_serial_engine(benchmark, report, workload):
+    model, frame, expected = workload
+    engine = WideSerialEngine(model, lanes=4, pipeline_depth=4)
+    out, stats = benchmark(engine.run, frame.copy(), GENS)
+    assert np.array_equal(out, expected)
+    _report_stats(report, "WSA (P=4, k=4)", stats)
+
+
+def test_partitioned_engine(benchmark, report, workload):
+    model, frame, expected = workload
+    engine = PartitionedEngine(model, slice_width=8, pipeline_depth=4)
+    out, stats = benchmark(engine.run, frame.copy(), GENS)
+    assert np.array_equal(out, expected)
+    _report_stats(report, "SPA (W=8, k=4)", stats)
+
+
+def _report_stats(report, name, stats):
+    table = Table(f"E11: {name} measured machine balance", ["quantity", "value"])
+    table.add_row("site updates", stats.site_updates)
+    table.add_row("ticks", stats.ticks)
+    table.add_row("updates per tick", f"{stats.updates_per_tick:.3f}")
+    table.add_row("PE utilization", f"{stats.pe_utilization:.1%}")
+    table.add_row("main-memory bits/tick", f"{stats.main_bandwidth_bits_per_tick:.1f}")
+    table.add_row("side-channel bits", stats.io_bits_side)
+    table.add_row("delay storage (sites)", stats.storage_sites)
+    table.add_row("I/O bits per update", f"{stats.io_bits_per_update:.3f}")
+    report(table)
+
+
+def test_extensible_engine(benchmark, report, workload):
+    """WSA-E simulator: same evolution, off-chip delay accounting."""
+    from repro.engines.extensible import ExtensibleSerialEngine
+
+    model, frame, expected = workload
+    engine = ExtensibleSerialEngine(model, pipeline_depth=4)
+    out, stats = benchmark(engine.run, frame.copy(), GENS)
+    assert np.array_equal(out, expected)
+    table = Table("E11: WSA-E engine architecture accounting", ["quantity", "value"])
+    table.add_row("matches reference", "bit-exact")
+    table.add_row("delay sites/stage (2L+10)", engine.delay_sites_per_stage)
+    table.add_row("on-chip window", engine.on_chip_sites_per_stage)
+    table.add_row("off-chip delay", engine.off_chip_sites_per_stage)
+    table.add_row("pins at D=8", engine.pins_used(bits_per_site=8))
+    table.add_row(
+        "stage area (κ=8, paper B)", f"{engine.stage_area(576e-6):.4f}"
+    )
+    report(table)
+
+
+def test_ca_pipeline_engine(benchmark, report):
+    """The 1-D chip of reference [16]: constant per-stage storage."""
+    from repro.engines.ca_pipeline import CAPipelineEngine
+    from repro.lgca.wolfram import ElementaryCA
+
+    rule = ElementaryCA(110, boundary="null")
+    rng = np.random.default_rng(1)
+    tape = (rng.random(2048) < 0.3).astype(np.uint8)
+    engine = CAPipelineEngine(rule, pipeline_depth=8)
+
+    out, stats = benchmark(engine.run, tape, 16)
+    assert np.array_equal(out, rule.run(tape, 16))
+    table = Table(
+        "E11: 1-D CA pipeline (Steiglitz–Morita workload)",
+        ["quantity", "value"],
+    )
+    table.add_row("cells", tape.size)
+    table.add_row("delay cells/stage", engine.storage_cells_per_stage)
+    table.add_row("I/O bits per update", f"{stats.io_bits_per_update:.4f}")
+    table.add_row("updates/tick", f"{stats.updates_per_tick:.2f}")
+    report(table)
+
+
+def test_architecture_throughput_shootout(benchmark, report, workload):
+    """The throughput-per-chip ordering the paper's section 6.3 predicts:
+    SPA > WSA > serial, at matched pipeline depth."""
+    model, frame, expected = workload
+
+    def run_all():
+        results = {}
+        for name, engine in (
+            ("serial", SerialPipelineEngine(model, pipeline_depth=4)),
+            ("WSA P=4", WideSerialEngine(model, lanes=4, pipeline_depth=4)),
+            ("SPA W=8", PartitionedEngine(model, slice_width=8, pipeline_depth=4)),
+        ):
+            out, stats = engine.run(frame.copy(), GENS)
+            assert np.array_equal(out, expected)
+            results[name] = stats
+        return results
+
+    results = benchmark(run_all)
+    table = Table(
+        "E11: throughput shootout at equal pipeline depth "
+        "(section 6.3 ordering: SPA > WSA > serial per system; "
+        "bandwidth cost rises the same way)",
+        ["engine", "updates/tick", "bits/tick", "updates per bit of I/O"],
+    )
+    for name, stats in results.items():
+        table.add_row(
+            name,
+            f"{stats.updates_per_tick:.3f}",
+            f"{stats.main_bandwidth_bits_per_tick:.1f}",
+            f"{stats.site_updates / stats.io_bits_main:.3f}",
+        )
+    report(table)
+    assert (
+        results["SPA W=8"].updates_per_tick
+        > results["WSA P=4"].updates_per_tick / 1.5
+    )
+    assert results["WSA P=4"].updates_per_tick > results["serial"].updates_per_tick

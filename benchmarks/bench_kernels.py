@@ -1,0 +1,88 @@
+"""Library kernel performance (pytest-benchmark timings proper).
+
+Not a paper experiment — housekeeping for the reproduction itself:
+tracks the throughput of the vectorized kernels so a performance
+regression in the substrate is visible.  The guide rule applied here is
+the usual one: measure, don't guess; the table reports site updates per
+second for each kernel at a realistic size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
+from repro.lgca.ndim import NDHPPModel
+from repro.util.tables import Table, format_rate
+
+SIZE = 256
+
+
+@pytest.fixture(scope="module")
+def fhp_state():
+    rng = np.random.default_rng(0)
+    return uniform_random_state(SIZE, SIZE, 6, 0.3, rng)
+
+
+def _rate(benchmark, updates):
+    return updates / benchmark.stats.stats.mean
+
+
+def test_fhp_step(benchmark, report, fhp_state):
+    model = FHPModel(SIZE, SIZE)
+    benchmark(model.step, fhp_state, 0)
+    table = Table("kernel: FHP-6 full step (collide + propagate)", ["quantity", "value"])
+    table.add_row("lattice", f"{SIZE}x{SIZE}")
+    table.add_row("rate", format_rate(_rate(benchmark, SIZE * SIZE)))
+    report(table)
+
+
+def test_fhp_collide_only(benchmark, report, fhp_state):
+    model = FHPModel(SIZE, SIZE)
+    benchmark(model.collide, fhp_state, 0)
+    table = Table("kernel: FHP-6 collide (table lookup + chirality mix)", ["quantity", "value"])
+    table.add_row("rate", format_rate(_rate(benchmark, SIZE * SIZE)))
+    report(table)
+
+
+def test_fhp_propagate_only(benchmark, report, fhp_state):
+    model = FHPModel(SIZE, SIZE)
+    benchmark(model.propagate, fhp_state)
+    table = Table("kernel: FHP-6 propagate (6-channel gather)", ["quantity", "value"])
+    table.add_row("rate", format_rate(_rate(benchmark, SIZE * SIZE)))
+    report(table)
+
+
+def test_hpp_step(benchmark, report):
+    model = HPPModel(SIZE, SIZE)
+    rng = np.random.default_rng(1)
+    state = uniform_random_state(SIZE, SIZE, 4, 0.3, rng)
+    benchmark(model.step, state, 0)
+    table = Table("kernel: HPP full step", ["quantity", "value"])
+    table.add_row("rate", format_rate(_rate(benchmark, SIZE * SIZE)))
+    report(table)
+
+
+def test_ndhpp_3d_step(benchmark, report):
+    model = NDHPPModel((32, 32, 32))
+    rng = np.random.default_rng(2)
+    state = rng.integers(0, 64, size=(32, 32, 32)).astype(np.uint8)
+    benchmark(model.step, state, 0)
+    table = Table("kernel: 3-D gas full step", ["quantity", "value"])
+    table.add_row("lattice", "32^3")
+    table.add_row("rate", format_rate(_rate(benchmark, 32**3)))
+    report(table)
+
+
+def test_engine_stage_vectorized(benchmark, report, fhp_state):
+    from repro.engines.pe import make_rule
+    from repro.engines.pipeline import PipelineStage
+
+    model = FHPModel(SIZE, SIZE, boundary="null")
+    stage = PipelineStage(make_rule(model))
+    stream = fhp_state.ravel()
+    benchmark(stage.process, stream, 0)
+    table = Table("kernel: pipeline stage (vectorized gather)", ["quantity", "value"])
+    table.add_row("rate", format_rate(_rate(benchmark, SIZE * SIZE)))
+    report(table)

@@ -1,0 +1,90 @@
+"""E13 — the conclusions' promised machine comparison.
+
+"We will apply these estimates to get quantitative comparisons between
+competing architectures for lattice gas computations such as the
+Connection Machine, the CRAY-XMP, and special purpose machines."
+
+Every machine is reduced to (compute peak C, memory bandwidth B,
+storage S, realized schedule reuse R/B); the table shows its realized
+rate, its balance (realized/peak), the reuse a schedule must achieve to
+reach the peak, and the Theorem-4 ceiling for context.
+"""
+
+from repro.core.machines import PERIOD_MACHINES, machine_comparison_rows
+from repro.util.tables import Table, format_rate
+
+
+def test_machine_comparison_2d(benchmark, report):
+    rows = benchmark(machine_comparison_rows, 2)
+    table = Table(
+        "E13: 1987 machines on 2-D lattice-gas updates "
+        "(reduced to the section 7 parameters)",
+        [
+            "machine",
+            "compute peak",
+            "B (site values/s)",
+            "realized",
+            "balance",
+            "reuse needed",
+            "Thm-4 ceiling",
+        ],
+    )
+    for r in rows:
+        table.add_row(
+            r["name"],
+            format_rate(r["compute_rate"]),
+            f"{r['bandwidth_sites']:.2g}",
+            format_rate(r["realized"]),
+            f"{r['balance']:.0%}",
+            f"{r['required_reuse']:.1f}",
+            format_rate(r["io_ceiling"]),
+        )
+    report(table)
+    by_name = {r["name"]: r for r in rows}
+    # The section 8 story in one cell:
+    assert by_name["WSA prototype chip"]["realized"] == 1e6
+    # The paper's k = L system is exactly compute/I-O balanced:
+    assert by_name["WSA max system (785 chips)"]["balance"] == 1.0
+
+
+def test_dimension_sweep(benchmark, report):
+    """The ceiling's d-dependence: the same machines on 2-D vs 3-D
+    lattices (S^{1/3} buys less than S^{1/2})."""
+
+    def sweep():
+        out = []
+        for m in PERIOD_MACHINES:
+            out.append((m.name, m.io_ceiling(2), m.io_ceiling(3)))
+        return out
+
+    rows = benchmark(sweep)
+    table = Table(
+        "E13: Theorem-4 ceiling by lattice dimension",
+        ["machine", "d=2 ceiling", "d=3 ceiling", "penalty"],
+    )
+    for name, c2, c3 in rows:
+        table.add_row(name, format_rate(c2), format_rate(c3), f"{c2 / c3:.1f}x")
+        assert c3 < c2
+    report(table)
+
+
+def test_reuse_gap(benchmark, report):
+    """Required vs realized reuse: the machines whose schedules fall
+    short of their compute peak are exactly the bandwidth-starved ones."""
+
+    def rows_():
+        out = []
+        for m in PERIOD_MACHINES:
+            out.append(
+                (m.name, m.required_reuse(), m.schedule_reuse, m.balance())
+            )
+        return out
+
+    rows = benchmark(rows_)
+    table = Table(
+        "E13: reuse required (peak/B) vs realized (schedule R/B)",
+        ["machine", "required", "realized", "balance"],
+    )
+    for name, req, real, bal in rows:
+        table.add_row(name, f"{req:.1f}", f"{real:.1f}", f"{bal:.0%}")
+    report(table)

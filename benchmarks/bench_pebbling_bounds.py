@@ -1,0 +1,129 @@
+"""E8 + E9 — the section 7 bound machinery on real computation graphs.
+
+E8 (Lemma 8): exact line-spread T_d(j) of C_d vs the bound j^d/d!.
+E9 (Theorem 4): realized line-time τ of 2S-partitions induced by real
+pebblings vs the bound 2(d!·2S)^{1/d}.
+"""
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.bounds import (
+    lemma8_lower_bound,
+    theorem4_line_time_bound,
+)
+from repro.pebbling.division import induced_partition
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.lines import line_spread, max_line_vertices_per_subset
+from repro.pebbling.schedules import row_cache_schedule, trapezoid_schedule
+from repro.util.tables import Table
+
+
+def test_lemma8_line_spread(benchmark, report):
+    def compute():
+        rows = []
+        for d, side, gens in ((1, 64, 16), (2, 24, 12), (3, 12, 8)):
+            graph = ComputationGraph(OrthogonalLattice.cube(d, side), gens)
+            for j in (1, 2, 4, 8):
+                if j > gens:
+                    continue
+                rows.append(
+                    (d, j, line_spread(graph, j), lemma8_lower_bound(d, j))
+                )
+        return rows
+
+    rows = benchmark(compute)
+    table = Table(
+        "E8: line-spread T_d(j) vs Lemma 8 bound j^d/d! (must exceed it)",
+        ["d", "j", "T_d(j) exact", "j^d/d!", "holds"],
+    )
+    for d, j, exact, bound in rows:
+        table.add_row(d, j, exact, f"{bound:.2f}", exact > bound)
+        assert exact > bound
+    report(table)
+
+
+def test_theorem4_realized_line_time(benchmark, report):
+    def compute():
+        rows = []
+        g1 = ComputationGraph(OrthogonalLattice.cube(1, 48), generations=12)
+        moves1 = row_cache_schedule(g1, depth=4)
+        for storage in (8, 16, 32):
+            part = induced_partition(g1, moves1, storage)
+            tau = max_line_vertices_per_subset(g1, part)
+            rows.append((1, storage, tau, theorem4_line_time_bound(1, storage)))
+        g2 = ComputationGraph(OrthogonalLattice.cube(2, 10), generations=6)
+        moves2 = trapezoid_schedule(g2, base=5, height=3)
+        for storage in (32, 64, 128):
+            part = induced_partition(g2, moves2, storage)
+            tau = max_line_vertices_per_subset(g2, part)
+            rows.append((2, storage, tau, theorem4_line_time_bound(2, storage)))
+        return rows
+
+    rows = benchmark(compute)
+    table = Table(
+        "E9: realized line-time τ of induced 2S-partitions vs Theorem 4 "
+        "bound 2(d!·2S)^{1/d} (must stay below)",
+        ["d", "S", "realized τ", "bound", "holds"],
+    )
+    for d, s, tau, bound in rows:
+        table.add_row(d, s, tau, f"{bound:.1f}", tau < bound)
+        assert tau < bound
+    report(table)
+
+
+def test_parallel_game_speedup(benchmark, report):
+    """The parallel-red-blue game doing what it was invented for:
+    same I/O as the sequential game, parallel time ~n× shorter."""
+    from repro.pebbling.phased import layer_parallel_steps, measure_phased
+
+    def run():
+        rows = []
+        for d, side, gens in ((1, 64, 8), (2, 12, 6)):
+            graph = ComputationGraph(OrthogonalLattice.cube(d, side), gens)
+            storage = graph.num_sites
+            rep = measure_phased(
+                graph, layer_parallel_steps(graph, storage), storage
+            )
+            rows.append(
+                (
+                    f"C_{d}({side}^{d}, T={gens})",
+                    rep.io_moves,
+                    rep.steps,
+                    rep.sequential_moves_equivalent,
+                    rep.parallel_speedup,
+                )
+            )
+        return rows
+
+    rows = benchmark(run)
+    table = Table(
+        "E9: parallel-red-blue game — same I/O, parallel time "
+        "(pink-pebble slide: one layer of registers per generation)",
+        ["graph", "I/O moves", "parallel steps", "sequential moves", "speedup"],
+    )
+    for name, io, steps, seq, speedup in rows:
+        table.add_row(name, io, steps, seq, f"{speedup:.1f}x")
+        assert speedup > 10
+    report(table)
+
+
+def test_theorem4_bound_growth(benchmark, report):
+    """The bound's S^{1/d} shape across dimensions — the figure behind
+    R = O(B·S^{1/d})."""
+
+    def compute():
+        rows = []
+        for s in (16, 64, 256, 1024, 4096):
+            rows.append(
+                (s,)
+                + tuple(theorem4_line_time_bound(d, s) for d in (1, 2, 3))
+            )
+        return rows
+
+    rows = benchmark(compute)
+    table = Table(
+        "E9: Theorem 4 line-time bound vs storage (columns: d = 1, 2, 3)",
+        ["S", "τ bound d=1", "τ bound d=2", "τ bound d=3"],
+    )
+    for s, b1, b2, b3 in rows:
+        table.add_row(s, f"{b1:.0f}", f"{b2:.1f}", f"{b3:.1f}")
+    report(table)

@@ -1,0 +1,80 @@
+"""E7 — the section 8 prototype: peak vs host-limited realized rate.
+
+"Each chip provides 20 million site-updates per second running at 10
+MHz.  It is unlikely, however, that the workstation host will be able to
+supply the 40 megabyte per second bandwidth ...  We expect to realize
+approximately 1 million site-updates/sec/chip."
+"""
+
+import numpy as np
+
+from repro.core.throughput import PrototypeThroughputModel
+from repro.engines.memory import HostInterface
+from repro.engines.stats import EngineStats
+from repro.util.tables import Table, format_quantity, format_rate
+
+
+def test_prototype_host_sweep(benchmark, report):
+    model = PrototypeThroughputModel()
+
+    def sweep():
+        hosts = np.array([0.5e6, 1e6, 2e6, 5e6, 10e6, 20e6, 40e6, 80e6])
+        return model.bandwidth_sweep(hosts)
+
+    rows = benchmark(sweep)
+    table = Table(
+        "E7: prototype realized rate vs host bandwidth "
+        "(paper: 20M peak, 40MB/s demand, ~1M realized)",
+        ["host bandwidth", "realized rate", "utilization"],
+    )
+    for hb, rate, util in rows:
+        table.add_row(format_quantity(hb, "B/s"), format_rate(rate), f"{util:.1%}")
+    report(table)
+
+    t2 = Table("E7: prototype chip summary", ["quantity", "model", "paper"])
+    t2.add_row("peak rate", format_rate(model.peak_updates_per_second), "20 M updates/s")
+    t2.add_row(
+        "bandwidth demand",
+        format_quantity(model.required_bandwidth_bytes_per_second, "B/s"),
+        "40 MB/s",
+    )
+    t2.add_row(
+        "realized on ~2 MB/s workstation",
+        format_rate(model.realized_rate(2e6)),
+        "~1 M updates/s",
+    )
+    report(t2)
+
+
+def test_engine_stats_through_host_interface(benchmark, report):
+    """The same derating computed from a simulated engine run's stats
+    instead of the closed form — the two must agree."""
+    stats = EngineStats(
+        name="wsa-prototype",
+        site_updates=20_000_000,
+        ticks=10_000_000,
+        io_bits_main=20_000_000 * 16,
+        num_pes=2,
+        num_chips=1,
+        clock_hz=10e6,
+    )
+
+    def derate():
+        return [
+            (hb, HostInterface(hb).realized(stats))
+            for hb in (1e6, 2e6, 10e6, 40e6)
+        ]
+
+    rows = benchmark(derate)
+    table = Table(
+        "E7: engine-run derating via HostInterface (cross-check)",
+        ["host B/s", "peak", "realized", "derating"],
+    )
+    for hb, rep in rows:
+        table.add_row(
+            format_quantity(hb, "B/s"),
+            format_rate(rep.peak_updates_per_second),
+            format_rate(rep.realized_updates_per_second),
+            f"{rep.derating:.2%}",
+        )
+    report(table)

@@ -1,0 +1,125 @@
+"""E4 — the SPA design-space figure (paper section 6.2).
+
+Regenerates the P-vs-W figure: the constant pin-optimal line
+P = Π²/(16DE) = 13.5 and the area curve P = 1/((2W+9)B + Γ), their
+corner (P ≈ 13.5, W ≈ 43), and the integer design (P_w = 2, P_k = 6).
+"""
+
+import pytest
+
+from repro.core.spa import SPAModel
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.util.tables import Table
+
+
+def test_spa_design_curves(benchmark, report):
+    model = SPAModel(PAPER_TECHNOLOGY)
+
+    def build():
+        return model.design_curves(w_min=1, w_max=1000, num=101)
+
+    pins, area = benchmark(build)
+
+    table = Table(
+        "E4: SPA design space (figure, section 6.2) — P limit vs slice width W",
+        ["W (sites)", "P pin-limit (Π²/16DE)", "P area-limit"],
+    )
+    for x in (1, 25, 43, 50, 100, 200, 400, 600, 800, 1000):
+        table.add_row(x, pins.at(x), area.at(x))
+    report(table)
+
+    corner = model.corner()
+    pw, pk = model.optimal_split_continuous()
+    ipw, ipk = model.optimal_integer_split()
+    t2 = Table(
+        "E4: SPA operating point (paper: corner P≈13.5, W≈43; P_w=9/4)",
+        ["quantity", "model", "paper"],
+    )
+    t2.add_row("continuous corner P", f"{corner.p:.2f}", "13.5")
+    t2.add_row("continuous corner W", f"{corner.x:.1f}", "~43")
+    t2.add_row("continuous split P_w", f"{pw:.2f}", "9/4 = 2.25")
+    t2.add_row("continuous split P_k", f"{pk:.2f}", "6")
+    t2.add_row("integer split (P_w, P_k)", f"({ipw}, {ipk})", "(2, 6) -> 12 PEs")
+    d = model.optimal_design(785)
+    t2.add_row("integer design W", d.slice_width, 43)
+    t2.add_row("pins used", d.pins_used, "68 of 72")
+    t2.add_row("chip area used", f"{d.chip_area_used:.4f}", "<= 1")
+    report(t2)
+
+
+def test_spa_split_tradeoff(benchmark, report):
+    """The pin budget trade: every feasible (P_w, P_k) split and its
+    product — showing why (2,6) (or (3,4)) wins."""
+    t = PAPER_TECHNOLOGY
+
+    def enumerate_splits():
+        rows = []
+        for pw in range(1, t.Pi // (2 * t.D) + 1):
+            pk = (t.Pi - 2 * t.D * pw) // (2 * t.E)
+            if pk >= 1:
+                rows.append((pw, pk, pw * pk, 2 * t.D * pw + 2 * t.E * pk))
+        return rows
+
+    rows = benchmark(enumerate_splits)
+    table = Table(
+        "E4: feasible integer (P_w, P_k) splits under 2D·P_w + 2E·P_k <= 72",
+        ["P_w", "P_k", "P = P_w·P_k", "pins used"],
+    )
+    table.add_rows(rows)
+    report(table)
+
+
+def test_pin_scaling_ablation(benchmark, report):
+    """How the two architectures spend a bigger package: the WSA's PE
+    count grows *linearly* in Π (P = Π/2D) while the SPA's grows
+    *quadratically* (P = Π²/16DE) until chip area bites — the structural
+    reason the partitioned design ultimately wins the pin race, and an
+    ablation the models make one-line."""
+    from repro.core.wsa import WSAModel
+
+    def sweep():
+        rows = []
+        for pins in (36, 72, 144, 288, 576):
+            tech = PAPER_TECHNOLOGY.with_(pins=pins)
+            wsa_p = int(WSAModel(tech).pin_limit())
+            spa_model = SPAModel(tech)
+            pin_p = spa_model.pin_limit()
+            try:
+                pw, pk = spa_model.optimal_integer_split()
+                spa_p = pw * pk
+            except ValueError:
+                spa_p = 0
+            rows.append((pins, wsa_p, pin_p, spa_p))
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table(
+        "E4-ablation: PEs per chip vs pin budget Π "
+        "(WSA ∝ Π; SPA ∝ Π² until area binds)",
+        ["Π", "WSA P (pins)", "SPA P (pins, continuous)", "SPA P (integer, area-capped)"],
+    )
+    for pins, wsa_p, pin_p, spa_p in rows:
+        table.add_row(pins, wsa_p, f"{pin_p:.1f}", spa_p)
+    report(table)
+    # quadratic vs linear in the un-capped region:
+    assert rows[1][1] == 2 * rows[0][1]  # WSA doubles
+    assert rows[1][2] == pytest.approx(4 * rows[0][2])  # SPA quadruples
+
+
+def test_spa_beyond_corner_dropoff(benchmark, report):
+    """'Beyond this point, throughput drops off quite rapidly as the
+    silicon real estate is used by memory.'"""
+    model = SPAModel(PAPER_TECHNOLOGY)
+
+    def sweep():
+        rows = []
+        for w in (43, 60, 100, 200, 400, 800):
+            p = min(model.pin_limit(), model.area_limit(w))
+            rows.append((w, p))
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table("E4: P achievable vs W past the corner", ["W", "P achievable"])
+    for w, p in rows:
+        table.add_row(w, f"{p:.2f}")
+    report(table)

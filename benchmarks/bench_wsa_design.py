@@ -1,0 +1,88 @@
+"""E2 + E3 — the WSA design-space figure and maxima (paper section 6.1).
+
+Regenerates the P-vs-L constraint-curve figure (two series: the pin
+curve at P = Π/2D and the area curve P = (1−3B−2BL)/(7B+Γ)), the corner
+operating point, and the ultimate-performance numbers (N_max = L chips,
+R_max = (Π/2D)·F·L).
+"""
+
+import numpy as np
+
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.core.wsa import WSAModel
+from repro.util.tables import Table, format_rate
+
+
+def test_wsa_design_curves(benchmark, report):
+    model = WSAModel(PAPER_TECHNOLOGY)
+
+    def build():
+        return model.design_curves(l_min=1, l_max=1000, num=101)
+
+    pins, area = benchmark(build)
+
+    table = Table(
+        "E2: WSA design space (figure, section 6.1) — P limit vs lattice size L",
+        ["L (sites)", "P pin-limit (Π/2D)", "P area-limit"],
+    )
+    for x in range(0, 1001, 100):
+        x = max(x, 1)
+        table.add_row(x, pins.at(x), area.at(x))
+    report(table)
+
+    corner = model.corner()
+    d = model.optimal_design()
+    t2 = Table(
+        "E2: WSA operating point (paper: corner P≈4, L≈785)",
+        ["quantity", "model", "paper"],
+    )
+    t2.add_row("continuous corner P", f"{corner.p:.2f}", "4.5 (pin curve)")
+    t2.add_row("continuous corner L", f"{corner.x:.0f}", "~785")
+    t2.add_row("integer design P", d.pes_per_chip, 4)
+    t2.add_row("integer design L", d.lattice_size, 785)
+    t2.add_row("chip area used", f"{d.chip_area_used:.4f}", "~1 (corner)")
+    t2.add_row("pins used", d.pins_used, "64 of 72")
+    report(t2)
+
+
+def test_wsa_maximum_system(benchmark, report):
+    model = WSAModel(PAPER_TECHNOLOGY)
+    ms = benchmark(model.max_system)
+    table = Table(
+        "E3: WSA ultimate performance (paper: N_max = L, R_max = (Π/2D)·F·L)",
+        ["quantity", "model", "paper"],
+    )
+    table.add_row("max pipeline depth k_max", ms.pipeline_depth, "L = 785")
+    table.add_row("N_max (chips)", ms.num_chips, 785)
+    table.add_row("R_max", format_rate(ms.update_rate), "3.14e10 updates/s")
+    table.add_row(
+        "absolute max L (P=1)", model.absolute_max_lattice_size(), "(area exhausted)"
+    )
+    report(table)
+
+
+def test_wsa_technology_sensitivity(benchmark, report):
+    """Ablation: how the corner moves with pins and site area — the
+    design-space knobs a different process would change."""
+
+    def sweep():
+        rows = []
+        for pin_scale, b_scale in [(0.5, 1.0), (1.0, 1.0), (2.0, 1.0), (1.0, 0.5), (1.0, 2.0)]:
+            tech = PAPER_TECHNOLOGY.with_(
+                pins=int(72 * pin_scale), site_area=576e-6 * b_scale
+            )
+            m = WSAModel(tech)
+            try:
+                d = m.optimal_design()
+                rows.append((pin_scale, b_scale, d.pes_per_chip, d.lattice_size))
+            except ValueError:
+                rows.append((pin_scale, b_scale, 0, 0))
+        return rows
+
+    rows = benchmark(sweep)
+    table = Table(
+        "E2-ablation: WSA corner vs technology scaling",
+        ["pin scale", "site-area scale", "P*", "L*"],
+    )
+    table.add_rows(rows)
+    report(table)

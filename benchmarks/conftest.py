@@ -1,0 +1,43 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures as a
+fixed-width text table (the "series" a figure plots).  Tables are
+printed to stdout *and* appended to ``benchmarks/out/<module>.txt`` so
+``pytest benchmarks/ --benchmark-only`` leaves a reviewable artifact
+even with output capture on.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.util.tables import Table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def report(request):
+    """Print a table and persist it under benchmarks/out/."""
+
+    def _report(table: Table) -> None:
+        text = table.render()
+        print()
+        print(text)
+        OUT_DIR.mkdir(exist_ok=True)
+        out_file = OUT_DIR / f"{request.module.__name__}.txt"
+        with out_file.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _report
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _clean_out_dir():
+    """Start each bench session with fresh artifacts."""
+    if OUT_DIR.exists():
+        for f in OUT_DIR.glob("*.txt"):
+            f.unlink()
+    yield

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Design-space exploration: what would the paper's engines look like in
+a different chip technology?
+
+The analysis of section 6 is parametric in (D, E, Π, B, Γ, F).  This
+example re-derives the design curves, corners, and architecture
+comparison for three technologies:
+
+* the paper's 3µ CMOS (the published constants),
+* a "denser process" — 4x denser storage and logic, same package,
+* a "bigger package" — same die, 144 pins instead of 72.
+
+It shows the paper's central point surviving the technology shift: the
+corner moves, but I/O (pins and main-memory bandwidth) stays the binding
+resource.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core.comparison import compare_optimal_designs
+from repro.core.spa import SPAModel
+from repro.core.technology import PAPER_TECHNOLOGY, ChipTechnology
+from repro.core.wsa import WSAModel
+from repro.util.tables import Table, format_rate
+
+TECHNOLOGIES = [
+    ("paper 3µ CMOS", PAPER_TECHNOLOGY),
+    (
+        "4x denser process",
+        PAPER_TECHNOLOGY.with_(site_area=576e-6 / 4, pe_area=19.4e-3 / 4),
+    ),
+    ("144-pin package", PAPER_TECHNOLOGY.with_(pins=144)),
+    (
+        "denser + bigger package",
+        PAPER_TECHNOLOGY.with_(
+            site_area=576e-6 / 4, pe_area=19.4e-3 / 4, pins=144
+        ),
+    ),
+]
+
+
+def main() -> None:
+    table = Table(
+        "Engine operating points across technologies",
+        [
+            "technology",
+            "WSA P*",
+            "WSA L*",
+            "WSA bits/tick",
+            "SPA P_w x P_k",
+            "SPA W*",
+            "SPA bits/tick (L=W*·19)",
+            "SPA/WSA speed",
+        ],
+    )
+    for name, tech in TECHNOLOGIES:
+        wsa = WSAModel(tech).optimal_design()
+        spa_model = SPAModel(tech)
+        spa = spa_model.optimal_design(lattice_size=wsa.lattice_size)
+        table.add_row(
+            name,
+            wsa.pes_per_chip,
+            wsa.lattice_size,
+            wsa.main_memory_bandwidth_bits_per_tick,
+            f"{spa.pes_wide} x {spa.pes_deep} = {spa.pes_per_chip}",
+            spa.slice_width,
+            f"{spa.main_memory_bandwidth_bits_per_tick:.0f}",
+            f"{spa.pes_per_chip / wsa.pes_per_chip:.2f}x",
+        )
+    table.print()
+
+    # The binding-resource story: what fraction of the chip is PEs?
+    t2 = Table(
+        "Where the silicon goes (the paper: 'about 4 percent of the area "
+        "is used for processing')",
+        ["technology", "arch", "PE area fraction", "storage area fraction"],
+    )
+    for name, tech in TECHNOLOGIES:
+        wsa = WSAModel(tech).optimal_design()
+        pe_frac = wsa.pes_per_chip * tech.Gamma
+        storage_frac = wsa.storage_sites_per_chip * tech.B
+        t2.add_row(name, "WSA", f"{pe_frac:.1%}", f"{storage_frac:.1%}")
+        spa = SPAModel(tech).optimal_design(lattice_size=wsa.lattice_size)
+        pe_frac = spa.pes_per_chip * tech.Gamma
+        storage_frac = spa.pes_per_chip * spa.storage_sites_per_pe * tech.B
+        t2.add_row(name, "SPA", f"{pe_frac:.1%}", f"{storage_frac:.1%}")
+    t2.print()
+
+    # Scaling a full machine: chips and achievable rates at k = L.
+    t3 = Table(
+        "Maximum-throughput WSA systems (k = L pipeline)",
+        ["technology", "chips", "R_max", "memory bandwidth"],
+    )
+    for name, tech in TECHNOLOGIES:
+        ms = WSAModel(tech).max_system()
+        t3.add_row(
+            name,
+            ms.num_chips,
+            format_rate(ms.update_rate),
+            f"{ms.main_memory_bandwidth_bits_per_tick} bits/tick",
+        )
+    t3.print()
+
+    comp = compare_optimal_designs()
+    print(
+        "Paper-technology comparison summary: SPA is "
+        f"{comp.speedup_spa_over_wsa:.1f}x faster per chip and needs "
+        f"{comp.bandwidth_ratio_spa_over_wsa:.1f}x the main-memory bandwidth —\n"
+        "the trade the paper's section 6.3 is about."
+    )
+
+
+if __name__ == "__main__":
+    main()

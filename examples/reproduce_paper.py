@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""One-command reproduction scoreboard: every paper claim, checked live.
+
+Walks through experiments E1–E13 (see DESIGN.md), computes each of the
+paper's quantitative claims with the library, and prints PASS/FAIL rows
+with paper-vs-measured values.  The detailed series behind each row come
+from ``pytest benchmarks/ --benchmark-only``; this script is the
+five-minute executive summary.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Check:
+    exp: str
+    claim: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+CHECKS: list[Check] = []
+
+
+def check(exp: str, claim: str, paper: str, measured: str, ok: bool) -> None:
+    CHECKS.append(Check(exp, claim, paper, measured, bool(ok)))
+
+
+def run_e1() -> None:
+    from repro.lattice.embedding import (
+        hex_diagonal_pair_distance,
+        hex_neighborhood_stream_diameter,
+        row_major_embedding,
+    )
+
+    emb = row_major_embedding(1000)
+    span = emb.span()
+    check("E1", "Theorem 1: span >= n (row-major optimal)", ">= 1000", str(span), span == 1000)
+    pair = hex_diagonal_pair_distance(emb.positions)
+    check("E1", "neighborhood pair gap 2n-2", "1998", str(pair), pair == 1998)
+    spread = hex_neighborhood_stream_diameter(emb.positions)
+    check("E1", "PE memory 'about 2000 sites' at n=1000", "~2000", str(spread), spread == 2000)
+
+
+def run_e2_e3() -> None:
+    from repro.core.wsa import WSAModel
+
+    model = WSAModel()
+    d = model.optimal_design()
+    check("E2", "WSA corner", "P=4, L=785", f"P={d.pes_per_chip}, L={d.lattice_size}",
+          d.pes_per_chip == 4 and d.lattice_size == 785)
+    ms = model.max_system()
+    check("E3", "N_max = L chips", "785", str(ms.num_chips), ms.num_chips == 785)
+    check("E3", "R_max = (Pi/2D)·F·L", "3.14e10/s", f"{ms.update_rate:.3g}/s",
+          abs(ms.update_rate - 3.14e10) < 1e8)
+
+
+def run_e4() -> None:
+    from repro.core.spa import SPAModel
+
+    model = SPAModel()
+    corner = model.corner()
+    check("E4", "SPA corner", "P=13.5, W~43", f"P={corner.p:.1f}, W={corner.x:.1f}",
+          abs(corner.p - 13.5) < 0.01 and abs(corner.x - 43) < 1.0)
+    pw, pk = model.optimal_integer_split()
+    check("E4", "integer split, twelve PEs", "(2,6)=12", f"({pw},{pk})={pw*pk}", pw * pk == 12)
+
+
+def run_e5_e6() -> None:
+    from repro.core.comparison import compare_extensible, compare_optimal_designs
+
+    c = compare_optimal_designs()
+    check("E5", "SPA three times faster per chip", "3.0x",
+          f"{c.speedup_spa_over_wsa:.2f}x", abs(c.speedup_spa_over_wsa - 3.0) < 0.01)
+    check("E5", "bandwidth ~4x (262 vs 64 bits/tick)", "4.1x",
+          f"{c.bandwidth_ratio_spa_over_wsa:.2f}x (292 vs 64)",
+          3.5 < c.bandwidth_ratio_spa_over_wsa < 5.0)
+    e = compare_extensible(1000)
+    check("E6", "SPA twelve times faster than WSA-E", "12x",
+          f"{e.speedup_spa_over_wsa_e:.1f}x", abs(e.speedup_spa_over_wsa_e - 12) < 0.01)
+    check("E6", "WSA-E ~2x area at L=1000 (κ=8)", "~2x",
+          f"{e.commercial_area_ratio_wsa_e_over_spa:.2f}x",
+          abs(e.commercial_area_ratio_wsa_e_over_spa - 2.0) < 0.3)
+    check("E6", "WSA-E ~1/20 bandwidth at L=1000", "~0.05",
+          f"{e.bandwidth_ratio_wsa_e_over_spa:.3f}",
+          0.03 < e.bandwidth_ratio_wsa_e_over_spa < 0.06)
+
+
+def run_e7() -> None:
+    from repro.core.throughput import PrototypeThroughputModel
+
+    m = PrototypeThroughputModel()
+    check("E7", "prototype peak 20M updates/s at 10MHz", "2.0e7/s",
+          f"{m.peak_updates_per_second:.3g}/s", m.peak_updates_per_second == 20e6)
+    check("E7", "needs 40 MB/s", "4.0e7 B/s",
+          f"{m.required_bandwidth_bytes_per_second:.3g} B/s",
+          m.required_bandwidth_bytes_per_second == 40e6)
+    check("E7", "realized ~1M on workstation", "1.0e6/s",
+          f"{m.realized_rate(2e6):.3g}/s", m.realized_rate(2e6) == 1e6)
+
+
+def run_e8_e9() -> None:
+    from repro.lattice.geometry import OrthogonalLattice
+    from repro.pebbling.bounds import lemma8_lower_bound, theorem4_line_time_bound
+    from repro.pebbling.division import induced_partition
+    from repro.pebbling.graph import ComputationGraph
+    from repro.pebbling.lines import line_spread, max_line_vertices_per_subset
+    from repro.pebbling.schedules import row_cache_schedule
+
+    ok8 = True
+    for d in (1, 2, 3):
+        g = ComputationGraph(OrthogonalLattice.cube(d, 10), generations=6)
+        for j in (1, 2, 4):
+            if line_spread(g, j) <= lemma8_lower_bound(d, j):
+                ok8 = False
+    check("E8", "Lemma 8: T_d(j) > j^d/d!", "strict", "holds d=1..3, j=1..4", ok8)
+
+    g = ComputationGraph(OrthogonalLattice.cube(1, 32), generations=8)
+    moves = row_cache_schedule(g, depth=4)
+    ok9 = True
+    for s in (8, 16, 32):
+        part = induced_partition(g, moves, s)
+        if max_line_vertices_per_subset(g, part) >= theorem4_line_time_bound(1, s):
+            ok9 = False
+    check("E9", "Theorem 4: tau(2S) < 2(d!2S)^(1/d)", "strict",
+          "holds on induced partitions", ok9)
+
+
+def run_e10() -> None:
+    from repro.lattice.geometry import OrthogonalLattice
+    from repro.pebbling.graph import ComputationGraph
+    from repro.pebbling.schedules import (
+        measure_schedule,
+        trapezoid_schedule,
+        trapezoid_storage_needed,
+    )
+
+    g = ComputationGraph(OrthogonalLattice.cube(1, 256), generations=32)
+    pts = []
+    for b in (4, 8, 16, 32):
+        rep = measure_schedule(
+            g, trapezoid_schedule(g, b, b), trapezoid_storage_needed(g, b, b), "t"
+        )
+        pts.append((math.log(rep.max_red), math.log(rep.io_per_update)))
+    n = len(pts)
+    sx = sum(x for x, _ in pts)
+    sy = sum(y for _, y in pts)
+    sxx = sum(x * x for x, _ in pts)
+    sxy = sum(x * y for x, y in pts)
+    slope = (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    check("E10", "tiled I/O scales as S^(-1/d), d=1", "slope -1.00",
+          f"slope {slope:.2f}", abs(slope + 1.0) < 0.15)
+
+
+def run_e11() -> None:
+    from repro.engines.partitioned import PartitionedEngine
+    from repro.engines.pipeline import SerialPipelineEngine
+    from repro.engines.wide_serial import WideSerialEngine
+    from repro.lgca.automaton import LatticeGasAutomaton
+    from repro.lgca.fhp import FHPModel
+    from repro.lgca.flows import uniform_random_state
+
+    model = FHPModel(16, 16, boundary="null")
+    rng = np.random.default_rng(0)
+    frame = uniform_random_state(16, 16, 6, 0.35, rng)
+    ref = LatticeGasAutomaton(model, frame.copy())
+    ref.run(6)
+    all_match = True
+    for engine in (
+        SerialPipelineEngine(model, 3),
+        WideSerialEngine(model, lanes=4, pipeline_depth=3),
+        PartitionedEngine(model, slice_width=8, pipeline_depth=3),
+    ):
+        out, _ = engine.run(frame.copy(), 6)
+        all_match &= bool(np.array_equal(out, ref.state))
+    check("E11", "all engines bit-identical to reference", "exact",
+          "bit-exact" if all_match else "MISMATCH", all_match)
+    spa = PartitionedEngine(model, slice_width=8)
+    e_bits = spa.boundary_bits_per_site_update()
+    check("E11", "slice-boundary bits E", "3", str(e_bits), e_bits == 3)
+
+
+def run_e12() -> None:
+    from repro.lgca.diagnostics import measure_shear_viscosity, measure_sound_speed
+    from repro.lgca.fhp import FHPModel
+
+    rng = np.random.default_rng(5)
+    m = FHPModel(128, 128, chirality="alternate")
+    visc = measure_shear_viscosity(m, 0.2, 0.15, 200, rng)
+    check("E12", "measured viscosity vs Boltzmann", f"{visc.predicted:.3f}",
+          f"{visc.measured:.3f} ({visc.relative_error:.0%} off)",
+          visc.relative_error < 0.3)
+    m2 = FHPModel(64, 64, chirality="alternate")
+    snd = measure_sound_speed(m2, 0.2, 0.3, 400, np.random.default_rng(1))
+    check("E12", "sound speed c_s = 1/sqrt(2)", f"{snd.predicted:.3f}",
+          f"{snd.measured:.3f}", snd.relative_error < 0.2)
+
+
+def run_e13() -> None:
+    from repro.core.machines import machine_comparison_rows
+
+    rows = {r["name"]: r for r in machine_comparison_rows(2)}
+    proto = rows["WSA prototype chip"]
+    check("E13", "prototype realized rate (machine model)", "1e6/s",
+          f"{proto['realized']:.3g}/s", proto["realized"] == 1e6)
+    maxsys = rows["WSA max system (785 chips)"]
+    check("E13", "k=L pipeline exactly balanced", "100%",
+          f"{maxsys['balance']:.0%}", abs(maxsys["balance"] - 1.0) < 1e-9)
+
+
+def main() -> None:
+    for fn in (
+        run_e1,
+        run_e2_e3,
+        run_e4,
+        run_e5_e6,
+        run_e7,
+        run_e8_e9,
+        run_e10,
+        run_e11,
+        run_e12,
+        run_e13,
+    ):
+        fn()
+
+    width_claim = max(len(c.claim) for c in CHECKS)
+    width_paper = max(len(c.paper) for c in CHECKS)
+    width_meas = max(len(c.measured) for c in CHECKS)
+    print(
+        f"{'exp':4}  {'claim':{width_claim}}  {'paper':{width_paper}}  "
+        f"{'measured':{width_meas}}  result"
+    )
+    print("-" * (4 + width_claim + width_paper + width_meas + 14))
+    passed = 0
+    for c in CHECKS:
+        mark = "PASS" if c.ok else "FAIL"
+        passed += c.ok
+        print(
+            f"{c.exp:4}  {c.claim:{width_claim}}  {c.paper:{width_paper}}  "
+            f"{c.measured:{width_meas}}  {mark}"
+        )
+    print(f"\n{passed}/{len(CHECKS)} paper claims reproduced.")
+    if passed != len(CHECKS):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy entry point so `python setup.py develop` works on minimal
+offline environments (no `wheel` package available for PEP 660 editable
+installs).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of Kugelmass, Squier & Steiglitz,
+"Performance of VLSI Engines for Lattice Computations" (ICPP 1987 /
+Complex Systems 1:939-965).
+
+Subpackages
+-----------
+core
+    The paper's contribution: engine design models (WSA, SPA, WSA-E),
+    the section 6.3 comparisons, the section 8 prototype throughput
+    model, and the architecture-facing I/O bound R = O(B*S^(1/d)).
+lattice
+    Geometry substrate: orthogonal and hexagonal lattices, stream
+    embeddings and the span theorem, boundary conditions.
+lgca
+    Lattice-gas cellular automata: HPP, FHP-I, FHP-II, the reference
+    automaton, observables, flows, and 1-D CAs.
+engines
+    Cycle-level simulators of the serial pipeline, wide-serial, and
+    Sternberg partitioned architectures, with bandwidth accounting.
+pebbling
+    Red-blue and parallel-red-blue pebble games, computation graphs,
+    S-I/O-divisions, 2S-partitions, line-time machinery, constructive
+    schedules, and the section 7 lower bounds.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,440 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+design
+    Print the optimal WSA/SPA operating points for a chip technology.
+compare
+    The section 6.3 architecture comparison at a given lattice size.
+simulate
+    Run a lattice gas (optionally through an engine simulator) and
+    report conservation and machine stats.
+bounds
+    Evaluate the R = O(B·S^{1/d}) ceiling and its inversions.
+machines
+    The 1987 machine comparison (Connection Machine, CRAY X-MP, ...).
+viscosity
+    Measure FHP shear viscosity by wave decay and compare to Boltzmann.
+
+Every command prints the same fixed-width tables the benchmark harness
+writes, so CLI output can be diffed against ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _technology_from_args(args: argparse.Namespace):
+    from repro.core.technology import ChipTechnology
+
+    return ChipTechnology(
+        bits_per_site=args.bits,
+        pins=args.pins,
+        site_area=args.site_area,
+        pe_area=args.pe_area,
+        boundary_bits=args.boundary_bits,
+        clock_hz=args.clock_mhz * 1e6,
+    )
+
+
+def _add_technology_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("chip technology (defaults: the paper's 3µ CMOS)")
+    group.add_argument("--bits", type=int, default=8, help="D, bits per site")
+    group.add_argument("--pins", type=int, default=72, help="Π, usable I/O pins")
+    group.add_argument(
+        "--site-area", type=float, default=576e-6, help="B, normalized site area"
+    )
+    group.add_argument(
+        "--pe-area", type=float, default=19.4e-3, help="Γ, normalized PE area"
+    )
+    group.add_argument(
+        "--boundary-bits", type=int, default=3, help="E, slice-boundary bits"
+    )
+    group.add_argument("--clock-mhz", type=float, default=10.0, help="F in MHz")
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.core.spa import SPAModel
+    from repro.core.wsa import WSAModel
+    from repro.util.tables import Table, format_rate
+
+    tech = _technology_from_args(args)
+    table = Table("Optimal engine designs", ["quantity", "WSA", "SPA"])
+    wsa = WSAModel(tech).optimal_design()
+    spa = SPAModel(tech).optimal_design(
+        lattice_size=args.lattice_size or wsa.lattice_size
+    )
+    table.add_row("PEs per chip", wsa.pes_per_chip, spa.pes_per_chip)
+    table.add_row("lattice size L", wsa.lattice_size, spa.lattice_size)
+    table.add_row(
+        "geometry",
+        f"{wsa.pes_per_chip} lanes",
+        f"P_w={spa.pes_wide}, P_k={spa.pes_deep}, W={spa.slice_width}",
+    )
+    table.add_row("pins used", wsa.pins_used, spa.pins_used)
+    table.add_row(
+        "chip area used", f"{wsa.chip_area_used:.4f}", f"{spa.chip_area_used:.4f}"
+    )
+    table.add_row(
+        "bits/tick to memory",
+        wsa.main_memory_bandwidth_bits_per_tick,
+        f"{spa.main_memory_bandwidth_bits_per_tick:.0f}",
+    )
+    table.add_row(
+        "updates/s per chip",
+        format_rate(wsa.updates_per_chip_per_second),
+        format_rate(spa.throughput_per_chip),
+    )
+    table.print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.comparison import compare_extensible, summarize_architectures
+    from repro.core.technology import PAPER_TECHNOLOGY
+    from repro.util.tables import Table
+
+    rows = summarize_architectures(lattice_size=args.lattice_size)
+    table = Table(
+        f"Architecture comparison (L = {args.lattice_size or 785})",
+        ["arch", "PEs/chip", "bits/tick", "storage/PE (B units)", "extensible"],
+    )
+    for r in rows:
+        table.add_row(
+            r.name,
+            f"{r.pes_per_chip:.0f}",
+            f"{r.bandwidth_bits_per_tick:.0f}",
+            f"{r.storage_area_per_pe / PAPER_TECHNOLOGY.B:.1f}",
+            r.extensible,
+        )
+    table.print()
+    comp = compare_extensible(args.lattice_size or 1000)
+    print(
+        f"SPA vs WSA-E: {comp.speedup_spa_over_wsa_e:.0f}x faster per chip, "
+        f"{1 / comp.bandwidth_ratio_wsa_e_over_spa:.1f}x the bandwidth."
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.engines.partitioned import PartitionedEngine
+    from repro.engines.pipeline import SerialPipelineEngine
+    from repro.engines.wide_serial import WideSerialEngine
+    from repro.lgca.automaton import LatticeGasAutomaton
+    from repro.lgca.fhp import FHPModel
+    from repro.lgca.flows import uniform_random_state
+    from repro.lgca.hpp import HPPModel
+    from repro.util.tables import Table, format_rate
+
+    rng = np.random.default_rng(args.seed)
+    boundary = "null" if args.engine != "none" else args.boundary
+    if args.model == "hpp":
+        model = HPPModel(args.rows, args.cols, boundary=boundary)
+    else:
+        model = FHPModel(
+            args.rows,
+            args.cols,
+            rest_particles=args.model in ("fhp7", "fhp-sat"),
+            saturated=args.model == "fhp-sat",
+            boundary=boundary,
+        )
+    state = uniform_random_state(
+        args.rows, args.cols, model.num_channels, args.density, rng
+    )
+    auto = LatticeGasAutomaton(model, state.copy())
+    mass0, p0 = auto.particle_count(), auto.momentum()
+
+    if args.engine == "none":
+        auto.run(args.steps)
+        table = Table("Simulation", ["quantity", "value"])
+        table.add_row("model", args.model)
+        table.add_row("grid", f"{args.rows} x {args.cols} ({args.boundary})")
+        table.add_row("steps", args.steps)
+        table.add_row("mass (t=0 -> end)", f"{mass0} -> {auto.particle_count()}")
+        table.add_row(
+            "momentum drift",
+            f"{np.abs(auto.momentum() - p0).max():.2e}",
+        )
+        table.print()
+        return 0
+
+    engines = {
+        "serial": lambda: SerialPipelineEngine(model, pipeline_depth=args.depth),
+        "wsa": lambda: WideSerialEngine(
+            model, lanes=args.lanes, pipeline_depth=args.depth
+        ),
+        "spa": lambda: PartitionedEngine(
+            model, slice_width=args.slice_width, pipeline_depth=args.depth
+        ),
+    }
+    engine = engines[args.engine]()
+    auto.run(args.steps)
+    out, stats = engine.run(state, args.steps)
+    match = bool(np.array_equal(out, auto.state))
+    table = Table(f"Engine simulation: {stats.name}", ["quantity", "value"])
+    table.add_row("matches reference", "bit-exact" if match else "MISMATCH")
+    table.add_row("site updates", stats.site_updates)
+    table.add_row("ticks", stats.ticks)
+    table.add_row("updates/tick", f"{stats.updates_per_tick:.2f}")
+    table.add_row("rate at clock", format_rate(stats.updates_per_second))
+    table.add_row(
+        "memory bits/tick", f"{stats.main_bandwidth_bits_per_tick:.1f}"
+    )
+    table.print()
+    return 0 if match else 1
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.core.bounds import (
+        bandwidth_for_target_rate,
+        storage_for_target_rate,
+        update_rate_upper_bound,
+    )
+    from repro.util.tables import Table, format_rate
+
+    table = Table(
+        f"R = O(B·S^(1/d)) at d={args.dimension}", ["quantity", "value"]
+    )
+    ceiling = update_rate_upper_bound(args.bandwidth, args.storage, args.dimension)
+    table.add_row("bandwidth B", f"{args.bandwidth:.3g} site values/s")
+    table.add_row("storage S", f"{args.storage:.3g} site values")
+    table.add_row("rate ceiling", format_rate(ceiling))
+    if args.target_rate:
+        table.add_row(
+            f"S needed for R={args.target_rate:.3g}",
+            f"{storage_for_target_rate(args.target_rate, args.bandwidth, args.dimension):.4g}",
+        )
+        table.add_row(
+            f"B needed for R={args.target_rate:.3g}",
+            f"{bandwidth_for_target_rate(args.target_rate, args.storage, args.dimension):.4g}",
+        )
+    table.print()
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    from repro.core.machines import machine_comparison_rows
+    from repro.util.tables import Table, format_rate
+
+    rows = machine_comparison_rows(args.dimension)
+    table = Table(
+        f"1987 machines on {args.dimension}-D lattice updates",
+        ["machine", "peak", "realized", "balance", "reuse needed"],
+    )
+    for r in rows:
+        table.add_row(
+            r["name"],
+            format_rate(r["compute_rate"]),
+            format_rate(r["realized"]),
+            f"{r['balance']:.0%}",
+            f"{r['required_reuse']:.1f}",
+        )
+    table.print()
+    return 0
+
+
+def _cmd_regimes(args: argparse.Namespace) -> int:
+    from repro.core.regimes import regime_map
+    from repro.util.tables import Table
+
+    lattice_sizes = [100, 400, 785, 1000, 2000, 4000]
+    chip_budgets = [1, 10, 100, 1000]
+    budget = args.bandwidth_budget
+    points = regime_map(
+        lattice_sizes, chip_budgets, bandwidth_budget_bits_per_tick=budget
+    )
+    label = "unconstrained" if budget is None else f"{budget:g} bits/tick"
+    table = Table(
+        f"Winning architecture (memory budget: {label})",
+        ["L \\ N"] + [str(n) for n in chip_budgets],
+    )
+    for lattice_size in lattice_sizes:
+        row = [p.winner for p in points if p.lattice_size == lattice_size]
+        table.add_row(lattice_size, *row)
+    table.print()
+    return 0
+
+
+def _cmd_pebble(args: argparse.Namespace) -> int:
+    from repro.lattice.geometry import OrthogonalLattice
+    from repro.pebbling.bounds import io_per_update_lower_bound
+    from repro.pebbling.graph import ComputationGraph
+    from repro.pebbling.schedules import (
+        lru_cache_schedule,
+        measure_schedule,
+        per_site_schedule,
+        row_cache_schedule,
+        row_cache_storage_needed,
+        trapezoid_schedule,
+        trapezoid_storage_needed,
+    )
+    from repro.util.tables import Table
+
+    graph = ComputationGraph(
+        OrthogonalLattice.cube(args.dimension, args.side),
+        generations=args.generations,
+    )
+    table = Table(
+        f"Pebbling schedules on C_{args.dimension}"
+        f"({args.side}^{args.dimension} sites, T={args.generations})",
+        ["schedule", "S used", "I/O per update", "bound floor at S"],
+    )
+    reports = [
+        measure_schedule(graph, per_site_schedule(graph), 2 * args.dimension + 2, "per-site"),
+    ]
+    for depth in (1, min(4, args.generations)):
+        reports.append(
+            measure_schedule(
+                graph,
+                row_cache_schedule(graph, depth),
+                row_cache_storage_needed(graph, depth),
+                f"pipeline k={depth}",
+            )
+        )
+    base = max(2, args.side // 4)
+    height = min(args.generations, max(1, base // 2))
+    reports.append(
+        measure_schedule(
+            graph,
+            trapezoid_schedule(graph, base, height),
+            trapezoid_storage_needed(graph, base, height),
+            f"trapezoid b={base},h={height}",
+        )
+    )
+    lru_s = max(2 * args.dimension + 2, args.cache)
+    reports.append(
+        measure_schedule(graph, lru_cache_schedule(graph, lru_s), lru_s, f"LRU cache S={lru_s}")
+    )
+    for rep in reports:
+        floor = io_per_update_lower_bound(graph, rep.max_red)
+        table.add_row(rep.name, rep.max_red, f"{rep.io_per_update:.4f}", f"{floor:.5f}")
+    table.print()
+    return 0
+
+
+def _cmd_viscosity(args: argparse.Namespace) -> int:
+    from repro.lgca.diagnostics import measure_shear_viscosity
+    from repro.lgca.fhp import FHPModel
+    from repro.util.tables import Table
+
+    model = FHPModel(
+        args.size,
+        args.size,
+        rest_particles=args.model in ("fhp7", "fhp-sat"),
+        saturated=args.model == "fhp-sat",
+        chirality="alternate",
+    )
+    res = measure_shear_viscosity(
+        model, args.density, args.amplitude, args.steps, np.random.default_rng(args.seed)
+    )
+    table = Table("Shear-viscosity measurement", ["quantity", "value"])
+    table.add_row("model", args.model)
+    table.add_row("measured ν", f"{res.measured:.4f}")
+    table.add_row("Boltzmann ν(d)", f"{res.predicted:.4f}")
+    table.add_row("relative error", f"{res.relative_error:.1%}")
+    table.add_row("fit R²", f"{res.r_squared:.4f}")
+    table.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VLSI lattice-engine reproduction toolkit "
+        "(Kugelmass, Squier & Steiglitz 1987)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("design", help="optimal WSA/SPA operating points")
+    _add_technology_args(p)
+    p.add_argument("--lattice-size", type=int, default=None)
+    p.set_defaults(func=_cmd_design)
+
+    p = sub.add_parser("compare", help="section 6.3 architecture comparison")
+    p.add_argument("--lattice-size", type=int, default=None)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("simulate", help="run a lattice gas / engine")
+    p.add_argument("--model", choices=("fhp6", "fhp7", "fhp-sat", "hpp"), default="fhp6")
+    p.add_argument("--rows", type=int, default=32)
+    p.add_argument("--cols", type=int, default=32)
+    p.add_argument("--steps", type=int, default=50)
+    p.add_argument("--density", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--boundary", choices=("periodic", "null", "reflecting"), default="periodic")
+    p.add_argument(
+        "--engine", choices=("none", "serial", "wsa", "spa"), default="none"
+    )
+    p.add_argument("--depth", type=int, default=2, help="pipeline depth k")
+    p.add_argument("--lanes", type=int, default=4, help="WSA lanes P")
+    p.add_argument("--slice-width", type=int, default=8, help="SPA slice width W")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("bounds", help="evaluate the I/O bound")
+    p.add_argument("--dimension", type=int, default=2)
+    p.add_argument("--storage", type=float, default=1600)
+    p.add_argument("--bandwidth", type=float, default=1e6, help="site values/s")
+    p.add_argument("--target-rate", type=float, default=None)
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("machines", help="the 1987 machine comparison")
+    p.add_argument("--dimension", type=int, default=2)
+    p.set_defaults(func=_cmd_machines)
+
+    p = sub.add_parser("regimes", help="which architecture wins where")
+    p.add_argument(
+        "--bandwidth-budget",
+        type=float,
+        default=None,
+        help="main-memory budget in bits/tick (None = unconstrained)",
+    )
+    p.set_defaults(func=_cmd_regimes)
+
+    p = sub.add_parser("pebble", help="run pebbling schedules vs the bound")
+    p.add_argument("--dimension", type=int, default=2)
+    p.add_argument("--side", type=int, default=16)
+    p.add_argument("--generations", type=int, default=6)
+    p.add_argument("--cache", type=int, default=64, help="LRU cache size")
+    p.set_defaults(func=_cmd_pebble)
+
+    p = sub.add_parser("viscosity", help="measure FHP shear viscosity")
+    p.add_argument("--model", choices=("fhp6", "fhp7", "fhp-sat"), default="fhp6")
+    p.add_argument("--size", type=int, default=128)
+    p.add_argument("--density", type=float, default=0.2)
+    p.add_argument("--amplitude", type=float, default=0.15)
+    p.add_argument("--steps", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_viscosity)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's primary contribution: engine design models and I/O bounds.
+
+* :mod:`repro.core.technology` — the VLSI chip technology parameters
+  (area, pins, per-site storage area, per-PE area, clock) with the
+  paper's 3µ-CMOS layout constants as the published default.
+* :mod:`repro.core.wsa` — the wide-serial architecture design model
+  (sections 4 and 6.1): constraint curves in the (L, P) plane, the
+  optimal operating point, and system area/throughput formulas.
+* :mod:`repro.core.spa` — the Sternberg partitioned architecture model
+  (sections 5 and 6.2): constraints in the (W, P) plane with the
+  pin-optimal (P_w, P_k) split.
+* :mod:`repro.core.wsa_e` — the extensible WSA variant of section 6.3
+  with off-chip shift registers.
+* :mod:`repro.core.design_space` — shared machinery: feasibility
+  regions, curve sampling, corner finding, integer design points.
+* :mod:`repro.core.comparison` — the head-to-head tables of section 6.3.
+* :mod:`repro.core.throughput` — the section 8 prototype throughput
+  model (peak vs host-bandwidth-limited realized rate).
+* :mod:`repro.core.bounds` — the architecture-facing form of the
+  pebbling bounds: R = O(B·S^{1/d}).
+"""
+
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.core.design_space import (
+    DesignPoint,
+    DesignCurve,
+    feasibility_corner,
+    sample_curve,
+)
+from repro.core.wsa import WSADesign, WSAModel
+from repro.core.spa import SPADesign, SPAModel
+from repro.core.wsa_e import WSAEDesign, WSAEModel
+from repro.core.comparison import (
+    ArchitectureSummary,
+    compare_optimal_designs,
+    compare_extensible,
+    summarize_architectures,
+)
+from repro.core.throughput import (
+    PrototypeThroughputModel,
+    realized_update_rate,
+)
+from repro.core.regimes import (
+    RegimePoint,
+    architecture_throughputs,
+    regime_map,
+)
+from repro.core.machines import (
+    MachineModel,
+    PERIOD_MACHINES,
+    machine_comparison_rows,
+    io_bound_update_rate,
+)
+from repro.core.bounds import (
+    update_rate_upper_bound,
+    storage_for_target_rate,
+    bandwidth_for_target_rate,
+)
+
+__all__ = [
+    "ChipTechnology",
+    "PAPER_TECHNOLOGY",
+    "DesignPoint",
+    "DesignCurve",
+    "feasibility_corner",
+    "sample_curve",
+    "WSADesign",
+    "WSAModel",
+    "SPADesign",
+    "SPAModel",
+    "WSAEDesign",
+    "WSAEModel",
+    "ArchitectureSummary",
+    "compare_optimal_designs",
+    "compare_extensible",
+    "summarize_architectures",
+    "PrototypeThroughputModel",
+    "realized_update_rate",
+    "RegimePoint",
+    "architecture_throughputs",
+    "regime_map",
+    "MachineModel",
+    "PERIOD_MACHINES",
+    "machine_comparison_rows",
+    "io_bound_update_rate",
+    "update_rate_upper_bound",
+    "storage_for_target_rate",
+    "bandwidth_for_target_rate",
+]

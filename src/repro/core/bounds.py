@@ -1,0 +1,119 @@
+"""Architecture-facing form of the pebbling I/O bounds (section 7).
+
+The rigorous graph-theoretic machinery (pebble games, partitions,
+line-time) lives in :mod:`repro.pebbling`; this module exposes the
+*headline inequality* in the units an architect uses:
+
+    R = O(B · S^{1/d})
+
+with R the site-update rate, B the main-memory bandwidth in site values
+per unit time, S the processor storage in site values, and d the lattice
+dimension.  The constant carried through the paper's proof chain is
+explicit here:
+
+    τ(2S) < 2 (d! · 2S)^{1/d}                     (Theorem 4)
+    g     ≥ |X| / (2S · τ(2S))                     (Lemma 2)
+    Q     ≥ S (g − 1)                              (Lemma 1)
+    R     ≤ B |X| / Q  →  R ≤ 2 B τ(2S)            (asymptotically)
+
+so the usable ceiling is ``R <= 4 B (d! 2S)^{1/d}`` up to the vanishing
+S/|X| correction, which :func:`update_rate_upper_bound` includes exactly
+when the problem size is given.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "line_time_upper_bound",
+    "update_rate_upper_bound",
+    "io_lower_bound",
+    "storage_for_target_rate",
+    "bandwidth_for_target_rate",
+]
+
+
+def line_time_upper_bound(storage: float, dimension: int) -> float:
+    """Theorem 4's bound: τ(2S) < 2 (d! · 2S)^{1/d}."""
+    check_positive(storage, "storage")
+    dimension = check_positive(dimension, "dimension", integer=True)
+    return 2.0 * (math.factorial(dimension) * 2.0 * storage) ** (1.0 / dimension)
+
+
+def io_lower_bound(
+    num_vertices: float, storage: float, dimension: int
+) -> float:
+    """Minimum I/O moves Q for a complete computation of |X| vertices.
+
+    Q ≥ S(g − 1) with g ≥ |X| / (2S · τ(2S)); clamped at 0 when the whole
+    problem fits in processor storage (the paper's assumption 3 excludes
+    that regime explicitly).
+    """
+    check_positive(num_vertices, "num_vertices")
+    check_positive(storage, "storage")
+    tau = line_time_upper_bound(storage, dimension)
+    g = num_vertices / (2.0 * storage * tau)
+    return max(0.0, storage * (g - 1.0))
+
+
+def update_rate_upper_bound(
+    bandwidth_sites_per_second: float,
+    storage: float,
+    dimension: int,
+    num_vertices: float | None = None,
+) -> float:
+    """The headline ceiling R = O(B · S^{1/d}), with explicit constants.
+
+    Parameters
+    ----------
+    bandwidth_sites_per_second:
+        B — main-memory bandwidth in site values per second.
+    storage:
+        S — processor storage in site values.
+    dimension:
+        d — lattice dimension.
+    num_vertices:
+        |X| — total site updates of the computation.  When given, the
+        exact finite-size bound ``B |X| / Q`` is returned; when omitted,
+        the asymptotic ``2 B τ(2S) < 4 B (d! 2S)^{1/d}``.
+    """
+    check_positive(bandwidth_sites_per_second, "bandwidth_sites_per_second")
+    check_positive(storage, "storage")
+    tau = line_time_upper_bound(storage, dimension)
+    if num_vertices is None:
+        return 2.0 * bandwidth_sites_per_second * tau
+    q = io_lower_bound(num_vertices, storage, dimension)
+    if q <= 0:
+        return math.inf  # problem fits in storage; no I/O limit applies
+    return bandwidth_sites_per_second * num_vertices / q
+
+
+def storage_for_target_rate(
+    target_rate: float, bandwidth_sites_per_second: float, dimension: int
+) -> float:
+    """Minimum storage S for R = target under the asymptotic bound.
+
+    Inverts R ≤ 4 B (d! 2S)^{1/d}: S ≥ (R / 4B)^d / (2 · d!).  The d-th
+    power is the paper's punchline — pushing rate via storage alone is
+    exponentially expensive in dimension.
+    """
+    check_positive(target_rate, "target_rate")
+    check_positive(bandwidth_sites_per_second, "bandwidth_sites_per_second")
+    dimension = check_positive(dimension, "dimension", integer=True)
+    ratio = target_rate / (4.0 * bandwidth_sites_per_second)
+    return (ratio**dimension) / (2.0 * math.factorial(dimension))
+
+
+def bandwidth_for_target_rate(
+    target_rate: float, storage: float, dimension: int
+) -> float:
+    """Minimum bandwidth B for R = target: B ≥ R / (4 (d! 2S)^{1/d})."""
+    check_positive(target_rate, "target_rate")
+    check_positive(storage, "storage")
+    dimension = check_positive(dimension, "dimension", integer=True)
+    return target_rate / (
+        4.0 * (math.factorial(dimension) * 2.0 * storage) ** (1.0 / dimension)
+    )

@@ -1,0 +1,183 @@
+"""Head-to-head architecture comparison — paper section 6.3.
+
+Two viewpoints, exactly as the paper structures them:
+
+* :func:`compare_optimal_designs` — WSA vs SPA, each at its
+  throughput-optimal operating point (E5): PEs per chip (throughput per
+  chip ratio), main-memory bandwidth, data-access pattern.
+* :func:`compare_extensible` — WSA-E vs SPA at a large lattice (E6):
+  per-processor bandwidth and storage area, speed per chip, and the
+  L = 1000 area/bandwidth ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spa import SPADesign, SPAModel
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.core.wsa import WSADesign, WSAModel
+from repro.core.wsa_e import WSAEDesign, WSAEModel
+from repro.util.validation import check_positive
+
+__all__ = [
+    "ArchitectureSummary",
+    "compare_optimal_designs",
+    "compare_extensible",
+    "summarize_architectures",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureSummary:
+    """One row of a comparison table."""
+
+    name: str
+    pes_per_chip: float
+    throughput_per_chip: float
+    bandwidth_bits_per_tick: float
+    storage_area_per_pe: float
+    lattice_size: int
+    access_pattern: str
+    extensible: bool
+    notes: str = ""
+
+
+@dataclass(frozen=True)
+class OptimalComparison:
+    """The first section 6.3 comparison (optimized for throughput)."""
+
+    wsa: WSADesign
+    spa: SPADesign
+    wsa_summary: ArchitectureSummary
+    spa_summary: ArchitectureSummary
+
+    @property
+    def speedup_spa_over_wsa(self) -> float:
+        """PEs/chip ratio — the paper's "SPA is three times faster"."""
+        return self.spa.pes_per_chip / self.wsa.pes_per_chip
+
+    @property
+    def bandwidth_ratio_spa_over_wsa(self) -> float:
+        """Main-memory bandwidth ratio — the paper's "four times as much"."""
+        return (
+            self.spa.main_memory_bandwidth_bits_per_tick
+            / self.wsa.main_memory_bandwidth_bits_per_tick
+        )
+
+
+def compare_optimal_designs(
+    technology: ChipTechnology = PAPER_TECHNOLOGY,
+) -> OptimalComparison:
+    """WSA vs SPA at their optimal operating points (experiment E5).
+
+    For the paper's constants: WSA has P = 4 at L = 785 needing 64
+    bits/tick; SPA has P_w·P_k = 12 at W = 43, so it is 3× faster per
+    chip but needs 2D·L/W ≈ 292 bits/tick (the paper quotes 262 — see
+    EXPERIMENTS.md for the rounding discussion), roughly 4× the WSA's.
+    """
+    wsa_model = WSAModel(technology)
+    wsa = wsa_model.optimal_design()
+    spa_model = SPAModel(technology)
+    spa = spa_model.optimal_design(lattice_size=wsa.lattice_size)
+    wsa_summary = ArchitectureSummary(
+        name="WSA",
+        pes_per_chip=wsa.pes_per_chip,
+        throughput_per_chip=wsa.updates_per_chip_per_second,
+        bandwidth_bits_per_tick=wsa.main_memory_bandwidth_bits_per_tick,
+        storage_area_per_pe=(wsa.storage_sites_per_chip * technology.B) / wsa.pes_per_chip
+        + technology.Gamma,
+        lattice_size=wsa.lattice_size,
+        access_pattern="strict raster scan",
+        extensible=False,
+        notes="lattice size fixed by chip technology",
+    )
+    spa_summary = ArchitectureSummary(
+        name="SPA",
+        pes_per_chip=spa.pes_per_chip,
+        throughput_per_chip=spa.throughput_per_chip,
+        bandwidth_bits_per_tick=spa.main_memory_bandwidth_bits_per_tick,
+        storage_area_per_pe=spa.storage_area_per_pe,
+        lattice_size=spa.lattice_size,
+        access_pattern="row-staggered",
+        extensible=True,
+        notes="requires side-to-side synchronous channels",
+    )
+    return OptimalComparison(
+        wsa=wsa, spa=spa, wsa_summary=wsa_summary, spa_summary=spa_summary
+    )
+
+
+@dataclass(frozen=True)
+class ExtensibleComparison:
+    """The second section 6.3 comparison (WSA-E vs SPA)."""
+
+    wsa_e: WSAEDesign
+    spa: SPADesign
+
+    @property
+    def speedup_spa_over_wsa_e(self) -> float:
+        """PEs-per-chip ratio: 12× for the paper's constants."""
+        return self.spa.pes_per_chip / self.wsa_e.pes_per_chip
+
+    @property
+    def bandwidth_ratio_wsa_e_over_spa(self) -> float:
+        """WSA-E / SPA bandwidth: "about one twentieth" at L = 1000."""
+        return (
+            self.wsa_e.main_memory_bandwidth_bits_per_tick
+            / self.spa.main_memory_bandwidth_bits_per_tick
+        )
+
+    @property
+    def storage_area_ratio_wsa_e_over_spa(self) -> float:
+        """On-chip-equivalent storage per PE: (2L+10)B vs (2W+9)B + Γ."""
+        return self.wsa_e.storage_area_per_pe / self.spa.storage_area_per_pe
+
+    @property
+    def commercial_area_ratio_wsa_e_over_spa(self) -> float:
+        """Storage per PE with off-chip delay at commercial density κ.
+
+        ≈ 2 at L = 1000 with κ = 8 — the paper's "about twice as much
+        area as SPA, while requiring about one twentieth as much
+        bandwidth".
+        """
+        return (
+            self.wsa_e.storage_area_per_pe_commercial / self.spa.storage_area_per_pe
+        )
+
+
+def compare_extensible(
+    lattice_size: int = 1000,
+    technology: ChipTechnology = PAPER_TECHNOLOGY,
+    commercial_density: float = 8.0,
+) -> ExtensibleComparison:
+    """WSA-E vs SPA at a large lattice (experiment E6)."""
+    lattice_size = check_positive(lattice_size, "lattice_size", integer=True)
+    wsa_e = WSAEModel(technology).design(
+        lattice_size=lattice_size, commercial_density=commercial_density
+    )
+    spa = SPAModel(technology).optimal_design(lattice_size=lattice_size)
+    return ExtensibleComparison(wsa_e=wsa_e, spa=spa)
+
+
+def summarize_architectures(
+    lattice_size: int | None = None,
+    technology: ChipTechnology = PAPER_TECHNOLOGY,
+) -> list[ArchitectureSummary]:
+    """All three architectures side by side (benchmark table rows)."""
+    optimal = compare_optimal_designs(technology)
+    size = lattice_size if lattice_size is not None else optimal.wsa.lattice_size
+    ext = compare_extensible(lattice_size=size, technology=technology)
+    wsa_e = ext.wsa_e
+    wsa_e_summary = ArchitectureSummary(
+        name="WSA-E",
+        pes_per_chip=wsa_e.pes_per_chip,
+        throughput_per_chip=technology.F,
+        bandwidth_bits_per_tick=wsa_e.main_memory_bandwidth_bits_per_tick,
+        storage_area_per_pe=wsa_e.storage_area_per_pe,
+        lattice_size=wsa_e.lattice_size,
+        access_pattern="strict raster scan",
+        extensible=True,
+        notes="delay line off-chip; 1 PE/chip by pin constraint",
+    )
+    return [optimal.wsa_summary, optimal.spa_summary, wsa_e_summary]

@@ -1,0 +1,218 @@
+"""Machine models for the paper's promised architecture comparison.
+
+The conclusions section commits to future work the paper never
+published: "We will apply these estimates to get quantitative
+comparisons between competing architectures for lattice gas computations
+such as the Connection Machine, the CRAY-XMP, and special purpose
+machines."  This module carries out that comparison with the bound
+machinery of section 7: every machine is reduced to the three
+large-scale parameters the pebbling analysis says matter —
+
+* ``B`` — main-memory bandwidth, in site values per second (a site value
+  is D bits; the paper's large-scale constraint class);
+* ``S`` — processor storage, in site values (red pebbles);
+* ``C`` — raw compute ceiling, in site updates per second (PE count ×
+  rate; the small-scale constraint).
+
+The bound then gives the I/O ceiling ``R ≤ min(C, 4·B·(d!·2S)^{1/d})``
+(asymptotic Theorem 4 form) and the *reuse requirement*: the factor
+``R/B`` the machine's schedule must realize to reach its compute peak.
+
+The 1987 machine specs below are order-of-magnitude figures assembled
+from period literature and are documented per machine; the comparison's
+value is the *shape* (which machines are I/O-bound, and by how much),
+not the third digit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "MachineModel",
+    "io_bound_update_rate",
+    "PERIOD_MACHINES",
+    "machine_comparison_rows",
+]
+
+
+def io_bound_update_rate(
+    bandwidth_sites_per_second: float, storage_sites: float, dimension: int
+) -> float:
+    """The asymptotic section 7 ceiling: 4·B·(d!·2S)^{1/d}."""
+    check_positive(bandwidth_sites_per_second, "bandwidth_sites_per_second")
+    check_positive(storage_sites, "storage_sites")
+    dimension = check_positive(dimension, "dimension", integer=True)
+    return (
+        4.0
+        * bandwidth_sites_per_second
+        * (math.factorial(dimension) * 2.0 * storage_sites) ** (1.0 / dimension)
+    )
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A machine reduced to the bound's three parameters.
+
+    Parameters
+    ----------
+    name:
+        Display name.
+    compute_rate:
+        C — site updates per second the PEs could retire if fed.
+    memory_bandwidth_bytes:
+        Main-memory (or host/inter-chip, whichever feeds the lattice
+        stream) bandwidth in bytes per second.
+    storage_sites:
+        S — site values the processors hold on-chip/in-register.
+    bits_per_site:
+        D — to convert bandwidth to site values.
+    schedule_reuse:
+        Site updates per site value of main-memory traffic that the
+        machine's *natural schedule* realizes (the measured R/B of its
+        pebbling).  Pure streaming — one read and one write per update —
+        is 0.5; a k-stage pipeline realizes k/2; an in-memory machine
+        like the CM only touches memory per frame I/O.
+    notes:
+        Where the figures come from.
+    """
+
+    name: str
+    compute_rate: float
+    memory_bandwidth_bytes: float
+    storage_sites: float
+    bits_per_site: int = 8
+    schedule_reuse: float = 0.5
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive(self.compute_rate, "compute_rate")
+        check_positive(self.memory_bandwidth_bytes, "memory_bandwidth_bytes")
+        check_positive(self.storage_sites, "storage_sites")
+        check_positive(self.bits_per_site, "bits_per_site", integer=True)
+        check_positive(self.schedule_reuse, "schedule_reuse")
+
+    @property
+    def bandwidth_sites_per_second(self) -> float:
+        """B in site values per second (one value in *or* out)."""
+        return self.memory_bandwidth_bytes * 8.0 / self.bits_per_site
+
+    def io_ceiling(self, dimension: int) -> float:
+        """R ≤ 4·B·(d!·2S)^{1/d} for this machine."""
+        return io_bound_update_rate(
+            self.bandwidth_sites_per_second, self.storage_sites, dimension
+        )
+
+    def streaming_rate(self) -> float:
+        """Rate with no reuse at all: every update reads and writes one
+        site value, so R = B/2."""
+        return self.bandwidth_sites_per_second / 2.0
+
+    def achievable_rate(self, dimension: int) -> float:
+        """min(compute ceiling, I/O ceiling)."""
+        return min(self.compute_rate, self.io_ceiling(dimension))
+
+    def realized_rate(self) -> float:
+        """min(compute peak, B × realized reuse) — what the machine's
+        actual schedule delivers.  For the paper's prototype this is
+        exactly the section 8 figure: 20 M peak capped at
+        2 MB/s × 0.5 = 1 M updates/s."""
+        return min(
+            self.compute_rate, self.bandwidth_sites_per_second * self.schedule_reuse
+        )
+
+    def balance(self) -> float:
+        """realized / peak ∈ (0, 1]: 1.0 means compute and I/O balanced."""
+        return self.realized_rate() / self.compute_rate
+
+    def is_io_bound(self, dimension: int) -> bool:
+        """Whether the section 7 bound caps it below its compute peak."""
+        return self.io_ceiling(dimension) < self.compute_rate
+
+    def required_reuse(self) -> float:
+        """R/B factor a schedule must realize to reach the compute peak.
+
+        Values ≫ 1 mean the machine lives or dies by on-chip reuse —
+        the paper's 'I/O pins are the critical resource' in one number.
+        """
+        return self.compute_rate / self.bandwidth_sites_per_second
+
+
+#: Period machines, ~1987.  Sources sketched per entry; all figures are
+#: order-of-magnitude reconstructions for shape comparison.
+PERIOD_MACHINES: tuple[MachineModel, ...] = (
+    MachineModel(
+        name="WSA prototype chip",
+        compute_rate=20e6,  # section 8: 20 M site-updates/s at 10 MHz
+        memory_bandwidth_bytes=2e6,  # the workstation host it actually got
+        storage_sites=1600,  # ~2L+3 delay line at L=785
+        schedule_reuse=0.5,  # single-stage stream: read+write per update
+        notes="paper section 8; host ≈ 2 MB/s sustained",
+    ),
+    MachineModel(
+        name="WSA max system (785 chips)",
+        compute_rate=3.14e10,  # R_max = (Π/2D)·F·L
+        memory_bandwidth_bytes=80e6,  # 64 bits/tick at 10 MHz
+        storage_sites=785 * 1600,  # k stages of delay line
+        schedule_reuse=785 / 2,  # k-deep pipeline: 2/k transfers per update
+        notes="paper section 6.1 maximum configuration",
+    ),
+    MachineModel(
+        name="SPA system (19 slices, k=6)",
+        compute_rate=19 * 12 * 10e6 / 2,  # ~12 PEs/chip utilized, 10 chips
+        memory_bandwidth_bytes=365e6,  # 292 bits/tick at 10 MHz
+        storage_sites=19 * 6 * 95,  # (2W+9) per PE
+        schedule_reuse=6 / 2,  # k=6 pipeline per slice
+        notes="paper section 6.2 optimal design at L=785",
+    ),
+    MachineModel(
+        name="Connection Machine CM-1",
+        compute_rate=1e9,  # 65536 1-bit PEs @4 MHz, ~200 cycles/FHP update
+        memory_bandwidth_bytes=5e8,  # distributed memory, per-PE nibble/cycle class
+        storage_sites=65536 * 512,  # 4 Kbit/PE = 512 bytes ≈ 512 sites
+        schedule_reuse=64.0,  # lattice lives in PE memory; traffic ≈ frame I/O
+        notes="Hillis 1985 specs; bit-serial FHP microcode estimate",
+    ),
+    MachineModel(
+        name="CRAY X-MP/1",
+        compute_rate=2e8,  # multi-spin-coded FHP, ~2·10^8 updates/s/CPU
+        memory_bandwidth_bytes=3.15e9,  # 3 words/clock · 8 B · 105 MHz... per CPU
+        storage_sites=8 * 64 * 8,  # 8 vector regs × 64 words × 8 sites/word
+        schedule_reuse=0.5,  # vector streaming: read+write per update
+        notes="d'Humières et al. 1986 multi-spin benchmarks; 9.5 ns clock",
+    ),
+    MachineModel(
+        name="Sun-3 class workstation",
+        compute_rate=2e5,  # scalar C, ~100 ops/site update at ~20 MIPS... ≈0.2 M/s
+        memory_bandwidth_bytes=4e6,
+        storage_sites=16,  # registers
+        schedule_reuse=0.5,
+        notes="scalar software baseline, period workstation",
+    ),
+)
+
+
+def machine_comparison_rows(dimension: int = 2) -> list[dict]:
+    """The comparison table: one dict per machine (bench E13)."""
+    rows = []
+    for m in PERIOD_MACHINES:
+        rows.append(
+            {
+                "name": m.name,
+                "compute_rate": m.compute_rate,
+                "bandwidth_sites": m.bandwidth_sites_per_second,
+                "storage_sites": m.storage_sites,
+                "streaming_rate": m.streaming_rate(),
+                "io_ceiling": m.io_ceiling(dimension),
+                "achievable": m.achievable_rate(dimension),
+                "io_bound": m.is_io_bound(dimension),
+                "required_reuse": m.required_reuse(),
+                "realized": m.realized_rate(),
+                "balance": m.balance(),
+                "notes": m.notes,
+            }
+        )
+    return rows

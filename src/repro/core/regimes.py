@@ -1,0 +1,161 @@
+"""Operating-regime map: which architecture wins where.
+
+The paper's conclusion: "Each has its preferred operating regime in
+different parts of the throughput vs. lattice-size plane."  This module
+computes that plane.  For every (lattice size L, chip budget N) point it
+evaluates the throughput each architecture can deliver *within its own
+constraints* —
+
+* **WSA** — only exists for L ≤ L_max(technology) (the chip must hold
+  2L+3 delay cells); pipeline depth capped at k = L; R = F·P*·min(N, L).
+* **WSA-E** — any L; one PE per chip; R = F·N (the off-chip delay is
+  area, not a chip count, consistent with section 6.3's accounting).
+* **SPA** — any L; N chips arrange as (slices/P_w) columns × ranks;
+  R = F·P·N capped at the all-resident limit (every site in some delay
+  line: k ≤ rows, i.e. N ≤ slices·rows/(P_w·P_k) ranks... capped at
+  k_max = L like the WSA).
+
+and reports the winner (with bandwidth demands alongside, because the
+winner's price is always bandwidth).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.spa import SPAModel
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.core.wsa import WSAModel
+from repro.core.wsa_e import WSAEModel
+from repro.util.validation import check_positive
+
+__all__ = ["RegimePoint", "architecture_throughputs", "regime_map"]
+
+
+@dataclass(frozen=True)
+class RegimePoint:
+    """One point of the throughput vs. lattice-size plane."""
+
+    lattice_size: int
+    num_chips: int
+    throughput: dict[str, float]
+    bandwidth_bits_per_tick: dict[str, float]
+    winner: str
+
+    def margin(self) -> float:
+        """Winner's throughput over the runner-up's (1.0 = tie)."""
+        ordered = sorted(self.throughput.values(), reverse=True)
+        if len(ordered) < 2 or ordered[1] == 0:
+            return math.inf
+        return ordered[0] / ordered[1]
+
+
+def architecture_throughputs(
+    lattice_size: int,
+    num_chips: int,
+    technology: ChipTechnology = PAPER_TECHNOLOGY,
+    bandwidth_budget_bits_per_tick: float | None = None,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """(throughput, bandwidth) per architecture at (L, N).
+
+    Architectures that cannot build the point report 0 throughput: WSA
+    beyond its L_max, and — when a main-memory ``bandwidth budget`` is
+    given — any architecture whose stream demand exceeds it.  The budget
+    is what turns the plane into the paper's *regimes*: unconstrained,
+    SPA's 3× PEs/chip win almost everywhere; under a realistic memory
+    system, SPA's 2D·L/W bits/tick prices it out of large lattices and
+    the WSA/WSA-E row appears.
+    """
+    lattice_size = check_positive(lattice_size, "lattice_size", integer=True)
+    num_chips = check_positive(num_chips, "num_chips", integer=True)
+    t = technology
+    rates: dict[str, float] = {}
+    bandwidths: dict[str, float] = {}
+
+    # WSA: fixed-L chips; infeasible beyond the area-limited maximum.
+    wsa_model = WSAModel(t)
+    try:
+        p_star = wsa_model.optimal_design().pes_per_chip
+        l_cap = wsa_model.max_lattice_size(p_star)
+    except ValueError:
+        p_star, l_cap = 0, 0
+    if p_star >= 1 and lattice_size <= l_cap:
+        k = min(num_chips, lattice_size)  # k_max = L
+        rates["WSA"] = t.F * p_star * k
+        bandwidths["WSA"] = 2.0 * t.D * p_star
+    else:
+        rates["WSA"] = 0.0
+        bandwidths["WSA"] = 0.0
+
+    # WSA-E: always buildable, one PE/chip, k_max = L.
+    wsa_e = WSAEModel(t)
+    try:
+        wsa_e.design(lattice_size)
+        k = min(num_chips, lattice_size)
+        rates["WSA-E"] = t.F * k
+        bandwidths["WSA-E"] = 2.0 * t.D
+    except ValueError:
+        rates["WSA-E"] = 0.0
+        bandwidths["WSA-E"] = 0.0
+
+    # SPA: N chips of P PEs; the pipeline per slice is capped at k = L
+    # (each slice column holding its whole history), so the usable chips
+    # cap at slices/P_w · L/P_k.
+    spa_model = SPAModel(t)
+    try:
+        spa = spa_model.optimal_design(lattice_size)
+        slices = spa.num_slices
+        max_ranks = max(1, lattice_size // spa.pes_deep)
+        max_chips = max(1, math.ceil(slices / spa.pes_wide)) * max_ranks
+        usable = min(num_chips, max_chips)
+        rates["SPA"] = t.F * spa.pes_per_chip * usable
+        bandwidths["SPA"] = 2.0 * t.D * slices
+    except ValueError:
+        rates["SPA"] = 0.0
+        bandwidths["SPA"] = 0.0
+
+    if bandwidth_budget_bits_per_tick is not None:
+        check_positive(
+            bandwidth_budget_bits_per_tick, "bandwidth_budget_bits_per_tick"
+        )
+        for name in rates:
+            if bandwidths[name] > bandwidth_budget_bits_per_tick:
+                rates[name] = 0.0
+
+    return rates, bandwidths
+
+
+def regime_map(
+    lattice_sizes: list[int],
+    chip_budgets: list[int],
+    technology: ChipTechnology = PAPER_TECHNOLOGY,
+    bandwidth_budget_bits_per_tick: float | None = None,
+) -> list[RegimePoint]:
+    """Evaluate the plane on a grid; one :class:`RegimePoint` per cell.
+
+    A winner of ``"none"`` marks cells where no architecture fits the
+    bandwidth budget.
+    """
+    points = []
+    for lattice_size in lattice_sizes:
+        for num_chips in chip_budgets:
+            rates, bandwidths = architecture_throughputs(
+                lattice_size,
+                num_chips,
+                technology,
+                bandwidth_budget_bits_per_tick,
+            )
+            winner = max(rates, key=lambda k: rates[k])
+            if rates[winner] == 0.0:
+                winner = "none"
+            points.append(
+                RegimePoint(
+                    lattice_size=lattice_size,
+                    num_chips=num_chips,
+                    throughput=rates,
+                    bandwidth_bits_per_tick=bandwidths,
+                    winner=winner,
+                )
+            )
+    return points

@@ -1,0 +1,315 @@
+"""The Sternberg partitioned architecture (SPA) design model — sections 5, 6.2.
+
+The lattice is cut into ``L/W`` columnar slices of width ``W``.  Each
+chip processes ``P_w`` slices, pipelined on-chip to depth ``P_k``, so a
+chip carries ``P = P_w · P_k`` processing elements.  Adjacent slices
+exchange ``E`` bits per update through synchronous side channels to
+complete neighborhoods split across a slice boundary.
+
+System parameters (section 6.2)::
+
+    N = (L / (W P_w)) * (k / P_k)   chips
+    R = F * k * (L / W)             site updates / second
+
+Chip constraints::
+
+    2 D P_w + 2 E P_k        <= Π   (pins: slice streams + side channels)
+    ((2W + 9) B + Γ) P_w P_k <= 1   (area: per-PE delay of 2 slice-lines)
+
+Maximizing ``P = P_w P_k`` under the pin constraint gives the split
+``P_w = Π/4D, P_k = Π/4E`` (AM–GM corner), i.e. P = Π²/(16 D E) = 13.5
+for the paper's constants; the area constraint then caps the slice width
+at W ≈ 43.  The best *integer* design is P_w = 2, P_k = 6 → 12 PEs/chip,
+the "twelve processors per chip" of section 6.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.design_space import DesignCurve, DesignPoint, sample_curve
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.util.validation import check_positive
+
+__all__ = ["SPADesign", "SPAModel"]
+
+
+@dataclass(frozen=True)
+class SPADesign:
+    """A concrete SPA machine: technology + (W, P_w, P_k) + system (L, k).
+
+    Attributes
+    ----------
+    technology:
+        Chip constants.
+    slice_width:
+        W — lattice columns per slice.
+    pes_wide:
+        P_w — slices processed per chip.
+    pes_deep:
+        P_k — on-chip pipeline depth per slice.
+    lattice_size:
+        L — lattice edge (the machine needs L/W slices).
+    pipeline_depth:
+        k — total pipeline depth per slice across all chips
+        (= generations advanced per pass); must be a multiple of P_k
+        for a whole number of chip ranks.
+    """
+
+    technology: ChipTechnology
+    slice_width: int
+    pes_wide: int
+    pes_deep: int
+    lattice_size: int
+    pipeline_depth: int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.slice_width, "slice_width", integer=True)
+        check_positive(self.pes_wide, "pes_wide", integer=True)
+        check_positive(self.pes_deep, "pes_deep", integer=True)
+        check_positive(self.lattice_size, "lattice_size", integer=True)
+        if self.pipeline_depth is None:
+            object.__setattr__(self, "pipeline_depth", self.pes_deep)
+        check_positive(self.pipeline_depth, "pipeline_depth", integer=True)
+
+    # -- chip-level accounting --------------------------------------------------
+
+    @property
+    def pes_per_chip(self) -> int:
+        """P = P_w · P_k."""
+        return self.pes_wide * self.pes_deep
+
+    @property
+    def storage_sites_per_pe(self) -> int:
+        """Delay cells per PE: 2W + 9 (two slice-lines plus the window)."""
+        return 2 * self.slice_width + 9
+
+    @property
+    def chip_area_used(self) -> float:
+        """Normalized area: ((2W + 9) B + Γ) · P_w · P_k."""
+        t = self.technology
+        return (self.storage_sites_per_pe * t.B + t.Gamma) * self.pes_per_chip
+
+    @property
+    def pins_used(self) -> int:
+        """2 D P_w + 2 E P_k."""
+        t = self.technology
+        return 2 * t.D * self.pes_wide + 2 * t.E * self.pes_deep
+
+    def is_feasible(self) -> bool:
+        return (
+            self.pins_used <= self.technology.Pi and self.chip_area_used <= 1.0 + 1e-12
+        )
+
+    def infeasibility_reasons(self) -> list[str]:
+        reasons = []
+        if self.pins_used > self.technology.Pi:
+            reasons.append(f"pins: {self.pins_used} > Π={self.technology.Pi}")
+        if self.chip_area_used > 1.0 + 1e-12:
+            reasons.append(f"area: {self.chip_area_used:.4f} > 1")
+        return reasons
+
+    # -- system-level accounting --------------------------------------------------
+
+    @property
+    def num_slices(self) -> int:
+        """Slices needed to cover the lattice: ⌈L / W⌉."""
+        return math.ceil(self.lattice_size / self.slice_width)
+
+    @property
+    def num_chips(self) -> float:
+        """N = (L / (W P_w)) · (k / P_k).
+
+        Fractional when the slice or rank counts do not divide evenly;
+        :meth:`num_chips_integer` rounds up per the physical machine.
+        """
+        return (self.lattice_size / (self.slice_width * self.pes_wide)) * (
+            self.pipeline_depth / self.pes_deep
+        )
+
+    @property
+    def num_chips_integer(self) -> int:
+        chips_wide = math.ceil(self.num_slices / self.pes_wide)
+        ranks = math.ceil(self.pipeline_depth / self.pes_deep)
+        return chips_wide * ranks
+
+    @property
+    def update_rate(self) -> float:
+        """R = F · k · (L / W) site updates per second."""
+        return (
+            self.technology.F * self.pipeline_depth * self.lattice_size / self.slice_width
+        )
+
+    @property
+    def throughput_per_chip(self) -> float:
+        """R / N = F · P_w · P_k (the identity the paper verifies)."""
+        return self.update_rate / self.num_chips
+
+    @property
+    def main_memory_bandwidth_bits_per_tick(self) -> float:
+        """Every slice has its own stream: 2 D · (L / W) bits per tick.
+
+        "each column of serial processors requires its own data path to
+        and from main memory" — the expensive commodity the paper's
+        conclusion warns about.
+        """
+        return 2.0 * self.technology.D * self.lattice_size / self.slice_width
+
+    @property
+    def main_memory_bandwidth_bits_per_tick_integer(self) -> int:
+        """Bandwidth with a whole number of slices: 2 D · ⌈L/W⌉."""
+        return 2 * self.technology.D * self.num_slices
+
+    @property
+    def main_memory_bandwidth_bytes_per_second(self) -> float:
+        return self.main_memory_bandwidth_bits_per_tick * self.technology.F / 8.0
+
+    @property
+    def storage_area_per_pe(self) -> float:
+        """Normalized chip area per processing element: (2W + 9)B + Γ.
+
+        In units of B this is (2W + 9) + Γ/B ≈ 128.7 for the paper's
+        constants — the "(128¾)B area per processor" of section 6.3.
+        """
+        t = self.technology
+        return self.storage_sites_per_pe * t.B + t.Gamma
+
+
+class SPAModel:
+    """Design-space analysis of the SPA for a given technology."""
+
+    def __init__(self, technology: ChipTechnology = PAPER_TECHNOLOGY):
+        self.technology = technology
+
+    # -- constraint curves ---------------------------------------------------------
+
+    def pin_limit(self, slice_width: float = 0.0) -> float:
+        """Largest P the pins allow with the optimal (P_w, P_k) split.
+
+        max P_w P_k s.t. 2D P_w + 2E P_k <= Π  →  P = Π² / (16 D E),
+        independent of W (the constant line in the paper's figure).
+        """
+        t = self.technology
+        return t.Pi**2 / (16.0 * t.D * t.E)
+
+    def optimal_split_continuous(self) -> tuple[float, float]:
+        """(P_w, P_k) = (Π/4D, Π/4E) — the pin-optimal split."""
+        t = self.technology
+        return t.Pi / (4.0 * t.D), t.Pi / (4.0 * t.E)
+
+    def area_limit(self, slice_width: float) -> float:
+        """Largest P the area constraint allows at slice width W."""
+        if slice_width < 0:
+            raise ValueError(f"slice_width={slice_width} must be non-negative")
+        t = self.technology
+        return 1.0 / ((2.0 * slice_width + 9.0) * t.B + t.Gamma)
+
+    def design_curves(
+        self, w_min: float = 1.0, w_max: float = 1000.0, num: int = 101
+    ) -> list[DesignCurve]:
+        """The two curves of the section 6.2 figure ((W, P) plane)."""
+        return [
+            sample_curve("pins", self.pin_limit, w_min, w_max, num),
+            sample_curve("area", self.area_limit, w_min, w_max, num),
+        ]
+
+    # -- optimum ---------------------------------------------------------------------
+
+    def corner(self) -> DesignPoint:
+        """The corner P ≈ 13.5, W ≈ 43 (for the paper's constants).
+
+        Solves (2W + 9)B + Γ = 1/P_pin for W in closed form.
+        """
+        t = self.technology
+        p_pin = self.pin_limit()
+        w = ((1.0 / p_pin) - t.Gamma - 9.0 * t.B) / (2.0 * t.B)
+        if w <= 0:
+            # Area binds before pins at any width; corner degenerates.
+            return DesignPoint(x=1.0, p=min(p_pin, self.area_limit(1.0)))
+        return DesignPoint(x=w, p=p_pin)
+
+    def optimal_integer_split(self) -> tuple[int, int]:
+        """Integer (P_w, P_k) maximizing P_w·P_k under pins *and* area.
+
+        The area cap matters when the package is generous relative to
+        the die: at W = 1 (the narrowest slice) a chip can hold at most
+        ``1 / (11B + Γ)`` PEs, so pin-feasible splits beyond that are
+        rejected.  Tie-break: the smaller P_w (fewer, wider memory
+        streams — lower main-memory bandwidth per chip), which selects
+        the paper's P_w = 2, P_k = 6 over the equal-product 3 × 4.
+        """
+        t = self.technology
+        max_p_by_area = int(1.0 / (11.0 * t.B + t.Gamma))
+        best: tuple[int, int] | None = None
+        best_product = 0
+        max_pw = t.Pi // (2 * t.D)
+        for pw in range(1, max_pw + 1):
+            pk_pins = (t.Pi - 2 * t.D * pw) // (2 * t.E)
+            if pk_pins < 1:
+                continue
+            pk = min(pk_pins, max(max_p_by_area // pw, 0))
+            if pk < 1:
+                continue
+            product = pw * pk
+            if product > best_product or (
+                product == best_product and best is not None and pw < best[0]
+            ):
+                best = (pw, pk)
+                best_product = product
+        if best is None:
+            raise ValueError("technology admits no feasible SPA design")
+        return best
+
+    def max_slice_width(self, pes_wide: int, pes_deep: int) -> int:
+        """Largest integer W the area allows for an integer (P_w, P_k)."""
+        pes_wide = check_positive(pes_wide, "pes_wide", integer=True)
+        pes_deep = check_positive(pes_deep, "pes_deep", integer=True)
+        t = self.technology
+        p = pes_wide * pes_deep
+        w = ((1.0 / p) - t.Gamma - 9.0 * t.B) / (2.0 * t.B)
+        if w < 1:
+            raise ValueError(
+                f"no slice fits with P_w={pes_wide}, P_k={pes_deep} in this technology"
+            )
+        return int(math.floor(w + 1e-9))
+
+    def corner_slice_width(self) -> int:
+        """W at the continuous corner, rounded to the nearest integer (43)."""
+        return int(round(self.corner().x))
+
+    def optimal_design(
+        self,
+        lattice_size: int,
+        pipeline_depth: int | None = None,
+        slice_width_policy: str = "corner",
+    ) -> SPADesign:
+        """The best feasible integer design for a lattice of size L.
+
+        ``slice_width_policy`` selects W:
+
+        * ``"corner"`` (default) — the continuous corner's W (43 for the
+          paper's constants).  This is the operating point the paper's
+          section 6.3 numbers (128¾ B per PE, etc.) are quoted at.
+        * ``"max"`` — the widest W the area constraint allows for the
+          *integer* P (50 for the paper's constants), which minimizes
+          main-memory bandwidth at the same throughput.
+        """
+        lattice_size = check_positive(lattice_size, "lattice_size", integer=True)
+        pw, pk = self.optimal_integer_split()
+        if slice_width_policy == "corner":
+            w = min(self.corner_slice_width(), self.max_slice_width(pw, pk))
+        elif slice_width_policy == "max":
+            w = self.max_slice_width(pw, pk)
+        else:
+            raise ValueError(
+                f"slice_width_policy={slice_width_policy!r} must be 'corner' or 'max'"
+            )
+        return SPADesign(
+            technology=self.technology,
+            slice_width=min(w, lattice_size),
+            pes_wide=pw,
+            pes_deep=pk,
+            lattice_size=lattice_size,
+            pipeline_depth=pipeline_depth if pipeline_depth is not None else pk,
+        )

@@ -1,0 +1,131 @@
+"""VLSI chip technology parameters.
+
+Section 6 of the paper parameterizes both architectures by the same
+small set of chip constants, "figures derived from our actual layouts"
+of the 3µ CMOS prototype:
+
+======  ========================================================  =============
+symbol  meaning                                                   paper value
+======  ========================================================  =============
+D       bits of state per lattice site                            8
+E       bits crossing a slice boundary to complete a              3
+        neighborhood (SPA only)
+Π       usable I/O pins per chip                                  72
+α       usable chip area (λ²)                                     (normalizing)
+β       area of one site's worth of shift register (λ²)           B = β/α = 576e-6
+γ       area of one processing element (λ²)                       Γ = γ/α = 19.4e-3
+F       major clock frequency                                     10 MHz
+======  ========================================================  =============
+
+The paper works with the *normalized* areas B = β/α and Γ = γ/α, so
+:class:`ChipTechnology` stores those directly (α is only needed to get
+back to λ² and defaults to 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_positive
+
+__all__ = ["ChipTechnology", "PAPER_TECHNOLOGY"]
+
+
+@dataclass(frozen=True)
+class ChipTechnology:
+    """The chip-level design constraints both architectures share.
+
+    Parameters
+    ----------
+    bits_per_site:
+        D — width of a site's state in bits.
+    pins:
+        Π — total usable I/O pins.
+    site_area:
+        B = β/α — normalized area of storage for one site value.
+    pe_area:
+        Γ = γ/α — normalized area of one processing element.
+    boundary_bits:
+        E — bits exchanged across a slice boundary per site update to
+        complete a split neighborhood (3 for the FHP stencil).
+    clock_hz:
+        F — major cycle rate; each PE retires one site update per cycle.
+    chip_area:
+        α in λ²; only used to convert normalized areas back to λ².
+    """
+
+    bits_per_site: int = 8
+    pins: int = 72
+    site_area: float = 576e-6
+    pe_area: float = 19.4e-3
+    boundary_bits: int = 3
+    clock_hz: float = 10e6
+    chip_area: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.bits_per_site, "bits_per_site", integer=True)
+        check_positive(self.pins, "pins", integer=True)
+        check_positive(self.site_area, "site_area")
+        check_positive(self.pe_area, "pe_area")
+        check_positive(self.boundary_bits, "boundary_bits", integer=True)
+        check_positive(self.clock_hz, "clock_hz")
+        check_positive(self.chip_area, "chip_area")
+        if self.site_area >= 1.0:
+            raise ValueError(
+                f"site_area={self.site_area} is normalized to chip area and must be < 1"
+            )
+        if self.pe_area >= 1.0:
+            raise ValueError(
+                f"pe_area={self.pe_area} is normalized to chip area and must be < 1"
+            )
+
+    # Symbol-named aliases so model code reads like the paper's algebra.
+
+    @property
+    def D(self) -> int:  # noqa: N802 - paper symbol
+        return self.bits_per_site
+
+    @property
+    def E(self) -> int:  # noqa: N802 - paper symbol
+        return self.boundary_bits
+
+    @property
+    def Pi(self) -> int:  # noqa: N802 - paper symbol Π
+        return self.pins
+
+    @property
+    def B(self) -> float:  # noqa: N802 - paper symbol
+        return self.site_area
+
+    @property
+    def Gamma(self) -> float:  # noqa: N802 - paper symbol Γ
+        return self.pe_area
+
+    @property
+    def F(self) -> float:  # noqa: N802 - paper symbol
+        return self.clock_hz
+
+    def with_(self, **changes) -> "ChipTechnology":
+        """A modified copy (ablation sweeps scale pins, areas, etc.)."""
+        return replace(self, **changes)
+
+    def site_area_lambda2(self) -> float:
+        """β in λ² (absolute units)."""
+        return self.site_area * self.chip_area
+
+    def pe_area_lambda2(self) -> float:
+        """γ in λ² (absolute units)."""
+        return self.pe_area * self.chip_area
+
+    def pe_equivalent_sites(self) -> float:
+        """How many site-storage cells one PE costs (Γ/B ≈ 33.7 for the paper).
+
+        Useful intuition: in the paper's technology a processing element
+        is worth ~34 shift-register cells, which is why "most of the
+        silicon area ... is shift register".
+        """
+        return self.pe_area / self.site_area
+
+
+#: The paper's published 3µ CMOS constants (section 6.1 example).
+PAPER_TECHNOLOGY = ChipTechnology()

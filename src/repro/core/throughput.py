@@ -1,0 +1,117 @@
+"""The section 8 prototype throughput model.
+
+"A prototype lattice-gas engine, using the WSA architecture, and based on
+a custom 3µ CMOS chip, is now being constructed.  Each chip provides 20
+million site-updates per second running at 10 MHz.  It is unlikely,
+however, that the workstation host will be able to supply the 40
+megabyte per second bandwidth required for this level of performance.
+We expect to realize approximately 1 million site-updates/sec/chip from
+the prototype implementation."
+
+The arithmetic is a pure bandwidth cap: every site update moves one
+D-bit value in and one out (2D/8 bytes), so a chip that retires U
+updates/s demands ``U · 2D/8`` bytes/s of host bandwidth, and a host
+that sustains H bytes/s caps the realized rate at ``H / (2D/8)``.
+:class:`PrototypeThroughputModel` carries that computation plus the host
+sweep benchmark E7 prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.util.validation import check_positive
+
+__all__ = ["PrototypeThroughputModel", "realized_update_rate"]
+
+
+def realized_update_rate(
+    peak_updates_per_second: float,
+    host_bandwidth_bytes_per_second: float,
+    bits_per_site: int = 8,
+) -> float:
+    """Achieved site-update rate under a host-bandwidth cap.
+
+    ``min(peak, host_bandwidth / (2D/8))`` — the sustained stream needs
+    D bits read and D bits written per update.
+    """
+    check_positive(peak_updates_per_second, "peak_updates_per_second")
+    check_positive(host_bandwidth_bytes_per_second, "host_bandwidth_bytes_per_second")
+    check_positive(bits_per_site, "bits_per_site", integer=True)
+    bytes_per_update = 2.0 * bits_per_site / 8.0
+    return min(
+        peak_updates_per_second,
+        host_bandwidth_bytes_per_second / bytes_per_update,
+    )
+
+
+@dataclass(frozen=True)
+class PrototypeThroughputModel:
+    """The paper's prototype chip: peak rate, bandwidth demand, derating.
+
+    Parameters
+    ----------
+    technology:
+        Chip constants (F and D).
+    updates_per_tick:
+        Site updates the chip retires per clock (the prototype's 2 —
+        20 M updates/s at 10 MHz).
+    """
+
+    technology: ChipTechnology = PAPER_TECHNOLOGY
+    updates_per_tick: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive(self.updates_per_tick, "updates_per_tick", integer=True)
+
+    @property
+    def peak_updates_per_second(self) -> float:
+        """F · updates_per_tick (20 M/s for the prototype)."""
+        return self.technology.F * self.updates_per_tick
+
+    @property
+    def bytes_per_update(self) -> float:
+        """2D / 8 bytes of stream traffic per site update."""
+        return 2.0 * self.technology.D / 8.0
+
+    @property
+    def required_bandwidth_bytes_per_second(self) -> float:
+        """Host bandwidth that sustains the peak (40 MB/s for the prototype)."""
+        return self.peak_updates_per_second * self.bytes_per_update
+
+    def realized_rate(self, host_bandwidth_bytes_per_second: float) -> float:
+        """Achieved updates/s for a given sustained host bandwidth."""
+        return realized_update_rate(
+            self.peak_updates_per_second,
+            host_bandwidth_bytes_per_second,
+            self.technology.D,
+        )
+
+    def utilization(self, host_bandwidth_bytes_per_second: float) -> float:
+        """Fraction of peak achieved (0, 1]."""
+        return self.realized_rate(host_bandwidth_bytes_per_second) / (
+            self.peak_updates_per_second
+        )
+
+    def host_bandwidth_for_rate(self, target_updates_per_second: float) -> float:
+        """Host bandwidth needed to sustain a target rate."""
+        check_positive(target_updates_per_second, "target_updates_per_second")
+        if target_updates_per_second > self.peak_updates_per_second:
+            raise ValueError(
+                f"target {target_updates_per_second:.3g}/s exceeds chip peak "
+                f"{self.peak_updates_per_second:.3g}/s"
+            )
+        return target_updates_per_second * self.bytes_per_update
+
+    def bandwidth_sweep(
+        self, host_bandwidths: np.ndarray
+    ) -> list[tuple[float, float, float]]:
+        """(host B/s, realized updates/s, utilization) rows for bench E7."""
+        rows = []
+        for hb in np.asarray(host_bandwidths, dtype=np.float64):
+            rate = self.realized_rate(float(hb))
+            rows.append((float(hb), rate, rate / self.peak_updates_per_second))
+        return rows

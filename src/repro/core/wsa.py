@@ -1,0 +1,246 @@
+"""The wide-serial architecture (WSA) design model — paper sections 4, 6.1.
+
+One chip holds one pipeline stage: a shift-register delay line spanning
+two lattice rows plus a window, and ``P`` processing elements that each
+retire one site update per clock.  ``k`` chips in series advance the
+lattice ``k`` generations per pass.
+
+System parameters (paper, section 6.1)::
+
+    N = k                     chips                 (system area)
+    R = F * P * k             site updates / second (system throughput)
+
+Chip constraints::
+
+    2 D P                 <= Π   (pins: P sites in + P sites out per tick)
+    (2L + 7P + 3) B + Γ P <= 1   (area: delay line + window + PEs)
+
+The area form is the one the paper's closed-form curve
+``P <= (1 - 3B - 2BL) / (7B + Γ)`` is algebraically equivalent to, and it
+reproduces the published operating point P≈4, L≈785 exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.design_space import (
+    DesignCurve,
+    DesignPoint,
+    best_integer_p,
+    feasibility_corner,
+    sample_curve,
+)
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.util.validation import check_positive
+
+__all__ = ["WSADesign", "WSAModel"]
+
+
+@dataclass(frozen=True)
+class WSADesign:
+    """A concrete WSA machine: technology + (L, P, k).
+
+    Attributes
+    ----------
+    technology:
+        Chip constants.
+    lattice_size:
+        L — sites along an edge of the square lattice.
+    pes_per_chip:
+        P — processing elements (lanes) per chip.
+    pipeline_depth:
+        k — chips in series = generations advanced per pass.
+    """
+
+    technology: ChipTechnology
+    lattice_size: int
+    pes_per_chip: int
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.lattice_size, "lattice_size", integer=True)
+        check_positive(self.pes_per_chip, "pes_per_chip", integer=True)
+        check_positive(self.pipeline_depth, "pipeline_depth", integer=True)
+
+    # -- chip-level accounting ------------------------------------------------
+
+    @property
+    def storage_sites_per_chip(self) -> int:
+        """Shift-register cells on one chip: 2L + 7P + 3."""
+        return 2 * self.lattice_size + 7 * self.pes_per_chip + 3
+
+    @property
+    def chip_area_used(self) -> float:
+        """Normalized area: storage + PEs (must be <= 1)."""
+        t = self.technology
+        return self.storage_sites_per_chip * t.B + self.pes_per_chip * t.Gamma
+
+    @property
+    def pins_used(self) -> int:
+        """2 D P — one site in and one site out per lane per tick."""
+        return 2 * self.technology.D * self.pes_per_chip
+
+    def is_feasible(self) -> bool:
+        """Whether the chip meets both pin and area constraints."""
+        return (
+            self.pins_used <= self.technology.Pi and self.chip_area_used <= 1.0 + 1e-12
+        )
+
+    def infeasibility_reasons(self) -> list[str]:
+        reasons = []
+        if self.pins_used > self.technology.Pi:
+            reasons.append(
+                f"pins: {self.pins_used} > Π={self.technology.Pi}"
+            )
+        if self.chip_area_used > 1.0 + 1e-12:
+            reasons.append(f"area: {self.chip_area_used:.4f} > 1")
+        return reasons
+
+    # -- system-level accounting ----------------------------------------------
+
+    @property
+    def num_chips(self) -> int:
+        """N = k (one stage per chip)."""
+        return self.pipeline_depth
+
+    @property
+    def update_rate(self) -> float:
+        """R = F · P · k site updates per second."""
+        return self.technology.F * self.pes_per_chip * self.pipeline_depth
+
+    @property
+    def updates_per_chip_per_second(self) -> float:
+        return self.technology.F * self.pes_per_chip
+
+    @property
+    def main_memory_bandwidth_bits_per_tick(self) -> int:
+        """Bits the main memory must move per clock: 2 D P.
+
+        The pipeline is a single stream — only the first chip reads and
+        the last writes, so system bandwidth equals one chip's pin load.
+        """
+        return 2 * self.technology.D * self.pes_per_chip
+
+    @property
+    def main_memory_bandwidth_bytes_per_second(self) -> float:
+        return self.main_memory_bandwidth_bits_per_tick * self.technology.F / 8.0
+
+    @property
+    def throughput_per_area(self) -> float:
+        """R / N — updates per second per chip."""
+        return self.update_rate / self.num_chips
+
+    def generations_per_pass(self) -> int:
+        """Each pass over the lattice advances k generations."""
+        return self.pipeline_depth
+
+
+class WSAModel:
+    """Design-space analysis of the WSA for a given technology.
+
+    Reproduces the section 6.1 figure (constraint curves in the (L, P)
+    plane) and the published optimum.
+    """
+
+    def __init__(self, technology: ChipTechnology = PAPER_TECHNOLOGY):
+        self.technology = technology
+
+    # -- constraint curves -----------------------------------------------------
+
+    def pin_limit(self, lattice_size: float = 0.0) -> float:
+        """Largest (continuous) P the pin constraint allows: Π / 2D."""
+        t = self.technology
+        return t.Pi / (2.0 * t.D)
+
+    def area_limit(self, lattice_size: float) -> float:
+        """Largest (continuous) P the area constraint allows at L.
+
+        P <= (1 - 3B - 2BL) / (7B + Γ) — the paper's closed form.
+        """
+        if lattice_size < 0:
+            raise ValueError(f"lattice_size={lattice_size} must be non-negative")
+        t = self.technology
+        return (1.0 - 3.0 * t.B - 2.0 * t.B * lattice_size) / (7.0 * t.B + t.Gamma)
+
+    def design_curves(
+        self, l_min: float = 1.0, l_max: float = 1000.0, num: int = 101
+    ) -> list[DesignCurve]:
+        """The two curves of the section 6.1 figure."""
+        return [
+            sample_curve("pins", self.pin_limit, l_min, l_max, num),
+            sample_curve("area", self.area_limit, l_min, l_max, num),
+        ]
+
+    # -- optimum ----------------------------------------------------------------
+
+    def corner(self, l_min: float = 1.0, l_max: float = 2000.0) -> DesignPoint:
+        """The continuous operating point (P ≈ 4.01, L ≈ 785 for the paper).
+
+        "we want L to be as big as possible, so the corner is the
+        logical choice of operating point."
+        """
+        return feasibility_corner(self.pin_limit, self.area_limit, l_min, l_max)
+
+    def optimal_design(self, pipeline_depth: int = 1) -> WSADesign:
+        """The best feasible *integer* design at the corner.
+
+        P is the pin-limited integer; L is then pushed to the largest
+        integer the area constraint allows for that P.
+        """
+        p_int = best_integer_p(min(self.pin_limit(), self.area_limit(0.0)))
+        if p_int < 1:
+            raise ValueError("technology admits no feasible WSA design")
+        l_int = self.max_lattice_size(p_int)
+        return WSADesign(
+            technology=self.technology,
+            lattice_size=l_int,
+            pes_per_chip=p_int,
+            pipeline_depth=pipeline_depth,
+        )
+
+    def max_lattice_size(self, pes_per_chip: int) -> int:
+        """Largest L the area constraint allows for a given integer P."""
+        pes_per_chip = check_positive(pes_per_chip, "pes_per_chip", integer=True)
+        t = self.technology
+        numerator = 1.0 - (7 * pes_per_chip + 3) * t.B - pes_per_chip * t.Gamma
+        l_max = numerator / (2.0 * t.B)
+        if l_max < 1:
+            raise ValueError(
+                f"no lattice fits with P={pes_per_chip} in this technology"
+            )
+        return int(math.floor(l_max + 1e-9))
+
+    def absolute_max_lattice_size(self) -> int:
+        """Upper bound on L even accepting arbitrarily slow computation.
+
+        "At a certain point all the chip area would be used for memory,
+        leaving no room for PEs" — i.e. L at P = 1.
+        """
+        return self.max_lattice_size(1)
+
+    # -- ultimate performance ----------------------------------------------------
+
+    def max_pipeline_depth(self, design: WSADesign) -> int:
+        """k_max = L: beyond that the pipeline holds the whole lattice."""
+        return design.lattice_size
+
+    def max_system(self) -> WSADesign:
+        """The maximum-throughput system: optimal chip, k = L chips.
+
+        N_max = L chips, R_max = (Π / 2D) · F · L updates/s.
+        """
+        base = self.optimal_design()
+        return WSADesign(
+            technology=self.technology,
+            lattice_size=base.lattice_size,
+            pes_per_chip=base.pes_per_chip,
+            pipeline_depth=base.lattice_size,
+        )
+
+    def max_update_rate(self) -> float:
+        """R_max of the section 6.1 formula (continuous P = Π/2D)."""
+        t = self.technology
+        corner = self.corner()
+        return (t.Pi / (2.0 * t.D)) * t.F * corner.x

@@ -1,0 +1,149 @@
+"""WSA-E: the extensible wide-serial variant — paper section 6.3.
+
+"The extension can be accomplished by moving a portion of the shift
+register off chip.  The pin constraints given previously, with the same
+constants, allow only one processor per chip in this case.  A stage in
+the pipeline consists of a processor chip and associated shift registers
+sufficient to hold the remainder of the 2L + 10 node values which do not
+fit onto the processor chip."
+
+Pin accounting behind the "only one processor" statement: a lane now
+needs its 2D stream pins *plus* two off-chip delay-line break-outs (the
+two long runs between the three window rows), each D out + D in, i.e.
+6D pins per lane = 48 of the 72 available — one lane fits, two do not.
+
+The off-chip storage is "another technology ... such as off-chip
+commercial memories"; its density relative to on-chip shift register is
+the ``commercial_density`` parameter (κ).  The paper's "about twice as
+much area as SPA" at L = 1000 corresponds to κ ≈ 8 — the bench sweeps κ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.technology import ChipTechnology, PAPER_TECHNOLOGY
+from repro.util.validation import check_positive
+
+__all__ = ["WSAEDesign", "WSAEModel"]
+
+#: sites of delay a WSA-E stage must hold (window of 10 + two lattice lines)
+def _stage_delay_sites(lattice_size: int) -> int:
+    return 2 * lattice_size + 10
+
+
+@dataclass(frozen=True)
+class WSAEDesign:
+    """A WSA-E machine: k single-PE stages with off-chip delay lines.
+
+    Parameters
+    ----------
+    technology:
+        Chip constants.
+    lattice_size:
+        L — lattice edge (now *not* bounded by chip area; that is the
+        whole point of the variant).
+    pipeline_depth:
+        k — number of stages = processor chips.
+    commercial_density:
+        κ — density advantage of off-chip commercial memory over on-chip
+        shift register (area of one off-chip site = B/κ).
+    """
+
+    technology: ChipTechnology
+    lattice_size: int
+    pipeline_depth: int = 1
+    commercial_density: float = 8.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.lattice_size, "lattice_size", integer=True)
+        check_positive(self.pipeline_depth, "pipeline_depth", integer=True)
+        check_positive(self.commercial_density, "commercial_density")
+
+    @property
+    def pes_per_chip(self) -> int:
+        """Exactly one (pin-limited; see module docstring)."""
+        return 1
+
+    @property
+    def pins_used(self) -> int:
+        """2D stream + 2 off-chip delay break-outs at 2D each = 6D."""
+        return 6 * self.technology.D
+
+    def is_feasible(self) -> bool:
+        return self.pins_used <= self.technology.Pi
+
+    # -- storage and area ---------------------------------------------------------
+
+    @property
+    def delay_sites_per_stage(self) -> int:
+        """2L + 10 site values per pipeline stage."""
+        return _stage_delay_sites(self.lattice_size)
+
+    @property
+    def storage_area_per_pe(self) -> float:
+        """Normalized storage area per processor: (2L + 10) B.
+
+        This is the paper's headline per-processor figure; it grows
+        linearly with L whereas SPA's (2W + 9)B + Γ is constant.
+        """
+        return self.delay_sites_per_stage * self.technology.B
+
+    @property
+    def storage_area_per_pe_commercial(self) -> float:
+        """Per-processor storage area when the delay lives in κ-denser
+        off-chip commercial memory: (2L + 10) B / κ."""
+        return self.storage_area_per_pe / self.commercial_density
+
+    # -- system-level -----------------------------------------------------------------
+
+    @property
+    def num_chips(self) -> int:
+        """Processor chips only (memory chips are accounted as area)."""
+        return self.pipeline_depth
+
+    @property
+    def update_rate(self) -> float:
+        """R = F · k (one update per stage per tick)."""
+        return self.technology.F * self.pipeline_depth
+
+    @property
+    def main_memory_bandwidth_bits_per_tick(self) -> int:
+        """Constant 2D = 16 bits per tick, independent of L and k."""
+        return 2 * self.technology.D
+
+    @property
+    def main_memory_bandwidth_bytes_per_second(self) -> float:
+        return self.main_memory_bandwidth_bits_per_tick * self.technology.F / 8.0
+
+
+class WSAEModel:
+    """System-level analysis of WSA-E for a given technology."""
+
+    def __init__(self, technology: ChipTechnology = PAPER_TECHNOLOGY):
+        self.technology = technology
+
+    def design(
+        self,
+        lattice_size: int,
+        pipeline_depth: int = 1,
+        commercial_density: float = 8.0,
+    ) -> WSAEDesign:
+        design = WSAEDesign(
+            technology=self.technology,
+            lattice_size=lattice_size,
+            pipeline_depth=pipeline_depth,
+            commercial_density=commercial_density,
+        )
+        if not design.is_feasible():
+            raise ValueError(
+                f"WSA-E needs {design.pins_used} pins but Π={self.technology.Pi}"
+            )
+        return design
+
+    def chips_for_target_rate(self, lattice_size: int, target_rate: float) -> int:
+        """Stages needed to reach a target update rate (linear in rate)."""
+        check_positive(target_rate, "target_rate")
+        import math
+
+        return max(1, math.ceil(target_rate / self.technology.F))

@@ -1,0 +1,55 @@
+"""Functional + cycle-level simulators of the paper's engine architectures.
+
+Each engine consumes lattice frames as raster streams and advances them
+through a pipeline of processing stages, exactly as the hardware of
+sections 3–5 does:
+
+* :mod:`repro.engines.pe` — the site-update rule a PE implements
+  (collision lookup + stream-coordinate neighborhood gather).
+* :mod:`repro.engines.shiftreg` — the delay-line storage model; the
+  tick-accurate stage uses it and *proves by construction* that the
+  paper's ``2L + 3``-site window suffices.
+* :mod:`repro.engines.pipeline` — the serial pipelined architecture
+  (section 3): one site per tick, k chained stages.
+* :mod:`repro.engines.wide_serial` — the WSA (section 4): P sites per
+  tick per stage.
+* :mod:`repro.engines.partitioned` — the SPA (section 5): columnar
+  slices with synchronous side channels.
+* :mod:`repro.engines.memory` — main-memory / host bandwidth accounting.
+* :mod:`repro.engines.stats` — cycle, I/O-bit, and throughput reports.
+
+All engines are verified bit-identical against the reference
+:class:`repro.lgca.automaton.LatticeGasAutomaton` by the integration
+tests (experiment E11).
+"""
+
+from repro.engines.pe import SiteUpdateRule, StreamStencil
+from repro.engines.shiftreg import ShiftRegister, WindowOverrunError
+from repro.engines.pipeline import PipelineStage, SerialPipelineEngine
+from repro.engines.wide_serial import WideSerialEngine
+from repro.engines.partitioned import PartitionedEngine, SliceExchangeRecord
+from repro.engines.extensible import ExtensibleSerialEngine
+from repro.engines.ca_pipeline import CAPipelineEngine
+from repro.engines.streaming import StreamingRowUpdater, stream_rows
+from repro.engines.memory import MainMemory, HostInterface
+from repro.engines.stats import EngineStats, ThroughputReport
+
+__all__ = [
+    "SiteUpdateRule",
+    "StreamStencil",
+    "ShiftRegister",
+    "WindowOverrunError",
+    "PipelineStage",
+    "SerialPipelineEngine",
+    "WideSerialEngine",
+    "PartitionedEngine",
+    "SliceExchangeRecord",
+    "ExtensibleSerialEngine",
+    "CAPipelineEngine",
+    "StreamingRowUpdater",
+    "stream_rows",
+    "MainMemory",
+    "HostInterface",
+    "EngineStats",
+    "ThroughputReport",
+]

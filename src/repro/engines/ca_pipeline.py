@@ -1,0 +1,157 @@
+"""The one-dimensional CA pipeline — reference [16]'s machine.
+
+The paper's serial-pipelining idea was first built for a 1-D cellular
+automaton ("a high-performance custom processor for a one-dimensional
+cellular automaton", Steiglitz & Morita 1985).  The 1-D case is the
+cleanest instance of section 3: a stage's delay line holds just
+``2·radius + 1`` cells (constant!, no 2L term), so dozens of PEs fit on
+one chip and the pipeline advances the tape one generation per stage
+with 2 cell-transfers of I/O per pass.
+
+:class:`CAPipelineEngine` streams a binary tape through ``k`` chained
+stages of an :class:`repro.lgca.wolfram.ElementaryCA` or
+:class:`repro.lgca.wolfram.ParityCA` rule, with the same tick/I-O
+accounting as the lattice engines and a tick-accurate mode backed by the
+hard-capacity :class:`repro.engines.shiftreg.ShiftRegister`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.shiftreg import ShiftRegister
+from repro.engines.stats import EngineStats
+from repro.lgca.wolfram import ElementaryCA, ParityCA
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["CAPipelineEngine"]
+
+
+class CAPipelineEngine:
+    """A k-stage pipeline for 1-D binary cellular automata.
+
+    Parameters
+    ----------
+    rule:
+        An :class:`ElementaryCA` or :class:`ParityCA` with ``"null"``
+        boundary (streamed frames have no wraparound, exactly like the
+        2-D engines).
+    pipeline_depth:
+        k — stages in series.
+    clock_hz:
+        Major cycle rate (1 cell per tick per stage).
+    """
+
+    def __init__(
+        self,
+        rule: ElementaryCA | ParityCA,
+        pipeline_depth: int = 1,
+        clock_hz: float = 10e6,
+    ):
+        if not isinstance(rule, (ElementaryCA, ParityCA)):
+            raise TypeError(f"unsupported rule type {type(rule).__name__}")
+        if rule.boundary != "null":
+            raise ValueError(
+                "streamed CA engines implement null boundaries; "
+                f"rule has boundary={rule.boundary!r}"
+            )
+        self.rule = rule
+        self.pipeline_depth = check_positive(
+            pipeline_depth, "pipeline_depth", integer=True
+        )
+        self.clock_hz = check_positive(clock_hz, "clock_hz")
+
+    @property
+    def name(self) -> str:
+        return f"ca-pipeline(r={self.rule.radius},k={self.pipeline_depth})"
+
+    @property
+    def radius(self) -> int:
+        return self.rule.radius
+
+    @property
+    def storage_cells_per_stage(self) -> int:
+        """The whole delay line: 2·radius + 1 cells — constant in tape
+        length, the property that made the 1-D chip easy."""
+        return 2 * self.radius + 1
+
+    @property
+    def latency_ticks(self) -> int:
+        return self.radius
+
+    # -- stage implementations ---------------------------------------------------
+
+    def _stage(self, tape: np.ndarray) -> np.ndarray:
+        return self.rule.step(tape)
+
+    def _stage_tickwise(self, tape: np.ndarray) -> np.ndarray:
+        """Cell-at-a-time through a hard-capacity shift register."""
+        n = tape.size
+        r = self.radius
+        line = ShiftRegister(capacity=self.storage_cells_per_stage)
+        out = np.zeros_like(tape)
+        if isinstance(self.rule, ElementaryCA):
+            table = self.rule.rule_table()
+
+            def update(window):  # window = (left..right), length 2r+1
+                idx = (window[0] << 2) | (window[1] << 1) | window[2]
+                return int(table[idx])
+
+        else:
+            taps = self.rule.taps
+
+            def update(window):
+                value = 0
+                for tap in taps:
+                    value ^= window[tap + r]
+                return value
+
+        for tick in range(n + r):
+            line.push(int(tape[tick]) if tick < n else 0)
+            cell = tick - r
+            if 0 <= cell < n:
+                window = []
+                for offset in range(-r, r + 1):
+                    src = cell + offset
+                    if 0 <= src < n:
+                        window.append(line.tap(tick - src))
+                    else:
+                        window.append(0)
+                out[cell] = update(window)
+        return out
+
+    # -- runs -------------------------------------------------------------------------
+
+    def run(
+        self,
+        tape: np.ndarray,
+        generations: int,
+        tickwise: bool = False,
+    ) -> tuple[np.ndarray, EngineStats]:
+        """Advance the tape ``generations`` steps; returns tape + stats."""
+        generations = check_nonnegative(generations, "generations", integer=True)
+        tape = np.asarray(tape).astype(np.uint8, copy=True)
+        if tape.ndim != 1 or tape.size == 0:
+            raise ValueError("tape must be a non-empty 1-D array")
+        n = tape.size
+        ticks = 0
+        io_bits = 0
+        done = 0
+        while done < generations:
+            span = min(self.pipeline_depth, generations - done)
+            for _ in range(span):
+                tape = self._stage_tickwise(tape) if tickwise else self._stage(tape)
+            ticks += n + span * self.latency_ticks
+            io_bits += 2 * n  # one bit in, one bit out per cell per pass
+            done += span
+        stats = EngineStats(
+            name=self.name,
+            site_updates=generations * n,
+            ticks=ticks,
+            io_bits_main=io_bits,
+            storage_sites=self.pipeline_depth * self.storage_cells_per_stage,
+            num_pes=self.pipeline_depth,
+            num_chips=1,  # dozens of 1-D PEs fit one chip; model as one
+            clock_hz=self.clock_hz,
+        )
+        return tape, stats

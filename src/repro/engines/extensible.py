@@ -1,0 +1,135 @@
+"""WSA-E engine simulator: the off-chip-delay variant of section 6.3.
+
+Functionally a one-lane serial pipeline; architecturally different in
+where the delay line lives.  The stage keeps only the 7-cell hexagonal
+window on the processor chip; the two long runs between window rows
+(≈ 2L + 3 cells total minus the on-chip taps) live in external shift
+registers reached through dedicated pins — which is why the pin budget
+allows exactly one lane (6D = 48 of 72 pins) and why the lattice size is
+no longer bounded by the chip area.
+
+The simulator reuses the verified stage computation and accounts the
+WSA-E-specific quantities: on-chip vs off-chip storage, pin usage split
+between the host stream and the delay break-outs, and the per-stage
+area at a given commercial-memory density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engines.pe import make_rule
+from repro.engines.pipeline import PipelineStage
+from repro.engines.stats import EngineStats
+from repro.lgca.automaton import SiteModel
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["ExtensibleSerialEngine"]
+
+#: hexagonal window cells kept on-chip per stage
+_ON_CHIP_WINDOW = 10
+
+
+class ExtensibleSerialEngine:
+    """A k-stage WSA-E pipeline (one lane per stage, off-chip delay).
+
+    Parameters
+    ----------
+    model:
+        Reference model (null boundary, deterministic chirality).
+    pipeline_depth:
+        k — stages (processor chips) in series.
+    commercial_density:
+        κ — off-chip memory density advantage (for area reports).
+    clock_hz:
+        Major cycle rate.
+    """
+
+    def __init__(
+        self,
+        model: SiteModel,
+        pipeline_depth: int = 1,
+        commercial_density: float = 8.0,
+        clock_hz: float = 10e6,
+    ):
+        self.model = model
+        self.pipeline_depth = check_positive(
+            pipeline_depth, "pipeline_depth", integer=True
+        )
+        self.commercial_density = check_positive(
+            commercial_density, "commercial_density"
+        )
+        self.clock_hz = check_positive(clock_hz, "clock_hz")
+        self.rule = make_rule(model)
+        self.stage = PipelineStage(self.rule)
+
+    @property
+    def name(self) -> str:
+        return f"wsa-e(k={self.pipeline_depth})"
+
+    @property
+    def num_sites(self) -> int:
+        return self.model.rows * self.model.cols
+
+    # -- WSA-E architecture accounting ---------------------------------------------
+
+    @property
+    def delay_sites_per_stage(self) -> int:
+        """Total delay per stage (the section 6.3 '2L + 10')."""
+        return 2 * self.model.cols + _ON_CHIP_WINDOW
+
+    @property
+    def on_chip_sites_per_stage(self) -> int:
+        return _ON_CHIP_WINDOW
+
+    @property
+    def off_chip_sites_per_stage(self) -> int:
+        return self.delay_sites_per_stage - _ON_CHIP_WINDOW
+
+    def pins_used(self, bits_per_site: int | None = None) -> int:
+        """2D stream + 2 off-chip break-outs at 2D each = 6D."""
+        d = bits_per_site if bits_per_site is not None else self.model.bits_per_site
+        return 6 * d
+
+    def stage_area(self, site_area: float, chip_area: float = 1.0) -> float:
+        """Normalized silicon per stage: the processor chip plus the
+        off-chip delay at commercial density."""
+        off_chip = self.off_chip_sites_per_stage * site_area / self.commercial_density
+        return chip_area + off_chip
+
+    # -- evolution -----------------------------------------------------------------------
+
+    def run(
+        self,
+        frame: np.ndarray,
+        generations: int,
+        start_time: int = 0,
+    ) -> tuple[np.ndarray, EngineStats]:
+        generations = check_nonnegative(generations, "generations", integer=True)
+        frame = self.model.check_state(frame)
+        stream = frame.ravel().copy()
+        n = self.num_sites
+        d = self.model.bits_per_site
+        ticks = 0
+        io_bits = 0
+        done = 0
+        t = start_time
+        while done < generations:
+            span = min(self.pipeline_depth, generations - done)
+            for _ in range(span):
+                stream = self.stage.process(stream, t)
+                t += 1
+            ticks += n + span * self.stage.latency_ticks
+            io_bits += 2 * d * n
+            done += span
+        stats = EngineStats(
+            name=self.name,
+            site_updates=generations * n,
+            ticks=ticks,
+            io_bits_main=io_bits,
+            storage_sites=self.pipeline_depth * self.delay_sites_per_stage,
+            num_pes=self.pipeline_depth,
+            num_chips=self.pipeline_depth,
+            clock_hz=self.clock_hz,
+        )
+        return stream.reshape(self.model.rows, self.model.cols), stats

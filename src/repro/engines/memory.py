@@ -1,0 +1,123 @@
+"""Main-memory and host-interface bandwidth models.
+
+The design analysis of section 6 "assumes that a memory system capable
+of providing full bandwidth to the processor system is available" — a
+footnoted "very important assumption" that section 8 then punctures: the
+prototype's workstation host cannot supply 40 MB/s, derating 20 M
+updates/s to ~1 M.  These classes carry both sides:
+
+* :class:`MainMemory` — the frame store with exact bit accounting and an
+  optional bits-per-tick ceiling (the B of the pebbling bound).
+* :class:`HostInterface` — a sustained-bytes-per-second host channel
+  that stretches a run's wall clock when the engine demands more than
+  the host delivers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engines.stats import EngineStats, ThroughputReport
+from repro.util.validation import check_positive
+
+__all__ = ["MainMemory", "HostInterface"]
+
+
+@dataclass
+class MainMemory:
+    """A bandwidth-limited frame store.
+
+    Parameters
+    ----------
+    bits_per_site:
+        D — width of one site transfer.
+    bandwidth_bits_per_tick:
+        B — ceiling on bits moved per major tick; ``None`` = the
+        section 6 full-bandwidth assumption.
+    """
+
+    bits_per_site: int = 8
+    bandwidth_bits_per_tick: float | None = None
+    bits_read: int = field(default=0, init=False)
+    bits_written: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.bits_per_site, "bits_per_site", integer=True)
+        if self.bandwidth_bits_per_tick is not None:
+            check_positive(self.bandwidth_bits_per_tick, "bandwidth_bits_per_tick")
+
+    @property
+    def bits_total(self) -> int:
+        return self.bits_read + self.bits_written
+
+    def read_sites(self, count: int) -> None:
+        """Account a read of ``count`` site values."""
+        if count < 0:
+            raise ValueError(f"count={count} must be non-negative")
+        self.bits_read += count * self.bits_per_site
+
+    def write_sites(self, count: int) -> None:
+        """Account a write of ``count`` site values."""
+        if count < 0:
+            raise ValueError(f"count={count} must be non-negative")
+        self.bits_written += count * self.bits_per_site
+
+    def min_ticks_for_traffic(self, bits: int | None = None) -> int:
+        """Fewest ticks the memory needs to move ``bits`` (default: all
+        accounted traffic).  Infinite bandwidth moves anything in 0."""
+        if bits is None:
+            bits = self.bits_total
+        if bits < 0:
+            raise ValueError(f"bits={bits} must be non-negative")
+        if self.bandwidth_bits_per_tick is None:
+            return 0
+        return math.ceil(bits / self.bandwidth_bits_per_tick)
+
+    def stretch_ticks(self, compute_ticks: int, bits: int | None = None) -> int:
+        """Wall ticks of a run: max(compute, memory-transfer) ticks.
+
+        Compute and transfer overlap (the engines stream), so the run
+        takes whichever is longer — the memory wall in one line.
+        """
+        if compute_ticks < 0:
+            raise ValueError(f"compute_ticks={compute_ticks} must be non-negative")
+        return max(compute_ticks, self.min_ticks_for_traffic(bits))
+
+    def reset(self) -> None:
+        self.bits_read = 0
+        self.bits_written = 0
+
+
+@dataclass(frozen=True)
+class HostInterface:
+    """A sustained host channel (section 8's workstation bottleneck)."""
+
+    bandwidth_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.bandwidth_bytes_per_second, "bandwidth_bytes_per_second")
+
+    def realized(self, stats: EngineStats) -> ThroughputReport:
+        """Derate an engine run by this host's sustained bandwidth.
+
+        The engine's compute time is ``stats.seconds``; moving its main-
+        memory traffic through the host takes ``bits / (8·H)`` seconds;
+        the realized rate divides updates by the larger of the two.
+        """
+        transfer_seconds = stats.io_bits_main / (
+            8.0 * self.bandwidth_bytes_per_second
+        )
+        wall = max(stats.seconds, transfer_seconds)
+        realized = stats.site_updates / wall if wall > 0 else 0.0
+        return ThroughputReport(
+            name=stats.name,
+            peak_updates_per_second=max(stats.updates_per_second, 1e-300),
+            realized_updates_per_second=realized,
+            bandwidth_demand_bytes_per_second=max(
+                stats.main_bandwidth_bytes_per_second, 1e-300
+            ),
+            host_bandwidth_bytes_per_second=self.bandwidth_bytes_per_second,
+        )

@@ -1,0 +1,232 @@
+"""The serial pipelined architecture (section 3).
+
+One stage = one PE + one delay line.  Sites of generation ``t`` enter as
+a raster stream, one per tick; the stage collides each site as it
+arrives, holds collided values in a ``2L + 3``-site shift register, and
+assembles the stream of generation ``t+1`` with a fixed latency of
+``L + 1`` ticks.  ``k`` chained stages advance the lattice ``k``
+generations per pass with *no additional main-memory traffic* — "each
+succeeding PE using the data from the previous PE without the need for
+further external data".
+
+Two implementations of a stage:
+
+* :meth:`PipelineStage.process` — vectorized (NumPy gather), used by
+  benches.
+* :meth:`PipelineStage.process_tickwise` — a genuine tick-by-tick
+  simulation through :class:`repro.engines.shiftreg.ShiftRegister` whose
+  hard capacity *proves* the window size claim.
+
+The equivalence of the two, and of both against the reference
+automaton, is experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engines.pe import SiteUpdateRule, make_rule
+from repro.engines.shiftreg import ShiftRegister
+from repro.engines.stats import EngineStats
+from repro.lgca.automaton import SiteModel
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["PipelineStage", "SerialPipelineEngine"]
+
+
+@dataclass
+class PipelineStage:
+    """One pipeline stage: collide + delay-line neighborhood assembly."""
+
+    rule: SiteUpdateRule
+
+    def __post_init__(self) -> None:
+        self._stencil = self.rule.stencil
+        self._src, self._valid = self._stencil.gather_maps()
+        self._reach = self._stencil.window_reach()
+        rows, cols = self._stencil.rows, self._stencil.cols
+        n = rows * cols
+        self._r = (np.arange(n) // cols).astype(np.int64)
+        self._c = (np.arange(n) % cols).astype(np.int64)
+
+    @property
+    def latency_ticks(self) -> int:
+        """Ticks between a site entering and its updated value leaving."""
+        return self._reach
+
+    @property
+    def storage_sites(self) -> int:
+        """Delay-line capacity: 2·reach + 1 = 2L + 3 for the hex stencil."""
+        return self._stencil.window_sites()
+
+    def process(self, stream: np.ndarray, generation: int) -> np.ndarray:
+        """Vectorized stage: one whole frame stream -> next generation."""
+        stream = self._check_stream(stream)
+        collided = self.rule.collide(stream, self._r, self._c, generation)
+        collided = np.asarray(collided)
+        out = np.zeros_like(stream)
+        for ch in range(self._stencil.num_moving_channels):
+            bit = (collided[self._src[ch]] >> ch) & 1
+            out |= (bit & self._valid[ch]).astype(stream.dtype) << stream.dtype.type(ch)
+        for ch in self._stencil.self_channels:
+            out |= collided & stream.dtype.type(1 << ch)
+        return out
+
+    def process_tickwise(
+        self,
+        stream: np.ndarray,
+        generation: int,
+        capacity_override: int | None = None,
+    ) -> np.ndarray:
+        """Tick-accurate stage through a hard-capacity shift register.
+
+        Functionally identical to :meth:`process`; raises
+        :class:`repro.engines.shiftreg.WindowOverrunError` if the stencil
+        ever needs more than the ``2L + 3`` window the paper budgets.
+        ``capacity_override`` shrinks (or grows) the register — tests
+        use it to show the window is *necessary*, not merely sufficient:
+        one cell less and the stage provably cannot assemble its
+        neighborhoods.
+        """
+        stream = self._check_stream(stream)
+        n = stream.size
+        cols = self._stencil.cols
+        reach = self._reach
+        capacity = (
+            capacity_override
+            if capacity_override is not None
+            else self._stencil.window_sites()
+        )
+        line = ShiftRegister(capacity=capacity)
+        out = np.zeros_like(stream)
+        total_ticks = n + reach
+        for tick in range(total_ticks):
+            if tick < n:
+                r, c = divmod(tick, cols)
+                collided = int(
+                    np.asarray(
+                        self.rule.collide(
+                            np.array([stream[tick]]),
+                            np.array([r]),
+                            np.array([c]),
+                            generation,
+                        )
+                    )[0]
+                )
+                line.push(collided)
+            else:
+                line.push(0)  # drain: the hardware clocks zeros through
+            s_out = tick - reach
+            if 0 <= s_out < n:
+                r, c = divmod(s_out, cols)
+                value = 0
+                for ch in range(self._stencil.num_moving_channels):
+                    src = self._stencil.source_index(r, c, ch)
+                    if src is None:
+                        continue
+                    flat = src[0] * cols + src[1]
+                    age = tick - flat  # newest push has flat index == tick
+                    if (line.tap(age) >> ch) & 1:
+                        value |= 1 << ch
+                for ch in self._stencil.self_channels:
+                    age = tick - s_out
+                    if (line.tap(age) >> ch) & 1:
+                        value |= 1 << ch
+                out[s_out] = value
+        return out
+
+    def _check_stream(self, stream: np.ndarray) -> np.ndarray:
+        stream = np.asarray(stream)
+        expected = self._stencil.rows * self._stencil.cols
+        if stream.shape != (expected,):
+            raise ValueError(
+                f"stream has shape {stream.shape}, expected ({expected},)"
+            )
+        return stream
+
+
+class SerialPipelineEngine:
+    """A k-stage serial pipeline over a lattice model.
+
+    Parameters
+    ----------
+    model:
+        A reference model with ``boundary="null"`` and deterministic
+        chirality (the engine reuses its verified collision tables).
+    pipeline_depth:
+        k — stages in series; each pass advances k generations.
+    clock_hz:
+        Major cycle rate for the stats.
+    """
+
+    def __init__(
+        self,
+        model: SiteModel,
+        pipeline_depth: int = 1,
+        clock_hz: float = 10e6,
+    ):
+        self.model = model
+        self.pipeline_depth = check_positive(pipeline_depth, "pipeline_depth", integer=True)
+        self.clock_hz = check_positive(clock_hz, "clock_hz")
+        self.rule = make_rule(model)
+        self.stage = PipelineStage(self.rule)
+
+    @property
+    def name(self) -> str:
+        return f"serial-pipeline(k={self.pipeline_depth})"
+
+    @property
+    def num_sites(self) -> int:
+        return self.model.rows * self.model.cols
+
+    def _frame_to_stream(self, frame: np.ndarray) -> np.ndarray:
+        frame = self.model.check_state(frame)
+        return frame.ravel().copy()
+
+    def _stream_to_frame(self, stream: np.ndarray) -> np.ndarray:
+        return stream.reshape(self.model.rows, self.model.cols)
+
+    def run(
+        self,
+        frame: np.ndarray,
+        generations: int,
+        start_time: int = 0,
+        tickwise: bool = False,
+    ) -> tuple[np.ndarray, EngineStats]:
+        """Advance ``generations`` (a multiple passes if > k).
+
+        Returns the final frame and the run's :class:`EngineStats`.
+        """
+        generations = check_nonnegative(generations, "generations", integer=True)
+        stream = self._frame_to_stream(frame)
+        n = self.num_sites
+        d = self.model.bits_per_site
+        ticks = 0
+        io_bits = 0
+        done = 0
+        t = start_time
+        while done < generations:
+            span = min(self.pipeline_depth, generations - done)
+            for _ in range(span):
+                if tickwise:
+                    stream = self.stage.process_tickwise(stream, t)
+                else:
+                    stream = self.stage.process(stream, t)
+                t += 1
+            # One pass: n sites streamed through `span` stages back to back.
+            ticks += n + span * self.stage.latency_ticks
+            io_bits += 2 * d * n  # read every site once, write every site once
+            done += span
+        stats = EngineStats(
+            name=self.name,
+            site_updates=generations * n,
+            ticks=ticks,
+            io_bits_main=io_bits,
+            storage_sites=self.pipeline_depth * self.stage.storage_sites,
+            num_pes=self.pipeline_depth,
+            num_chips=self.pipeline_depth,
+            clock_hz=self.clock_hz,
+        )
+        return self._stream_to_frame(stream), stats

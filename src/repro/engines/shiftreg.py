@@ -1,0 +1,105 @@
+"""Shift-register delay-line storage.
+
+"Most of the silicon area in the implementation of a serial processor is
+shift register" (section 5).  :class:`ShiftRegister` models that delay
+line with a *hard capacity*: the tick-accurate pipeline stage reads its
+neighborhood taps out of this structure, and any access outside the
+window raises :class:`WindowOverrunError` — so the integration tests
+passing is a constructive proof that the paper's ``2L + 3`` window
+really is sufficient for the hexagonal stencil (and ``2L + 1`` for HPP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["ShiftRegister", "WindowOverrunError"]
+
+
+class WindowOverrunError(LookupError):
+    """A tap outside the delay line's capacity was requested."""
+
+
+@dataclass
+class ShiftRegister:
+    """A fixed-capacity serial delay line of site values.
+
+    Values enter at position 0 and age by one position per push.  A tap
+    at ``age`` reads the value pushed ``age`` pushes ago (``age = 0`` is
+    the newest).  Reading an age ≥ capacity, or an age older than the
+    number of pushes so far, is an overrun.
+
+    Attributes
+    ----------
+    capacity:
+        Number of site values the line can hold — the chip-area cost is
+        ``capacity · β``.
+    """
+
+    capacity: int
+    fill_value: int = 0
+    _buffer: np.ndarray = field(init=False, repr=False)
+    _head: int = field(init=False, default=0, repr=False)
+    _pushes: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.capacity = check_positive(self.capacity, "capacity", integer=True)
+        self._buffer = np.full(self.capacity, self.fill_value, dtype=np.int64)
+        self._head = 0
+        self._pushes = 0
+
+    @property
+    def pushes(self) -> int:
+        """Total values pushed so far (the stage's input tick count)."""
+        return self._pushes
+
+    def push(self, value: int) -> None:
+        """Shift the line by one, inserting ``value`` at age 0."""
+        self._head = (self._head - 1) % self.capacity
+        self._buffer[self._head] = int(value)
+        self._pushes += 1
+
+    def tap(self, age: int) -> int:
+        """Read the value pushed ``age`` pushes ago.
+
+        Raises
+        ------
+        WindowOverrunError
+            If ``age`` is negative, at/beyond capacity, or older than
+            anything pushed yet — i.e. the hardware would need a longer
+            delay line than it has.
+        """
+        if age < 0:
+            raise WindowOverrunError(f"tap age {age} is negative (future value)")
+        if age >= self.capacity:
+            raise WindowOverrunError(
+                f"tap age {age} exceeds delay-line capacity {self.capacity}"
+            )
+        if age >= self._pushes:
+            raise WindowOverrunError(
+                f"tap age {age} older than the {self._pushes} values pushed"
+            )
+        return int(self._buffer[(self._head + age) % self.capacity])
+
+    def tap_or_fill(self, age: int) -> int:
+        """Like :meth:`tap` but returns the fill value for not-yet-pushed
+        ages (stream warm-up), still erroring on capacity overruns."""
+        if age < 0:
+            raise WindowOverrunError(f"tap age {age} is negative (future value)")
+        if age >= self.capacity:
+            raise WindowOverrunError(
+                f"tap age {age} exceeds delay-line capacity {self.capacity}"
+            )
+        if age >= self._pushes:
+            return self.fill_value
+        return int(self._buffer[(self._head + age) % self.capacity])
+
+    def reset(self) -> None:
+        """Clear the line (between frames)."""
+        self._buffer.fill(self.fill_value)
+        self._head = 0
+        self._pushes = 0

@@ -1,0 +1,146 @@
+"""Cycle, I/O, and throughput accounting for engine runs.
+
+Every engine returns an :class:`EngineStats` alongside its result frame.
+The fields follow the paper's cost model: work is site updates, time is
+major clock ticks, communication is bits to/from main memory (and for
+the SPA, bits across slice boundaries), and silicon is shift-register
+sites plus PEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["EngineStats", "ThroughputReport"]
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for one engine run.
+
+    Attributes
+    ----------
+    name:
+        Engine identifier.
+    site_updates:
+        Total site updates retired (generations × sites).
+    ticks:
+        Major clock ticks elapsed, including pipeline fill/drain.
+    io_bits_main:
+        Bits moved to/from main memory.
+    io_bits_side:
+        Bits moved across slice boundaries (SPA only).
+    storage_sites:
+        Total delay-line site values across all stages (area ∝ this · β).
+    num_pes:
+        Total processing elements.
+    num_chips:
+        Chips the configuration occupies.
+    clock_hz:
+        Major cycle rate F.
+    """
+
+    name: str
+    site_updates: int = 0
+    ticks: int = 0
+    io_bits_main: int = 0
+    io_bits_side: int = 0
+    storage_sites: int = 0
+    num_pes: int = 0
+    num_chips: int = 0
+    clock_hz: float = 10e6
+
+    def __post_init__(self) -> None:
+        check_positive(self.clock_hz, "clock_hz")
+        for attr in (
+            "site_updates",
+            "ticks",
+            "io_bits_main",
+            "io_bits_side",
+            "storage_sites",
+            "num_pes",
+            "num_chips",
+        ):
+            check_nonnegative(getattr(self, attr), attr, integer=True)
+
+    # -- derived rates ----------------------------------------------------------
+
+    @property
+    def seconds(self) -> float:
+        """Wall time at the configured clock."""
+        return self.ticks / self.clock_hz
+
+    @property
+    def updates_per_second(self) -> float:
+        """Achieved R (0 when nothing ran)."""
+        return self.site_updates / self.seconds if self.ticks else 0.0
+
+    @property
+    def updates_per_tick(self) -> float:
+        return self.site_updates / self.ticks if self.ticks else 0.0
+
+    @property
+    def main_bandwidth_bits_per_tick(self) -> float:
+        """Average main-memory traffic per tick."""
+        return self.io_bits_main / self.ticks if self.ticks else 0.0
+
+    @property
+    def main_bandwidth_bytes_per_second(self) -> float:
+        return self.main_bandwidth_bits_per_tick * self.clock_hz / 8.0
+
+    @property
+    def io_bits_per_update(self) -> float:
+        """Main-memory bits per site update — the pebbling quantity."""
+        return self.io_bits_main / self.site_updates if self.site_updates else 0.0
+
+    @property
+    def pe_utilization(self) -> float:
+        """Fraction of PE-ticks that retired an update."""
+        denom = self.num_pes * self.ticks
+        return self.site_updates / denom if denom else 0.0
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate a subsequent run (e.g. another pass) into a total."""
+        if other.clock_hz != self.clock_hz:
+            raise ValueError("cannot merge stats at different clock rates")
+        return EngineStats(
+            name=self.name,
+            site_updates=self.site_updates + other.site_updates,
+            ticks=self.ticks + other.ticks,
+            io_bits_main=self.io_bits_main + other.io_bits_main,
+            io_bits_side=self.io_bits_side + other.io_bits_side,
+            storage_sites=max(self.storage_sites, other.storage_sites),
+            num_pes=max(self.num_pes, other.num_pes),
+            num_chips=max(self.num_chips, other.num_chips),
+            clock_hz=self.clock_hz,
+        )
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Peak vs realized throughput of a configuration (bench E7/E11 rows)."""
+
+    name: str
+    peak_updates_per_second: float
+    realized_updates_per_second: float
+    bandwidth_demand_bytes_per_second: float
+    host_bandwidth_bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.peak_updates_per_second, "peak_updates_per_second")
+        check_nonnegative(
+            self.realized_updates_per_second, "realized_updates_per_second"
+        )
+        check_positive(
+            self.bandwidth_demand_bytes_per_second, "bandwidth_demand_bytes_per_second"
+        )
+        check_positive(
+            self.host_bandwidth_bytes_per_second, "host_bandwidth_bytes_per_second"
+        )
+
+    @property
+    def derating(self) -> float:
+        """realized / peak ∈ (0, 1]."""
+        return self.realized_updates_per_second / self.peak_updates_per_second

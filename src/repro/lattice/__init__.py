@@ -1,0 +1,66 @@
+"""Lattice geometry, stream embeddings, and boundary handling.
+
+This subpackage is the geometric substrate everything else stands on:
+
+* :mod:`repro.lattice.geometry` — d-dimensional orthogonal lattices with
+  nearest-neighbor connectivity (the graph *G* of section 7 of the paper)
+  and the hexagonal lattice used by the FHP lattice gas (section 2).
+* :mod:`repro.lattice.embedding` — embeddings of a 2-D array into a
+  1-D stream, the *span* of an embedding, and the machinery behind
+  Theorem 1 (any placement of 1..n² in an n×n array has span ≥ n;
+  row-major achieves the optimal 2n−2 two-neighborhood diameter).
+* :mod:`repro.lattice.boundary` — the boundary-condition taxonomy of
+  section 7 (null, periodic/toroidal, reflecting, truncated).
+"""
+
+from repro.lattice.geometry import (
+    OrthogonalLattice,
+    HexagonalLattice,
+    manhattan_ball_size,
+)
+from repro.lattice.embedding import (
+    Embedding,
+    row_major_embedding,
+    column_major_embedding,
+    snake_embedding,
+    block_embedding,
+    diagonal_embedding,
+    array_span,
+    embedding_span,
+    neighborhood_stream_diameter,
+    hex_neighborhood_stream_diameter,
+    hex_diagonal_pair_distance,
+    minimum_span_lower_bound,
+)
+from repro.lattice.boundary import (
+    BoundaryCondition,
+    NullBoundary,
+    PeriodicBoundary,
+    ReflectingBoundary,
+    TruncatedBoundary,
+    make_boundary,
+)
+
+__all__ = [
+    "OrthogonalLattice",
+    "HexagonalLattice",
+    "manhattan_ball_size",
+    "Embedding",
+    "row_major_embedding",
+    "column_major_embedding",
+    "snake_embedding",
+    "block_embedding",
+    "diagonal_embedding",
+    "array_span",
+    "embedding_span",
+    "neighborhood_stream_diameter",
+    "hex_neighborhood_stream_diameter",
+    "hex_diagonal_pair_distance",
+    "minimum_span_lower_bound",
+    "BoundaryCondition",
+    "NullBoundary",
+    "PeriodicBoundary",
+    "ReflectingBoundary",
+    "TruncatedBoundary",
+    "make_boundary",
+]

@@ -1,0 +1,144 @@
+"""Boundary conditions for lattice computations.
+
+Section 7 of the paper (assumption 2 before Lemma 3) enumerates the ways
+LGCA boundaries can be handled: null (zero valued), independently random,
+dependently random or deterministic with truncated neighborhoods, or
+toroidally connected.  This module gives each a concrete implementation
+that both the reference automaton and the engine simulators share, so
+that functional-equivalence tests exercise identical boundary semantics.
+
+The interface is array-level: a boundary condition knows how to *pad* a
+2-D field and how to *resolve* an out-of-range site index.  Vectorized
+LGCA kernels use the padding route (``np.pad`` semantics); the pebbling
+computation-graph builder uses index resolution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BoundaryCondition",
+    "NullBoundary",
+    "PeriodicBoundary",
+    "ReflectingBoundary",
+    "TruncatedBoundary",
+    "make_boundary",
+]
+
+
+class BoundaryCondition(ABC):
+    """Strategy for sites whose neighborhoods extend past the lattice edge."""
+
+    #: short name used by :func:`make_boundary` and in bench output
+    name: str = "abstract"
+
+    @abstractmethod
+    def pad(self, field: np.ndarray, width: int = 1) -> np.ndarray:
+        """Return ``field`` padded by ``width`` ghost cells on every side."""
+
+    @abstractmethod
+    def resolve(self, index: int, size: int) -> int | None:
+        """Map a possibly out-of-range coordinate into ``[0, size)``.
+
+        Returns None when the neighbor simply does not exist (null /
+        truncated boundaries), which callers treat as "no dependency".
+        """
+
+    def exists(self, index: int, size: int) -> bool:
+        """Whether a dependency on coordinate ``index`` survives the boundary."""
+        return self.resolve(index, size) is not None
+
+
+@dataclass(frozen=True)
+class NullBoundary(BoundaryCondition):
+    """Ghost cells hold a fixed value (zero by default): 'null' boundaries.
+
+    With null boundaries the boundary sites do not appear in the
+    computation graph at all (paper, section 7, assumption 2) — the
+    dependency is on a constant, not a computed value.
+    """
+
+    fill_value: int = 0
+    name: str = "null"
+
+    def pad(self, field: np.ndarray, width: int = 1) -> np.ndarray:
+        return np.pad(field, width, mode="constant", constant_values=self.fill_value)
+
+    def resolve(self, index: int, size: int) -> int | None:
+        return index if 0 <= index < size else None
+
+
+@dataclass(frozen=True)
+class PeriodicBoundary(BoundaryCondition):
+    """Toroidal wrap-around: the 'toroidally connected' case."""
+
+    name: str = "periodic"
+
+    def pad(self, field: np.ndarray, width: int = 1) -> np.ndarray:
+        return np.pad(field, width, mode="wrap")
+
+    def resolve(self, index: int, size: int) -> int | None:
+        return index % size
+
+
+@dataclass(frozen=True)
+class ReflectingBoundary(BoundaryCondition):
+    """Mirror reflection at the walls (no-slip wall for lattice gases)."""
+
+    name: str = "reflecting"
+
+    def pad(self, field: np.ndarray, width: int = 1) -> np.ndarray:
+        return np.pad(field, width, mode="reflect")
+
+    def resolve(self, index: int, size: int) -> int | None:
+        if size == 1:
+            return 0
+        period = 2 * (size - 1)
+        index %= period
+        return index if index < size else period - index
+
+
+@dataclass(frozen=True)
+class TruncatedBoundary(BoundaryCondition):
+    """Deterministic update with truncated neighborhoods.
+
+    Out-of-range neighbors are dropped from the neighborhood; in padded
+    form this behaves like edge-replication (the boundary site "sees
+    itself" where a neighbor is missing), which is the standard hardware
+    realization of a truncated stencil.
+    """
+
+    name: str = "truncated"
+
+    def pad(self, field: np.ndarray, width: int = 1) -> np.ndarray:
+        return np.pad(field, width, mode="edge")
+
+    def resolve(self, index: int, size: int) -> int | None:
+        return None if not 0 <= index < size else index
+
+
+_REGISTRY: dict[str, type[BoundaryCondition]] = {
+    "null": NullBoundary,
+    "periodic": PeriodicBoundary,
+    "reflecting": ReflectingBoundary,
+    "truncated": TruncatedBoundary,
+}
+
+
+def make_boundary(name: str, **kwargs) -> BoundaryCondition:
+    """Construct a boundary condition by name.
+
+    >>> make_boundary("periodic").resolve(-1, 10)
+    9
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown boundary {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

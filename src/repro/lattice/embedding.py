@@ -1,0 +1,298 @@
+"""Array-to-stream embeddings and the span theorem (Theorem 1).
+
+A serial pipelined lattice engine consumes sites as a one-dimensional
+stream.  An *embedding* assigns each site of an ``n x m`` array a distinct
+position in that stream.  Two quantities govern how much on-chip delay
+memory a pipeline stage needs:
+
+* the **span** — the largest stream distance between *adjacent* array
+  sites (Theorem 1 of the paper proves span >= n for any placement of
+  ``1..n^2`` in an ``n x n`` array, so row-major's span of ``m`` per row
+  is within a factor of ~1 of optimal);
+* the **neighborhood stream diameter** — the largest stream distance
+  between two sites of one update neighborhood.  For row-major order on
+  an ``n x n`` array this is Θ(n) — exactly ``2n`` for the full axial
+  hexagonal neighborhood, ``2n − 2`` for its extreme short-diagonal pair
+  (the figure the paper quotes) — which the paper (citing Supowit &
+  Young) states is optimal, and which fixes the ``2L + O(1)``
+  shift-register length of every engine in sections 3–6.
+
+The functions here compute spans and diameters exactly for arbitrary
+embeddings, provide the classical embeddings (row-major, column-major,
+boustrophedon "snake", blocked, and diagonal), and expose the Theorem 1
+lower bound for tests and benchmarks to check against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "Embedding",
+    "row_major_embedding",
+    "column_major_embedding",
+    "snake_embedding",
+    "block_embedding",
+    "diagonal_embedding",
+    "array_span",
+    "embedding_span",
+    "neighborhood_stream_diameter",
+    "hex_neighborhood_stream_diameter",
+    "hex_diagonal_pair_distance",
+    "HEX_AXIAL_OFFSETS",
+    "minimum_span_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A bijection from array sites to stream positions.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in bench output).
+    positions:
+        Integer array of shape ``(rows, cols)``; ``positions[i, j]`` is the
+        stream position of site ``(i, j)``.  Must be a permutation of
+        ``0 .. rows*cols - 1``.
+    """
+
+    name: str
+    positions: np.ndarray
+
+    def __post_init__(self) -> None:
+        pos = np.asarray(self.positions)
+        if pos.ndim != 2:
+            raise ValueError("positions must be a 2-D array")
+        if pos.size == 0:
+            raise ValueError("positions must be non-empty")
+        flat = np.sort(pos.ravel())
+        if not np.array_equal(flat, np.arange(pos.size)):
+            raise ValueError(
+                f"embedding {self.name!r}: positions must be a permutation "
+                f"of 0..{pos.size - 1}"
+            )
+        object.__setattr__(self, "positions", pos.astype(np.int64, copy=False))
+
+    @property
+    def rows(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def cols(self) -> int:
+        return int(self.positions.shape[1])
+
+    def span(self) -> int:
+        """Largest stream distance between horizontally/vertically adjacent sites."""
+        return array_span(self.positions)
+
+    def stream_order(self) -> list[tuple[int, int]]:
+        """Sites in the order they appear on the stream."""
+        flat_index = np.argsort(self.positions.ravel())
+        return [
+            (int(i), int(j))
+            for i, j in zip(*np.unravel_index(flat_index, self.positions.shape))
+        ]
+
+    def neighborhood_diameter(self, radius: int = 2) -> int:
+        """Stream diameter of ``radius``-neighborhoods (see module docstring)."""
+        return neighborhood_stream_diameter(self.positions, radius=radius)
+
+
+def array_span(positions: np.ndarray) -> int:
+    """Span of a placement, exactly as defined above Theorem 1.
+
+    ``span = max(|a(i+1,j) - a(i,j)|, |a(i,j+1) - a(i,j)|)`` over all
+    valid ``(i, j)``.  Accepts any integer array (not necessarily a
+    permutation — Theorem 1 only needs distinct values, which we do not
+    re-check here for speed; :class:`Embedding` validates on construction).
+    """
+    pos = np.asarray(positions)
+    if pos.ndim != 2:
+        raise ValueError("positions must be a 2-D array")
+    spans = []
+    if pos.shape[0] > 1:
+        spans.append(np.abs(np.diff(pos.astype(np.int64), axis=0)).max())
+    if pos.shape[1] > 1:
+        spans.append(np.abs(np.diff(pos.astype(np.int64), axis=1)).max())
+    return int(max(spans)) if spans else 0
+
+
+def embedding_span(embedding: Embedding) -> int:
+    """Convenience alias: the span of an :class:`Embedding`."""
+    return embedding.span()
+
+
+def neighborhood_stream_diameter(positions: np.ndarray, *, radius: int = 2) -> int:
+    """Largest stream distance within any ``radius``-neighborhood.
+
+    A ``radius``-neighborhood of site ``x`` is the set of sites within
+    ``radius`` edge traversals of ``x`` (the paper's "2-neighborhoods"
+    footnote).  The diameter of the neighborhood *in the stream* is what
+    a pipeline PE must buffer; for row-major order and radius r on an
+    ``n x n`` array it equals ``r·n``.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.ndim != 2:
+        raise ValueError("positions must be a 2-D array")
+    radius = check_positive(radius, "radius", integer=True)
+    rows, cols = pos.shape
+    best = 0
+    # Enumerate offsets within L1 distance `radius` once; for each offset,
+    # a vectorized shifted-difference gives all pairs at that offset.
+    for dr in range(-radius, radius + 1):
+        for dc in range(-radius, radius + 1):
+            if abs(dr) + abs(dc) > radius or (dr, dc) == (0, 0):
+                continue
+            r0, r1 = max(0, -dr), min(rows, rows - dr)
+            c0, c1 = max(0, -dc), min(cols, cols - dc)
+            if r0 >= r1 or c0 >= c1:
+                continue
+            a = pos[r0:r1, c0:c1]
+            b = pos[r0 + dr : r1 + dr, c0 + dc : c1 + dc]
+            diff = int(np.abs(a - b).max())
+            best = max(best, diff)
+    return best
+
+
+#: Axial-coordinate offsets of the hexagonal update neighborhood (the
+#: FHP stencil stored on a parallelogram grid): self, the four
+#: orthogonal neighbors, and the two "short diagonal" neighbors.
+HEX_AXIAL_OFFSETS = ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1), (-1, 1), (1, -1))
+
+
+def hex_neighborhood_stream_diameter(positions: np.ndarray) -> int:
+    """Largest stream distance within one hexagonal update neighborhood.
+
+    This is the quantity the paper's section 3 discussion turns on: the
+    delay memory a pipelined PE needs spans the whole update
+    neighborhood in the stream.  For the row-major embedding of an
+    ``n x n`` lattice (axial hex storage) the exact value is ``2n``
+    (the column pair ``(r−1, c)``/``(r+1, c)``); the pair the paper
+    quotes — "some elements of the neighborhood are at least 2n − 2
+    positions apart" — is the short-diagonal pair ``(r−1, c+1)`` vs
+    ``(r+1, c−1)``, whose gap :func:`hex_diagonal_pair_distance`
+    returns.  Either way the storage is Θ(n) ≈ two lattice lines, and
+    by Supowit & Young row-major is optimal.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.ndim != 2:
+        raise ValueError("positions must be a 2-D array")
+    rows, cols = pos.shape
+    best = 0
+    offsets = [o for o in HEX_AXIAL_OFFSETS if o != (0, 0)]
+    for i, (dr1, dc1) in enumerate([(0, 0)] + offsets):
+        for dr2, dc2 in offsets[i:]:
+            dr, dc = dr2 - dr1, dc2 - dc1
+            r0, r1 = max(0, -dr), min(rows, rows - dr)
+            c0, c1 = max(0, -dc), min(cols, cols - dc)
+            if r0 >= r1 or c0 >= c1:
+                continue
+            a = pos[r0:r1, c0:c1]
+            b = pos[r0 + dr : r1 + dr, c0 + dc : c1 + dc]
+            best = max(best, int(np.abs(a - b).max()))
+    return best
+
+
+def hex_diagonal_pair_distance(positions: np.ndarray) -> int:
+    """Stream gap of the hex neighborhood's short-diagonal pair.
+
+    The pair ``(r−1, c+1)`` / ``(r+1, c−1)`` of one update neighborhood:
+    exactly ``2n − 2`` for row-major on an ``n x n`` array — the figure
+    the paper quotes for the memory distribution of a full neighborhood.
+    """
+    pos = np.asarray(positions, dtype=np.int64)
+    if pos.ndim != 2:
+        raise ValueError("positions must be a 2-D array")
+    rows, cols = pos.shape
+    if rows < 3 or cols < 3:
+        return 0
+    a = pos[:-2, 2:]  # (r-1, c+1) relative to centers (r, c) with r>=1, c>=1
+    b = pos[2:, :-2]  # (r+1, c-1)
+    return int(np.abs(a - b).max())
+
+
+def minimum_span_lower_bound(n: int) -> int:
+    """Theorem 1: any placement of 1..n^2 in an n x n array has span >= n."""
+    n = check_positive(n, "n", integer=True)
+    return n
+
+
+# Classical embeddings --------------------------------------------------------
+
+
+def row_major_embedding(rows: int, cols: int | None = None) -> Embedding:
+    """The natural raster-scan order the paper's engines use."""
+    rows = check_positive(rows, "rows", integer=True)
+    cols = rows if cols is None else check_positive(cols, "cols", integer=True)
+    return Embedding("row-major", np.arange(rows * cols).reshape(rows, cols))
+
+
+def column_major_embedding(rows: int, cols: int | None = None) -> Embedding:
+    """Column-scan order (row-major transposed)."""
+    rows = check_positive(rows, "rows", integer=True)
+    cols = rows if cols is None else check_positive(cols, "cols", integer=True)
+    pos = np.arange(rows * cols).reshape(cols, rows).T.copy()
+    return Embedding("column-major", pos)
+
+
+def snake_embedding(rows: int, cols: int | None = None) -> Embedding:
+    """Boustrophedon order: alternate rows reversed.
+
+    Same span class as row-major (span ``2*cols - 1`` at row turns is not
+    achieved — adjacent vertical neighbors at the turn are distance 1),
+    included because it is the other natural streaming order hardware uses.
+    """
+    rows = check_positive(rows, "rows", integer=True)
+    cols = rows if cols is None else check_positive(cols, "cols", integer=True)
+    pos = np.arange(rows * cols).reshape(rows, cols)
+    pos[1::2] = pos[1::2, ::-1]
+    return Embedding("snake", pos)
+
+
+def block_embedding(rows: int, cols: int | None = None, *, block: int = 2) -> Embedding:
+    """Blocked order: row-major over ``block x block`` tiles, row-major inside.
+
+    Demonstrates that tiling does *not* beat row-major for span (Theorem 1
+    forbids it) even though it improves temporal locality — the distinction
+    the pebbling analysis of section 7 formalizes.
+    """
+    rows = check_positive(rows, "rows", integer=True)
+    cols = rows if cols is None else check_positive(cols, "cols", integer=True)
+    block = check_positive(block, "block", integer=True)
+    pos = np.empty((rows, cols), dtype=np.int64)
+    counter = 0
+    for br in range(0, rows, block):
+        for bc in range(0, cols, block):
+            h = min(block, rows - br)
+            w = min(block, cols - bc)
+            pos[br : br + h, bc : bc + w] = np.arange(counter, counter + h * w).reshape(
+                h, w
+            )
+            counter += h * w
+    return Embedding(f"block-{block}", pos)
+
+
+def diagonal_embedding(rows: int, cols: int | None = None) -> Embedding:
+    """Anti-diagonal sweep order (wavefront order).
+
+    The wavefront schedule of reference [8] of the paper; its span is
+    Θ(n), matching the Theorem 1 lower bound up to a constant.
+    """
+    rows = check_positive(rows, "rows", integer=True)
+    cols = rows if cols is None else check_positive(cols, "cols", integer=True)
+    pos = np.empty((rows, cols), dtype=np.int64)
+    counter = 0
+    for s in range(rows + cols - 1):
+        r_start = max(0, s - cols + 1)
+        r_end = min(rows - 1, s)
+        for r in range(r_start, r_end + 1):
+            pos[r, s - r] = counter
+            counter += 1
+    return Embedding("diagonal", pos)

@@ -1,0 +1,427 @@
+"""Lattice geometry: d-dimensional orthogonal grids and the FHP hexagonal grid.
+
+The paper's section 7 defines the lattice *G* of a d-dimensional LGCA as
+the integer points of a d-cell ``{x | 0 <= x_i <= r}`` with edges between
+nearest neighbors (assumption 1 before Lemma 3).  :class:`OrthogonalLattice`
+implements exactly that graph, plus the reachability counts the pebbling
+bounds need (the number of vertices within Manhattan distance *j* — the
+quantity bounded below by ``j^d / d!`` in Lemma 8).
+
+:class:`HexagonalLattice` implements the six-neighbor FHP connectivity on
+an even/odd row-offset square storage grid, which is how the paper's
+engines (and essentially all software FHP implementations) store a
+hexagonal lattice in rectangular memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["OrthogonalLattice", "HexagonalLattice", "manhattan_ball_size"]
+
+
+@lru_cache(maxsize=4096)
+def _ball_size_cached(d: int, j: int) -> int:
+    """Number of integer points x >= 0 with x_1 + ... + x_d <= j.
+
+    This is the size of the set Φ in Lemma 8 of the paper: the lattice
+    points of the non-negative orthant within L1 distance ``j`` of the
+    origin.  Closed form: C(j + d, d).
+    """
+    return math.comb(j + d, d)
+
+
+def manhattan_ball_size(d: int, j: int, *, orthant: bool = True) -> int:
+    """Count integer lattice points within L1 distance ``j`` of the origin.
+
+    Parameters
+    ----------
+    d:
+        Lattice dimension (>= 1).
+    j:
+        Radius (>= 0).
+    orthant:
+        If True (the paper's worst case — origin corner of the d-cell),
+        count only points with all coordinates >= 0, giving ``C(j+d, d)``.
+        If False, count points of the full integer lattice Z^d within L1
+        distance ``j`` (the interior-vertex best case).
+
+    Lemma 8 of the paper uses the orthant count and bounds it below by
+    ``j^d / d!``; :func:`repro.pebbling.bounds.lemma8_lower_bound` checks
+    that inequality against this exact value.
+    """
+    d = check_positive(d, "d", integer=True)
+    if j < 0:
+        raise ValueError(f"j={j} must be non-negative")
+    j = int(j)
+    if orthant:
+        return _ball_size_cached(d, j)
+    # Full-lattice ball: sum over number of nonzero coordinates k:
+    # C(d, k) ways to choose them, 2^k sign patterns, and compositions of
+    # each radius into k positive parts.
+    total = 0
+    for k in range(0, min(d, j) + 1):
+        if k == 0:
+            total += 1
+            continue
+        ways = 0
+        for radius in range(k, j + 1):
+            ways += math.comb(radius - 1, k - 1)
+        total += math.comb(d, k) * (2**k) * ways
+    return total
+
+
+@dataclass(frozen=True)
+class OrthogonalLattice:
+    """The d-dimensional orthogonal lattice G of the paper (section 7).
+
+    Vertices are integer tuples ``x`` with ``0 <= x_i <= r`` for every
+    coordinate, and edges join vertices at Manhattan distance 1.  The
+    neighborhood ``N(x)`` *includes x itself*, matching the paper's
+    definition ``N(x) = {z | {x, z} is an edge} ∪ {x}``.
+
+    Parameters
+    ----------
+    shape:
+        Side lengths per dimension (number of sites, so ``r = side - 1``).
+    """
+
+    shape: tuple[int, ...]
+
+    def __init__(self, shape: Sequence[int]):
+        shape = tuple(check_positive(s, "shape entry", integer=True) for s in shape)
+        if len(shape) == 0:
+            raise ValueError("lattice must have at least one dimension")
+        object.__setattr__(self, "shape", shape)
+
+    @classmethod
+    def cube(cls, d: int, side: int) -> "OrthogonalLattice":
+        """A d-dimensional lattice with equal side lengths."""
+        d = check_positive(d, "d", integer=True)
+        side = check_positive(side, "side", integer=True)
+        return cls((side,) * d)
+
+    @property
+    def d(self) -> int:
+        """Lattice dimension."""
+        return len(self.shape)
+
+    @property
+    def num_sites(self) -> int:
+        """Total number of lattice sites."""
+        return int(np.prod(self.shape))
+
+    def __len__(self) -> int:
+        return self.num_sites
+
+    def contains(self, x: Sequence[int]) -> bool:
+        """Whether integer point ``x`` is a vertex of the lattice."""
+        if len(x) != self.d:
+            return False
+        return all(0 <= xi < si for xi, si in zip(x, self.shape))
+
+    def sites(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over all vertices in row-major order."""
+        return itertools.product(*(range(s) for s in self.shape))
+
+    def index(self, x: Sequence[int]) -> int:
+        """Row-major linear index of vertex ``x``."""
+        if not self.contains(x):
+            raise ValueError(f"{tuple(x)} is not a vertex of lattice {self.shape}")
+        idx = 0
+        for xi, si in zip(x, self.shape):
+            idx = idx * si + int(xi)
+        return idx
+
+    def site(self, index: int) -> tuple[int, ...]:
+        """Inverse of :meth:`index`."""
+        n = self.num_sites
+        if not 0 <= index < n:
+            raise ValueError(f"index={index} out of range [0, {n})")
+        coords = []
+        for si in reversed(self.shape):
+            coords.append(index % si)
+            index //= si
+        return tuple(reversed(coords))
+
+    def neighborhood(self, x: Sequence[int]) -> list[tuple[int, ...]]:
+        """N(x): x plus its nearest neighbors that lie inside the lattice."""
+        x = tuple(int(v) for v in x)
+        if not self.contains(x):
+            raise ValueError(f"{x} is not a vertex of lattice {self.shape}")
+        out = [x]
+        for axis in range(self.d):
+            for delta in (-1, 1):
+                y = list(x)
+                y[axis] += delta
+                if self.contains(y):
+                    out.append(tuple(y))
+        return out
+
+    def neighbors(self, x: Sequence[int]) -> list[tuple[int, ...]]:
+        """Nearest neighbors of ``x`` excluding ``x`` itself."""
+        return self.neighborhood(x)[1:]
+
+    def degree(self, x: Sequence[int]) -> int:
+        """Number of incident edges at ``x``."""
+        return len(self.neighbors(x))
+
+    def distance(self, u: Sequence[int], v: Sequence[int]) -> int:
+        """Graph (Manhattan) distance between two vertices."""
+        if not self.contains(u) or not self.contains(v):
+            raise ValueError("both endpoints must be lattice vertices")
+        return int(sum(abs(int(a) - int(b)) for a, b in zip(u, v)))
+
+    def reachable_within(self, x: Sequence[int], j: int) -> int:
+        """Number of vertices reachable from ``x`` in at most ``j`` steps.
+
+        This is the quantity the line-spread of the computation graph
+        reduces to (Lemma 8): for a corner vertex of a large lattice it
+        equals :func:`manhattan_ball_size` with ``orthant=True``.
+        """
+        x = tuple(int(v) for v in x)
+        if not self.contains(x):
+            raise ValueError(f"{x} is not a vertex of lattice {self.shape}")
+        if j < 0:
+            raise ValueError("j must be non-negative")
+        # Separable per-axis count: number of coordinates reachable with a
+        # given per-axis budget, convolved across axes.
+        # counts[k] = number of vertices at exactly L1 distance k.
+        counts = np.zeros(j + 1, dtype=object)
+        counts[0] = 1
+        for axis in range(self.d):
+            si = self.shape[axis]
+            xi = x[axis]
+            # per-axis: how many choices at each |delta| = t
+            axis_counts = np.zeros(j + 1, dtype=object)
+            for t in range(0, j + 1):
+                n_choices = 0
+                if xi - t >= 0:
+                    n_choices += 1
+                if t > 0 and xi + t < si:
+                    n_choices += 1
+                if t == 0:
+                    n_choices = 1
+                axis_counts[t] = n_choices
+            new_counts = np.zeros(j + 1, dtype=object)
+            for a in range(j + 1):
+                if counts[a] == 0:
+                    continue
+                for b in range(j + 1 - a):
+                    if axis_counts[b]:
+                        new_counts[a + b] += counts[a] * axis_counts[b]
+            counts = new_counts
+        return int(sum(counts))
+
+    def min_reachable_within(self, j: int) -> int:
+        """min over vertices x of :meth:`reachable_within` (corner is worst)."""
+        corner = (0,) * self.d
+        return self.reachable_within(corner, j)
+
+
+# FHP hexagonal lattice -----------------------------------------------------
+
+# Unit velocity vectors of the six FHP directions, indexed 0..5 counter-
+# clockwise starting from +x.  These are the *physical* directions; the
+# storage grid offsets depend on row parity (see below).
+FHP_DIRECTIONS = np.array(
+    [
+        (1.0, 0.0),
+        (0.5, math.sqrt(3) / 2),
+        (-0.5, math.sqrt(3) / 2),
+        (-1.0, 0.0),
+        (-0.5, -math.sqrt(3) / 2),
+        (0.5, -math.sqrt(3) / 2),
+    ]
+)
+
+# Storage-grid (row, col) offsets per direction, for even and odd rows,
+# using the standard "offset" hexagonal layout: odd rows are shifted half
+# a cell to the right.  Row index increases downward (matrix convention),
+# and physical +y maps to decreasing row so that momentum bookkeeping in
+# :mod:`repro.lgca.observables` stays right-handed.
+_EVEN_ROW_OFFSETS = [
+    (0, 1),    # 0: +x
+    (-1, 0),   # 1: up-right
+    (-1, -1),  # 2: up-left
+    (0, -1),   # 3: -x
+    (1, -1),   # 4: down-left
+    (1, 0),    # 5: down-right
+]
+_ODD_ROW_OFFSETS = [
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (0, -1),
+    (1, 0),
+    (1, 1),
+]
+
+
+@dataclass(frozen=True)
+class HexagonalLattice:
+    """The hexagonally-connected FHP lattice stored on a rectangular grid.
+
+    Each site has six neighbors (where they exist).  The circled-site
+    neighborhood drawn in figure 2 of the paper is ``{x} ∪`` these six.
+
+    Parameters
+    ----------
+    rows, cols:
+        Storage-grid dimensions.
+    """
+
+    rows: int
+    cols: int
+
+    def __init__(self, rows: int, cols: int):
+        object.__setattr__(self, "rows", check_positive(rows, "rows", integer=True))
+        object.__setattr__(self, "cols", check_positive(cols, "cols", integer=True))
+
+    @property
+    def num_sites(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def num_directions(self) -> int:
+        return 6
+
+    def contains(self, site: Sequence[int]) -> bool:
+        r, c = site
+        return 0 <= r < self.rows and 0 <= c < self.cols
+
+    def offsets(self, row: int) -> list[tuple[int, int]]:
+        """Storage offsets of the 6 directions for a site in ``row``."""
+        return list(_ODD_ROW_OFFSETS if row % 2 else _EVEN_ROW_OFFSETS)
+
+    def neighbor(self, site: Sequence[int], direction: int) -> tuple[int, int] | None:
+        """The neighbor reached from ``site`` along ``direction``, or None.
+
+        Returns None if the neighbor would fall outside the storage grid
+        (boundary handling is the job of :mod:`repro.lattice.boundary`).
+        """
+        if not 0 <= direction < 6:
+            raise ValueError(f"direction={direction} must be in 0..5")
+        r, c = int(site[0]), int(site[1])
+        if not self.contains((r, c)):
+            raise ValueError(f"{(r, c)} is not a site of the {self.rows}x{self.cols} grid")
+        dr, dc = self.offsets(r)[direction]
+        nr, nc = r + dr, c + dc
+        if 0 <= nr < self.rows and 0 <= nc < self.cols:
+            return (nr, nc)
+        return None
+
+    def neighborhood(self, site: Sequence[int]) -> list[tuple[int, int]]:
+        """The FHP neighborhood of figure 2: the site plus its <=6 neighbors."""
+        out = [(int(site[0]), int(site[1]))]
+        for direction in range(6):
+            n = self.neighbor(site, direction)
+            if n is not None:
+                out.append(n)
+        return out
+
+    def direction_vectors(self) -> np.ndarray:
+        """(6, 2) array of unit velocity vectors (physical x, y)."""
+        return FHP_DIRECTIONS.copy()
+
+    @staticmethod
+    def opposite(direction: int) -> int:
+        """Index of the velocity opposite to ``direction``."""
+        if not 0 <= direction < 6:
+            raise ValueError(f"direction={direction} must be in 0..5")
+        return (direction + 3) % 6
+
+    # -- lattice-graph interface (for pebbling computation graphs) ----------
+    #
+    # Section 7 proves its bounds on the *orthogonal* grid, arguing it is
+    # the worst case: "any lattice that satisfies isotropy requires at
+    # least the same degree of connectivity."  Exposing the hexagonal
+    # lattice through the same interface lets the reproduction check that
+    # claim computationally: hexagonal line-spreads dominate orthogonal
+    # ones, so Lemma 8 / Theorem 4 hold a fortiori.
+
+    @property
+    def d(self) -> int:
+        """Spatial dimension (the hexagonal lattice is 2-D)."""
+        return 2
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def sites(self) -> "itertools.product":
+        """Iterate over all sites in row-major order."""
+        return itertools.product(range(self.rows), range(self.cols))
+
+    def index(self, site: Sequence[int]) -> int:
+        """Row-major linear index of ``site``."""
+        r, c = int(site[0]), int(site[1])
+        if not self.contains((r, c)):
+            raise ValueError(f"{(r, c)} is not a site of the {self.rows}x{self.cols} grid")
+        return r * self.cols + c
+
+    def site(self, index: int) -> tuple[int, int]:
+        """Inverse of :meth:`index`."""
+        if not 0 <= index < self.num_sites:
+            raise ValueError(f"index={index} out of range [0, {self.num_sites})")
+        return divmod(index, self.cols)
+
+    def _bfs_distances(self, origin: tuple[int, int]) -> dict[tuple[int, int], int]:
+        from collections import deque
+
+        dist = {origin: 0}
+        queue = deque([origin])
+        while queue:
+            site = queue.popleft()
+            for direction in range(6):
+                nxt = self.neighbor(site, direction)
+                if nxt is not None and nxt not in dist:
+                    dist[nxt] = dist[site] + 1
+                    queue.append(nxt)
+        return dist
+
+    def distance(self, u: Sequence[int], v: Sequence[int]) -> int:
+        """Graph distance along hexagonal edges (BFS)."""
+        u = (int(u[0]), int(u[1]))
+        v = (int(v[0]), int(v[1]))
+        if not self.contains(u) or not self.contains(v):
+            raise ValueError("both endpoints must be lattice sites")
+        dist = self._bfs_distances(u)
+        if v not in dist:  # pragma: no cover - the hex grid is connected
+            raise ValueError(f"{v} unreachable from {u}")
+        return dist[v]
+
+    def reachable_within(self, site: Sequence[int], j: int) -> int:
+        """Number of sites within ``j`` hexagonal steps of ``site``."""
+        if j < 0:
+            raise ValueError("j must be non-negative")
+        origin = (int(site[0]), int(site[1]))
+        if not self.contains(origin):
+            raise ValueError(f"{origin} is not a site of the grid")
+        dist = self._bfs_distances(origin)
+        return sum(1 for d in dist.values() if d <= int(j))
+
+    def min_reachable_within(self, j: int) -> int:
+        """min over sites of :meth:`reachable_within` (corner worst case).
+
+        Checks the four corners plus edge midpoints — the minimum of a
+        convex reach function over a convex domain lies on the boundary,
+        and for offset-hex grids the corners realize it.
+        """
+        candidates = [
+            (0, 0),
+            (0, self.cols - 1),
+            (self.rows - 1, 0),
+            (self.rows - 1, self.cols - 1),
+            (self.rows // 2, 0),
+            (0, self.cols // 2),
+        ]
+        return min(self.reachable_within(c, j) for c in candidates)

@@ -1,0 +1,206 @@
+"""The reference synchronous LGCA driver.
+
+:class:`LatticeGasAutomaton` couples a model (HPP or FHP kernels), a
+mutable state field, an optional obstacle map, and an RNG, and advances
+the gas generation by generation.  **This is the golden reference** —
+every engine simulator in :mod:`repro.engines` is required (by the
+integration tests) to produce bit-identical evolutions to this class for
+deterministic configurations.
+
+Obstacles are realized as bounce-back sites: at an obstacle site the
+collision step is replaced by velocity reversal (``i -> i + n/2``), the
+standard no-slip body condition for lattice gases, which conserves mass
+(momentum is deliberately exchanged with the body — that is what drag
+*is*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative
+
+__all__ = ["LatticeGasAutomaton", "ObstacleMap", "bounce_back_table"]
+
+
+class SiteModel(Protocol):
+    """The kernel interface shared by HPPModel and FHPModel."""
+
+    rows: int
+    cols: int
+
+    @property
+    def num_channels(self) -> int: ...
+
+    @property
+    def bits_per_site(self) -> int: ...
+
+    @property
+    def velocities(self) -> np.ndarray: ...
+
+    def check_state(self, state: np.ndarray) -> np.ndarray: ...
+
+    def collide(
+        self, state: np.ndarray, t: int = 0, rng: np.random.Generator | None = None
+    ) -> np.ndarray: ...
+
+    def propagate(self, state: np.ndarray) -> np.ndarray: ...
+
+
+def bounce_back_table(num_channels: int) -> np.ndarray:
+    """Lookup table reversing every moving particle's velocity.
+
+    For 6/7-channel FHP, channel ``i`` maps to ``(i + 3) % 6``; for
+    4-channel HPP, to ``(i + 2) % 4``.  A rest particle (channel 6) is
+    unaffected.  The table conserves mass exactly.
+    """
+    if num_channels == 4:
+        opposite = [2, 3, 0, 1]
+    elif num_channels == 6:
+        opposite = [3, 4, 5, 0, 1, 2]
+    elif num_channels == 7:
+        opposite = [3, 4, 5, 0, 1, 2, 6]
+    else:
+        raise ValueError(f"no bounce-back rule for {num_channels} channels")
+    size = 1 << num_channels
+    table = np.zeros(size, dtype=np.uint16)
+    for state in range(size):
+        out = 0
+        for ch in range(num_channels):
+            if (state >> ch) & 1:
+                out |= 1 << opposite[ch]
+        table[state] = out
+    return table
+
+
+@dataclass(frozen=True)
+class ObstacleMap:
+    """A boolean mask of solid (bounce-back) sites.
+
+    Composable: ``a | b`` unions two maps of equal shape.
+    """
+
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ValueError("obstacle mask must be 2-D")
+        object.__setattr__(self, "mask", mask)
+
+    @classmethod
+    def empty(cls, rows: int, cols: int) -> "ObstacleMap":
+        return cls(np.zeros((rows, cols), dtype=bool))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return tuple(self.mask.shape)  # type: ignore[return-value]
+
+    @property
+    def num_solid(self) -> int:
+        return int(self.mask.sum())
+
+    def __or__(self, other: "ObstacleMap") -> "ObstacleMap":
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return ObstacleMap(self.mask | other.mask)
+
+
+@dataclass
+class LatticeGasAutomaton:
+    """Reference LGCA evolution: state + model + obstacles + RNG.
+
+    Parameters
+    ----------
+    model:
+        An :class:`repro.lgca.hpp.HPPModel` or :class:`repro.lgca.fhp.FHPModel`.
+    state:
+        Initial site-state field, shape ``(model.rows, model.cols)``.
+    obstacles:
+        Optional solid-site mask of the same shape.
+    rng:
+        Only consulted when the model's chirality policy is ``"random"``.
+    """
+
+    model: SiteModel
+    state: np.ndarray
+    obstacles: ObstacleMap | None = None
+    rng: np.random.Generator | None = None
+    time: int = 0
+    _bounce: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.state = self.model.check_state(self.state).copy()
+        self.time = check_nonnegative(self.time, "time", integer=True)
+        if self.obstacles is not None and self.obstacles.shape != self.state.shape:
+            raise ValueError(
+                f"obstacle shape {self.obstacles.shape} != state shape {self.state.shape}"
+            )
+        self._bounce = bounce_back_table(self.model.num_channels)
+
+    # -- observable shortcuts -------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.model.rows, self.model.cols)
+
+    @property
+    def num_sites(self) -> int:
+        return self.model.rows * self.model.cols
+
+    def particle_count(self) -> int:
+        from repro.lgca.observables import total_mass
+
+        return total_mass(self.state, self.model.num_channels)
+
+    def momentum(self) -> np.ndarray:
+        from repro.lgca.observables import total_momentum
+
+        return total_momentum(self.state, self.model.velocities)
+
+    # -- evolution ------------------------------------------------------------
+
+    def _collide_with_obstacles(self, state: np.ndarray) -> np.ndarray:
+        collided = self.model.collide(state, self.time, self.rng)
+        if self.obstacles is None or self.obstacles.num_solid == 0:
+            return collided
+        bounced = self._bounce[state]
+        return np.where(self.obstacles.mask, bounced, collided).astype(state.dtype)
+
+    def step(self) -> np.ndarray:
+        """Advance one generation; returns the new state (also stored)."""
+        collided = self._collide_with_obstacles(self.state)
+        self.state = self.model.propagate(collided)
+        self.time += 1
+        return self.state
+
+    def run(self, generations: int) -> np.ndarray:
+        """Advance ``generations`` steps; returns the final state."""
+        generations = check_nonnegative(generations, "generations", integer=True)
+        for _ in range(generations):
+            self.step()
+        return self.state
+
+    def history(self, generations: int) -> np.ndarray:
+        """Run and record: array of shape ``(generations + 1, rows, cols)``.
+
+        Index 0 is the current state; index t is the state after t steps.
+        """
+        generations = check_nonnegative(generations, "generations", integer=True)
+        out = np.empty((generations + 1,) + self.shape, dtype=self.state.dtype)
+        out[0] = self.state
+        for t in range(1, generations + 1):
+            out[t] = self.step()
+        return out
+
+    def site_update_count(self, generations: int) -> int:
+        """Number of site updates ``generations`` steps perform.
+
+        This is the work unit of the paper's throughput measure R
+        (site updates per second).
+        """
+        generations = check_nonnegative(generations, "generations", integer=True)
+        return generations * self.num_sites

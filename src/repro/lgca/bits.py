@@ -1,0 +1,128 @@
+"""Packed bit encodings of lattice-gas site states.
+
+A site of a lattice gas holds one bit per velocity channel (the paper's
+exclusion principle: "no more than one particle can occupy a given
+directed lattice edge"), plus optionally a rest-particle bit and flag
+bits (obstacle, boundary).  The whole site state is ``D`` bits — the
+``D`` of the pin constraint ``2D·P <= Π`` in section 6.
+
+States are stored as small unsigned integers; fields of states are NumPy
+integer arrays.  This module provides the popcount/channel machinery the
+collision tables and observables are built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "popcount",
+    "popcount_table",
+    "direction_count",
+    "pack_channels",
+    "unpack_channels",
+    "channel_bit",
+    "has_particle",
+]
+
+_POPCOUNT_CACHE: dict[int, np.ndarray] = {}
+
+
+def popcount_table(num_bits: int) -> np.ndarray:
+    """Lookup table: number of set bits for every state of ``num_bits`` bits.
+
+    The table is cached — lattice-gas kernels index it with full state
+    arrays (``table[state_field]``), which is the vectorized popcount.
+    """
+    num_bits = check_positive(num_bits, "num_bits", integer=True)
+    if num_bits > 24:
+        raise ValueError(f"num_bits={num_bits} too large for table-driven popcount")
+    table = _POPCOUNT_CACHE.get(num_bits)
+    if table is None:
+        values = np.arange(1 << num_bits, dtype=np.uint32)
+        table = np.zeros(1 << num_bits, dtype=np.uint8)
+        for bit in range(num_bits):
+            table += ((values >> bit) & 1).astype(np.uint8)
+        table.setflags(write=False)
+        _POPCOUNT_CACHE[num_bits] = table
+    return table
+
+
+def popcount(states: np.ndarray | int, num_bits: int) -> np.ndarray | int:
+    """Number of particles at each site (vectorized popcount)."""
+    table = popcount_table(num_bits)
+    if np.isscalar(states):
+        return int(table[int(states)])
+    states = np.asarray(states)
+    return table[states]
+
+
+def direction_count(states: np.ndarray | int, direction: int) -> np.ndarray | int:
+    """Occupancy (0/1) of velocity channel ``direction``."""
+    if direction < 0:
+        raise ValueError(f"direction={direction} must be non-negative")
+    if np.isscalar(states):
+        return (int(states) >> direction) & 1
+    states = np.asarray(states)
+    return (states >> np.uint8(direction)) & 1
+
+
+def channel_bit(direction: int) -> int:
+    """The mask with only channel ``direction`` set."""
+    if direction < 0:
+        raise ValueError(f"direction={direction} must be non-negative")
+    return 1 << direction
+
+
+def has_particle(state: int, direction: int) -> bool:
+    """Whether ``state`` has a particle moving along ``direction``."""
+    return bool((int(state) >> direction) & 1)
+
+
+def pack_channels(channels: np.ndarray) -> np.ndarray:
+    """Pack per-channel boolean planes into an integer state field.
+
+    Parameters
+    ----------
+    channels:
+        Boolean/0-1 array of shape ``(num_channels, ...)``.
+
+    Returns
+    -------
+    Integer array of the trailing shape, dtype uint8 for <= 8 channels,
+    uint16 for <= 16.
+    """
+    channels = np.asarray(channels)
+    if channels.ndim < 1:
+        raise ValueError("channels must have a leading channel axis")
+    num_channels = channels.shape[0]
+    if num_channels == 0:
+        raise ValueError("need at least one channel")
+    if num_channels > 16:
+        raise ValueError(f"{num_channels} channels exceed the 16-bit state limit")
+    dtype = np.uint8 if num_channels <= 8 else np.uint16
+    out = np.zeros(channels.shape[1:], dtype=dtype)
+    for bit in range(num_channels):
+        plane = channels[bit]
+        if plane.dtype != np.bool_:
+            bad = (plane != 0) & (plane != 1)
+            if np.any(bad):
+                raise ValueError(f"channel {bit} has values outside {{0, 1}}")
+        out |= (plane.astype(dtype)) << dtype(bit)
+    return out
+
+
+def unpack_channels(states: np.ndarray, num_channels: int) -> np.ndarray:
+    """Inverse of :func:`pack_channels`: per-channel 0/1 planes.
+
+    Returns an array of shape ``(num_channels,) + states.shape`` with
+    dtype uint8.
+    """
+    num_channels = check_positive(num_channels, "num_channels", integer=True)
+    states = np.asarray(states)
+    out = np.empty((num_channels,) + states.shape, dtype=np.uint8)
+    for bit in range(num_channels):
+        out[bit] = (states >> np.uint8(bit)) & 1
+    return out

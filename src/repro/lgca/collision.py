@@ -1,0 +1,208 @@
+"""Collision-rule tables and conservation verification.
+
+Section 2 of the paper requires collision rules to "satisfy certain
+physically plausible laws, especially particle-number (mass) conservation
+and momentum conservation".  :class:`CollisionTable` encodes a rule set
+as a full lookup table over all ``2^D`` site states — which is exactly
+how the paper's VLSI processing elements implement them — and
+:func:`verify_conservation` machine-checks the conservation laws for
+*every* entry, so a table that violates the physics cannot be constructed
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lgca.bits import popcount_table
+from repro.util.validation import check_positive
+
+__all__ = ["CollisionTable", "ConservationError", "verify_conservation"]
+
+
+class ConservationError(ValueError):
+    """A collision table violates mass or momentum conservation."""
+
+
+def _momenta_per_state(velocities: np.ndarray) -> np.ndarray:
+    """(2^C, 2) array: net momentum of every state under ``velocities``."""
+    num_channels = velocities.shape[0]
+    states = np.arange(1 << num_channels, dtype=np.uint32)
+    momenta = np.zeros((states.size, 2), dtype=np.float64)
+    for bit in range(num_channels):
+        occupied = ((states >> bit) & 1).astype(np.float64)
+        momenta += occupied[:, None] * velocities[bit]
+    return momenta
+
+
+def verify_conservation(
+    table: np.ndarray,
+    velocities: np.ndarray,
+    *,
+    check_momentum: bool = True,
+    ignore_mask: int = 0,
+    atol: float = 1e-12,
+) -> None:
+    """Check mass (and optionally momentum) conservation of a lookup table.
+
+    Parameters
+    ----------
+    table:
+        ``(2^C,)`` integer array mapping input state to output state.
+    velocities:
+        ``(C, 2)`` per-channel velocity vectors; a rest particle has
+        velocity ``(0, 0)``.
+    check_momentum:
+        FHP/HPP tables must conserve momentum; boundary/bounce-back
+        tables conserve only mass, so callers may disable it.
+    ignore_mask:
+        Bits (e.g. an obstacle flag) excluded from the conservation sums.
+    atol:
+        Momentum tolerance (velocities may be irrational for hex lattices).
+
+    Raises
+    ------
+    ConservationError
+        naming the first offending state.
+    """
+    velocities = np.asarray(velocities, dtype=np.float64)
+    if velocities.ndim != 2 or velocities.shape[1] != 2:
+        raise ValueError("velocities must have shape (C, 2)")
+    num_channels = velocities.shape[0]
+    expected_size = 1 << num_channels
+    table = np.asarray(table)
+    if table.shape != (expected_size,):
+        raise ValueError(
+            f"table has shape {table.shape}, expected ({expected_size},) "
+            f"for {num_channels} channels"
+        )
+    if table.min() < 0 or table.max() >= expected_size:
+        raise ConservationError("table maps to states outside the channel space")
+
+    pc = popcount_table(num_channels)
+    keep = np.uint32(~ignore_mask & (expected_size - 1))
+    states = np.arange(expected_size, dtype=np.uint32)
+    mass_in = pc[states & keep]
+    mass_out = pc[table.astype(np.uint32) & keep]
+    bad = np.nonzero(mass_in != mass_out)[0]
+    if bad.size:
+        s = int(bad[0])
+        raise ConservationError(
+            f"mass not conserved: state {s:#x} ({int(mass_in[s])} particles) "
+            f"-> {int(table[s]):#x} ({int(mass_out[s])} particles)"
+        )
+    if check_momentum:
+        momenta = _momenta_per_state(velocities)
+        p_in = momenta[states & keep]
+        p_out = momenta[table.astype(np.uint32) & keep]
+        err = np.abs(p_in - p_out).max(axis=1)
+        bad = np.nonzero(err > atol)[0]
+        if bad.size:
+            s = int(bad[0])
+            raise ConservationError(
+                f"momentum not conserved: state {s:#x} p={p_in[s]} -> "
+                f"{int(table[s]):#x} p={p_out[s]}"
+            )
+
+
+@dataclass(frozen=True)
+class CollisionTable:
+    """A verified site-update lookup table.
+
+    This is the paper's PE "microcode": the function *f* in
+    ``v(a, t+1) = f(N(a), t)`` restricted to the on-site collision step
+    (propagation supplies the neighborhood).  Construction verifies the
+    conservation laws, so holding a :class:`CollisionTable` is a proof
+    the physics is right.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"fhp6/left"``.
+    table:
+        ``(2^C,)`` uint16 lookup array.
+    velocities:
+        ``(C, 2)`` channel velocity vectors.
+    conserves_momentum:
+        Whether momentum conservation was verified (False for wall rules).
+    """
+
+    name: str
+    table: np.ndarray
+    velocities: np.ndarray
+    conserves_momentum: bool = True
+    ignore_mask: int = 0
+    _skip_verify: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        velocities = np.asarray(self.velocities, dtype=np.float64)
+        table = np.asarray(self.table, dtype=np.uint16)
+        if not self._skip_verify:
+            verify_conservation(
+                table,
+                velocities,
+                check_momentum=self.conserves_momentum,
+                ignore_mask=self.ignore_mask,
+            )
+        table = table.copy()
+        table.setflags(write=False)
+        velocities = velocities.copy()
+        velocities.setflags(write=False)
+        object.__setattr__(self, "table", table)
+        object.__setattr__(self, "velocities", velocities)
+
+    @property
+    def num_channels(self) -> int:
+        return int(self.velocities.shape[0])
+
+    @property
+    def num_states(self) -> int:
+        return int(self.table.size)
+
+    def __call__(self, states: np.ndarray | int) -> np.ndarray | int:
+        """Apply the collision rule to a state or field of states."""
+        if np.isscalar(states):
+            return int(self.table[int(states)])
+        states = np.asarray(states)
+        return self.table[states]
+
+    def is_identity(self) -> bool:
+        """Whether the table is a no-op (useful in tests)."""
+        return bool(np.array_equal(self.table, np.arange(self.num_states)))
+
+    def fixed_points(self) -> np.ndarray:
+        """States the rule leaves unchanged."""
+        states = np.arange(self.num_states, dtype=np.uint16)
+        return states[self.table == states]
+
+    def is_involution(self) -> bool:
+        """Whether applying the rule twice is the identity.
+
+        Two-body FHP/HPP collisions with a fixed chirality are
+        involutions; this is a structural invariant tests rely on.
+        """
+        return bool(np.array_equal(self.table[self.table], np.arange(self.num_states)))
+
+    def compose(self, other: "CollisionTable", name: str | None = None) -> "CollisionTable":
+        """The rule "apply ``other``, then ``self``" as a single table."""
+        if other.num_channels != self.num_channels:
+            raise ValueError("cannot compose tables over different channel sets")
+        return CollisionTable(
+            name=name or f"{self.name}∘{other.name}",
+            table=self.table[other.table],
+            velocities=self.velocities,
+            conserves_momentum=self.conserves_momentum and other.conserves_momentum,
+            ignore_mask=self.ignore_mask | other.ignore_mask,
+        )
+
+
+def identity_table(num_channels: int, velocities: np.ndarray, name: str = "identity") -> CollisionTable:
+    """The no-collision rule (propagation only)."""
+    num_channels = check_positive(num_channels, "num_channels", integer=True)
+    return CollisionTable(
+        name=name,
+        table=np.arange(1 << num_channels, dtype=np.uint16),
+        velocities=velocities,
+    )

@@ -1,0 +1,381 @@
+"""The FHP lattice gas (Frisch, Hasslacher, Pomeau) — reference [3].
+
+Six unit-velocity channels on a hexagonal lattice (plus an optional rest
+particle, the 7-bit variant), the model the paper singles out because "in
+a two-dimensional hexagonally connected lattice, it has been shown that
+the Navier-Stokes equation is satisfied in the limit of large lattice
+size".
+
+Collision rules implemented:
+
+* **FHP-6 (FHP-I)** — head-on two-body collisions ``{i, i+3}`` scatter to
+  the pair rotated ±60° (the chirality must be chosen per collision; the
+  driver alternates it deterministically or draws it pseudo-randomly),
+  and symmetric three-body collisions ``{i, i+2, i+4} <-> {i+1, i+3, i+5}``.
+* **FHP-7 (FHP-II)** — FHP-6 rules with the rest particle as a spectator,
+  plus the rest-particle pair creation/annihilation
+  ``{rest, i} <-> {i-1, i+1}``.
+
+Each fixed-chirality table is a *permutation* of the state space (checked
+in tests) and conserves mass and momentum (checked at construction by
+:class:`repro.lgca.collision.CollisionTable`).
+
+Storage layout: the hexagonal lattice lives on a rectangular grid with
+odd rows shifted half a cell right (see
+:class:`repro.lattice.geometry.HexagonalLattice`).  Channel order is
+counter-clockwise from +x; see ``FHP_VELOCITIES``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lattice.geometry import FHP_DIRECTIONS
+from repro.lgca.bits import pack_channels, unpack_channels
+from repro.lgca.collision import CollisionTable
+from repro.util.validation import check_positive
+
+__all__ = [
+    "FHP_VELOCITIES",
+    "fhp6_collision_tables",
+    "fhp7_collision_tables",
+    "fhp_saturated_tables",
+    "FHPModel",
+]
+
+#: (6, 2) physical velocity vectors per moving channel (ccw from +x).
+FHP_VELOCITIES = FHP_DIRECTIONS
+
+#: Velocity table for the 7-bit model: 6 movers + rest particle (bit 6).
+FHP7_VELOCITIES = np.vstack([FHP_DIRECTIONS, [(0.0, 0.0)]])
+
+#: storage-grid row offset per channel (identical for both row parities).
+_ROW_OFFSET = [0, -1, -1, 0, 1, 1]
+#: storage-grid column offset per channel for even source rows.
+_COL_OFFSET_EVEN = [1, 0, -1, -1, -1, 0]
+#: ... and for odd source rows (odd rows shifted half a cell right).
+_COL_OFFSET_ODD = [1, 1, 0, -1, 0, 1]
+
+_REST_BIT = 1 << 6
+_TRIAD_A = 0b010101  # channels {0, 2, 4}
+_TRIAD_B = 0b101010  # channels {1, 3, 5}
+
+
+def _rotate_moving(state: int, amount: int) -> int:
+    """Rotate the 6 moving-channel bits of ``state`` by ``amount`` (ccw)."""
+    moving = state & 0b111111
+    amount %= 6
+    rotated = ((moving << amount) | (moving >> (6 - amount))) & 0b111111
+    return (state & ~0b111111) | rotated
+
+
+def fhp6_collision_tables() -> tuple[CollisionTable, CollisionTable]:
+    """The two fixed-chirality FHP-I tables ``(left, right)``.
+
+    ``left`` rotates head-on pairs +60° (counter-clockwise), ``right``
+    −60°.  Averaging the two chiralities restores the hexagonal-lattice
+    parity symmetry the hydrodynamic limit needs.
+    """
+    tables = []
+    for name, chirality in (("fhp6/left", 1), ("fhp6/right", -1)):
+        table = np.arange(64, dtype=np.uint16)
+        # Rotation maps head-on classes onto head-on classes, so assigning
+        # all six {i, i+3} pairs covers every colliding two-body state.
+        for i in range(6):
+            pair = (1 << i) | (1 << ((i + 3) % 6))
+            table[pair] = _rotate_moving(pair, chirality)
+        table[_TRIAD_A] = _TRIAD_B
+        table[_TRIAD_B] = _TRIAD_A
+        tables.append(
+            CollisionTable(name=name, table=table, velocities=FHP_VELOCITIES)
+        )
+    return tables[0], tables[1]
+
+
+def fhp7_collision_tables() -> tuple[CollisionTable, CollisionTable]:
+    """The two fixed-chirality FHP-II tables (rest particle at bit 6)."""
+    tables = []
+    for name, chirality in (("fhp7/left", 1), ("fhp7/right", -1)):
+        table = np.arange(128, dtype=np.uint16)
+        for rest in (0, _REST_BIT):
+            # Head-on pairs, rest particle (if any) is a spectator.
+            for i in range(3):
+                pair = (1 << i) | (1 << (i + 3))
+                table[pair | rest] = _rotate_moving(pair, chirality) | rest
+            # Symmetric three-body, rest spectator.
+            table[_TRIAD_A | rest] = _TRIAD_B | rest
+            table[_TRIAD_B | rest] = _TRIAD_A | rest
+        # Rest-particle creation/annihilation: {rest, i} <-> {i-1, i+1}.
+        for i in range(6):
+            mover = (1 << i) | _REST_BIT
+            split = (1 << ((i - 1) % 6)) | (1 << ((i + 1) % 6))
+            table[mover] = split
+            table[split] = mover
+        tables.append(
+            CollisionTable(name=name, table=table, velocities=FHP7_VELOCITIES)
+        )
+    return tables[0], tables[1]
+
+
+def fhp_saturated_tables() -> tuple[CollisionTable, CollisionTable]:
+    """Collision-saturated 7-bit tables in the spirit of FHP-III.
+
+    FHP-III maximizes the collision rate by letting *every* state that
+    shares its (mass, momentum) invariants with another state scatter.
+    We realize that deterministically: states are grouped into
+    equivalence classes by exact (particle count, momentum vector); each
+    class of size > 1 is permuted by one cyclic step of its canonical
+    ordering (``left``) or the inverse step (``right``).  Both tables
+    are permutations of the state space, conserve mass and momentum
+    exactly (by construction — and re-verified at table construction),
+    and leave *no* collision on the table: every state that can legally
+    change, does.
+
+    The resulting gas has a strictly higher collision rate — and
+    therefore lower viscosity and higher achievable Reynolds number per
+    site — than FHP-I/II, which is exactly why Frisch et al. introduced
+    the saturated variant.  The specific in-class pairing differs from
+    the historical FHP-III listing (any in-class permutation shares the
+    conservation laws); benchmarks quote collision rates, not the exact
+    microdynamics.
+    """
+    momenta = np.zeros((128, 2))
+    masses = np.zeros(128, dtype=np.int64)
+    for state in range(128):
+        for ch in range(6):
+            if (state >> ch) & 1:
+                momenta[state] += FHP_DIRECTIONS[ch]
+                masses[state] += 1
+        if state & _REST_BIT:
+            masses[state] += 1
+    # group states by (mass, rounded momentum)
+    classes: dict[tuple[int, int, int], list[int]] = {}
+    for state in range(128):
+        key = (
+            int(masses[state]),
+            int(round(momenta[state, 0] * 2)),  # momenta are multiples of 1/2
+            int(round(momenta[state, 1] / (math.sqrt(3) / 2))),
+        )
+        classes.setdefault(key, []).append(state)
+    left = np.arange(128, dtype=np.uint16)
+    right = np.arange(128, dtype=np.uint16)
+    for members in classes.values():
+        if len(members) < 2:
+            continue
+        for i, state in enumerate(members):
+            left[state] = members[(i + 1) % len(members)]
+            right[state] = members[(i - 1) % len(members)]
+    return (
+        CollisionTable(name="fhp-sat/left", table=left, velocities=FHP7_VELOCITIES),
+        CollisionTable(name="fhp-sat/right", table=right, velocities=FHP7_VELOCITIES),
+    )
+
+
+@dataclass
+class FHPModel:
+    """Collision + propagation kernels for the FHP gas.
+
+    Parameters
+    ----------
+    rows, cols:
+        Storage-grid shape.  ``rows`` must be even when ``boundary`` is
+        periodic (the hexagonal row-offset pattern must tile the torus).
+    rest_particles:
+        Use the 7-bit FHP-II variant instead of the 6-bit FHP-I.
+    boundary:
+        ``"periodic"``, ``"null"``, or ``"reflecting"`` (bounce-back).
+    chirality:
+        ``"alternate"`` — deterministic checkerboard-in-time chirality
+        (what a deterministic VLSI engine does, and what the equivalence
+        tests against the engine simulators rely on); ``"random"`` —
+        per-site i.i.d. chirality from the driver's RNG; ``"left"`` /
+        ``"right"`` — fixed.
+    """
+
+    rows: int
+    cols: int
+    rest_particles: bool = False
+    boundary: str = "periodic"
+    chirality: str = "alternate"
+    saturated: bool = False
+
+    def __post_init__(self) -> None:
+        self.rows = check_positive(self.rows, "rows", integer=True)
+        self.cols = check_positive(self.cols, "cols", integer=True)
+        if self.boundary not in ("periodic", "null", "reflecting"):
+            raise ValueError(
+                f"boundary={self.boundary!r} must be periodic, null, or reflecting"
+            )
+        if self.boundary == "periodic" and self.rows % 2:
+            raise ValueError(
+                "periodic FHP lattices need an even number of rows "
+                "(the half-cell row offset must tile the torus)"
+            )
+        if self.chirality not in ("alternate", "random", "left", "right"):
+            raise ValueError(
+                f"chirality={self.chirality!r} must be alternate, random, left, or right"
+            )
+        if self.saturated:
+            if not self.rest_particles:
+                raise ValueError(
+                    "the collision-saturated table is 7-bit; set rest_particles=True"
+                )
+            self._left, self._right = fhp_saturated_tables()
+        elif self.rest_particles:
+            self._left, self._right = fhp7_collision_tables()
+        else:
+            self._left, self._right = fhp6_collision_tables()
+        self._build_propagation_maps()
+
+    # -- public metadata ----------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        return 7 if self.rest_particles else 6
+
+    @property
+    def bits_per_site(self) -> int:
+        """Site state width D (the paper budgets D=8 for FHP + flags)."""
+        return self.num_channels
+
+    @property
+    def velocities(self) -> np.ndarray:
+        return (FHP7_VELOCITIES if self.rest_particles else FHP_VELOCITIES).copy()
+
+    @property
+    def collision_tables(self) -> tuple[CollisionTable, CollisionTable]:
+        return self._left, self._right
+
+    def check_state(self, state: np.ndarray) -> np.ndarray:
+        state = np.asarray(state)
+        if state.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"state shape {state.shape} != grid shape {(self.rows, self.cols)}"
+            )
+        limit = 1 << self.num_channels
+        if state.max(initial=0) >= limit:
+            raise ValueError(f"FHP states must fit in {self.num_channels} bits")
+        return state.astype(np.uint8, copy=False)
+
+    # -- chirality ----------------------------------------------------------
+
+    def chirality_field(
+        self, t: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Boolean field: True where the *left* table applies at time ``t``."""
+        if self.chirality == "left":
+            return np.ones((self.rows, self.cols), dtype=bool)
+        if self.chirality == "right":
+            return np.zeros((self.rows, self.cols), dtype=bool)
+        if self.chirality == "random":
+            if rng is None:
+                raise ValueError("chirality='random' requires an rng")
+            return rng.integers(0, 2, size=(self.rows, self.cols)).astype(bool)
+        # "alternate": site-checkerboard XOR time parity.  Deterministic,
+        # zero storage in hardware (one XOR of coordinate/time parities),
+        # and unbiased over any two consecutive steps.
+        r = np.arange(self.rows)[:, None]
+        c = np.arange(self.cols)[None, :]
+        return ((r + c + t) % 2).astype(bool)
+
+    # -- dynamics -----------------------------------------------------------
+
+    def collide(
+        self,
+        state: np.ndarray,
+        t: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Apply FHP collisions with the configured chirality policy."""
+        state = self.check_state(state)
+        left_mask = self.chirality_field(t, rng)
+        out_left = self._left(state)
+        out_right = self._right(state)
+        return np.where(left_mask, out_left, out_right).astype(np.uint8)
+
+    def propagate(self, state: np.ndarray) -> np.ndarray:
+        """Move every particle along its velocity on the hexagonal grid."""
+        state = self.check_state(state)
+        nmov = 6
+        channels = unpack_channels(state, self.num_channels)
+        out = np.zeros_like(channels)
+        if self.rest_particles:
+            out[6] = channels[6]  # rest particles stay put
+        for ch in range(nmov):
+            out[ch] = channels[ch].ravel()[self._src_flat[ch]].reshape(
+                self.rows, self.cols
+            )
+            if self.boundary != "periodic":
+                out[ch] &= self._dst_valid[ch]
+        if self.boundary == "reflecting":
+            for ch in range(nmov):
+                opposite = (ch + 3) % 6
+                bounced = channels[ch] & self._tgt_invalid[ch]
+                out[opposite] |= bounced
+        return pack_channels(out)
+
+    def step(
+        self,
+        state: np.ndarray,
+        t: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """One generation: collide (at time ``t``), then propagate."""
+        return self.propagate(self.collide(state, t, rng))
+
+    # -- propagation index maps ----------------------------------------------
+
+    def _build_propagation_maps(self) -> None:
+        """Precompute flat gather indices per channel.
+
+        For destination site ``(r, c)`` of channel ``ch`` the source is
+        ``(r - dr, c - dc(parity of source row))``.  Periodic boundaries
+        wrap; otherwise invalid destinations are masked by
+        ``_dst_valid``.  ``_tgt_invalid`` marks *source* sites whose
+        forward target leaves the grid (used for bounce-back).
+        """
+        rows, cols = self.rows, self.cols
+        r_dst = np.arange(rows)[:, None] * np.ones(cols, dtype=np.int64)[None, :]
+        c_dst = np.ones(rows, dtype=np.int64)[:, None] * np.arange(cols)[None, :]
+        r_dst = r_dst.astype(np.int64)
+        c_dst = c_dst.astype(np.int64)
+
+        self._src_flat: list[np.ndarray] = []
+        self._dst_valid: list[np.ndarray] = []
+        self._tgt_invalid: list[np.ndarray] = []
+        for ch in range(6):
+            dr = _ROW_OFFSET[ch]
+            r_src = r_dst - dr
+            if self.boundary == "periodic":
+                r_src_wrapped = r_src % rows
+            else:
+                r_src_wrapped = np.clip(r_src, 0, rows - 1)
+            parity = r_src_wrapped % 2
+            dc = np.where(
+                parity == 0, _COL_OFFSET_EVEN[ch], _COL_OFFSET_ODD[ch]
+            ).astype(np.int64)
+            c_src = c_dst - dc
+            if self.boundary == "periodic":
+                c_src_wrapped = c_src % cols
+                valid = np.ones((rows, cols), dtype=np.uint8)
+            else:
+                valid = (
+                    (r_src >= 0) & (r_src < rows) & (c_src >= 0) & (c_src < cols)
+                ).astype(np.uint8)
+                c_src_wrapped = np.clip(c_src, 0, cols - 1)
+            flat = (r_src_wrapped * cols + c_src_wrapped).astype(np.int64)
+            self._src_flat.append(flat)
+            self._dst_valid.append(valid)
+
+            # Forward targets from the source side, for bounce-back.
+            src_parity = np.arange(rows)[:, None] % 2
+            fwd_dc = np.where(
+                src_parity == 0, _COL_OFFSET_EVEN[ch], _COL_OFFSET_ODD[ch]
+            )
+            r_tgt = np.arange(rows)[:, None] + dr + np.zeros(cols, dtype=np.int64)
+            c_tgt = np.arange(cols)[None, :] + fwd_dc
+            invalid = ~((r_tgt >= 0) & (r_tgt < rows) & (c_tgt >= 0) & (c_tgt < cols))
+            self._tgt_invalid.append(invalid.astype(np.uint8))

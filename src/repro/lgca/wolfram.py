@@ -1,0 +1,150 @@
+"""One-dimensional binary cellular automata.
+
+Reference [16] of the paper (Steiglitz & Morita, ICASSP 1985) describes a
+multi-processor custom chip for exactly this workload: a 1-D CA streamed
+through a pipeline of PEs, each advancing the tape one generation.  The
+1-D case is the cleanest illustration of the serial-pipeline principle
+(section 3) — the delay line is O(1) instead of O(L) — so the engine
+examples and several pipeline unit tests use it.
+
+:class:`ElementaryCA` implements Wolfram's 256 radius-1 rules;
+:class:`ParityCA` implements arbitrary-radius XOR rules (linear CAs whose
+superposition property gives tests a strong oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_nonnegative, check_positive
+
+__all__ = ["ElementaryCA", "ParityCA"]
+
+
+@dataclass(frozen=True)
+class ElementaryCA:
+    """A Wolfram elementary (radius-1, binary) cellular automaton.
+
+    Parameters
+    ----------
+    rule:
+        Wolfram rule number, 0..255.
+    boundary:
+        ``"periodic"`` or ``"null"`` (cells beyond the edge read 0).
+    """
+
+    rule: int
+    boundary: str = "periodic"
+
+    def __post_init__(self) -> None:
+        check_in_range(self.rule, "rule", 0, 255)
+        if int(self.rule) != self.rule:
+            raise ValueError(f"rule={self.rule} must be an integer")
+        if self.boundary not in ("periodic", "null"):
+            raise ValueError(f"boundary={self.boundary!r} must be periodic or null")
+
+    @property
+    def radius(self) -> int:
+        return 1
+
+    def rule_table(self) -> np.ndarray:
+        """(8,) array: next cell value per 3-bit neighborhood (left,self,right)."""
+        return ((int(self.rule) >> np.arange(8)) & 1).astype(np.uint8)
+
+    def step(self, tape: np.ndarray) -> np.ndarray:
+        """One generation of the whole tape (vectorized)."""
+        tape = _check_tape(tape)
+        left, right = _shifted(tape, self.boundary)
+        idx = (left << 2) | (tape << 1) | right
+        return self.rule_table()[idx]
+
+    def run(self, tape: np.ndarray, generations: int) -> np.ndarray:
+        """Evolve ``generations`` steps; returns the final tape."""
+        generations = check_nonnegative(generations, "generations", integer=True)
+        tape = _check_tape(tape).copy()
+        for _ in range(generations):
+            tape = self.step(tape)
+        return tape
+
+    def history(self, tape: np.ndarray, generations: int) -> np.ndarray:
+        """Space-time diagram: shape ``(generations + 1, len(tape))``."""
+        generations = check_nonnegative(generations, "generations", integer=True)
+        tape = _check_tape(tape)
+        out = np.empty((generations + 1, tape.size), dtype=np.uint8)
+        out[0] = tape
+        for t in range(1, generations + 1):
+            out[t] = self.step(out[t - 1])
+        return out
+
+
+@dataclass(frozen=True)
+class ParityCA:
+    """A linear (XOR) CA of arbitrary radius.
+
+    The next cell value is the XOR of the cells at the offsets in
+    ``taps``.  Linearity means evolution distributes over XOR of initial
+    tapes — a free algebraic oracle for pipeline tests.
+    """
+
+    taps: tuple[int, ...] = (-1, 1)
+    boundary: str = "periodic"
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            raise ValueError("taps must be non-empty")
+        if len(set(self.taps)) != len(self.taps):
+            raise ValueError(f"taps {self.taps} contain duplicates")
+        if self.boundary not in ("periodic", "null"):
+            raise ValueError(f"boundary={self.boundary!r} must be periodic or null")
+        object.__setattr__(self, "taps", tuple(int(t) for t in self.taps))
+
+    @property
+    def radius(self) -> int:
+        return max(abs(t) for t in self.taps)
+
+    def step(self, tape: np.ndarray) -> np.ndarray:
+        tape = _check_tape(tape)
+        out = np.zeros_like(tape)
+        for tap in self.taps:
+            out ^= _shift_tape(tape, tap, self.boundary)
+        return out
+
+    def run(self, tape: np.ndarray, generations: int) -> np.ndarray:
+        generations = check_nonnegative(generations, "generations", integer=True)
+        tape = _check_tape(tape).copy()
+        for _ in range(generations):
+            tape = self.step(tape)
+        return tape
+
+
+def _check_tape(tape: np.ndarray) -> np.ndarray:
+    tape = np.asarray(tape)
+    if tape.ndim != 1:
+        raise ValueError("tape must be 1-D")
+    if tape.size == 0:
+        raise ValueError("tape must be non-empty")
+    if np.any((tape != 0) & (tape != 1)):
+        raise ValueError("tape cells must be 0 or 1")
+    return tape.astype(np.uint8, copy=False)
+
+
+def _shift_tape(tape: np.ndarray, offset: int, boundary: str) -> np.ndarray:
+    """The tape as seen ``offset`` cells away (cell i reads i+offset)."""
+    if boundary == "periodic":
+        return np.roll(tape, -offset)
+    out = np.zeros_like(tape)
+    n = tape.size
+    if offset >= 0:
+        if offset < n:
+            out[: n - offset] = tape[offset:]
+    else:
+        if -offset < n:
+            out[-offset:] = tape[: n + offset]
+    return out
+
+
+def _shifted(tape: np.ndarray, boundary: str) -> tuple[np.ndarray, np.ndarray]:
+    """(left-neighbor values, right-neighbor values) per cell."""
+    return _shift_tape(tape, -1, boundary), _shift_tape(tape, 1, boundary)

@@ -1,0 +1,120 @@
+"""Pebble games and I/O lower bounds — paper section 7.
+
+The paper models the memory traffic of a lattice computation with a
+*parallel-red-blue pebble game* played on the layered computation graph
+``C_d`` of a d-dimensional LGCA, and derives the throughput ceiling
+``R = O(B · S^{1/d})``.  This subpackage implements every piece of that
+chain:
+
+* :mod:`repro.pebbling.graph` — the computation graph C_d (one layer
+  per generation, arcs along the lattice neighborhoods).
+* :mod:`repro.pebbling.game` — the sequential red-blue pebble game of
+  Hong & Kung [5]: rules 1–4, legality checking, I/O counting.
+* :mod:`repro.pebbling.parallel_game` — the paper's extension: cyclic
+  write/calculate/read phases with place-holder (pink) pebbles.
+* :mod:`repro.pebbling.division` — S-I/O-divisions of a pebbling and
+  the induced 2S-partition of Theorem 2.
+* :mod:`repro.pebbling.partition` — K-partition validation (dominator
+  sets, minimum sets, acyclic dependency).
+* :mod:`repro.pebbling.lines` — lines, line covers, line-time, and
+  line-spread (Lemmas 3–8 machinery).
+* :mod:`repro.pebbling.schedules` — constructive pebbling strategies
+  (per-site, row-cache, trapezoid tiling) whose measured I/O brackets
+  the lower bound from above.
+* :mod:`repro.pebbling.bounds` — Lemma 8, Theorem 4, and the Q / R
+  bounds with explicit constants.
+"""
+
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.game import (
+    RedBluePebbleGame,
+    Move,
+    IllegalMoveError,
+    replay,
+)
+from repro.pebbling.parallel_game import (
+    ParallelRedBluePebbleGame,
+    PhaseStep,
+)
+from repro.pebbling.division import (
+    io_division,
+    induced_partition,
+    division_size,
+)
+from repro.pebbling.partition import (
+    KPartition,
+    PartitionError,
+    verify_dominator,
+    verify_partition,
+)
+from repro.pebbling.lines import (
+    complete_line_set,
+    line_of_vertex,
+    lines_covered_by_ball,
+    line_spread,
+    max_line_vertices_per_subset,
+)
+from repro.pebbling.schedules import (
+    per_site_schedule,
+    row_cache_schedule,
+    trapezoid_schedule,
+    lru_cache_schedule,
+    measure_schedule,
+    ScheduleReport,
+)
+from repro.pebbling.phased import (
+    layer_parallel_steps,
+    measure_phased,
+    PhasedReport,
+)
+from repro.pebbling.optimal import (
+    OptimalPebbling,
+    minimum_io,
+    optimal_pebbling,
+)
+from repro.pebbling.bounds import (
+    lemma8_lower_bound,
+    theorem4_line_time_bound,
+    partition_size_lower_bound,
+    io_moves_lower_bound,
+    io_per_update_lower_bound,
+)
+
+__all__ = [
+    "ComputationGraph",
+    "RedBluePebbleGame",
+    "Move",
+    "IllegalMoveError",
+    "replay",
+    "ParallelRedBluePebbleGame",
+    "PhaseStep",
+    "io_division",
+    "induced_partition",
+    "division_size",
+    "KPartition",
+    "PartitionError",
+    "verify_dominator",
+    "verify_partition",
+    "complete_line_set",
+    "line_of_vertex",
+    "lines_covered_by_ball",
+    "line_spread",
+    "max_line_vertices_per_subset",
+    "per_site_schedule",
+    "row_cache_schedule",
+    "trapezoid_schedule",
+    "lru_cache_schedule",
+    "measure_schedule",
+    "ScheduleReport",
+    "layer_parallel_steps",
+    "measure_phased",
+    "PhasedReport",
+    "OptimalPebbling",
+    "minimum_io",
+    "optimal_pebbling",
+    "lemma8_lower_bound",
+    "theorem4_line_time_bound",
+    "partition_size_lower_bound",
+    "io_moves_lower_bound",
+    "io_per_update_lower_bound",
+]

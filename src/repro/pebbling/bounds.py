@@ -1,0 +1,82 @@
+"""Lemma 8, Theorem 4, and the resulting I/O lower bounds.
+
+The proof chain, with every quantity computable here:
+
+* Lemma 8: the line-spread of C_d satisfies ``T_d(j) > j^d / d!``
+  (:func:`lemma8_lower_bound` gives the right-hand side; the exact
+  left-hand side is :func:`repro.pebbling.lines.line_spread`).
+* Theorem 4: every 2S-partition of C_d has line-time
+  ``τ(2S) < 2 (d! · 2S)^{1/d}`` (:func:`theorem4_line_time_bound`).
+* Lemma 2: a 2S-partition has at least ``|X*| / (2S · τ(2S))`` subsets
+  (:func:`partition_size_lower_bound` — for C_d every vertex lies on a
+  line, so |X*| = |X|).
+* Lemma 1: ``Q > S · (g − 1)`` (:func:`io_moves_lower_bound`).
+
+Dividing by the number of site updates gives the per-update I/O floor
+(:func:`io_per_update_lower_bound`) that the schedule benchmarks plot
+against measured schedules, and that scales as ``Ω(S^{-1/d})`` — the
+graph-side face of ``R = O(B·S^{1/d})``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pebbling.graph import ComputationGraph
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "lemma8_lower_bound",
+    "theorem4_line_time_bound",
+    "partition_size_lower_bound",
+    "io_moves_lower_bound",
+    "io_per_update_lower_bound",
+]
+
+
+def lemma8_lower_bound(dimension: int, j: int) -> float:
+    """Lemma 8's right-hand side: j^d / d! (< the true line-spread)."""
+    dimension = check_positive(dimension, "dimension", integer=True)
+    j = check_nonnegative(j, "j", integer=True)
+    return (j**dimension) / math.factorial(dimension)
+
+
+def theorem4_line_time_bound(dimension: int, storage: int) -> float:
+    """Theorem 4: τ(2S) < 2 (d! · 2S)^{1/d} for any 2S-partition of C_d.
+
+    ``storage`` is S (the bound is stated for 2S-partitions, so the 2S
+    appears inside).
+    """
+    dimension = check_positive(dimension, "dimension", integer=True)
+    storage = check_positive(storage, "storage", integer=True)
+    return 2.0 * (math.factorial(dimension) * 2.0 * storage) ** (1.0 / dimension)
+
+
+def partition_size_lower_bound(graph: ComputationGraph, storage: int) -> float:
+    """Lemma 2: g ≥ |X| / (2S · τ(2S)), with Theorem 4's τ bound.
+
+    For C_d every vertex lies on a line, so |X*| = |X| = (T+1)·n.
+    """
+    storage = check_positive(storage, "storage", integer=True)
+    tau = theorem4_line_time_bound(graph.d, storage)
+    return graph.num_vertices / (2.0 * storage * tau)
+
+
+def io_moves_lower_bound(graph: ComputationGraph, storage: int) -> float:
+    """Lemma 1: Q > S (g − 1), for any pebbling with ≤ S red pebbles.
+
+    Returns 0 when the whole graph fits in storage (the paper's
+    assumption 3, S < r^d, excludes that regime from the bound).
+    """
+    g = partition_size_lower_bound(graph, storage)
+    return max(0.0, storage * (g - 1.0))
+
+
+def io_per_update_lower_bound(graph: ComputationGraph, storage: int) -> float:
+    """Q lower bound divided by the number of site updates.
+
+    The asymptotic form is ``1 / (2 τ(2S)) ≈ Ω(S^{-1/d})``; this
+    function keeps the exact finite-size correction.
+    """
+    q = io_moves_lower_bound(graph, storage)
+    return q / graph.num_non_input_vertices

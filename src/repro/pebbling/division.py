@@ -1,0 +1,119 @@
+"""S-I/O-divisions and the induced 2S-partition (paper Theorem 2).
+
+An **S-I/O-division** of a pebbling P is a split of its move sequence
+into consecutive subsequences P_1 … P_h, each containing exactly S I/O
+moves (the last may have fewer).  From any division the paper constructs
+a partition of the vertex set:
+
+* ``V_k`` — vertices first red-pebbled during P_k;
+* ``D_k`` — vertices red at the end of P_{k−1}, plus vertices read
+  (blue→red) during P_k: at most ``S + S = 2S``;
+* ``M_k`` — the "last" vertices of V_k (no children inside V_k):
+  at most 2S, because each ends P_k either still red or freshly blue.
+
+:func:`induced_partition` performs that construction from a real move
+history and returns a :class:`repro.pebbling.partition.KPartition` that
+:func:`repro.pebbling.partition.verify_partition` can validate — making
+Theorem 2 a *checked* construction in this code base rather than an
+assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pebbling.game import Move, MoveKind
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.partition import KPartition
+from repro.util.validation import check_positive
+
+__all__ = ["io_division", "division_size", "induced_partition"]
+
+
+def io_division(moves: Sequence[Move], storage: int) -> list[list[Move]]:
+    """Split a move sequence into chunks of exactly S I/O moves each.
+
+    The final chunk holds the remainder (0 < q_h ≤ S, or the whole
+    sequence if it has ≤ S I/O moves total).  Trailing non-I/O moves
+    attach to the last chunk.
+    """
+    storage = check_positive(storage, "storage", integer=True)
+    chunks: list[list[Move]] = []
+    current: list[Move] = []
+    io_in_current = 0
+    for move in moves:
+        current.append(move)
+        if move.is_io():
+            io_in_current += 1
+            if io_in_current == storage:
+                chunks.append(current)
+                current = []
+                io_in_current = 0
+    if current:
+        chunks.append(current)
+    elif not chunks:
+        chunks.append([])
+    return chunks
+
+
+def division_size(moves: Sequence[Move], storage: int) -> int:
+    """h — the number of subsequences in the S-I/O-division."""
+    return len(io_division(moves, storage))
+
+
+def induced_partition(
+    graph: ComputationGraph, moves: Sequence[Move], storage: int
+) -> KPartition:
+    """The 2S-partition a pebbling induces (Theorem 2's construction).
+
+    Replays the move history chunk by chunk, recording for every chunk
+    the first-red vertices (V_k), the dominator candidates (red at chunk
+    start plus reads during the chunk), and the minimum set (members of
+    V_k without children in V_k).
+
+    Empty chunks (possible when trailing moves do no first-time
+    pebbling) are dropped — a partition has no empty subsets.
+    """
+    chunks = io_division(moves, storage)
+    red: set[int] = set()
+    ever_red: set[int] = set()
+    subsets: list[tuple[int, ...]] = []
+    dominators: list[tuple[int, ...]] = []
+    minimums: list[tuple[int, ...]] = []
+    for chunk in chunks:
+        reds_at_start = set(red)
+        first_red: list[int] = []
+        reads_this_chunk: set[int] = set()
+        for move in chunk:
+            v = move.vertex
+            if move.kind is MoveKind.READ:
+                red.add(v)
+                reads_this_chunk.add(v)
+                if v not in ever_red:
+                    ever_red.add(v)
+                    first_red.append(v)
+            elif move.kind is MoveKind.COMPUTE:
+                red.add(v)
+                if v not in ever_red:
+                    ever_red.add(v)
+                    first_red.append(v)
+            elif move.kind is MoveKind.REMOVE_RED:
+                red.discard(v)
+            # writes and blue removals do not touch red state
+        if not first_red:
+            continue
+        subset = set(first_red)
+        minimum = tuple(
+            v
+            for v in first_red
+            if not any(int(s) in subset for s in graph.successors(v))
+        )
+        dominator = tuple(sorted(reds_at_start | reads_this_chunk))
+        subsets.append(tuple(sorted(subset)))
+        dominators.append(dominator)
+        minimums.append(minimum)
+    return KPartition(
+        subsets=tuple(subsets),
+        dominators=tuple(dominators),
+        minimums=tuple(minimums),
+    )

@@ -1,0 +1,202 @@
+"""The sequential red-blue pebble game (Hong & Kung [5], paper rules 1–4).
+
+Rules, verbatim from the paper:
+
+1. A pebble may be removed from a vertex at any time.
+2. A red pebble may be placed on any vertex that has a blue pebble.
+3. A blue pebble may be placed on any vertex that has a red pebble.
+4. If all immediate predecessors of a vertex v are red-pebbled, v may
+   be red-pebbled.
+
+A blue pebble is a value in main memory, a red pebble a value in
+processor storage (at most S red pebbles); rules 2 and 3 are I/O moves,
+rule 4 a computation.  The goal is to blue-pebble the outputs starting
+from blue-pebbled inputs.
+
+:class:`RedBluePebbleGame` enforces legality move by move and counts
+``q`` (I/O moves) — the quantity the lower bounds constrain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.pebbling.graph import ComputationGraph
+from repro.util.validation import check_positive
+
+__all__ = ["MoveKind", "Move", "IllegalMoveError", "RedBluePebbleGame", "replay"]
+
+
+class MoveKind(Enum):
+    """The four rules of the game."""
+
+    REMOVE_RED = "remove_red"
+    REMOVE_BLUE = "remove_blue"
+    READ = "read"  # rule 2: blue -> red   (I/O)
+    WRITE = "write"  # rule 3: red -> blue  (I/O)
+    COMPUTE = "compute"  # rule 4
+
+
+@dataclass(frozen=True)
+class Move:
+    """One move: a rule applied to a vertex."""
+
+    kind: MoveKind
+    vertex: int
+
+    def is_io(self) -> bool:
+        return self.kind in (MoveKind.READ, MoveKind.WRITE)
+
+
+class IllegalMoveError(RuntimeError):
+    """A move violated the game rules or the red-pebble budget."""
+
+
+class RedBluePebbleGame:
+    """Game state + legality enforcement + I/O accounting.
+
+    Parameters
+    ----------
+    graph:
+        The DAG to pebble (an LGCA computation graph).
+    storage:
+        S — the red-pebble budget (processor storage in site values).
+
+    The starting configuration blue-pebbles the inputs (the paper's
+    initial condition); blue pebbles are unlimited.
+    """
+
+    def __init__(self, graph: ComputationGraph, storage: int):
+        self.graph = graph
+        self.storage = check_positive(storage, "storage", integer=True)
+        self.red: set[int] = set()
+        self.blue: set[int] = set(int(v) for v in graph.inputs())
+        self.io_moves = 0
+        self.compute_moves = 0
+        self.computed: set[int] = set()
+        self.history: list[Move] = []
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def red_count(self) -> int:
+        return len(self.red)
+
+    def is_red(self, v: int) -> bool:
+        return v in self.red
+
+    def is_blue(self, v: int) -> bool:
+        return v in self.blue
+
+    def goal_reached(self) -> bool:
+        """All outputs blue-pebbled (the complete-computation goal)."""
+        return all(int(v) in self.blue for v in self.graph.outputs())
+
+    # -- moves -------------------------------------------------------------------
+
+    def read(self, v: int) -> None:
+        """Rule 2: place a red pebble on a blue-pebbled vertex."""
+        v = int(v)
+        if v not in self.blue:
+            raise IllegalMoveError(f"read({v}): vertex has no blue pebble")
+        if v in self.red:
+            raise IllegalMoveError(f"read({v}): vertex already red (wasted I/O)")
+        if len(self.red) >= self.storage:
+            raise IllegalMoveError(
+                f"read({v}): all {self.storage} red pebbles in use"
+            )
+        self.red.add(v)
+        self.io_moves += 1
+        self.history.append(Move(MoveKind.READ, v))
+
+    def write(self, v: int) -> None:
+        """Rule 3: place a blue pebble on a red-pebbled vertex."""
+        v = int(v)
+        if v not in self.red:
+            raise IllegalMoveError(f"write({v}): vertex has no red pebble")
+        if v in self.blue:
+            raise IllegalMoveError(f"write({v}): vertex already blue (wasted I/O)")
+        self.blue.add(v)
+        self.io_moves += 1
+        self.history.append(Move(MoveKind.WRITE, v))
+
+    def compute(self, v: int) -> None:
+        """Rule 4: red-pebble v, all of whose predecessors are red.
+
+        Inputs (no predecessors) cannot be computed — they must be read.
+        """
+        v = int(v)
+        preds = self.graph.predecessors(v)
+        if preds.size == 0:
+            raise IllegalMoveError(f"compute({v}): vertex is an input")
+        if v in self.red:
+            raise IllegalMoveError(f"compute({v}): vertex already red")
+        missing = [int(u) for u in preds if int(u) not in self.red]
+        if missing:
+            raise IllegalMoveError(
+                f"compute({v}): predecessors {missing[:5]} not red-pebbled"
+            )
+        if len(self.red) >= self.storage:
+            raise IllegalMoveError(
+                f"compute({v}): all {self.storage} red pebbles in use"
+            )
+        self.red.add(v)
+        self.compute_moves += 1
+        self.computed.add(v)
+        self.history.append(Move(MoveKind.COMPUTE, v))
+
+    def remove_red(self, v: int) -> None:
+        """Rule 1 (red half): free a red pebble."""
+        v = int(v)
+        if v not in self.red:
+            raise IllegalMoveError(f"remove_red({v}): vertex not red")
+        self.red.discard(v)
+        self.history.append(Move(MoveKind.REMOVE_RED, v))
+
+    def remove_blue(self, v: int) -> None:
+        """Rule 1 (blue half): discard a main-memory value."""
+        v = int(v)
+        if v not in self.blue:
+            raise IllegalMoveError(f"remove_blue({v}): vertex not blue")
+        self.blue.discard(v)
+        self.history.append(Move(MoveKind.REMOVE_BLUE, v))
+
+    def apply(self, move: Move) -> None:
+        """Dispatch a :class:`Move`."""
+        if move.kind is MoveKind.READ:
+            self.read(move.vertex)
+        elif move.kind is MoveKind.WRITE:
+            self.write(move.vertex)
+        elif move.kind is MoveKind.COMPUTE:
+            self.compute(move.vertex)
+        elif move.kind is MoveKind.REMOVE_RED:
+            self.remove_red(move.vertex)
+        elif move.kind is MoveKind.REMOVE_BLUE:
+            self.remove_blue(move.vertex)
+        else:  # pragma: no cover - enum is exhaustive
+            raise IllegalMoveError(f"unknown move kind {move.kind}")
+
+    # -- convenience --------------------------------------------------------------
+
+    def evict_lru_like(self, keep: Iterable[int]) -> None:
+        """Remove all red pebbles except those in ``keep`` (bulk rule 1)."""
+        keep_set = {int(v) for v in keep}
+        for v in list(self.red):
+            if v not in keep_set:
+                self.remove_red(v)
+
+
+def replay(
+    graph: ComputationGraph, storage: int, moves: Sequence[Move]
+) -> RedBluePebbleGame:
+    """Replay a move sequence, enforcing legality; returns the end state.
+
+    Raises :class:`IllegalMoveError` on the first illegal move — this is
+    how schedule generators are validated.
+    """
+    game = RedBluePebbleGame(graph, storage)
+    for move in moves:
+        game.apply(move)
+    return game

@@ -1,0 +1,214 @@
+"""The LGCA computation graph C_d (paper section 7).
+
+``C = (X, A)`` with ``X = {(x, t) | x ∈ V, 0 <= t <= T}`` and an arc
+from ``(u, t−1)`` to ``(v, t)`` iff ``u ∈ N(v)`` — a layered DAG of
+``T + 1`` copies of the lattice's vertex set.  Layer 0 vertices are the
+inputs, layer T vertices the outputs.
+
+Vertices are encoded as flat integers ``t · n + site_index`` (n = number
+of lattice sites) so pebble games can use plain integer sets and NumPy
+arrays.  Arc structure is generated lazily per vertex from the lattice's
+neighborhood function; dense adjacency is never materialized, which
+keeps multi-million-vertex graphs cheap as long as the game only touches
+what it pebbles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["ComputationGraph"]
+
+
+@dataclass(frozen=True)
+class ComputationGraph:
+    """The layered computation graph of a d-dimensional LGCA.
+
+    Parameters
+    ----------
+    lattice:
+        The spatial graph G.  Any object with the lattice-graph
+        interface works: :class:`repro.lattice.geometry.OrthogonalLattice`
+        (the paper's worst case) or
+        :class:`repro.lattice.geometry.HexagonalLattice` (the FHP
+        lattice — more connected, so every bound proved on the
+        orthogonal grid holds a fortiori; checked in tests).
+    generations:
+        T — number of evolution steps; the graph has T + 1 layers.
+    """
+
+    lattice: OrthogonalLattice
+    generations: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.generations, "generations", integer=True)
+
+    # -- sizes ------------------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return self.lattice.d
+
+    @property
+    def num_sites(self) -> int:
+        return self.lattice.num_sites
+
+    @property
+    def num_layers(self) -> int:
+        return self.generations + 1
+
+    @property
+    def num_vertices(self) -> int:
+        return self.num_layers * self.num_sites
+
+    @property
+    def num_non_input_vertices(self) -> int:
+        """|X| minus the layer-0 inputs — the site updates performed."""
+        return self.generations * self.num_sites
+
+    # -- encoding -----------------------------------------------------------------
+
+    def vertex(self, site: Sequence[int], t: int) -> int:
+        """Flat id of lattice point ``site`` at layer ``t``."""
+        t = check_nonnegative(t, "t", integer=True)
+        if t >= self.num_layers:
+            raise ValueError(f"t={t} exceeds last layer {self.generations}")
+        return t * self.num_sites + self.lattice.index(site)
+
+    def layer_of(self, v: int) -> int:
+        """Layer (time) of a flat vertex id."""
+        self._check_vertex(v)
+        return v // self.num_sites
+
+    def site_of(self, v: int) -> tuple[int, ...]:
+        """Lattice coordinates of a flat vertex id."""
+        self._check_vertex(v)
+        return self.lattice.site(v % self.num_sites)
+
+    def site_index_of(self, v: int) -> int:
+        self._check_vertex(v)
+        return v % self.num_sites
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise ValueError(
+                f"vertex {v} out of range [0, {self.num_vertices})"
+            )
+
+    # -- structure --------------------------------------------------------------------
+
+    @cached_property
+    def _neighborhood_indices(self) -> list[np.ndarray]:
+        """Per site: flat indices of N(site) = site ∪ neighbors (layer-local)."""
+        out = []
+        for site in self.lattice.sites():
+            nbhd = self.lattice.neighborhood(site)
+            out.append(
+                np.array(sorted(self.lattice.index(p) for p in nbhd), dtype=np.int64)
+            )
+        return out
+
+    def predecessors(self, v: int) -> np.ndarray:
+        """Flat ids of the vertices (N(x), t−1) that (x, t) depends on."""
+        self._check_vertex(v)
+        t, s = divmod(v, self.num_sites)
+        if t == 0:
+            return np.empty(0, dtype=np.int64)
+        return (t - 1) * self.num_sites + self._neighborhood_indices[s]
+
+    def successors(self, v: int) -> np.ndarray:
+        """Flat ids of the layer-(t+1) vertices depending on (x, t).
+
+        The lattice is undirected, so u ∈ N(v) iff v ∈ N(u): successors
+        use the same neighborhood index set one layer up.
+        """
+        self._check_vertex(v)
+        t, s = divmod(v, self.num_sites)
+        if t == self.generations:
+            return np.empty(0, dtype=np.int64)
+        return (t + 1) * self.num_sites + self._neighborhood_indices[s]
+
+    def in_degree(self, v: int) -> int:
+        return int(self.predecessors(v).size)
+
+    def inputs(self) -> np.ndarray:
+        """Layer-0 vertices (no predecessors)."""
+        return np.arange(self.num_sites, dtype=np.int64)
+
+    def outputs(self) -> np.ndarray:
+        """Layer-T vertices (no successors)."""
+        return np.arange(
+            self.generations * self.num_sites, self.num_vertices, dtype=np.int64
+        )
+
+    def layer(self, t: int) -> np.ndarray:
+        """All vertices of layer ``t``."""
+        t = check_nonnegative(t, "t", integer=True)
+        if t >= self.num_layers:
+            raise ValueError(f"t={t} exceeds last layer {self.generations}")
+        return np.arange(
+            t * self.num_sites, (t + 1) * self.num_sites, dtype=np.int64
+        )
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    # -- distances (Lemmas 3 & 4 machinery) ------------------------------------------
+
+    def distance(self, u: int, v: int) -> int | None:
+        """Graph distance from u to v along arcs, or None if unreachable.
+
+        By Lemma 3 every (u, v)-path has length layer(v) − layer(u); a
+        path exists iff that layer gap is ≥ the lattice distance of the
+        endpoints' sites (Lemma 7).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        dt = self.layer_of(v) - self.layer_of(u)
+        if dt < 0:
+            return None
+        lattice_dist = self.lattice.distance(self.site_of(u), self.site_of(v))
+        return dt if lattice_dist <= dt else None
+
+    def reachable_in(self, u: int, steps: int) -> np.ndarray:
+        """Vertices reachable from u in exactly ``steps`` arcs.
+
+        These lie in layer ``layer(u) + steps`` at lattice distance
+        ≤ steps (Lemma 7's converse, valid while the layer exists).
+        """
+        steps = check_nonnegative(steps, "steps", integer=True)
+        t = self.layer_of(u) + steps
+        if t > self.generations:
+            return np.empty(0, dtype=np.int64)
+        origin = self.site_of(u)
+        hits = [
+            self.lattice.index(site)
+            for site in self.lattice.sites()
+            if self.lattice.distance(origin, site) <= steps
+        ]
+        return t * self.num_sites + np.array(sorted(hits), dtype=np.int64)
+
+    # -- export ---------------------------------------------------------------------------
+
+    def to_networkx(self):
+        """Materialize as a networkx.DiGraph (tests / small graphs only)."""
+        import networkx as nx
+
+        if self.num_vertices > 200_000:
+            raise ValueError(
+                f"refusing to materialize {self.num_vertices} vertices; "
+                "use the implicit interface"
+            )
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_vertices))
+        for v in range(self.num_sites, self.num_vertices):
+            for u in self.predecessors(v):
+                g.add_edge(int(u), int(v))
+        return g

@@ -1,0 +1,101 @@
+"""Lines, line covers, line-time, and line-spread (Lemmas 3–8 machinery).
+
+For an LGCA computation graph the natural complete set of lines is
+``ℓ_x = ((x,0), (x,1), …, (x,T))`` — one vertex-disjoint input-to-output
+path per lattice site, covering every vertex.  The three derived
+quantities the bounds use:
+
+* ``t_G(u, j)`` — lines covered by paths of length ≤ j from u, which by
+  Lemmas 5–7 equals the number of lattice vertices reachable from u's
+  site in ≤ j steps (when a length-j path exists at all);
+* the **line-spread** ``T_G(j) = min_u t_G(u, j)`` (corner vertices
+  minimize it);
+* the **line-time** ``τ(k)`` — the max number of same-line vertices in
+  one subset over *all* k-partitions; intractable to maximize exactly,
+  so code reports (a) the Theorem 4 analytic upper bound and (b) the
+  realized value of explicit partitions (which must respect the bound —
+  a checked consequence, not an assumption).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.partition import KPartition
+from repro.util.validation import check_nonnegative
+
+__all__ = [
+    "line_of_vertex",
+    "complete_line_set",
+    "lines_covered_by_ball",
+    "line_spread",
+    "max_line_vertices_per_subset",
+]
+
+
+def line_of_vertex(graph: ComputationGraph, v: int) -> np.ndarray:
+    """The line ℓ_x through vertex v: (x, 0), (x, 1), …, (x, T)."""
+    site_idx = graph.site_index_of(v)
+    return site_idx + graph.num_sites * np.arange(graph.num_layers, dtype=np.int64)
+
+
+def complete_line_set(graph: ComputationGraph) -> list[np.ndarray]:
+    """ℒ = {ℓ_x | x ∈ V} — vertex-disjoint lines covering every vertex."""
+    return [
+        site + graph.num_sites * np.arange(graph.num_layers, dtype=np.int64)
+        for site in range(graph.num_sites)
+    ]
+
+
+def lines_covered_by_ball(graph: ComputationGraph, u: int, j: int) -> int | float:
+    """t_G(u, j): lines covered by paths of length ≤ j from u.
+
+    Per the paper's definition this is ∞ when no vertex at distance
+    exactly j from u exists (u too close to the last layer); otherwise,
+    by Lemmas 5–7, it equals the number of lattice vertices within j
+    steps of u's site.
+    """
+    j = check_nonnegative(j, "j", integer=True)
+    t = graph.layer_of(u)
+    if t + j > graph.generations:
+        return math.inf
+    return graph.lattice.reachable_within(graph.site_of(u), j)
+
+
+def line_spread(graph: ComputationGraph, j: int) -> int | float:
+    """T_d(j) = min_u t_G(u, j).
+
+    The minimizing vertex sits at a lattice corner (fewest reachable
+    sites) in any layer ≤ T − j; ∞ when j exceeds the graph's depth.
+    Lemma 8 lower-bounds this by ``j^d / d!``.
+    """
+    j = check_nonnegative(j, "j", integer=True)
+    if j > graph.generations:
+        return math.inf
+    return graph.lattice.min_reachable_within(j)
+
+
+def max_line_vertices_per_subset(
+    graph: ComputationGraph, partition: KPartition
+) -> int:
+    """The realized line-time of an explicit partition.
+
+    max over subsets V_i and lines ℓ of |V_i ∩ ℓ| — since lines are
+    per-site columns, this is the largest same-site multiplicity inside
+    any one subset.  Theorem 4 guarantees this is < 2(d!·2S)^{1/d} for
+    every 2S-partition of C_d; tests check that on partitions induced
+    by real pebblings.
+    """
+    best = 0
+    for subset in partition.subsets:
+        counts: dict[int, int] = {}
+        for v in subset:
+            s = graph.site_index_of(v)
+            counts[s] = counts.get(s, 0) + 1
+        if counts:
+            best = max(best, max(counts.values()))
+    return best

@@ -1,0 +1,201 @@
+"""The parallel-red-blue pebble game (the paper's section 7 extension).
+
+The paper extends Hong & Kung's sequential game to model a CRCW-PRAM-
+style machine with bounded memory bandwidth: the game proceeds in cyclic
+**phases** —
+
+* **write phase** — only rule 3 moves (red → blue, main-memory writes);
+* **calculate phase** — parallel rule 4 moves, with *pink* place-holder
+  pebbles allowing a value to fan out to many simultaneous calculations
+  even when its red pebble slides to a dependent ("(a) pink pebble
+  placed by rule 4, (b) a red pebble replaces a pink pebble, (c) no pink
+  pebbles remain at the end of the phase");
+* **read phase** — only rule 2 moves (blue → red, main-memory reads).
+
+The ordering requirements the paper derives are enforced literally:
+
+* a write in step *i* uses a red pebble placed in a previous step;
+* a datum read in step *i* cannot also be computed in step *i*;
+* every calculation's supports must be red at the start of the phase
+  (pinks make the fan-out legal without intermediate re-reads);
+* the red population never exceeds S at a phase boundary, and parallel
+  I/O width per phase is at most S ("parallel input/output of any size
+  up to the processor's local memory capacity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.pebbling.game import IllegalMoveError
+from repro.pebbling.graph import ComputationGraph
+from repro.util.validation import check_positive
+
+__all__ = ["PhaseStep", "ParallelRedBluePebbleGame"]
+
+
+@dataclass(frozen=True)
+class PhaseStep:
+    """One cyclic step C_i: writes, then calculations, then reads.
+
+    Attributes
+    ----------
+    writes:
+        Vertices blue-pebbled from red (rule 3).
+    computes:
+        Vertices red-pebbled in parallel (rule 4 via pink pebbles).
+    reads:
+        Vertices red-pebbled from blue (rule 2).
+    evict_after_compute:
+        Red pebbles released at the end of the calculate phase (rule 1;
+        the slide of a red pebble onto a dependent is write+evict here).
+    evict_before_read:
+        Red pebbles released before the read phase (making room for the
+        incoming data).
+    """
+
+    writes: tuple[int, ...] = ()
+    computes: tuple[int, ...] = ()
+    reads: tuple[int, ...] = ()
+    evict_after_compute: tuple[int, ...] = ()
+    evict_before_read: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("writes", "computes", "reads", "evict_after_compute", "evict_before_read"):
+            vals = tuple(int(v) for v in getattr(self, name))
+            if len(set(vals)) != len(vals):
+                raise ValueError(f"{name} contains duplicate vertices")
+            object.__setattr__(self, name, vals)
+
+    @property
+    def io_moves(self) -> int:
+        return len(self.writes) + len(self.reads)
+
+
+class ParallelRedBluePebbleGame:
+    """State machine for the phased game.
+
+    Parameters
+    ----------
+    graph:
+        The DAG (an LGCA computation graph).
+    storage:
+        S — red-pebble budget, which also caps per-phase I/O width.
+    """
+
+    def __init__(self, graph: ComputationGraph, storage: int):
+        self.graph = graph
+        self.storage = check_positive(storage, "storage", integer=True)
+        self.red: set[int] = set()
+        self.blue: set[int] = set(int(v) for v in graph.inputs())
+        self.io_moves = 0
+        self.compute_moves = 0
+        self.steps_run = 0
+        self.computed: set[int] = set()
+        #: vertices red-pebbled during the current step (for the
+        #: read-after-compute exclusion)
+        self._fresh: set[int] = set()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def red_count(self) -> int:
+        return len(self.red)
+
+    def goal_reached(self) -> bool:
+        return all(int(v) in self.blue for v in self.graph.outputs())
+
+    # -- one step -----------------------------------------------------------------
+
+    def run_step(self, step: PhaseStep) -> None:
+        """Execute one write/calculate/read cycle, enforcing the rules."""
+        self._fresh = set()
+        self._write_phase(step.writes)
+        self._calculate_phase(step.computes, step.evict_after_compute)
+        self._read_phase(step.reads, step.evict_before_read)
+        self.steps_run += 1
+
+    def run(self, steps: Iterable[PhaseStep]) -> None:
+        for step in steps:
+            self.run_step(step)
+
+    # -- phases ----------------------------------------------------------------------
+
+    def _write_phase(self, writes: Sequence[int]) -> None:
+        if len(writes) > self.storage:
+            raise IllegalMoveError(
+                f"write phase of width {len(writes)} exceeds S={self.storage}"
+            )
+        for v in writes:
+            if v not in self.red:
+                raise IllegalMoveError(
+                    f"write({v}): no red pebble (and writes precede this "
+                    "step's calculations, so it cannot be fresh)"
+                )
+            if v in self.blue:
+                raise IllegalMoveError(f"write({v}): already blue (wasted I/O)")
+            self.blue.add(v)
+            self.io_moves += 1
+
+    def _calculate_phase(
+        self, computes: Sequence[int], evictions: Sequence[int]
+    ) -> None:
+        # Pink pebbles: every calculation sees the *start-of-phase* red
+        # set, so simultaneous fan-out from shared supports is legal.
+        reds_at_start = self.red
+        for v in computes:
+            preds = self.graph.predecessors(int(v))
+            if preds.size == 0:
+                raise IllegalMoveError(f"compute({v}): vertex is an input")
+            if v in reds_at_start:
+                raise IllegalMoveError(f"compute({v}): already red")
+            missing = [int(u) for u in preds if int(u) not in reds_at_start]
+            if missing:
+                raise IllegalMoveError(
+                    f"compute({v}): supports {missing[:5]} not red at phase start"
+                )
+        # Rule 5c: pinks become red; evictions (rule 1) free registers.
+        new_red = set(self.red)
+        for v in evictions:
+            if int(v) not in new_red:
+                raise IllegalMoveError(f"evict({v}): not red")
+            new_red.discard(int(v))
+        for v in computes:
+            new_red.add(int(v))
+            self.computed.add(int(v))
+            self._fresh.add(int(v))
+        if len(new_red) > self.storage:
+            raise IllegalMoveError(
+                f"calculate phase ends with {len(new_red)} red pebbles > S={self.storage}"
+            )
+        self.red = new_red
+        self.compute_moves += len(computes)
+
+    def _read_phase(self, reads: Sequence[int], evictions: Sequence[int]) -> None:
+        if len(reads) > self.storage:
+            raise IllegalMoveError(
+                f"read phase of width {len(reads)} exceeds S={self.storage}"
+            )
+        for v in evictions:
+            v = int(v)
+            if v not in self.red:
+                raise IllegalMoveError(f"evict({v}): not red")
+            self.red.discard(v)
+        for v in reads:
+            v = int(v)
+            if v in self._fresh:
+                raise IllegalMoveError(
+                    f"read({v}): computed in this step — a register cannot "
+                    "receive main-memory data while being calculated"
+                )
+            if v not in self.blue:
+                raise IllegalMoveError(f"read({v}): no blue pebble")
+            if v in self.red:
+                raise IllegalMoveError(f"read({v}): already red (wasted I/O)")
+            self.red.add(v)
+            self.io_moves += 1
+        if len(self.red) > self.storage:
+            raise IllegalMoveError(
+                f"read phase ends with {len(self.red)} red pebbles > S={self.storage}"
+            )

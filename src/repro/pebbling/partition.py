@@ -1,0 +1,209 @@
+"""K-partitions of a DAG (the paper's definition before Theorem 2).
+
+A K-partition V of a DAG is a partition of its vertices such that
+
+1. every subset V_i has a *dominator set* D_i (≤ K vertices hitting
+   every input-to-V_i path) and a *minimum set* M_i (≤ K vertices: the
+   members of V_i with no children inside V_i);
+2. the subsets have no cyclic dependencies.
+
+This module *verifies* those properties for explicitly given partitions
+(the ones :func:`repro.pebbling.division.induced_partition` constructs
+from real pebblings), which is how Theorem 2's construction is checked
+end to end rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.pebbling.graph import ComputationGraph
+
+__all__ = ["KPartition", "PartitionError", "verify_dominator", "verify_partition"]
+
+
+class PartitionError(ValueError):
+    """A claimed K-partition violates one of its defining properties."""
+
+
+@dataclass(frozen=True)
+class KPartition:
+    """An explicit partition with per-subset dominator and minimum sets.
+
+    Attributes
+    ----------
+    subsets:
+        The V_i, as tuples of vertex ids (disjoint, covering the
+        non-input vertices the pebbling computed).
+    dominators:
+        The D_i (each ≤ K for a valid K-partition).
+    minimums:
+        The M_i.
+    """
+
+    subsets: tuple[tuple[int, ...], ...]
+    dominators: tuple[tuple[int, ...], ...]
+    minimums: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.subsets) == len(self.dominators) == len(self.minimums)):
+            raise PartitionError(
+                "subsets, dominators, and minimums must align one-to-one"
+            )
+
+    @property
+    def size(self) -> int:
+        """g = |V| — the quantity Lemma 2 lower-bounds."""
+        return len(self.subsets)
+
+    def max_dominator_size(self) -> int:
+        return max((len(d) for d in self.dominators), default=0)
+
+    def max_minimum_size(self) -> int:
+        return max((len(m) for m in self.minimums), default=0)
+
+    def is_k_partition(self, k: int) -> bool:
+        """Size test only — structural checks live in :func:`verify_partition`."""
+        return self.max_dominator_size() <= k and self.max_minimum_size() <= k
+
+
+def verify_dominator(
+    graph: ComputationGraph, subset: Sequence[int], dominator: Sequence[int]
+) -> None:
+    """Check that every input→subset path meets the dominator.
+
+    Equivalent formulation (used here): deleting the dominator from the
+    graph must leave no member of ``subset`` derivable from the inputs —
+    a vertex is *derivable* if it is an input, or in the dominator
+    (blocked), or ... concretely we do a forward sweep marking vertices
+    reachable from the inputs along arcs avoiding dominator vertices,
+    and fail if a subset vertex is marked.
+
+    A subset vertex with an undominated predecessor chain to an input
+    witnesses a path missing D_i.
+    """
+    dom = {int(v) for v in dominator}
+    target = {int(v) for v in subset}
+    # Layered forward reachability (the graph is layered, so one pass in
+    # vertex order is a topological sweep).
+    reachable = np.zeros(graph.num_vertices, dtype=bool)
+    for v in graph.inputs():
+        if int(v) not in dom:
+            reachable[int(v)] = True
+    for v in range(graph.num_sites, graph.num_vertices):
+        if v in dom:
+            continue
+        preds = graph.predecessors(v)
+        if np.any(reachable[preds]):
+            reachable[v] = True
+    bad = [v for v in target if reachable[v]]
+    if bad:
+        raise PartitionError(
+            f"dominator misses a path from the inputs to vertices {bad[:5]}"
+        )
+
+
+def _verify_minimum(
+    graph: ComputationGraph, subset: Sequence[int], minimum: Sequence[int]
+) -> None:
+    """M_i must contain every member of V_i with no children in V_i."""
+    sub = {int(v) for v in subset}
+    mini = {int(v) for v in minimum}
+    for v in sub:
+        has_child_inside = any(int(s) in sub for s in graph.successors(v))
+        if not has_child_inside and v not in mini:
+            raise PartitionError(
+                f"vertex {v} has no children in its subset but is missing "
+                "from the minimum set"
+            )
+    extra = mini - sub
+    if extra:
+        raise PartitionError(
+            f"minimum set contains vertices outside the subset: {sorted(extra)[:5]}"
+        )
+
+
+def _verify_acyclic(graph: ComputationGraph, subsets: Sequence[Sequence[int]]) -> None:
+    """Property 2: the subset dependency relation must be acyclic."""
+    owner: dict[int, int] = {}
+    for i, sub in enumerate(subsets):
+        for v in sub:
+            owner[int(v)] = i
+    n = len(subsets)
+    edges: set[tuple[int, int]] = set()
+    for v, i in owner.items():
+        for u in graph.predecessors(v):
+            j = owner.get(int(u))
+            if j is not None and j != i:
+                edges.add((j, i))
+    # Kahn's algorithm on the subset digraph.
+    indeg = [0] * n
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for j, i in edges:
+        adj[j].append(i)
+        indeg[i] += 1
+    queue = [i for i in range(n) if indeg[i] == 0]
+    seen = 0
+    while queue:
+        j = queue.pop()
+        seen += 1
+        for i in adj[j]:
+            indeg[i] -= 1
+            if indeg[i] == 0:
+                queue.append(i)
+    if seen != n:
+        raise PartitionError("subset dependencies contain a cycle")
+
+
+def verify_partition(
+    graph: ComputationGraph,
+    partition: KPartition,
+    k: int,
+    *,
+    universe: Sequence[int] | None = None,
+) -> None:
+    """Full validation of a claimed K-partition.
+
+    Parameters
+    ----------
+    universe:
+        The vertex set the subsets must exactly cover (default: all
+        non-input vertices).
+
+    Raises
+    ------
+    PartitionError
+        On any violated property, naming it.
+    """
+    if universe is None:
+        universe_set = set(range(graph.num_sites, graph.num_vertices))
+    else:
+        universe_set = {int(v) for v in universe}
+    seen: set[int] = set()
+    for sub in partition.subsets:
+        for v in sub:
+            if v in seen:
+                raise PartitionError(f"vertex {v} appears in two subsets")
+            seen.add(v)
+    if seen != universe_set:
+        missing = universe_set - seen
+        extra = seen - universe_set
+        raise PartitionError(
+            f"partition covers wrong vertex set: missing {len(missing)}, "
+            f"extra {len(extra)}"
+        )
+    if not partition.is_k_partition(k):
+        raise PartitionError(
+            f"dominator/minimum sets exceed K={k}: "
+            f"max |D|={partition.max_dominator_size()}, "
+            f"max |M|={partition.max_minimum_size()}"
+        )
+    for sub, dom, mini in zip(
+        partition.subsets, partition.dominators, partition.minimums
+    ):
+        verify_dominator(graph, sub, dom)
+        _verify_minimum(graph, sub, mini)
+    _verify_acyclic(graph, partition.subsets)

@@ -1,0 +1,375 @@
+"""Constructive pebbling strategies for LGCA computation graphs.
+
+Three schedules bracket the design space the paper's bound constrains.
+All of them emit plain :class:`repro.pebbling.game.Move` sequences that
+the sequential game replays *with legality checking*, so a schedule that
+overruns its red-pebble budget or reads a value that is not in main
+memory fails loudly.
+
+* :func:`per_site_schedule` — the strawman: every site update reads its
+  whole neighborhood from main memory and writes its result back.
+  I/O per update ≈ 2d + 2, independent of S (no reuse at all).
+* :func:`row_cache_schedule` — what the paper's serial pipeline engines
+  do: raster-stream each generation through a 2-lattice-line window,
+  optionally ``depth`` generations per pass (the k-stage pipeline).
+  I/O per update = 2/depth, with S ≈ depth · (2·L^{d−1} + O(1)).
+* :func:`trapezoid_schedule` — blocked space-time tiling: read a
+  ``(b+2h)^d`` halo, advance h generations inside shrinking regions,
+  write back the ``b^d`` core.  I/O per update = Θ(1/h) at
+  S = Θ((b+2h)^d), i.e. Θ(S^{-1/d}) — matching the lower bound's
+  scaling, the constructive half of experiment E10.
+
+:func:`measure_schedule` replays a schedule and reports I/O, compute,
+recompute overhead, and the peak red-pebble population.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.pebbling.game import Move, MoveKind, RedBluePebbleGame, replay
+from repro.pebbling.graph import ComputationGraph
+from repro.util.validation import check_positive
+
+__all__ = [
+    "per_site_schedule",
+    "row_cache_schedule",
+    "trapezoid_schedule",
+    "lru_cache_schedule",
+    "measure_schedule",
+    "ScheduleReport",
+]
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Measured cost of a replayed schedule.
+
+    Attributes
+    ----------
+    name:
+        Schedule identifier.
+    io_moves:
+        q — total reads + writes.
+    compute_moves:
+        Rule-4 applications, *including* recomputation.
+    unique_computed:
+        Distinct vertices computed (= |X| − inputs for a complete run).
+    max_red:
+        Peak red-pebble population — the S the schedule actually needs.
+    io_per_update:
+        q / unique_computed, the quantity the lower bound floors.
+    recompute_factor:
+        compute_moves / unique_computed (1.0 = no redundant work).
+    """
+
+    name: str
+    io_moves: int
+    compute_moves: int
+    unique_computed: int
+    max_red: int
+    io_per_update: float
+    recompute_factor: float
+
+
+def measure_schedule(
+    graph: ComputationGraph,
+    moves: Sequence[Move],
+    storage: int,
+    name: str = "schedule",
+) -> ScheduleReport:
+    """Replay with legality checking and report costs.
+
+    Raises :class:`repro.pebbling.game.IllegalMoveError` if the schedule
+    is not a valid complete computation within ``storage`` red pebbles,
+    and :class:`ValueError` if it does not reach the goal.
+    """
+    game = RedBluePebbleGame(graph, storage)
+    max_red = 0
+    for move in moves:
+        game.apply(move)
+        if game.red_count > max_red:
+            max_red = game.red_count
+    if not game.goal_reached():
+        raise ValueError(f"schedule {name!r} did not blue-pebble all outputs")
+    unique = len(game.computed)
+    return ScheduleReport(
+        name=name,
+        io_moves=game.io_moves,
+        compute_moves=game.compute_moves,
+        unique_computed=unique,
+        max_red=max_red,
+        io_per_update=game.io_moves / unique if unique else 0.0,
+        recompute_factor=game.compute_moves / unique if unique else 0.0,
+    )
+
+
+# -- strawman -------------------------------------------------------------------
+
+
+def per_site_schedule(graph: ComputationGraph) -> list[Move]:
+    """No-reuse schedule: read neighborhood, compute, write, evict.
+
+    Needs only ``2d + 3`` red pebbles regardless of problem size — and
+    pays ≈ ``2d + 2`` I/O moves per site update for it.
+    """
+    moves: list[Move] = []
+    for t in range(1, graph.num_layers):
+        for v in graph.layer(t):
+            v = int(v)
+            preds = [int(u) for u in graph.predecessors(v)]
+            for u in preds:
+                moves.append(Move(MoveKind.READ, u))
+            moves.append(Move(MoveKind.COMPUTE, v))
+            moves.append(Move(MoveKind.WRITE, v))
+            for u in preds:
+                moves.append(Move(MoveKind.REMOVE_RED, u))
+            moves.append(Move(MoveKind.REMOVE_RED, v))
+    return moves
+
+
+def per_site_storage_needed(graph: ComputationGraph) -> int:
+    """Red pebbles :func:`per_site_schedule` needs: max in-degree + 1."""
+    return 2 * graph.d + 2
+
+
+# -- raster window (the pipeline engines' schedule) --------------------------------
+
+
+def row_cache_schedule(graph: ComputationGraph, depth: int = 1) -> list[Move]:
+    """Raster-stream schedule with a ``depth``-generation window stack.
+
+    One pass streams a generation through ``depth`` chained windows
+    (exactly the k-stage serial pipeline of section 3): layer t is read
+    once, layers t+1 … t+depth−1 live entirely in red pebbles, layer
+    t+depth is written once.  I/O per update is therefore ``2/depth``.
+    """
+    depth = check_positive(depth, "depth", integer=True)
+    if depth > graph.generations:
+        raise ValueError(
+            f"depth={depth} exceeds the graph's {graph.generations} generations"
+        )
+    n = graph.num_sites
+    shape = graph.lattice.shape
+    reach = int(np.prod(shape[1:])) if len(shape) > 1 else 1
+    moves: list[Move] = []
+    t0 = 0
+    while t0 < graph.generations:
+        span = min(depth, graph.generations - t0)
+        evicted: set[int] = set()
+        for p in range(n + span * reach):
+            # Evictions due this tick (free capacity before new pebbles).
+            s0 = p - 2 * reach - 1
+            if 0 <= s0 < n:
+                v = t0 * n + s0
+                if v not in evicted:
+                    moves.append(Move(MoveKind.REMOVE_RED, v))
+                    evicted.add(v)
+            for j in range(1, span):
+                s = p - (j + 2) * reach - 1
+                if 0 <= s < n:
+                    v = (t0 + j) * n + s
+                    if v not in evicted:
+                        moves.append(Move(MoveKind.REMOVE_RED, v))
+                        evicted.add(v)
+            # Stream one layer-t0 value in.
+            if p < n:
+                moves.append(Move(MoveKind.READ, t0 * n + p))
+            # Each window stage computes one site per tick.
+            for j in range(1, span + 1):
+                s = p - j * reach
+                if 0 <= s < n:
+                    v = (t0 + j) * n + s
+                    moves.append(Move(MoveKind.COMPUTE, v))
+                    if j == span:
+                        moves.append(Move(MoveKind.WRITE, v))
+                        moves.append(Move(MoveKind.REMOVE_RED, v))
+                        evicted.add(v)
+        # Drain any window residue before the next pass.
+        for j in range(0, span):
+            layer = t0 + j
+            lo = n + span * reach - (j + 2) * reach - 1
+            for s in range(max(0, lo), n):
+                v = layer * n + s
+                if v not in evicted:
+                    moves.append(Move(MoveKind.REMOVE_RED, v))
+                    evicted.add(v)
+        t0 += span
+    return moves
+
+
+def row_cache_storage_needed(graph: ComputationGraph, depth: int = 1) -> int:
+    """Generous red-pebble budget for :func:`row_cache_schedule`.
+
+    Each of the ``depth`` windows holds at most ``2·reach + 2`` live
+    values; the exact peak is reported by :func:`measure_schedule`.
+    """
+    shape = graph.lattice.shape
+    reach = int(np.prod(shape[1:])) if len(shape) > 1 else 1
+    return depth * (2 * reach + 2) + 2
+
+
+# -- LRU cache (the general-purpose-machine schedule) -----------------------------------
+
+
+def lru_cache_schedule(graph: ComputationGraph, storage: int) -> list[Move]:
+    """What a cache of S site values does: demand reads, LRU eviction,
+    write-back of dirty values.
+
+    This models the paper's *general-purpose host* alternative: the
+    program sweeps each generation in row-major order with no blocking,
+    and the cache does what caches do.  With S above the working set
+    (two lattice lines) it matches the pipeline's 2 I/O per update; once
+    S falls below it, it thrashes toward per-site behaviour — the
+    capacity cliff the engines' purpose-built delay lines are shaped to
+    sit exactly on top of.
+
+    Values evicted before ever being written are written back first
+    (they may be needed by the next layer); values never needed again
+    are still written if dirty (a real cache cannot know the future).
+    """
+    storage = check_positive(storage, "storage", integer=True)
+    min_needed = 2 * graph.d + 2
+    if storage < min_needed:
+        raise ValueError(
+            f"storage={storage} below the stencil working set {min_needed}"
+        )
+    moves: list[Move] = []
+    # cache state: vertex -> dirty?   (insertion order = LRU order)
+    cache: dict[int, bool] = {}
+
+    def touch(v: int) -> None:
+        cache[v] = cache.pop(v)
+
+    def evict_one() -> None:
+        victim, dirty = next(iter(cache.items()))
+        if dirty:
+            moves.append(Move(MoveKind.WRITE, victim))
+        del cache[victim]
+        moves.append(Move(MoveKind.REMOVE_RED, victim))
+
+    def ensure_room() -> None:
+        while len(cache) >= storage:
+            evict_one()
+
+    def demand_read(v: int) -> None:
+        if v in cache:
+            touch(v)
+            return
+        ensure_room()
+        moves.append(Move(MoveKind.READ, v))
+        cache[v] = False  # clean: blue copy exists
+
+    for t in range(1, graph.num_layers):
+        for v in graph.layer(t):
+            v = int(v)
+            preds = [int(u) for u in graph.predecessors(v)]
+            for u in preds:
+                demand_read(u)
+            # re-touch preds so the eviction for v's slot spares them
+            for u in preds:
+                touch(u)
+            ensure_room()
+            moves.append(Move(MoveKind.COMPUTE, v))
+            cache[v] = True  # dirty: not yet in main memory
+    # Final flush: outputs must reach main memory (and dirty interiors
+    # are written too — the cache cannot know they are dead).
+    for v, dirty in list(cache.items()):
+        if dirty:
+            moves.append(Move(MoveKind.WRITE, v))
+        moves.append(Move(MoveKind.REMOVE_RED, v))
+        del cache[v]
+    return moves
+
+
+# -- trapezoid (space-time) tiling ----------------------------------------------------
+
+
+def _box_flat_indices(shape: Sequence[int], lo: Sequence[int], hi: Sequence[int]) -> list[int]:
+    """Flat row-major indices of the clipped box [lo, hi) in a lattice."""
+    ranges = [range(max(0, l), min(s, h)) for l, h, s in zip(lo, hi, shape)]
+    out = []
+    for coords in itertools.product(*ranges):
+        idx = 0
+        for x, s in zip(coords, shape):
+            idx = idx * s + x
+        out.append(idx)
+    return out
+
+
+def trapezoid_schedule(
+    graph: ComputationGraph, base: int, height: int
+) -> list[Move]:
+    """Blocked space-time tiling with halo re-reads (no recomputation of
+    *written* values, but overlapping halos recompute interior edges).
+
+    The lattice is covered by disjoint ``base^d`` core blocks.  For each
+    height-``height`` time chunk and each core block:
+
+    1. read the layer-t0 values of the core grown by ``height`` (the
+       halo), clipped to the lattice;
+    2. compute forward: layer t0+j over the core grown by
+       ``height − j`` — every predecessor lies in the previous grown
+       region, already red;
+    3. write the core's layer-(t0+height) values (core blocks tile the
+       lattice, so the full layer lands in main memory);
+    4. evict everything.
+
+    Red-pebble peak ≈ 2·(base + 2·height)^d; I/O per update ≈
+    ``((b+2h)^d + b^d) / (h·b^d)`` = Θ(1/h) = Θ(S^{-1/d}) at h ≈ b.
+    """
+    base = check_positive(base, "base", integer=True)
+    height = check_positive(height, "height", integer=True)
+    if height > graph.generations:
+        raise ValueError(
+            f"height={height} exceeds the graph's {graph.generations} generations"
+        )
+    shape = graph.lattice.shape
+    n = graph.num_sites
+    moves: list[Move] = []
+    core_origins = list(
+        itertools.product(*(range(0, s, base) for s in shape))
+    )
+    t0 = 0
+    while t0 < graph.generations:
+        h = min(height, graph.generations - t0)
+        for origin in core_origins:
+            lo = np.array(origin)
+            hi = np.minimum(lo + base, shape)
+            # 1. halo read at layer t0
+            grown_lo = lo - h
+            grown_hi = hi + h
+            region_prev = _box_flat_indices(shape, grown_lo, grown_hi)
+            for s in region_prev:
+                moves.append(Move(MoveKind.READ, t0 * n + s))
+            # 2. advance through shrinking regions
+            for j in range(1, h + 1):
+                g = h - j
+                region = _box_flat_indices(shape, lo - g, hi + g)
+                for s in region:
+                    moves.append(Move(MoveKind.COMPUTE, (t0 + j) * n + s))
+                for s in region_prev:
+                    moves.append(Move(MoveKind.REMOVE_RED, (t0 + j - 1) * n + s))
+                region_prev = region
+            # 3. write the core of the top layer
+            core = _box_flat_indices(shape, lo, hi)
+            top = t0 + h
+            for s in core:
+                moves.append(Move(MoveKind.WRITE, top * n + s))
+            # 4. evict the top region
+            for s in region_prev:
+                moves.append(Move(MoveKind.REMOVE_RED, top * n + s))
+        t0 += h
+    return moves
+
+
+def trapezoid_storage_needed(graph: ComputationGraph, base: int, height: int) -> int:
+    """Generous red-pebble budget: two consecutive grown layers."""
+    grown = 1
+    for s in graph.lattice.shape:
+        grown *= min(s, base + 2 * height)
+    return 2 * grown + 2

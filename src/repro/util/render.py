@@ -1,0 +1,100 @@
+"""ASCII rendering of lattice fields.
+
+Terminal-friendly visualization for examples and quick interactive use:
+scalar fields as shade maps, vector fields as speed maps with obstacle
+overlays, and 1-D CA space-time diagrams.  Deliberately dependency-free
+(the repository runs in plot-less environments); the functions return
+strings so tests can assert on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["shade_map", "speed_map", "spacetime_diagram"]
+
+#: light-to-dark shade ramp used by the field renderers
+SHADES = " .:-=+*%@"
+
+
+def shade_map(
+    field: np.ndarray,
+    *,
+    vmax: float | None = None,
+    overlay: np.ndarray | None = None,
+    overlay_char: str = "#",
+) -> str:
+    """Render a 2-D scalar field as ASCII shades.
+
+    Parameters
+    ----------
+    field:
+        2-D array; larger values render darker.
+    vmax:
+        Normalization ceiling (default: the field's max; a zero field
+        renders all-blank rather than dividing by zero).
+    overlay:
+        Optional boolean mask drawn as ``overlay_char`` (obstacles).
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValueError("field must be 2-D")
+    if overlay is not None:
+        overlay = np.asarray(overlay, dtype=bool)
+        if overlay.shape != field.shape:
+            raise ValueError(
+                f"overlay shape {overlay.shape} != field shape {field.shape}"
+            )
+    if len(overlay_char) != 1:
+        raise ValueError("overlay_char must be a single character")
+    ceiling = float(vmax) if vmax is not None else float(field.max())
+    if ceiling <= 0:
+        ceiling = 1.0
+    levels = np.clip(field / ceiling, 0.0, 1.0) * (len(SHADES) - 1)
+    indices = levels.astype(int)
+    lines = []
+    for i in range(field.shape[0]):
+        row = []
+        for j in range(field.shape[1]):
+            if overlay is not None and overlay[i, j]:
+                row.append(overlay_char)
+            else:
+                row.append(SHADES[indices[i, j]])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def speed_map(
+    velocity: np.ndarray,
+    *,
+    overlay: np.ndarray | None = None,
+) -> str:
+    """Render a vector field's magnitude |u| as shades.
+
+    ``velocity`` has shape ``(rows, cols, 2)`` — the output of
+    :func:`repro.lgca.observables.mean_velocity_field`.
+    """
+    velocity = np.asarray(velocity, dtype=np.float64)
+    if velocity.ndim != 3 or velocity.shape[-1] != 2:
+        raise ValueError("velocity must have shape (rows, cols, 2)")
+    return shade_map(np.linalg.norm(velocity, axis=-1), overlay=overlay)
+
+
+def spacetime_diagram(history: np.ndarray, on: str = "#", off: str = ".") -> str:
+    """Render a 1-D CA history (time down the page).
+
+    ``history`` has shape ``(generations + 1, cells)`` with 0/1 entries —
+    the output of :meth:`repro.lgca.wolfram.ElementaryCA.history`.
+    """
+    history = np.asarray(history)
+    if history.ndim != 2:
+        raise ValueError("history must be 2-D (time x cells)")
+    if len(on) != 1 or len(off) != 1:
+        raise ValueError("on/off must be single characters")
+    if np.any((history != 0) & (history != 1)):
+        raise ValueError("history cells must be 0 or 1")
+    return "\n".join(
+        "".join(on if cell else off for cell in row) for row in history
+    )

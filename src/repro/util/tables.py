@@ -1,0 +1,92 @@
+"""Fixed-width table rendering used by the benchmark harness.
+
+Every benchmark prints the rows/series a table or figure of the paper
+reports.  Routing all of that output through :class:`Table` keeps the
+bench output uniform, machine-greppable, and diffable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_quantity", "format_rate"]
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+]
+
+
+def format_quantity(value: float, unit: str = "", *, digits: int = 3) -> str:
+    """Render ``value`` with an SI prefix, e.g. ``2.0e7 -> '20.0 M'``.
+
+    Values below 1000 are rendered plainly.  ``unit`` is appended after
+    the prefix (``format_quantity(4e7, 'B/s') == '40.0 MB/s'``).
+    """
+    sign = "-" if value < 0 else ""
+    mag = abs(float(value))
+    for threshold, prefix in _SI_PREFIXES:
+        if mag >= threshold:
+            return f"{sign}{mag / threshold:.{digits}g} {prefix}{unit}".rstrip()
+    return f"{sign}{mag:.{digits}g} {unit}".rstrip()
+
+
+def format_rate(updates_per_second: float) -> str:
+    """Render a site-update rate the way the paper quotes them."""
+    return format_quantity(updates_per_second, "updates/s")
+
+
+@dataclass
+class Table:
+    """A fixed-width text table with a title, headers, and typed rows.
+
+    Parameters
+    ----------
+    title:
+        Heading printed above the table (e.g. ``"E5: WSA vs SPA"``).
+    columns:
+        Column header names.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append a row; cells are stringified (floats get 6 significant digits)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.6g}")
+            else:
+                rendered.append(str(cell))
+        self.rows.append(rendered)
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Return the full table as a string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "  "
+        header = sep.join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = sep.join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        for row in self.rows:
+            lines.append(sep.join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors render()
+        print(self.render())
+        print()

@@ -1,0 +1,105 @@
+"""Unit + property tests for the architecture-facing bounds R = O(B·S^{1/d})."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    bandwidth_for_target_rate,
+    io_lower_bound,
+    line_time_upper_bound,
+    storage_for_target_rate,
+    update_rate_upper_bound,
+)
+
+
+class TestLineTimeUpperBound:
+    def test_d1_form(self):
+        # 2 * (1! * 2S) = 4S
+        assert line_time_upper_bound(100, 1) == pytest.approx(400)
+
+    def test_d2_form(self):
+        assert line_time_upper_bound(50, 2) == pytest.approx(2 * math.sqrt(200))
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            line_time_upper_bound(0, 2)
+        with pytest.raises(ValueError):
+            line_time_upper_bound(10, 0)
+
+    @given(st.integers(1, 4), st.integers(1, 10**6))
+    def test_monotone_in_storage(self, d, s):
+        assert line_time_upper_bound(s + 1, d) > line_time_upper_bound(s, d)
+
+
+class TestUpdateRateUpperBound:
+    def test_asymptotic_scaling_d(self):
+        """R bound scales as S^{1/d}: double S^d, double... check ratios."""
+        r1 = update_rate_upper_bound(1e6, 100, 2)
+        r2 = update_rate_upper_bound(1e6, 400, 2)
+        assert r2 / r1 == pytest.approx(2.0)
+
+    def test_linear_in_bandwidth(self):
+        r1 = update_rate_upper_bound(1e6, 100, 2)
+        r2 = update_rate_upper_bound(2e6, 100, 2)
+        assert r2 / r1 == pytest.approx(2.0)
+
+    def test_finite_size_bound_tighter_or_close(self):
+        asym = update_rate_upper_bound(1e6, 100, 2)
+        finite = update_rate_upper_bound(1e6, 100, 2, num_vertices=1e9)
+        assert finite <= asym * 1.05
+
+    def test_fits_in_storage_is_unbounded(self):
+        assert update_rate_upper_bound(1e6, 1000, 2, num_vertices=10) == math.inf
+
+    def test_higher_dimension_weaker_per_storage(self):
+        """At equal S, higher d gives a *larger* relative benefit of
+        bandwidth — i.e. S^{1/d} shrinks with d for big S."""
+        s = 10**6
+        r1 = update_rate_upper_bound(1.0, s, 1)
+        r3 = update_rate_upper_bound(1.0, s, 3)
+        assert r3 < r1
+
+
+class TestInversions:
+    def test_storage_for_target_rate_roundtrip(self):
+        b, d = 1e6, 2
+        target = 3e8
+        s = storage_for_target_rate(target, b, d)
+        # plugging back in recovers the target rate (asymptotic form)
+        recovered = 4.0 * b * (math.factorial(d) * 2 * s) ** (1 / d)
+        assert recovered == pytest.approx(target)
+
+    def test_storage_cost_is_power_d(self):
+        """Doubling the target rate costs 2^d in storage."""
+        for d in (1, 2, 3):
+            s1 = storage_for_target_rate(1e8, 1e6, d)
+            s2 = storage_for_target_rate(2e8, 1e6, d)
+            assert s2 / s1 == pytest.approx(2.0**d)
+
+    def test_bandwidth_for_target_rate_roundtrip(self):
+        s, d = 5000, 2
+        target = 1e9
+        b = bandwidth_for_target_rate(target, s, d)
+        assert update_rate_upper_bound(b, s, d) == pytest.approx(2 * target / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            storage_for_target_rate(-1, 1, 2)
+        with pytest.raises(ValueError):
+            bandwidth_for_target_rate(1, 0, 2)
+
+
+class TestIOLowerBound:
+    def test_zero_when_fits(self):
+        assert io_lower_bound(10, 1000, 2) == 0.0
+
+    def test_positive_at_scale(self):
+        assert io_lower_bound(1e9, 1000, 2) > 0
+
+    def test_decreasing_in_storage(self):
+        q1 = io_lower_bound(1e9, 100, 2)
+        q2 = io_lower_bound(1e9, 10000, 2)
+        assert q2 < q1

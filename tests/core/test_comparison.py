@@ -1,0 +1,103 @@
+"""Unit tests for the section 6.3 comparisons (experiments E5 / E6)."""
+
+import pytest
+
+from repro.core.comparison import (
+    compare_extensible,
+    compare_optimal_designs,
+    summarize_architectures,
+)
+from repro.core.technology import PAPER_TECHNOLOGY
+
+
+class TestOptimalComparison:
+    def test_spa_three_times_faster(self):
+        """'SPA is three times faster than WSA. (SPA has twelve
+        processors per chip while WSA has four.)'"""
+        c = compare_optimal_designs()
+        assert c.wsa.pes_per_chip == 4
+        assert c.spa.pes_per_chip == 12
+        assert c.speedup_spa_over_wsa == pytest.approx(3.0)
+
+    def test_bandwidth_roughly_four_times(self):
+        """'the SPA system requires four times as much main memory
+        bandwidth as the WSA system: 262 bits/tick versus 64 bits/tick'
+        — our exact model gives 292 vs 64 ≈ 4.6× (same conclusion)."""
+        c = compare_optimal_designs()
+        assert c.wsa_summary.bandwidth_bits_per_tick == 64
+        assert 250 < c.spa_summary.bandwidth_bits_per_tick < 310
+        assert 3.5 < c.bandwidth_ratio_spa_over_wsa < 5.0
+
+    def test_access_patterns(self):
+        c = compare_optimal_designs()
+        assert "raster" in c.wsa_summary.access_pattern
+        assert "staggered" in c.spa_summary.access_pattern
+
+    def test_extensibility_flags(self):
+        c = compare_optimal_designs()
+        assert not c.wsa_summary.extensible
+        assert c.spa_summary.extensible
+
+    def test_same_lattice_compared(self):
+        c = compare_optimal_designs()
+        assert c.wsa.lattice_size == c.spa.lattice_size == 785
+
+
+class TestExtensibleComparison:
+    def test_spa_twelve_times_faster_per_chip(self):
+        """'the SPA system is twelve times faster than WSA-E because it
+        has twelve processors per chip as opposed to one per chip.'"""
+        c = compare_extensible(1000)
+        assert c.speedup_spa_over_wsa_e == pytest.approx(12.0)
+
+    def test_bandwidth_about_one_twentieth(self):
+        """'requiring about one twentieth as much bandwidth' at L=1000."""
+        c = compare_extensible(1000)
+        ratio = c.bandwidth_ratio_wsa_e_over_spa
+        assert 1 / 25 < ratio < 1 / 18
+
+    def test_area_about_twice_with_commercial_memory(self):
+        """'WSA-E requires about twice as much area as SPA' — holds with
+        the off-chip commercial-memory density κ = 8."""
+        c = compare_extensible(1000, commercial_density=8.0)
+        assert c.commercial_area_ratio_wsa_e_over_spa == pytest.approx(2.0, abs=0.3)
+
+    def test_raw_onchip_area_ratio_much_larger(self):
+        """Without the commercial-density assumption the per-PE storage
+        ratio is (2L+10)/(128¾) ≈ 15.6 — documenting why κ matters."""
+        c = compare_extensible(1000)
+        assert c.storage_area_ratio_wsa_e_over_spa == pytest.approx(15.6, abs=0.5)
+
+    def test_penalty_regimes(self):
+        """Fixed rate, growing L: WSA-E's storage grows, SPA's bandwidth
+        grows — 'the penalty for larger lattice size is either linear
+        growth in the number of chips ... or ... in the main memory
+        bandwidth'."""
+        c1 = compare_extensible(1000)
+        c2 = compare_extensible(2000)
+        assert c2.wsa_e.storage_area_per_pe > c1.wsa_e.storage_area_per_pe * 1.9
+        assert (
+            c2.spa.main_memory_bandwidth_bits_per_tick
+            > c1.spa.main_memory_bandwidth_bits_per_tick * 1.9
+        )
+        # while the other resource stays flat
+        assert (
+            c2.wsa_e.main_memory_bandwidth_bits_per_tick
+            == c1.wsa_e.main_memory_bandwidth_bits_per_tick
+        )
+        assert c2.spa.storage_area_per_pe == pytest.approx(c1.spa.storage_area_per_pe)
+
+
+class TestSummarize:
+    def test_three_rows(self):
+        rows = summarize_architectures()
+        assert [r.name for r in rows] == ["WSA", "SPA", "WSA-E"]
+
+    def test_custom_lattice(self):
+        rows = summarize_architectures(lattice_size=1200)
+        wsa_e = rows[2]
+        assert wsa_e.lattice_size == 1200
+
+    def test_wsa_e_one_pe(self):
+        rows = summarize_architectures()
+        assert rows[2].pes_per_chip == 1

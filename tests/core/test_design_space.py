@@ -1,0 +1,98 @@
+"""Unit tests for generic design-space machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_space import (
+    DesignCurve,
+    DesignPoint,
+    best_integer_p,
+    feasibility_corner,
+    sample_curve,
+)
+
+
+class TestDesignPoint:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DesignPoint(-1, 2)
+        with pytest.raises(ValueError):
+            DesignPoint(1, -2)
+
+
+class TestDesignCurve:
+    def test_validates_monotone_xs(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DesignCurve("c", np.array([0.0, 0.0, 1.0]), np.zeros(3))
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            DesignCurve("c", np.arange(3.0), np.arange(4.0))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            DesignCurve("c", np.array([1.0]), np.array([2.0]))
+
+    def test_interpolation(self):
+        c = DesignCurve("c", np.array([0.0, 10.0]), np.array([0.0, 5.0]))
+        assert c.at(4.0) == pytest.approx(2.0)
+
+    def test_at_outside_range(self):
+        c = DesignCurve("c", np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            c.at(2.0)
+
+    def test_rows(self):
+        c = DesignCurve("c", np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert c.rows() == [(0.0, 2.0), (1.0, 3.0)]
+
+
+class TestSampleCurve:
+    def test_clamps_negative_to_zero(self):
+        c = sample_curve("c", lambda x: 1.0 - x, 0.0, 2.0, num=5)
+        assert c.ps.min() == 0.0
+
+    def test_num_points(self):
+        c = sample_curve("c", lambda x: x, 0.0, 1.0, num=11)
+        assert c.xs.size == 11
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            sample_curve("c", lambda x: x, 1.0, 1.0)
+
+
+class TestFeasibilityCorner:
+    def test_crossing(self):
+        # pin limit constant 4; area limit 10 - x: cross at x = 6
+        corner = feasibility_corner(lambda x: 4.0, lambda x: 10.0 - x, 0.0, 20.0)
+        assert corner.x == pytest.approx(6.0)
+        assert corner.p == pytest.approx(4.0)
+
+    def test_area_binding_everywhere(self):
+        corner = feasibility_corner(lambda x: 4.0, lambda x: 2.0 - x, 0.0, 10.0)
+        assert corner.x == 0.0
+        assert corner.p == pytest.approx(2.0)
+
+    def test_pins_binding_everywhere(self):
+        corner = feasibility_corner(lambda x: 1.0, lambda x: 100.0 - x, 0.0, 10.0)
+        assert corner.x == 10.0
+        assert corner.p == pytest.approx(1.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            feasibility_corner(lambda x: 1.0, lambda x: 1.0, 5.0, 5.0)
+
+
+class TestBestIntegerP:
+    def test_floors(self):
+        assert best_integer_p(4.9) == 4
+
+    def test_exact_integer_preserved(self):
+        assert best_integer_p(4.0) == 4
+
+    def test_near_integer_tolerance(self):
+        assert best_integer_p(3.9999999999) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            best_integer_p(-0.5)

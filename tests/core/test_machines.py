@@ -1,0 +1,107 @@
+"""Unit tests for the machine-model comparison (conclusions' future work)."""
+
+import math
+
+import pytest
+
+from repro.core.machines import (
+    PERIOD_MACHINES,
+    MachineModel,
+    io_bound_update_rate,
+    machine_comparison_rows,
+)
+
+
+def make_machine(**kw) -> MachineModel:
+    defaults = dict(
+        name="m",
+        compute_rate=1e8,
+        memory_bandwidth_bytes=1e7,
+        storage_sites=1000,
+        bits_per_site=8,
+    )
+    defaults.update(kw)
+    return MachineModel(**defaults)
+
+
+class TestIOBoundRate:
+    def test_formula(self):
+        assert io_bound_update_rate(1e6, 100, 1) == pytest.approx(4e6 * 200)
+        assert io_bound_update_rate(1e6, 50, 2) == pytest.approx(
+            4e6 * math.sqrt(200)
+        )
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            io_bound_update_rate(0, 10, 2)
+        with pytest.raises(ValueError):
+            io_bound_update_rate(1, 10, 0)
+
+
+class TestMachineModel:
+    def test_bandwidth_in_sites(self):
+        m = make_machine(memory_bandwidth_bytes=1e6, bits_per_site=8)
+        assert m.bandwidth_sites_per_second == pytest.approx(1e6)
+
+    def test_streaming_rate_is_half_bandwidth(self):
+        m = make_machine()
+        assert m.streaming_rate() == pytest.approx(m.bandwidth_sites_per_second / 2)
+
+    def test_achievable_is_min(self):
+        m = make_machine(compute_rate=1e3)
+        assert m.achievable_rate(2) == 1e3  # compute-bound
+        m2 = make_machine(compute_rate=1e15)
+        assert m2.achievable_rate(2) == pytest.approx(m2.io_ceiling(2))
+
+    def test_io_bound_flag(self):
+        assert make_machine(compute_rate=1e15).is_io_bound(2)
+        assert not make_machine(compute_rate=1.0).is_io_bound(2)
+
+    def test_required_reuse(self):
+        m = make_machine(compute_rate=2e7, memory_bandwidth_bytes=1e6)
+        assert m.required_reuse() == pytest.approx(20.0)
+
+    def test_io_ceiling_grows_with_dimension_root(self):
+        m = make_machine(storage_sites=10**6)
+        assert m.io_ceiling(1) > m.io_ceiling(2) > m.io_ceiling(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_machine(compute_rate=0)
+        with pytest.raises(ValueError):
+            make_machine(storage_sites=-1)
+
+
+class TestPeriodMachines:
+    def test_all_construct(self):
+        assert len(PERIOD_MACHINES) >= 5
+
+    def test_prototype_matches_section8(self):
+        proto = next(m for m in PERIOD_MACHINES if "prototype" in m.name)
+        assert proto.compute_rate == 20e6
+        # On its 2 MB/s host, pure streaming caps it at 1 M updates/s:
+        assert proto.streaming_rate() == pytest.approx(1e6)
+
+    def test_prototype_requires_20x_reuse(self):
+        """The section 8 derating, as a reuse requirement."""
+        proto = next(m for m in PERIOD_MACHINES if "prototype" in m.name)
+        assert proto.required_reuse() == pytest.approx(10.0)
+
+    def test_comparison_rows_complete(self):
+        rows = machine_comparison_rows(2)
+        assert len(rows) == len(PERIOD_MACHINES)
+        for row in rows:
+            assert row["achievable"] <= row["compute_rate"] + 1e-9
+            assert row["achievable"] <= row["io_ceiling"] + 1e-9
+
+    def test_workstation_is_compute_bound(self):
+        rows = {r["name"]: r for r in machine_comparison_rows(2)}
+        ws = rows["Sun-3 class workstation"]
+        assert not ws["io_bound"]
+
+    def test_special_purpose_beats_workstation(self):
+        rows = {r["name"]: r for r in machine_comparison_rows(2)}
+        assert (
+            rows["WSA max system (785 chips)"]["achievable"]
+            > 100 * rows["Sun-3 class workstation"]["achievable"]
+        )

@@ -1,0 +1,87 @@
+"""Unit tests for the operating-regime map (conclusions' claim)."""
+
+import math
+
+import pytest
+
+from repro.core.regimes import RegimePoint, architecture_throughputs, regime_map
+
+
+class TestArchitectureThroughputs:
+    def test_wsa_infeasible_beyond_lmax(self):
+        rates, _ = architecture_throughputs(2000, 100)
+        assert rates["WSA"] == 0.0
+        assert rates["WSA-E"] > 0
+        assert rates["SPA"] > 0
+
+    def test_wsa_feasible_at_785(self):
+        rates, bw = architecture_throughputs(785, 10)
+        assert rates["WSA"] == pytest.approx(10e6 * 4 * 10)
+        assert bw["WSA"] == 64
+
+    def test_pipeline_depth_capped_at_l(self):
+        """k_max = L: more chips than L adds nothing for WSA/WSA-E."""
+        r1, _ = architecture_throughputs(100, 100)
+        r2, _ = architecture_throughputs(100, 10_000)
+        assert r1["WSA"] == r2["WSA"]
+        assert r1["WSA-E"] == r2["WSA-E"]
+
+    def test_spa_chips_capped(self):
+        """SPA's usable chips cap at slices/P_w × L/P_k ranks."""
+        r1, _ = architecture_throughputs(100, 100)
+        r2, _ = architecture_throughputs(100, 10_000)
+        assert r1["SPA"] == r2["SPA"]
+
+    def test_bandwidth_budget_kills_spa_at_large_l(self):
+        rates, _ = architecture_throughputs(
+            2000, 10, bandwidth_budget_bits_per_tick=64
+        )
+        assert rates["SPA"] == 0.0
+        assert rates["WSA-E"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            architecture_throughputs(0, 10)
+        with pytest.raises(ValueError):
+            architecture_throughputs(10, 10, bandwidth_budget_bits_per_tick=0)
+
+
+class TestRegimeMap:
+    def test_unconstrained_spa_dominates_midrange(self):
+        pts = regime_map([785], [10])
+        assert pts[0].winner == "SPA"
+
+    def test_three_regimes_under_budget_64(self):
+        """The paper's conclusion, as a map: SPA at small L, WSA in its
+        mid-L window, WSA-E beyond WSA's reach."""
+        pts = {
+            (p.lattice_size, p.num_chips): p.winner
+            for p in regime_map(
+                [100, 400, 2000], [10, 100], bandwidth_budget_bits_per_tick=64
+            )
+        }
+        assert pts[(100, 10)] == "SPA"
+        assert pts[(400, 100)] == "WSA"
+        assert pts[(2000, 100)] == "WSA-E"
+
+    def test_none_when_budget_impossible(self):
+        pts = regime_map([785], [10], bandwidth_budget_bits_per_tick=1)
+        assert pts[0].winner == "none"
+
+    def test_margin(self):
+        pt = regime_map([785], [10])[0]
+        assert pt.margin() > 1.0
+
+    def test_margin_infinite_when_single(self):
+        point = RegimePoint(
+            lattice_size=10,
+            num_chips=1,
+            throughput={"X": 5.0, "Y": 0.0},
+            bandwidth_bits_per_tick={"X": 1.0, "Y": 0.0},
+            winner="X",
+        )
+        assert point.margin() == math.inf
+
+    def test_grid_size(self):
+        pts = regime_map([100, 200], [1, 2, 3])
+        assert len(pts) == 6

@@ -1,0 +1,65 @@
+"""Unit tests for ChipTechnology."""
+
+import pytest
+
+from repro.core.technology import PAPER_TECHNOLOGY, ChipTechnology
+
+
+class TestPaperDefaults:
+    def test_published_constants(self):
+        t = PAPER_TECHNOLOGY
+        assert t.D == 8
+        assert t.Pi == 72
+        assert t.B == pytest.approx(576e-6)
+        assert t.Gamma == pytest.approx(19.4e-3)
+        assert t.E == 3
+        assert t.F == 10e6
+
+    def test_pe_equivalent_sites(self):
+        """A PE costs ~34 shift-register cells in the paper's process."""
+        assert PAPER_TECHNOLOGY.pe_equivalent_sites() == pytest.approx(33.68, abs=0.01)
+
+
+class TestValidation:
+    def test_rejects_non_normalized_site_area(self):
+        with pytest.raises(ValueError, match="normalized"):
+            ChipTechnology(site_area=1.5)
+
+    def test_rejects_non_normalized_pe_area(self):
+        with pytest.raises(ValueError, match="normalized"):
+            ChipTechnology(pe_area=2.0)
+
+    def test_rejects_zero_pins(self):
+        with pytest.raises(ValueError):
+            ChipTechnology(pins=0)
+
+    def test_rejects_fractional_bits(self):
+        with pytest.raises(TypeError):
+            ChipTechnology(bits_per_site=7.5)
+
+    def test_rejects_negative_clock(self):
+        with pytest.raises(ValueError):
+            ChipTechnology(clock_hz=-1)
+
+
+class TestWith:
+    def test_with_creates_modified_copy(self):
+        t2 = PAPER_TECHNOLOGY.with_(pins=144)
+        assert t2.pins == 144
+        assert PAPER_TECHNOLOGY.pins == 72
+        assert t2.D == PAPER_TECHNOLOGY.D
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            PAPER_TECHNOLOGY.with_(pins=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER_TECHNOLOGY.pins = 100  # type: ignore[misc]
+
+
+class TestAbsoluteAreas:
+    def test_lambda2_conversion(self):
+        t = ChipTechnology(chip_area=2.0e9)
+        assert t.site_area_lambda2() == pytest.approx(576e-6 * 2.0e9)
+        assert t.pe_area_lambda2() == pytest.approx(19.4e-3 * 2.0e9)

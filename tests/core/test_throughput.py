@@ -1,0 +1,74 @@
+"""Unit tests for the section 8 prototype throughput model (experiment E7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.core.throughput import PrototypeThroughputModel, realized_update_rate
+
+
+class TestRealizedUpdateRate:
+    def test_bandwidth_limited(self):
+        assert realized_update_rate(20e6, 2e6, 8) == pytest.approx(1e6)
+
+    def test_compute_limited(self):
+        assert realized_update_rate(20e6, 100e6, 8) == pytest.approx(20e6)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            realized_update_rate(0, 1e6)
+        with pytest.raises(ValueError):
+            realized_update_rate(1e6, -1)
+
+
+class TestPrototypeModel:
+    def test_paper_peak_20m(self):
+        """'Each chip provides 20 million site-updates per second running
+        at 10 MHz.'"""
+        m = PrototypeThroughputModel()
+        assert m.peak_updates_per_second == pytest.approx(20e6)
+
+    def test_paper_40mb_demand(self):
+        """'...the 40 megabyte per second bandwidth required for this
+        level of performance.'"""
+        m = PrototypeThroughputModel()
+        assert m.required_bandwidth_bytes_per_second == pytest.approx(40e6)
+
+    def test_paper_realized_1m(self):
+        """'We expect to realize approximately 1 million
+        site-updates/sec/chip' — i.e. a ~2 MB/s workstation host."""
+        m = PrototypeThroughputModel()
+        assert m.realized_rate(2e6) == pytest.approx(1e6)
+
+    def test_utilization(self):
+        m = PrototypeThroughputModel()
+        assert m.utilization(2e6) == pytest.approx(0.05)
+        assert m.utilization(40e6) == pytest.approx(1.0)
+        assert m.utilization(400e6) == pytest.approx(1.0)
+
+    def test_host_bandwidth_for_rate(self):
+        m = PrototypeThroughputModel()
+        assert m.host_bandwidth_for_rate(1e6) == pytest.approx(2e6)
+
+    def test_host_bandwidth_for_rate_rejects_above_peak(self):
+        m = PrototypeThroughputModel()
+        with pytest.raises(ValueError, match="peak"):
+            m.host_bandwidth_for_rate(30e6)
+
+    def test_bytes_per_update(self):
+        assert PrototypeThroughputModel().bytes_per_update == pytest.approx(2.0)
+
+    def test_sweep_monotone_then_flat(self):
+        m = PrototypeThroughputModel()
+        rows = m.bandwidth_sweep(np.array([1e6, 10e6, 40e6, 100e6]))
+        rates = [r[1] for r in rows]
+        assert rates == sorted(rates)
+        assert rates[-1] == rates[-2] == pytest.approx(20e6)
+
+    def test_custom_updates_per_tick(self):
+        m = PrototypeThroughputModel(PAPER_TECHNOLOGY, updates_per_tick=4)
+        assert m.peak_updates_per_second == pytest.approx(40e6)
+
+    def test_validates_updates_per_tick(self):
+        with pytest.raises(ValueError):
+            PrototypeThroughputModel(updates_per_tick=0)

@@ -1,0 +1,124 @@
+"""Unit tests for the WSA design model — anchored to section 6.1's numbers."""
+
+import pytest
+
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.core.wsa import WSADesign, WSAModel
+
+
+@pytest.fixture
+def model() -> WSAModel:
+    return WSAModel(PAPER_TECHNOLOGY)
+
+
+class TestConstraints:
+    def test_pin_limit_is_4_5(self, model):
+        """Π / 2D = 72 / 16 = 4.5."""
+        assert model.pin_limit() == pytest.approx(4.5)
+
+    def test_area_limit_closed_form(self, model):
+        """P <= (1 - 3B - 2BL)/(7B + Γ) — check one hand value."""
+        t = PAPER_TECHNOLOGY
+        L = 500.0
+        expected = (1 - 3 * t.B - 2 * t.B * L) / (7 * t.B + t.Gamma)
+        assert model.area_limit(L) == pytest.approx(expected)
+
+    def test_area_limit_decreasing_in_l(self, model):
+        assert model.area_limit(100) > model.area_limit(800)
+
+    def test_area_limit_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.area_limit(-1)
+
+    def test_design_curves_structure(self, model):
+        pins, area = model.design_curves(1, 1000, num=50)
+        assert pins.name == "pins" and area.name == "area"
+        assert (pins.ps == pins.ps[0]).all()  # constant in L
+
+
+class TestOperatingPoint:
+    def test_corner_near_paper_figure(self, model):
+        """The curves cross at P = 4.5, L ≈ 775 (paper plots 'P ≈ 4 and
+        L ≈ 785' after integerizing P)."""
+        corner = model.corner()
+        assert corner.p == pytest.approx(4.5)
+        assert 770 < corner.x < 780
+
+    def test_optimal_integer_design_is_paper_point(self, model):
+        """Integer design: P = 4, L = 785 — the published corner."""
+        d = model.optimal_design()
+        assert d.pes_per_chip == 4
+        assert d.lattice_size == 785
+
+    def test_optimal_design_feasible_and_tight(self, model):
+        d = model.optimal_design()
+        assert d.is_feasible()
+        assert d.chip_area_used > 0.99  # the corner wastes no silicon
+        # L+1 would violate area
+        bigger = WSADesign(PAPER_TECHNOLOGY, d.lattice_size + 1, 4)
+        assert not bigger.is_feasible()
+
+    def test_absolute_max_lattice(self, model):
+        """With P = 1, L maxes out around 846: 'an upper bound on L even
+        if we were to accept arbitrarily slow computation'."""
+        l_max = model.absolute_max_lattice_size()
+        assert 840 <= l_max <= 850
+        assert WSADesign(PAPER_TECHNOLOGY, l_max, 1).is_feasible()
+        assert not WSADesign(PAPER_TECHNOLOGY, l_max + 1, 1).is_feasible()
+
+    def test_max_lattice_decreases_with_p(self, model):
+        assert model.max_lattice_size(1) > model.max_lattice_size(4)
+
+    def test_no_design_when_pins_too_few(self):
+        tiny = PAPER_TECHNOLOGY.with_(pins=8)  # P < 1 from pins? 8/16 = 0.5
+        with pytest.raises(ValueError):
+            WSAModel(tiny).optimal_design()
+
+
+class TestSystemAccounting:
+    def test_pins_used(self):
+        d = WSADesign(PAPER_TECHNOLOGY, 785, 4)
+        assert d.pins_used == 64  # 2 * 8 * 4, the paper's 64 bits/tick
+
+    def test_bandwidth_matches_pins(self):
+        d = WSADesign(PAPER_TECHNOLOGY, 785, 4)
+        assert d.main_memory_bandwidth_bits_per_tick == 64
+        assert d.main_memory_bandwidth_bytes_per_second == pytest.approx(80e6)
+
+    def test_update_rate_formula(self):
+        d = WSADesign(PAPER_TECHNOLOGY, 785, 4, pipeline_depth=10)
+        assert d.update_rate == pytest.approx(10e6 * 4 * 10)
+        assert d.num_chips == 10
+
+    def test_storage_sites(self):
+        d = WSADesign(PAPER_TECHNOLOGY, 785, 4)
+        assert d.storage_sites_per_chip == 2 * 785 + 7 * 4 + 3
+
+    def test_throughput_per_area_constant_in_k(self):
+        d1 = WSADesign(PAPER_TECHNOLOGY, 785, 4, 1)
+        d2 = WSADesign(PAPER_TECHNOLOGY, 785, 4, 50)
+        assert d1.throughput_per_area == pytest.approx(d2.throughput_per_area)
+
+    def test_infeasibility_reasons(self):
+        d = WSADesign(PAPER_TECHNOLOGY, 2000, 10)
+        reasons = d.infeasibility_reasons()
+        assert any("pins" in r for r in reasons)
+        assert any("area" in r for r in reasons)
+
+
+class TestUltimatePerformance:
+    def test_max_system_depth_is_l(self, model):
+        """k_max = L: 'at that point the pipeline contains all the values
+        of the sites in the lattice'."""
+        ms = model.max_system()
+        assert ms.pipeline_depth == ms.lattice_size == 785
+        assert ms.num_chips == 785
+
+    def test_max_rate_formula(self, model):
+        """R_max = (Π/2D) · F · L with the continuous corner L."""
+        corner = model.corner()
+        assert model.max_update_rate() == pytest.approx(4.5 * 10e6 * corner.x)
+
+    def test_max_system_rate_consistent(self, model):
+        ms = model.max_system()
+        assert ms.update_rate == pytest.approx(10e6 * 4 * 785)

@@ -1,0 +1,80 @@
+"""Unit tests for the WSA-E variant (section 6.3)."""
+
+import pytest
+
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.core.wsa_e import WSAEDesign, WSAEModel
+
+
+class TestPins:
+    def test_single_pe_fits(self):
+        d = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=1000)
+        assert d.pes_per_chip == 1
+        assert d.pins_used == 48  # 6D
+        assert d.is_feasible()
+
+    def test_two_lanes_would_not_fit(self):
+        """The paper: 'the pin constraints ... allow only one processor
+        per chip in this case' — two lanes would need 96 > 72 pins."""
+        assert 2 * 48 > PAPER_TECHNOLOGY.Pi
+
+    def test_infeasible_technology_raises(self):
+        tiny = PAPER_TECHNOLOGY.with_(pins=40)
+        with pytest.raises(ValueError, match="pins"):
+            WSAEModel(tiny).design(1000)
+
+
+class TestStorage:
+    def test_delay_sites_formula(self):
+        """2L + 10 node values per stage."""
+        d = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=1000)
+        assert d.delay_sites_per_stage == 2010
+
+    def test_storage_area_per_pe(self):
+        d = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=1000)
+        assert d.storage_area_per_pe == pytest.approx(2010 * 576e-6)
+
+    def test_commercial_density_scales(self):
+        d = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=1000, commercial_density=8.0)
+        assert d.storage_area_per_pe_commercial == pytest.approx(
+            d.storage_area_per_pe / 8.0
+        )
+
+    def test_storage_grows_linearly_in_l(self):
+        d1 = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=500)
+        d2 = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=1000)
+        assert d2.delay_sites_per_stage - d1.delay_sites_per_stage == 1000
+
+
+class TestBandwidthAndRate:
+    def test_constant_bandwidth_16_bits(self):
+        """'WSA-E has a constant bandwidth requirement of 16 bits per
+        clock tick' — independent of L and k."""
+        for size in (100, 1000, 5000):
+            for k in (1, 64):
+                d = WSAEDesign(PAPER_TECHNOLOGY, size, pipeline_depth=k)
+                assert d.main_memory_bandwidth_bits_per_tick == 16
+
+    def test_rate_linear_in_chips(self):
+        d = WSAEDesign(PAPER_TECHNOLOGY, 1000, pipeline_depth=20)
+        assert d.update_rate == pytest.approx(20 * 10e6)
+        assert d.num_chips == 20
+
+    def test_chips_for_target_rate(self):
+        m = WSAEModel(PAPER_TECHNOLOGY)
+        assert m.chips_for_target_rate(1000, 35e6) == 4
+        assert m.chips_for_target_rate(1000, 10e6) == 1
+
+    def test_chips_for_target_rate_validates(self):
+        with pytest.raises(ValueError):
+            WSAEModel(PAPER_TECHNOLOGY).chips_for_target_rate(1000, 0)
+
+
+class TestValidation:
+    def test_rejects_bad_density(self):
+        with pytest.raises(ValueError):
+            WSAEDesign(PAPER_TECHNOLOGY, 100, commercial_density=0)
+
+    def test_rejects_bad_lattice(self):
+        with pytest.raises(ValueError):
+            WSAEDesign(PAPER_TECHNOLOGY, 0)

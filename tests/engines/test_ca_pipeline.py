@@ -1,0 +1,89 @@
+"""Unit tests for the 1-D CA pipeline (reference [16]'s machine)."""
+
+import numpy as np
+import pytest
+
+from repro.engines.ca_pipeline import CAPipelineEngine
+from repro.lgca.wolfram import ElementaryCA, ParityCA
+
+
+@pytest.fixture
+def tape(rng):
+    return (rng.random(48) < 0.4).astype(np.uint8)
+
+
+class TestValidation:
+    def test_rejects_periodic_rule(self):
+        with pytest.raises(ValueError, match="null"):
+            CAPipelineEngine(ElementaryCA(90))
+
+    def test_rejects_unknown_rule(self):
+        with pytest.raises(TypeError):
+            CAPipelineEngine(object())
+
+    def test_rejects_bad_tape(self):
+        eng = CAPipelineEngine(ElementaryCA(90, boundary="null"))
+        with pytest.raises(ValueError):
+            eng.run(np.zeros((2, 2), dtype=np.uint8), 1)
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("rule_num", [30, 90, 110, 184])
+    def test_matches_reference(self, tape, rule_num):
+        rule = ElementaryCA(rule_num, boundary="null")
+        expected = rule.run(tape, 6)
+        out, _ = CAPipelineEngine(rule, pipeline_depth=3).run(tape, 6)
+        assert np.array_equal(out, expected)
+
+    def test_tickwise_matches(self, tape):
+        rule = ElementaryCA(110, boundary="null")
+        fast, _ = CAPipelineEngine(rule, 2).run(tape, 4)
+        slow, _ = CAPipelineEngine(rule, 2).run(tape, 4, tickwise=True)
+        assert np.array_equal(fast, slow)
+
+    def test_parity_rule(self, tape):
+        rule = ParityCA(taps=(-1, 0, 1), boundary="null")
+        expected = rule.run(tape, 5)
+        out, _ = CAPipelineEngine(rule, 5).run(tape, 5)
+        assert np.array_equal(out, expected)
+
+    def test_parity_tickwise(self, tape):
+        rule = ParityCA(taps=(-2, 1), boundary="null")
+        fast, _ = CAPipelineEngine(rule, 1).run(tape, 3)
+        slow, _ = CAPipelineEngine(rule, 1).run(tape, 3, tickwise=True)
+        assert np.array_equal(fast, slow)
+
+    def test_radius_2_window(self, tape):
+        """A radius-2 rule needs a 5-cell window; the hard-capacity
+        register proves sufficiency."""
+        rule = ParityCA(taps=(-2, 0, 2), boundary="null")
+        eng = CAPipelineEngine(rule)
+        assert eng.storage_cells_per_stage == 5
+        out, _ = eng.run(tape, 2, tickwise=True)
+        assert np.array_equal(out, rule.run(tape, 2))
+
+
+class TestAccounting:
+    def test_constant_storage(self):
+        """The 1-D advantage: storage independent of tape length."""
+        eng = CAPipelineEngine(ElementaryCA(90, boundary="null"), pipeline_depth=4)
+        assert eng.storage_cells_per_stage == 3
+        _, stats_small = eng.run(np.zeros(16, dtype=np.uint8), 4)
+        _, stats_large = eng.run(np.zeros(1024, dtype=np.uint8), 4)
+        assert stats_small.storage_sites == stats_large.storage_sites == 12
+
+    def test_io_per_update_is_2_over_k(self, tape):
+        rule = ElementaryCA(90, boundary="null")
+        for k in (1, 2, 4):
+            _, stats = CAPipelineEngine(rule, k).run(tape, 4)
+            assert stats.io_bits_per_update == pytest.approx(2.0 / k)
+
+    def test_ticks(self, tape):
+        rule = ElementaryCA(90, boundary="null")
+        _, stats = CAPipelineEngine(rule, 2).run(tape, 2)
+        assert stats.ticks == tape.size + 2 * 1  # one pass, latency r=1/stage
+
+    def test_zero_generations(self, tape):
+        out, stats = CAPipelineEngine(ElementaryCA(90, boundary="null")).run(tape, 0)
+        assert np.array_equal(out, tape)
+        assert stats.ticks == 0

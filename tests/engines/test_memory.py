@@ -1,0 +1,93 @@
+"""Unit tests for memory and host-interface models."""
+
+import pytest
+
+from repro.engines.memory import HostInterface, MainMemory
+from repro.engines.stats import EngineStats
+
+
+class TestMainMemory:
+    def test_accounting(self):
+        mem = MainMemory(bits_per_site=8)
+        mem.read_sites(10)
+        mem.write_sites(5)
+        assert mem.bits_read == 80
+        assert mem.bits_written == 40
+        assert mem.bits_total == 120
+
+    def test_rejects_negative_counts(self):
+        mem = MainMemory()
+        with pytest.raises(ValueError):
+            mem.read_sites(-1)
+        with pytest.raises(ValueError):
+            mem.write_sites(-1)
+
+    def test_unlimited_bandwidth(self):
+        mem = MainMemory()
+        mem.read_sites(1000)
+        assert mem.min_ticks_for_traffic() == 0
+        assert mem.stretch_ticks(500) == 500
+
+    def test_limited_bandwidth_stretches(self):
+        mem = MainMemory(bits_per_site=8, bandwidth_bits_per_tick=16)
+        mem.read_sites(100)  # 800 bits -> 50 ticks minimum
+        assert mem.min_ticks_for_traffic() == 50
+        assert mem.stretch_ticks(30) == 50
+        assert mem.stretch_ticks(80) == 80
+
+    def test_explicit_bits(self):
+        mem = MainMemory(bandwidth_bits_per_tick=10)
+        assert mem.min_ticks_for_traffic(95) == 10
+
+    def test_reset(self):
+        mem = MainMemory()
+        mem.read_sites(5)
+        mem.reset()
+        assert mem.bits_total == 0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            MainMemory(bits_per_site=0)
+        with pytest.raises(ValueError):
+            MainMemory(bandwidth_bits_per_tick=0)
+        mem = MainMemory(bandwidth_bits_per_tick=8)
+        with pytest.raises(ValueError):
+            mem.min_ticks_for_traffic(-1)
+        with pytest.raises(ValueError):
+            mem.stretch_ticks(-1)
+
+
+class TestHostInterface:
+    def _stats(self, updates=20_000_000, ticks=10_000_000, io_bits=320_000_000):
+        # A 2-PE chip at 10 MHz for 1 second: 20M updates, 40 MB traffic.
+        return EngineStats(
+            name="proto",
+            site_updates=updates,
+            ticks=ticks,
+            io_bits_main=io_bits,
+            num_pes=2,
+            num_chips=1,
+            clock_hz=10e6,
+        )
+
+    def test_reproduces_section8_derating(self):
+        """20M updates/s wanting 40MB/s on a 2MB/s host -> ~1M updates/s."""
+        host = HostInterface(bandwidth_bytes_per_second=2e6)
+        report = host.realized(self._stats())
+        assert report.realized_updates_per_second == pytest.approx(1e6)
+        assert report.derating == pytest.approx(0.05)
+
+    def test_fast_host_no_derating(self):
+        host = HostInterface(bandwidth_bytes_per_second=100e6)
+        report = host.realized(self._stats())
+        assert report.realized_updates_per_second == pytest.approx(20e6)
+        assert report.derating == pytest.approx(1.0)
+
+    def test_breakeven_host(self):
+        host = HostInterface(bandwidth_bytes_per_second=40e6)
+        report = host.realized(self._stats())
+        assert report.derating == pytest.approx(1.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            HostInterface(bandwidth_bytes_per_second=0)

@@ -1,0 +1,131 @@
+"""Unit tests for the SPA engine (section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.engines.partitioned import PartitionedEngine
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
+
+
+@pytest.fixture
+def model():
+    return FHPModel(10, 15, boundary="null")
+
+
+class TestFunctional:
+    def test_matches_reference(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        ref = LatticeGasAutomaton(model, frame.copy())
+        ref.run(5)
+        eng = PartitionedEngine(model, slice_width=5, pipeline_depth=5)
+        out, _ = eng.run(frame, 5)
+        assert np.array_equal(out, ref.state)
+
+    def test_slicing_does_not_change_result(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        out_a, _ = PartitionedEngine(model, slice_width=3).run(frame.copy(), 3)
+        out_b, _ = PartitionedEngine(model, slice_width=15).run(frame.copy(), 3)
+        assert np.array_equal(out_a, out_b)
+
+    def test_non_dividing_slice_width(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        ref = LatticeGasAutomaton(model, frame.copy())
+        ref.run(2)
+        out, _ = PartitionedEngine(model, slice_width=4).run(frame, 2)  # 15 = 4+4+4+3
+        assert np.array_equal(out, ref.state)
+
+
+class TestGeometry:
+    def test_num_slices(self, model):
+        assert PartitionedEngine(model, slice_width=5).num_slices == 3
+        assert PartitionedEngine(model, slice_width=4).num_slices == 4
+
+    def test_rejects_wide_slice(self, model):
+        with pytest.raises(ValueError, match="exceeds"):
+            PartitionedEngine(model, slice_width=16)
+
+    def test_storage_per_pe_formula(self, model):
+        """The paper's 2W + 9 delay budget."""
+        eng = PartitionedEngine(model, slice_width=5)
+        assert eng.storage_sites_per_pe == 2 * 5 + 9
+
+    def test_slice_of_column(self, model):
+        eng = PartitionedEngine(model, slice_width=5)
+        assert eng.slice_of_column(0) == 0
+        assert eng.slice_of_column(4) == 0
+        assert eng.slice_of_column(5) == 1
+
+
+class TestExchange:
+    def test_boundary_bits_is_three_for_hex(self, model):
+        """Measured worst-case cross-boundary bits per site update is
+        exactly the paper's E = 3."""
+        eng = PartitionedEngine(model, slice_width=5)
+        assert eng.boundary_bits_per_site_update() == 3
+
+    def test_boundary_bits_hpp_is_one(self):
+        """The orthogonal HPP stencil needs only 1 bit across a slice."""
+        m = HPPModel(8, 8, boundary="null")
+        eng = PartitionedEngine(m, slice_width=4)
+        assert eng.boundary_bits_per_site_update() == 1
+
+    def test_single_slice_no_exchange(self, model):
+        eng = PartitionedEngine(model, slice_width=15)
+        assert eng.boundary_bits_per_site_update() == 0
+        assert eng.exchange_per_stage_pass() == []
+
+    def test_exchange_records_symmetric_shape(self, model):
+        eng = PartitionedEngine(model, slice_width=5)
+        recs = eng.exchange_per_stage_pass()
+        assert len(recs) == 2
+        for rec in recs:
+            assert rec.bits_leftward > 0
+            assert rec.bits_rightward > 0
+            assert rec.total_bits == rec.bits_leftward + rec.bits_rightward
+
+    def test_mean_boundary_bits_about_two(self, model):
+        """Hex average is 2/row (heavy parity 3, light parity 1)."""
+        eng = PartitionedEngine(model, slice_width=5)
+        assert 1.5 <= eng.mean_boundary_bits_per_edge_site() <= 2.0
+
+    def test_side_bits_counted_in_stats(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        _, stats = PartitionedEngine(model, slice_width=5).run(frame, 3)
+        assert stats.io_bits_side > 0
+
+    def test_no_side_bits_single_slice(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        _, stats = PartitionedEngine(model, slice_width=15).run(frame, 3)
+        assert stats.io_bits_side == 0
+
+
+class TestThroughput:
+    def test_slices_multiply_throughput(self, model, rng):
+        """'it increases the ratio of processing elements to the total
+        number of sites, permitting an increase in the maximum
+        throughput by a multiplicative constant equal to the number of
+        slices.'"""
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        _, s1 = PartitionedEngine(model, slice_width=15).run(frame.copy(), 2)
+        _, s3 = PartitionedEngine(model, slice_width=5).run(frame.copy(), 2)
+        ratio = s3.updates_per_second / s1.updates_per_second
+        assert 2.5 < ratio < 3.5
+
+    def test_bandwidth_multiplies_too(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        _, s1 = PartitionedEngine(model, slice_width=15).run(frame.copy(), 2)
+        _, s3 = PartitionedEngine(model, slice_width=5).run(frame.copy(), 2)
+        assert (
+            s3.main_bandwidth_bits_per_tick > 2.5 * s1.main_bandwidth_bits_per_tick
+        )
+
+    def test_stats_pes_chips(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.3, rng)
+        _, stats = PartitionedEngine(model, slice_width=5, pipeline_depth=2).run(
+            frame, 2
+        )
+        assert stats.num_pes == 3 * 2
+        assert stats.storage_sites == 6 * (2 * 5 + 9)

@@ -1,0 +1,115 @@
+"""Unit tests for PE rules and stream stencils."""
+
+import numpy as np
+import pytest
+
+from repro.engines.pe import StreamStencil, make_rule
+from repro.lgca.fhp import FHPModel
+from repro.lgca.hpp import HPPModel
+
+
+class TestStreamStencil:
+    def _hex(self, rows=6, cols=8):
+        from repro.lgca.fhp import _COL_OFFSET_EVEN, _COL_OFFSET_ODD, _ROW_OFFSET
+
+        return StreamStencil(
+            rows=rows,
+            cols=cols,
+            row_offsets=tuple(_ROW_OFFSET),
+            col_offsets_even=tuple(_COL_OFFSET_EVEN),
+            col_offsets_odd=tuple(_COL_OFFSET_ODD),
+        )
+
+    def test_window_reach_is_cols_plus_one(self):
+        st = self._hex(6, 8)
+        assert st.window_reach() == 9
+        assert st.window_sites() == 2 * 9 + 1  # the paper's 2L + 3
+
+    def test_source_index_interior(self):
+        st = self._hex()
+        # channel 0 (+x): source is the site to the left
+        assert st.source_index(2, 3, 0) == (2, 2)
+        # channel 3 (-x): source to the right
+        assert st.source_index(2, 3, 3) == (2, 4)
+
+    def test_source_index_parity(self):
+        st = self._hex()
+        # channel 1 from even source row vs odd source row
+        # destination (3, 3): source row 4 (even), dc_even[1] = 0
+        assert st.source_index(3, 3, 1) == (4, 3)
+        # destination (2, 3): source row 3 (odd), dc_odd[1] = 1
+        assert st.source_index(2, 3, 1) == (3, 2)
+
+    def test_source_index_boundary_none(self):
+        st = self._hex()
+        assert st.source_index(0, 0, 0) is None  # left edge, +x source off-grid
+
+    def test_gather_maps_match_source_index(self):
+        st = self._hex(4, 5)
+        src, valid = st.gather_maps()
+        for flat in range(20):
+            r, c = divmod(flat, 5)
+            for ch in range(6):
+                expected = st.source_index(r, c, ch)
+                if expected is None:
+                    assert not valid[ch, flat]
+                else:
+                    assert valid[ch, flat]
+                    assert src[ch, flat] == expected[0] * 5 + expected[1]
+
+    def test_validates_offsets(self):
+        with pytest.raises(ValueError, match="equal length"):
+            StreamStencil(2, 2, (0,), (1, 2), (1,))
+
+
+class TestMakeRule:
+    def test_fhp_rule_metadata(self):
+        m = FHPModel(6, 8, boundary="null")
+        rule = make_rule(m)
+        assert rule.name == "fhp6"
+        assert rule.num_channels == 6
+        assert rule.stencil.self_channels == ()
+
+    def test_fhp7_rest_channel(self):
+        m = FHPModel(6, 8, boundary="null", rest_particles=True)
+        rule = make_rule(m)
+        assert rule.name == "fhp7"
+        assert rule.stencil.self_channels == (6,)
+
+    def test_hpp_rule(self):
+        m = HPPModel(4, 4, boundary="null")
+        rule = make_rule(m)
+        assert rule.name == "hpp"
+        assert rule.stencil.window_reach() == 4
+
+    def test_rejects_periodic_model(self):
+        with pytest.raises(ValueError, match="null"):
+            make_rule(FHPModel(4, 4))
+
+    def test_rejects_random_chirality(self):
+        with pytest.raises(ValueError, match="deterministic"):
+            make_rule(FHPModel(4, 4, boundary="null", chirality="random"))
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(TypeError):
+            make_rule(object())
+
+    def test_collide_matches_model(self):
+        m = FHPModel(6, 8, boundary="null", chirality="alternate")
+        rule = make_rule(m)
+        rng = np.random.default_rng(0)
+        frame = rng.integers(0, 64, size=(6, 8)).astype(np.uint8)
+        r = np.repeat(np.arange(6), 8)
+        c = np.tile(np.arange(8), 6)
+        got = rule.collide(frame.ravel(), r, c, 5)
+        expected = m.collide(frame, 5)
+        assert np.array_equal(np.asarray(got).reshape(6, 8), expected)
+
+    def test_hpp_collide_ignores_time(self):
+        m = HPPModel(4, 4, boundary="null")
+        rule = make_rule(m)
+        frame = np.array([0b0101, 0b1010, 3, 0], dtype=np.uint8)
+        r = c = np.zeros(4, dtype=int)
+        a = rule.collide(frame, r, c, 0)
+        b = rule.collide(frame, r, c, 99)
+        assert np.array_equal(a, b)

@@ -1,0 +1,129 @@
+"""Unit tests for the serial pipeline engine (section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.engines.pipeline import PipelineStage, SerialPipelineEngine
+from repro.engines.pe import make_rule
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
+
+
+@pytest.fixture
+def fhp_model():
+    return FHPModel(8, 10, boundary="null", chirality="alternate")
+
+
+class TestPipelineStage:
+    def test_latency_and_storage(self, fhp_model):
+        stage = PipelineStage(make_rule(fhp_model))
+        assert stage.latency_ticks == 10 + 1
+        assert stage.storage_sites == 2 * 10 + 3  # the paper's 2L + 3
+
+    def test_stage_equals_model_step(self, fhp_model, rng):
+        stage = PipelineStage(make_rule(fhp_model))
+        frame = uniform_random_state(8, 10, 6, 0.4, rng)
+        out = stage.process(frame.ravel(), generation=0)
+        expected = fhp_model.step(frame, 0)
+        assert np.array_equal(out.reshape(8, 10), expected)
+
+    def test_tickwise_equals_vectorized(self, fhp_model, rng):
+        stage = PipelineStage(make_rule(fhp_model))
+        frame = uniform_random_state(8, 10, 6, 0.4, rng).ravel()
+        for t in (0, 1):
+            assert np.array_equal(
+                stage.process_tickwise(frame, t), stage.process(frame, t)
+            )
+
+    def test_tickwise_window_suffices(self, rng):
+        """The tick-accurate stage never overruns its 2L+3 window — a
+        constructive proof of the paper's storage claim."""
+        m = FHPModel(6, 7, boundary="null")
+        stage = PipelineStage(make_rule(m))
+        frame = uniform_random_state(6, 7, 6, 0.5, rng).ravel()
+        stage.process_tickwise(frame, 0)  # would raise WindowOverrunError
+
+    def test_rejects_wrong_stream_shape(self, fhp_model):
+        stage = PipelineStage(make_rule(fhp_model))
+        with pytest.raises(ValueError, match="shape"):
+            stage.process(np.zeros(7, dtype=np.uint8), 0)
+
+    def test_hpp_stage(self, rng):
+        m = HPPModel(6, 6, boundary="null")
+        stage = PipelineStage(make_rule(m))
+        frame = uniform_random_state(6, 6, 4, 0.3, rng)
+        out = stage.process(frame.ravel(), 0)
+        assert np.array_equal(out.reshape(6, 6), m.step(frame, 0))
+
+
+class TestSerialPipelineEngine:
+    def test_matches_reference_multi_generation(self, fhp_model, rng):
+        frame = uniform_random_state(8, 10, 6, 0.35, rng)
+        ref = LatticeGasAutomaton(fhp_model, frame.copy())
+        ref.run(6)
+        eng = SerialPipelineEngine(fhp_model, pipeline_depth=3)
+        out, stats = eng.run(frame, 6)
+        assert np.array_equal(out, ref.state)
+        assert stats.site_updates == 6 * 80
+
+    def test_generations_not_multiple_of_depth(self, fhp_model, rng):
+        frame = uniform_random_state(8, 10, 6, 0.35, rng)
+        ref = LatticeGasAutomaton(fhp_model, frame.copy())
+        ref.run(5)
+        eng = SerialPipelineEngine(fhp_model, pipeline_depth=3)
+        out, _ = eng.run(frame, 5)
+        assert np.array_equal(out, ref.state)
+
+    def test_zero_generations(self, fhp_model, rng):
+        frame = uniform_random_state(8, 10, 6, 0.35, rng)
+        eng = SerialPipelineEngine(fhp_model)
+        out, stats = eng.run(frame.copy(), 0)
+        assert np.array_equal(out, frame)
+        assert stats.ticks == 0 and stats.io_bits_main == 0
+
+    def test_tick_accounting_single_pass(self, fhp_model, rng):
+        frame = uniform_random_state(8, 10, 6, 0.35, rng)
+        eng = SerialPipelineEngine(fhp_model, pipeline_depth=4)
+        _, stats = eng.run(frame, 4)
+        n = 80
+        assert stats.ticks == n + 4 * (10 + 1)
+        assert stats.io_bits_main == 2 * 6 * n
+
+    def test_io_independent_of_depth_per_pass(self, fhp_model, rng):
+        """Deeper pipelines do the same total I/O in fewer passes —
+        'without the need for further external data'."""
+        frame = uniform_random_state(8, 10, 6, 0.35, rng)
+        _, s1 = SerialPipelineEngine(fhp_model, 1).run(frame.copy(), 6)
+        _, s6 = SerialPipelineEngine(fhp_model, 6).run(frame.copy(), 6)
+        assert s1.io_bits_main == 6 * s6.io_bits_main
+
+    def test_stats_metadata(self, fhp_model, rng):
+        eng = SerialPipelineEngine(fhp_model, pipeline_depth=2, clock_hz=5e6)
+        frame = uniform_random_state(8, 10, 6, 0.3, rng)
+        _, stats = eng.run(frame, 2)
+        assert stats.num_pes == 2
+        assert stats.num_chips == 2
+        assert stats.clock_hz == 5e6
+        assert stats.storage_sites == 2 * (2 * 10 + 3)
+
+    def test_tickwise_mode_matches(self, rng):
+        m = FHPModel(6, 6, boundary="null")
+        frame = uniform_random_state(6, 6, 6, 0.4, rng)
+        fast, _ = SerialPipelineEngine(m, 2).run(frame.copy(), 2)
+        slow, _ = SerialPipelineEngine(m, 2).run(frame.copy(), 2, tickwise=True)
+        assert np.array_equal(fast, slow)
+
+    def test_start_time_affects_chirality(self, rng):
+        """FHP alternate chirality depends on generation parity: starting
+        at t=1 must differ from t=0 for a state with collisions."""
+        m = FHPModel(6, 6, boundary="null")
+        frame = np.full((6, 6), 0b001001, dtype=np.uint8)  # head-on pairs
+        out0, _ = SerialPipelineEngine(m).run(frame.copy(), 1, start_time=0)
+        out1, _ = SerialPipelineEngine(m).run(frame.copy(), 1, start_time=1)
+        assert not np.array_equal(out0, out1)
+
+    def test_validates_depth(self, fhp_model):
+        with pytest.raises(ValueError):
+            SerialPipelineEngine(fhp_model, pipeline_depth=0)

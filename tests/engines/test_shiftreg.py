@@ -1,0 +1,72 @@
+"""Unit tests for the shift-register delay line."""
+
+import pytest
+
+from repro.engines.shiftreg import ShiftRegister, WindowOverrunError
+
+
+class TestShiftRegister:
+    def test_push_and_tap_newest(self):
+        sr = ShiftRegister(capacity=4)
+        sr.push(10)
+        assert sr.tap(0) == 10
+
+    def test_ages(self):
+        sr = ShiftRegister(capacity=4)
+        for v in (1, 2, 3):
+            sr.push(v)
+        assert sr.tap(0) == 3
+        assert sr.tap(1) == 2
+        assert sr.tap(2) == 1
+
+    def test_wraparound(self):
+        sr = ShiftRegister(capacity=3)
+        for v in range(10):
+            sr.push(v)
+        assert sr.tap(0) == 9
+        assert sr.tap(2) == 7
+
+    def test_overrun_capacity(self):
+        sr = ShiftRegister(capacity=3)
+        for v in range(5):
+            sr.push(v)
+        with pytest.raises(WindowOverrunError, match="capacity"):
+            sr.tap(3)
+
+    def test_overrun_unpushed(self):
+        sr = ShiftRegister(capacity=5)
+        sr.push(1)
+        with pytest.raises(WindowOverrunError, match="pushed"):
+            sr.tap(1)
+
+    def test_negative_age(self):
+        sr = ShiftRegister(capacity=2)
+        sr.push(1)
+        with pytest.raises(WindowOverrunError, match="future"):
+            sr.tap(-1)
+
+    def test_tap_or_fill(self):
+        sr = ShiftRegister(capacity=4, fill_value=7)
+        sr.push(1)
+        assert sr.tap_or_fill(0) == 1
+        assert sr.tap_or_fill(2) == 7
+        with pytest.raises(WindowOverrunError):
+            sr.tap_or_fill(4)
+
+    def test_reset(self):
+        sr = ShiftRegister(capacity=3)
+        sr.push(5)
+        sr.reset()
+        assert sr.pushes == 0
+        with pytest.raises(WindowOverrunError):
+            sr.tap(0)
+
+    def test_pushes_counter(self):
+        sr = ShiftRegister(capacity=2)
+        for _ in range(7):
+            sr.push(0)
+        assert sr.pushes == 7
+
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(capacity=0)

@@ -1,0 +1,92 @@
+"""Unit tests for engine statistics."""
+
+import pytest
+
+from repro.engines.stats import EngineStats, ThroughputReport
+
+
+def make_stats(**kw) -> EngineStats:
+    defaults = dict(
+        name="x",
+        site_updates=1000,
+        ticks=500,
+        io_bits_main=16000,
+        io_bits_side=0,
+        storage_sites=100,
+        num_pes=4,
+        num_chips=2,
+        clock_hz=10e6,
+    )
+    defaults.update(kw)
+    return EngineStats(**defaults)
+
+
+class TestEngineStats:
+    def test_seconds(self):
+        assert make_stats().seconds == pytest.approx(5e-5)
+
+    def test_updates_per_second(self):
+        assert make_stats().updates_per_second == pytest.approx(1000 / 5e-5)
+
+    def test_updates_per_tick(self):
+        assert make_stats().updates_per_tick == pytest.approx(2.0)
+
+    def test_bandwidth_per_tick(self):
+        assert make_stats().main_bandwidth_bits_per_tick == pytest.approx(32.0)
+
+    def test_bandwidth_bytes_per_second(self):
+        assert make_stats().main_bandwidth_bytes_per_second == pytest.approx(
+            32 * 10e6 / 8
+        )
+
+    def test_io_bits_per_update(self):
+        assert make_stats().io_bits_per_update == pytest.approx(16.0)
+
+    def test_pe_utilization(self):
+        assert make_stats().pe_utilization == pytest.approx(0.5)
+
+    def test_zero_ticks_rates(self):
+        s = make_stats(ticks=0, site_updates=0, io_bits_main=0)
+        assert s.updates_per_second == 0.0
+        assert s.main_bandwidth_bits_per_tick == 0.0
+        assert s.io_bits_per_update == 0.0
+
+    def test_merge_accumulates(self):
+        merged = make_stats().merge(make_stats(site_updates=500, ticks=100))
+        assert merged.site_updates == 1500
+        assert merged.ticks == 600
+        assert merged.num_pes == 4  # max, not sum
+
+    def test_merge_rejects_clock_mismatch(self):
+        with pytest.raises(ValueError):
+            make_stats().merge(make_stats(clock_hz=5e6))
+
+    def test_validates_negative(self):
+        with pytest.raises(ValueError):
+            make_stats(site_updates=-1)
+
+    def test_validates_clock(self):
+        with pytest.raises(ValueError):
+            make_stats(clock_hz=0)
+
+
+class TestThroughputReport:
+    def test_derating(self):
+        r = ThroughputReport(
+            name="x",
+            peak_updates_per_second=20e6,
+            realized_updates_per_second=1e6,
+            bandwidth_demand_bytes_per_second=40e6,
+            host_bandwidth_bytes_per_second=2e6,
+        )
+        assert r.derating == pytest.approx(0.05)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ThroughputReport(
+                name="x",
+                peak_updates_per_second=0,
+                realized_updates_per_second=1,
+                bandwidth_demand_bytes_per_second=1,
+                host_bandwidth_bytes_per_second=1,
+            )

@@ -1,0 +1,113 @@
+"""Unit tests for the WSA engine (section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.engines.wide_serial import WideSerialEngine
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+
+
+@pytest.fixture
+def model():
+    return FHPModel(8, 12, boundary="null")
+
+
+class TestFunctional:
+    def test_matches_reference(self, model, rng):
+        frame = uniform_random_state(8, 12, 6, 0.35, rng)
+        ref = LatticeGasAutomaton(model, frame.copy())
+        ref.run(4)
+        eng = WideSerialEngine(model, lanes=4, pipeline_depth=2)
+        out, _ = eng.run(frame, 4)
+        assert np.array_equal(out, ref.state)
+
+    def test_lanes_do_not_change_result(self, model, rng):
+        frame = uniform_random_state(8, 12, 6, 0.35, rng)
+        out1, _ = WideSerialEngine(model, lanes=1).run(frame.copy(), 3)
+        out4, _ = WideSerialEngine(model, lanes=4).run(frame.copy(), 3)
+        assert np.array_equal(out1, out4)
+
+
+class TestAccounting:
+    def test_lanes_speed_up_streaming(self, model, rng):
+        frame = uniform_random_state(8, 12, 6, 0.35, rng)
+        _, s1 = WideSerialEngine(model, lanes=1).run(frame.copy(), 2)
+        _, s4 = WideSerialEngine(model, lanes=4).run(frame.copy(), 2)
+        assert s4.ticks < s1.ticks
+        assert s4.updates_per_second > 3 * s1.updates_per_second
+
+    def test_bandwidth_scales_with_lanes(self, model, rng):
+        """'two new site values are required every clock period ... the
+        extra PEs require added bandwidth.'"""
+        frame = uniform_random_state(8, 12, 6, 0.35, rng)
+        _, s1 = WideSerialEngine(model, lanes=1).run(frame.copy(), 2)
+        _, s4 = WideSerialEngine(model, lanes=4).run(frame.copy(), 2)
+        # Same total bits, but moved in ~1/4 the ticks: bandwidth ≈ 4x.
+        assert s1.io_bits_main == s4.io_bits_main
+        ratio = s4.main_bandwidth_bits_per_tick / s1.main_bandwidth_bits_per_tick
+        assert 3.0 < ratio < 4.5
+
+    def test_storage_incremental_in_lanes(self, model):
+        """'at a cost of only the incremental amount of memory' — 7 cells
+        per extra lane, exactly the paper's 2L + 7P + 3 budget."""
+        e1 = WideSerialEngine(model, lanes=1)
+        e4 = WideSerialEngine(model, lanes=4)
+        assert e1.storage_sites_per_stage == 2 * 12 + 3
+        assert e4.storage_sites_per_stage - e1.storage_sites_per_stage == 7 * 3
+
+    def test_storage_matches_paper_formula(self, model):
+        for lanes in (1, 2, 4):
+            eng = WideSerialEngine(model, lanes=lanes)
+            # paper formula 2L + 7P + 3, with the serial window 2L + 3
+            assert eng.storage_sites_per_stage == (2 * 12 + 3) + 7 * (lanes - 1)
+
+    def test_num_pes(self, model, rng):
+        frame = uniform_random_state(8, 12, 6, 0.3, rng)
+        _, stats = WideSerialEngine(model, lanes=3, pipeline_depth=2).run(frame, 2)
+        assert stats.num_pes == 6
+        assert stats.num_chips == 2
+
+    def test_pe_utilization_below_one(self, model, rng):
+        frame = uniform_random_state(8, 12, 6, 0.3, rng)
+        _, stats = WideSerialEngine(model, lanes=2, pipeline_depth=2).run(frame, 2)
+        assert 0 < stats.pe_utilization <= 1.0
+
+    def test_ticks_per_pass_rounds_up(self, model):
+        eng = WideSerialEngine(model, lanes=5)  # 96 sites / 5 -> 20 ticks
+        assert eng.ticks_per_pass(1) >= 20
+
+    def test_validates_lanes(self, model):
+        with pytest.raises(ValueError):
+            WideSerialEngine(model, lanes=0)
+
+
+class TestTickwiseLanes:
+    def test_tickwise_matches_vectorized(self, model, rng):
+        """Lane-accurate tick simulation through a hard-capacity delay
+        line of 2L + 3 + (P−1) cells — the multi-lane window proved by
+        construction."""
+        from repro.lgca.flows import uniform_random_state
+
+        frame = uniform_random_state(8, 12, 6, 0.4, rng)
+        for lanes in (1, 2, 4, 5):
+            fast, _ = WideSerialEngine(model, lanes=lanes, pipeline_depth=2).run(
+                frame.copy(), 4
+            )
+            slow, _ = WideSerialEngine(model, lanes=lanes, pipeline_depth=2).run(
+                frame.copy(), 4, tickwise=True
+            )
+            assert np.array_equal(fast, slow), f"lanes={lanes}"
+
+    def test_capacity_is_exactly_tight(self, model, rng):
+        """The oldest tap of a P-lane tick has age 2·reach + P − 1, so
+        capacity 2·reach + P is exactly sufficient — and the simulation
+        would raise WindowOverrunError if the block math drifted."""
+        from repro.lgca.flows import uniform_random_state
+
+        frame = uniform_random_state(8, 12, 6, 0.4, rng)
+        eng = WideSerialEngine(model, lanes=3)
+        out = eng.process_stage_tickwise(frame.ravel(), 0)
+        expected = eng.stage.process(frame.ravel(), 0)
+        assert np.array_equal(out, expected)

@@ -1,0 +1,84 @@
+"""Failure injection: the 2L+3 delay window is necessary, not just
+sufficient — and broken hardware configurations fail loudly, never
+silently."""
+
+import numpy as np
+import pytest
+
+from repro.engines.pe import make_rule
+from repro.engines.pipeline import PipelineStage
+from repro.engines.shiftreg import WindowOverrunError
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
+
+
+class TestWindowNecessity:
+    def test_fhp_window_minus_one_overruns(self, rng):
+        """A delay line one cell shorter than 2L+3 cannot assemble the
+        hexagonal neighborhood."""
+        model = FHPModel(6, 8, boundary="null")
+        stage = PipelineStage(make_rule(model))
+        frame = uniform_random_state(6, 8, 6, 0.5, rng).ravel()
+        full = stage._stencil.window_sites()
+        # exact capacity works
+        out = stage.process_tickwise(frame, 0, capacity_override=full)
+        assert np.array_equal(out, stage.process(frame, 0))
+        # one less: provably impossible
+        with pytest.raises(WindowOverrunError, match="capacity"):
+            stage.process_tickwise(frame, 0, capacity_override=full - 1)
+
+    def test_hpp_window_minus_one_overruns(self, rng):
+        model = HPPModel(6, 7, boundary="null")
+        stage = PipelineStage(make_rule(model))
+        frame = uniform_random_state(6, 7, 4, 0.4, rng).ravel()
+        full = stage._stencil.window_sites()
+        stage.process_tickwise(frame, 0, capacity_override=full)
+        with pytest.raises(WindowOverrunError):
+            stage.process_tickwise(frame, 0, capacity_override=full - 1)
+
+    def test_oversized_window_is_harmless(self, rng):
+        """Extra delay cells change nothing (they are just wasted β)."""
+        model = FHPModel(6, 8, boundary="null")
+        stage = PipelineStage(make_rule(model))
+        frame = uniform_random_state(6, 8, 6, 0.5, rng).ravel()
+        big = stage.process_tickwise(
+            frame, 0, capacity_override=stage._stencil.window_sites() + 50
+        )
+        assert np.array_equal(big, stage.process(frame, 0))
+
+    def test_window_scales_with_lattice_width(self):
+        """The window is 2·cols + 3 — the Theorem 1 consequence that a
+        wider lattice needs a longer delay line."""
+        for cols in (5, 9, 17):
+            model = FHPModel(4, cols, boundary="null")
+            stage = PipelineStage(make_rule(model))
+            assert stage.storage_sites == 2 * cols + 3
+
+
+class TestCorruptTablesAreRejected:
+    def test_bit_flip_in_table_caught_at_construction(self):
+        """A single corrupted entry in a collision ROM is caught by the
+        conservation verifier before any simulation runs."""
+        from repro.lgca.collision import CollisionTable, ConservationError
+        from repro.lgca.fhp import FHP_VELOCITIES, fhp6_collision_tables
+
+        left, _ = fhp6_collision_tables()
+        corrupted = left.table.copy()
+        corrupted[0b000001] = 0b000010  # rotate a lone particle: momentum broken
+        with pytest.raises(ConservationError):
+            CollisionTable(
+                name="corrupt", table=corrupted, velocities=FHP_VELOCITIES
+            )
+
+    def test_mass_corruption_caught(self):
+        from repro.lgca.collision import CollisionTable, ConservationError
+        from repro.lgca.fhp import FHP_VELOCITIES, fhp6_collision_tables
+
+        left, _ = fhp6_collision_tables()
+        corrupted = left.table.copy()
+        corrupted[0b000011] = 0b000001  # drops a particle
+        with pytest.raises(ConservationError, match="mass"):
+            CollisionTable(
+                name="corrupt", table=corrupted, velocities=FHP_VELOCITIES
+            )

@@ -1,0 +1,126 @@
+"""Experiment E11: every engine architecture computes bit-identical
+evolutions to the reference automaton, across models and configurations."""
+
+import numpy as np
+import pytest
+
+from repro.engines.partitioned import PartitionedEngine
+from repro.engines.pipeline import SerialPipelineEngine
+from repro.engines.wide_serial import WideSerialEngine
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import density_pulse_state, uniform_random_state
+from repro.lgca.hpp import HPPModel
+
+
+def reference_evolution(model, frame, generations):
+    auto = LatticeGasAutomaton(model, frame.copy())
+    auto.run(generations)
+    return auto.state
+
+
+MODELS = [
+    ("fhp6-alt", lambda r, c: FHPModel(r, c, boundary="null", chirality="alternate")),
+    ("fhp6-left", lambda r, c: FHPModel(r, c, boundary="null", chirality="left")),
+    ("fhp7", lambda r, c: FHPModel(r, c, boundary="null", rest_particles=True)),
+    ("hpp", lambda r, c: HPPModel(r, c, boundary="null")),
+]
+
+
+@pytest.mark.parametrize("name,make_model", MODELS)
+@pytest.mark.parametrize("generations", [1, 3, 7])
+class TestAllEnginesMatchReference:
+    def _frame(self, model, rng):
+        return uniform_random_state(
+            model.rows, model.cols, model.num_channels, 0.35, rng
+        )
+
+    def test_serial_pipeline(self, name, make_model, generations, rng):
+        model = make_model(9, 11)
+        frame = self._frame(model, rng)
+        expected = reference_evolution(model, frame, generations)
+        out, _ = SerialPipelineEngine(model, pipeline_depth=2).run(
+            frame, generations
+        )
+        assert np.array_equal(out, expected)
+
+    def test_wide_serial(self, name, make_model, generations, rng):
+        model = make_model(9, 11)
+        frame = self._frame(model, rng)
+        expected = reference_evolution(model, frame, generations)
+        out, _ = WideSerialEngine(model, lanes=3, pipeline_depth=2).run(
+            frame, generations
+        )
+        assert np.array_equal(out, expected)
+
+    def test_partitioned(self, name, make_model, generations, rng):
+        model = make_model(9, 11)
+        frame = self._frame(model, rng)
+        expected = reference_evolution(model, frame, generations)
+        out, _ = PartitionedEngine(model, slice_width=4, pipeline_depth=2).run(
+            frame, generations
+        )
+        assert np.array_equal(out, expected)
+
+
+class TestCrossEngineAgreement:
+    def test_all_engines_agree_on_pulse(self, rng):
+        """A structured flow (density pulse) through all three engines."""
+        model = FHPModel(12, 12, boundary="null")
+        frame = density_pulse_state(12, 12, 6, 0.1, 0.8, 3, rng)
+        outs = []
+        for eng in (
+            SerialPipelineEngine(model, pipeline_depth=4),
+            WideSerialEngine(model, lanes=4, pipeline_depth=4),
+            PartitionedEngine(model, slice_width=6, pipeline_depth=4),
+        ):
+            out, _ = eng.run(frame.copy(), 4)
+            outs.append(out)
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[1], outs[2])
+
+    def test_tickwise_agrees_on_pulse(self, rng):
+        model = FHPModel(8, 8, boundary="null")
+        frame = density_pulse_state(8, 8, 6, 0.1, 0.9, 2, rng)
+        fast, _ = SerialPipelineEngine(model, 2).run(frame.copy(), 2)
+        slow, _ = SerialPipelineEngine(model, 2).run(
+            frame.copy(), 2, tickwise=True
+        )
+        assert np.array_equal(fast, slow)
+
+
+class TestAnalyticIOMatchesMeasured:
+    def test_wsa_bandwidth_matches_design_model(self, rng):
+        """Measured engine bits/tick approaches the analytic 2DP as the
+        frame grows (fill/drain overhead vanishes)."""
+        model = FHPModel(24, 24, boundary="null")
+        frame = uniform_random_state(24, 24, 6, 0.3, rng)
+        lanes = 4
+        _, stats = WideSerialEngine(model, lanes=lanes, pipeline_depth=1).run(
+            frame, 1
+        )
+        analytic = 2 * 6 * lanes  # 2 D P with D = 6 bits for FHP-6
+        assert stats.main_bandwidth_bits_per_tick == pytest.approx(
+            analytic, rel=0.15
+        )
+
+    def test_spa_side_traffic_scales_with_boundaries(self, rng):
+        model = FHPModel(12, 24, boundary="null")
+        frame = uniform_random_state(12, 24, 6, 0.3, rng)
+        _, s2 = PartitionedEngine(model, slice_width=12).run(frame.copy(), 2)
+        _, s4 = PartitionedEngine(model, slice_width=6).run(frame.copy(), 2)
+        # 1 boundary vs 3 boundaries
+        assert s4.io_bits_side == pytest.approx(3 * s2.io_bits_side, rel=0.05)
+
+    def test_serial_engine_io_per_update_is_2d_over_k(self, rng):
+        """The engine realizes the row-cache schedule's 2/k site values
+        (= 2D/k bits) per update."""
+        model = FHPModel(10, 10, boundary="null")
+        frame = uniform_random_state(10, 10, 6, 0.3, rng)
+        for k in (1, 2, 4):
+            _, stats = SerialPipelineEngine(model, pipeline_depth=k).run(
+                frame.copy(), 4
+            )
+            expected_bits = 2 * 6 / k
+            # generations=4 divides evenly by k for k in 1,2,4
+            assert stats.io_bits_per_update == pytest.approx(expected_bits)

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing contracts; these tests keep them from rotting.
+Each example's ``main()`` is imported and executed (stdout captured).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "reproduce_paper",
+    "design_space_exploration",
+    "pebbling_io_bounds",
+    "engine_simulation",
+    "wolfram_pipeline",
+    "fhp_cylinder_flow",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolve string annotations through sys.modules
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(spec.name, None)
+        raise
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates its result
+
+
+def test_quickstart_reports_paper_points(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "P=4" in out and "L=785" in out
+    assert "bit-identical" in out
+
+
+def test_engine_simulation_all_bit_exact(capsys):
+    _load("engine_simulation").main()
+    out = capsys.readouterr().out
+    assert out.count("bit-exact") == 3
+
+
+def test_reproduce_paper_scoreboard_all_pass(capsys):
+    _load("reproduce_paper").main()
+    out = capsys.readouterr().out
+    assert "25/25 paper claims reproduced." in out
+    assert "FAIL" not in out
+
+
+def test_cylinder_flow_reports_drag(capsys):
+    _load("fhp_cylinder_flow").main()
+    out = capsys.readouterr().out
+    assert "drag" in out
+    assert "velocity deficit" in out

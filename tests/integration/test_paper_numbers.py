@@ -1,0 +1,146 @@
+"""Regression anchors: every quantitative claim of the paper, in one file.
+
+Each test quotes the paper's sentence it checks.  These are the numbers
+EXPERIMENTS.md tabulates.
+"""
+
+import pytest
+
+from repro.core.comparison import compare_extensible, compare_optimal_designs
+from repro.core.spa import SPAModel
+from repro.core.technology import PAPER_TECHNOLOGY
+from repro.core.throughput import PrototypeThroughputModel
+from repro.core.wsa import WSAModel
+from repro.core.wsa_e import WSAEDesign
+from repro.lattice.embedding import (
+    hex_diagonal_pair_distance,
+    minimum_span_lower_bound,
+    row_major_embedding,
+)
+
+
+class TestSection3:
+    def test_span_theorem_bound(self):
+        """'Then span >= n.' (Theorem 1)"""
+        for n in (10, 100):
+            assert row_major_embedding(n).span() >= minimum_span_lower_bound(n)
+
+    def test_2n_minus_2_figure(self):
+        """'...so that some elements of the neighborhood are at least
+        2n - 2 positions apart.'"""
+        assert hex_diagonal_pair_distance(row_major_embedding(100).positions) == 198
+
+    def test_n_1000_needs_2000_sites(self):
+        """'If n = 1000, then each PE would require about 2000 sites
+        worth of memory.'"""
+        from repro.lattice.embedding import hex_neighborhood_stream_diameter
+
+        assert (
+            hex_neighborhood_stream_diameter(row_major_embedding(1000).positions)
+            == 2000
+        )
+
+
+class TestSection61WSA:
+    def test_intersection_P4_L785(self):
+        """'The intersection of the two curves is P ≈ 4 and L ≈ 785.'"""
+        d = WSAModel().optimal_design()
+        assert d.pes_per_chip == 4
+        assert d.lattice_size == 785
+
+    def test_max_system(self):
+        """'N_max = L chips; R_max = (Π/2D)·F·L sites/sec.'"""
+        m = WSAModel()
+        ms = m.max_system()
+        assert ms.num_chips == 785
+        assert ms.update_rate == pytest.approx(4 * 10e6 * 785)
+
+    def test_upper_bound_on_L_exists(self):
+        """'there is an upper bound on L even if we were to accept
+        arbitrarily slow computation.'"""
+        assert WSAModel().absolute_max_lattice_size() < 1000
+
+
+class TestSection62SPA:
+    def test_corner_13_5_and_43(self):
+        """'the corner at P ≈ 13.5 and W ≈ 43 yields the best choice.'"""
+        c = SPAModel().corner()
+        assert c.p == pytest.approx(13.5)
+        assert round(c.x) == 43
+
+    def test_pw_split(self):
+        """'this occurs at P_w = 9/4.'"""
+        pw, pk = SPAModel().optimal_split_continuous()
+        assert pw == pytest.approx(9 / 4)
+        assert pk == pytest.approx(6.0)
+
+
+class TestSection63Comparison:
+    def test_spa_three_times_faster(self):
+        """'SPA is three times faster than WSA. (SPA has twelve
+        processors per chip while WSA has four.)'"""
+        c = compare_optimal_designs()
+        assert c.speedup_spa_over_wsa == pytest.approx(3.0)
+
+    def test_wsa_64_bits_per_tick(self):
+        """'...versus 64 bits/tick.'"""
+        c = compare_optimal_designs()
+        assert c.wsa.main_memory_bandwidth_bits_per_tick == 64
+
+    def test_spa_bandwidth_factor_about_4(self):
+        """'the SPA system requires four times as much main memory
+        bandwidth' (paper: 262 bits/tick; our exact W=43 model: 292)."""
+        c = compare_optimal_designs()
+        assert c.bandwidth_ratio_spa_over_wsa == pytest.approx(4.0, abs=0.7)
+
+    def test_wsa_e_single_pe_16_bits(self):
+        """'The pin constraints ... allow only one processor per chip';
+        'WSA-E has a constant bandwidth requirement of 16 bits per clock
+        tick and requires (2L+10)B storage area per processor.'"""
+        d = WSAEDesign(PAPER_TECHNOLOGY, lattice_size=1000)
+        assert d.pes_per_chip == 1
+        assert d.main_memory_bandwidth_bits_per_tick == 16
+        assert d.delay_sites_per_stage == 2 * 1000 + 10
+
+    def test_spa_128_34_B_per_pe(self):
+        """'SPA has a main memory bandwidth requirement of ... and
+        requires (128¾)B area per processor.'"""
+        spa = SPAModel().optimal_design(1000)
+        assert spa.storage_area_per_pe / PAPER_TECHNOLOGY.B == pytest.approx(
+            128.75, abs=0.3
+        )
+
+    def test_spa_twelve_times_faster_than_wsa_e(self):
+        """'the SPA system is twelve times faster than WSA-E.'"""
+        assert compare_extensible(1000).speedup_spa_over_wsa_e == pytest.approx(12.0)
+
+    def test_l1000_twice_area_twentieth_bandwidth(self):
+        """'if L = 1000, then WSA-E requires about twice as much area as
+        SPA, while requiring about one twentieth as much bandwidth.'"""
+        c = compare_extensible(1000, commercial_density=8.0)
+        assert c.commercial_area_ratio_wsa_e_over_spa == pytest.approx(2.0, abs=0.3)
+        assert 1 / c.bandwidth_ratio_wsa_e_over_spa == pytest.approx(20.0, abs=5.0)
+
+
+class TestSection8Prototype:
+    def test_20m_updates_at_10mhz(self):
+        """'Each chip provides 20 million site-updates per second running
+        at 10 MHz.'"""
+        assert PrototypeThroughputModel().peak_updates_per_second == 20e6
+
+    def test_40mb_per_second_demand(self):
+        """'...the 40 megabyte per second bandwidth required.'"""
+        assert PrototypeThroughputModel().required_bandwidth_bytes_per_second == 40e6
+
+    def test_1m_realized(self):
+        """'We expect to realize approximately 1 million
+        site-updates/sec/chip from the prototype implementation.'"""
+        assert PrototypeThroughputModel().realized_rate(2e6) == pytest.approx(1e6)
+
+    def test_four_percent_processing_area(self):
+        """'a chip in 3µ CMOS has been fabricated ... in which about 4
+        percent of the area is used for processing.'  At the optimal
+        design (P=4) the PE area fraction is 4Γ ≈ 7.8%; the fabricated
+        2-lane prototype is 2Γ ≈ 3.9% ≈ 4%."""
+        fabricated_fraction = 2 * PAPER_TECHNOLOGY.Gamma
+        assert fabricated_fraction == pytest.approx(0.04, abs=0.01)

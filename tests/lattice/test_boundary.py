@@ -1,0 +1,98 @@
+"""Unit tests for repro.lattice.boundary."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.boundary import (
+    NullBoundary,
+    PeriodicBoundary,
+    ReflectingBoundary,
+    TruncatedBoundary,
+    make_boundary,
+)
+
+
+class TestMakeBoundary:
+    @pytest.mark.parametrize("name", ["null", "periodic", "reflecting", "truncated"])
+    def test_registry(self, name):
+        assert make_boundary(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown boundary"):
+            make_boundary("toroidal")
+
+    def test_kwargs_forwarded(self):
+        b = make_boundary("null", fill_value=7)
+        assert b.fill_value == 7
+
+
+class TestNullBoundary:
+    def test_resolve_inside(self):
+        assert NullBoundary().resolve(3, 10) == 3
+
+    def test_resolve_outside_is_none(self):
+        b = NullBoundary()
+        assert b.resolve(-1, 10) is None
+        assert b.resolve(10, 10) is None
+
+    def test_exists(self):
+        b = NullBoundary()
+        assert b.exists(0, 5)
+        assert not b.exists(5, 5)
+
+    def test_pad_fills_constant(self):
+        field = np.ones((2, 2))
+        padded = NullBoundary(fill_value=0).pad(field, 1)
+        assert padded.shape == (4, 4)
+        assert padded[0, 0] == 0
+        assert padded[1, 1] == 1
+
+
+class TestPeriodicBoundary:
+    def test_wraps(self):
+        b = PeriodicBoundary()
+        assert b.resolve(-1, 10) == 9
+        assert b.resolve(10, 10) == 0
+        assert b.resolve(-11, 10) == 9
+
+    def test_pad_wraps_values(self):
+        field = np.arange(4).reshape(2, 2)
+        padded = b = PeriodicBoundary().pad(field, 1)
+        assert padded[0, 1] == field[-1, 0]
+
+
+class TestReflectingBoundary:
+    def test_mirror(self):
+        b = ReflectingBoundary()
+        assert b.resolve(-1, 10) == 1
+        assert b.resolve(10, 10) == 8
+        assert b.resolve(-2, 10) == 2
+
+    def test_size_one(self):
+        assert ReflectingBoundary().resolve(5, 1) == 0
+
+    def test_pad_reflects(self):
+        field = np.array([[1, 2], [3, 4]])
+        padded = ReflectingBoundary().pad(field, 1)
+        assert padded[0, 1] == 3  # reflection of row 1
+
+    def test_round_trip_period(self):
+        b = ReflectingBoundary()
+        # reflect(x) is periodic with period 2(n-1)
+        n = 6
+        assert b.resolve(3 + 2 * (n - 1), n) == 3
+
+
+class TestTruncatedBoundary:
+    def test_outside_is_none(self):
+        b = TruncatedBoundary()
+        assert b.resolve(-1, 4) is None
+        assert b.resolve(4, 4) is None
+
+    def test_inside_identity(self):
+        assert TruncatedBoundary().resolve(2, 4) == 2
+
+    def test_pad_replicates_edge(self):
+        field = np.array([[1, 2], [3, 4]])
+        padded = TruncatedBoundary().pad(field, 1)
+        assert padded[0, 1] == 1

@@ -1,0 +1,187 @@
+"""Unit + property tests for embeddings and Theorem 1 (span >= n)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.embedding import (
+    Embedding,
+    hex_diagonal_pair_distance,
+    hex_neighborhood_stream_diameter,
+    array_span,
+    block_embedding,
+    column_major_embedding,
+    diagonal_embedding,
+    minimum_span_lower_bound,
+    neighborhood_stream_diameter,
+    row_major_embedding,
+    snake_embedding,
+)
+
+ALL_EMBEDDINGS = [
+    row_major_embedding,
+    column_major_embedding,
+    snake_embedding,
+    block_embedding,
+    diagonal_embedding,
+]
+
+
+class TestEmbeddingValidation:
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            Embedding("bad", np.zeros((2, 2), dtype=int))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            Embedding("bad", np.arange(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Embedding("bad", np.empty((0, 0), dtype=int))
+
+    def test_stream_order_is_inverse(self):
+        emb = snake_embedding(3, 3)
+        order = emb.stream_order()
+        for pos, (r, c) in enumerate(order):
+            assert emb.positions[r, c] == pos
+
+
+class TestArraySpan:
+    def test_row_major_span_is_cols(self):
+        emb = row_major_embedding(5, 7)
+        assert emb.span() == 7  # vertical neighbors are `cols` apart
+
+    def test_square_row_major_span(self):
+        assert row_major_embedding(6).span() == 6
+
+    def test_column_major_span(self):
+        assert column_major_embedding(5, 7).span() == 5
+
+    def test_snake_span(self):
+        # Within-row steps are 1; the worst vertical neighbor pair sits
+        # at the column where consecutive reversed rows are farthest
+        # apart: 2*cols - 1.
+        assert snake_embedding(4, 5).span() == 2 * 5 - 1
+
+    def test_snake_span_explicit(self):
+        emb = snake_embedding(3, 4)
+        # rows: [0 1 2 3], [7 6 5 4], [8 9 10 11]
+        assert emb.span() == array_span(emb.positions)
+        assert emb.span() == 7  # |0-7| = 7 at column 0
+
+    def test_single_row(self):
+        assert row_major_embedding(1, 8).span() == 1
+
+    def test_single_site(self):
+        assert Embedding("one", np.array([[0]])).span() == 0
+
+    def test_array_span_rejects_1d(self):
+        with pytest.raises(ValueError):
+            array_span(np.arange(5))
+
+    @pytest.mark.parametrize("make", ALL_EMBEDDINGS)
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_theorem1_all_embeddings(self, make, n):
+        """Theorem 1: any n x n placement has span >= n."""
+        emb = make(n)
+        assert emb.span() >= minimum_span_lower_bound(n)
+
+    @given(st.integers(2, 6), st.randoms(use_true_random=False))
+    def test_theorem1_random_placements(self, n, rnd):
+        """Property: random permutation placements obey span >= n."""
+        perm = list(range(n * n))
+        rnd.shuffle(perm)
+        emb = Embedding("random", np.array(perm).reshape(n, n))
+        assert emb.span() >= n
+
+    def test_row_major_is_span_optimal_up_to_constant(self):
+        """Row-major's span equals the Theorem 1 lower bound exactly."""
+        for n in (2, 4, 9):
+            assert row_major_embedding(n).span() == n
+
+
+class TestNeighborhoodStreamDiameter:
+    def test_row_major_radius_ball_diameter_is_rn(self):
+        """Radius-r Manhattan ball spans r·n stream positions row-major."""
+        for n in (4, 7, 10):
+            emb = row_major_embedding(n)
+            assert emb.neighborhood_diameter(radius=2) == 2 * n
+
+    def test_radius_one_diameter_row_major(self):
+        emb = row_major_embedding(6)
+        assert emb.neighborhood_diameter(radius=1) == 6
+
+    def test_rectangular(self):
+        emb = row_major_embedding(5, 9)
+        assert emb.neighborhood_diameter(radius=2) == 2 * 9
+
+    def test_hex_neighborhood_diameter_is_2n(self):
+        """Full axial hex update neighborhood spans exactly 2n."""
+        for n in (4, 7, 10):
+            emb = row_major_embedding(n)
+            assert hex_neighborhood_stream_diameter(emb.positions) == 2 * n
+
+    def test_hex_diagonal_pair_is_2n_minus_2(self):
+        """The paper's quoted figure: the extreme short-diagonal pair of
+        one neighborhood sits 2n - 2 stream positions apart."""
+        for n in (4, 7, 10):
+            emb = row_major_embedding(n)
+            assert hex_diagonal_pair_distance(emb.positions) == 2 * n - 2
+
+    def test_hex_diagonal_small_grids(self):
+        assert hex_diagonal_pair_distance(row_major_embedding(2).positions) == 0
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            neighborhood_stream_diameter(row_major_embedding(4).positions, radius=0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            neighborhood_stream_diameter(np.arange(6), radius=2)
+
+    @pytest.mark.parametrize("make", ALL_EMBEDDINGS)
+    def test_diameter_at_least_span(self, make):
+        emb = make(6)
+        assert emb.neighborhood_diameter(radius=2) >= emb.span()
+
+    def test_n1000_magnitude_matches_paper(self):
+        """Paper: 'If n = 1000, then each PE would require about 2000
+        sites worth of memory.'"""
+        emb = row_major_embedding(1000)
+        assert hex_neighborhood_stream_diameter(emb.positions) == 2000
+        assert hex_diagonal_pair_distance(emb.positions) == 1998
+
+
+class TestBlockEmbedding:
+    def test_block_2_structure(self):
+        emb = block_embedding(4, 4, block=2)
+        assert emb.positions[0, 0] == 0
+        assert emb.positions[0, 1] == 1
+        assert emb.positions[1, 0] == 2
+        assert emb.positions[1, 1] == 3
+        assert emb.positions[0, 2] == 4
+
+    def test_block_non_dividing(self):
+        emb = block_embedding(5, 5, block=2)
+        assert sorted(emb.positions.ravel()) == list(range(25))
+
+    def test_block_span_still_at_least_n(self):
+        assert block_embedding(6, 6, block=3).span() >= 6
+
+
+class TestDiagonalEmbedding:
+    def test_is_permutation(self):
+        emb = diagonal_embedding(4, 6)
+        assert sorted(emb.positions.ravel()) == list(range(24))
+
+    def test_antidiagonal_order(self):
+        emb = diagonal_embedding(3, 3)
+        assert emb.positions[0, 0] == 0
+        # second anti-diagonal: (0,1), (1,0)
+        assert {emb.positions[0, 1], emb.positions[1, 0]} == {1, 2}
+
+    def test_span_theta_n(self):
+        emb = diagonal_embedding(8, 8)
+        assert 8 <= emb.span() <= 2 * 8

@@ -1,0 +1,226 @@
+"""Unit + property tests for repro.lattice.geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.geometry import (
+    HexagonalLattice,
+    OrthogonalLattice,
+    manhattan_ball_size,
+)
+
+
+class TestManhattanBallSize:
+    def test_orthant_closed_form(self):
+        # C(j + d, d)
+        assert manhattan_ball_size(2, 3) == math.comb(5, 2)
+        assert manhattan_ball_size(3, 4) == math.comb(7, 3)
+
+    def test_d1_orthant(self):
+        assert manhattan_ball_size(1, 5) == 6  # 0..5
+
+    def test_d1_full(self):
+        assert manhattan_ball_size(1, 5, orthant=False) == 11  # -5..5
+
+    def test_d2_full_diamond(self):
+        # |x| + |y| <= 2: 13 points
+        assert manhattan_ball_size(2, 2, orthant=False) == 13
+
+    def test_zero_radius(self):
+        assert manhattan_ball_size(4, 0) == 1
+        assert manhattan_ball_size(4, 0, orthant=False) == 1
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            manhattan_ball_size(2, -1)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            manhattan_ball_size(0, 3)
+
+    @given(st.integers(1, 4), st.integers(0, 12))
+    def test_orthant_exceeds_lemma8_bound(self, d, j):
+        """The exact ball strictly exceeds j^d / d! (Lemma 8's RHS)."""
+        assert manhattan_ball_size(d, j) > (j**d) / math.factorial(d)
+
+    @given(st.integers(1, 3), st.integers(0, 10))
+    def test_full_ball_at_least_orthant(self, d, j):
+        assert manhattan_ball_size(d, j, orthant=False) >= manhattan_ball_size(d, j)
+
+
+class TestOrthogonalLattice:
+    def test_cube_constructor(self):
+        lat = OrthogonalLattice.cube(3, 4)
+        assert lat.shape == (4, 4, 4)
+        assert lat.num_sites == 64
+        assert lat.d == 3
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            OrthogonalLattice(())
+
+    def test_rejects_zero_side(self):
+        with pytest.raises(ValueError):
+            OrthogonalLattice((4, 0))
+
+    def test_index_site_roundtrip(self):
+        lat = OrthogonalLattice((3, 5, 2))
+        for i in range(lat.num_sites):
+            assert lat.index(lat.site(i)) == i
+
+    def test_index_is_row_major(self):
+        lat = OrthogonalLattice((3, 4))
+        assert lat.index((0, 0)) == 0
+        assert lat.index((0, 3)) == 3
+        assert lat.index((1, 0)) == 4
+        assert lat.index((2, 3)) == 11
+
+    def test_index_rejects_outside(self):
+        lat = OrthogonalLattice((3, 3))
+        with pytest.raises(ValueError):
+            lat.index((3, 0))
+
+    def test_site_rejects_out_of_range(self):
+        lat = OrthogonalLattice((2, 2))
+        with pytest.raises(ValueError):
+            lat.site(4)
+
+    def test_neighborhood_includes_self(self):
+        lat = OrthogonalLattice((5, 5))
+        nbhd = lat.neighborhood((2, 2))
+        assert (2, 2) in nbhd
+        assert len(nbhd) == 5  # self + 4 neighbors
+
+    def test_corner_neighborhood(self):
+        lat = OrthogonalLattice((5, 5))
+        assert len(lat.neighborhood((0, 0))) == 3  # self + 2
+
+    def test_degree(self):
+        lat = OrthogonalLattice.cube(3, 5)
+        assert lat.degree((2, 2, 2)) == 6
+        assert lat.degree((0, 0, 0)) == 3
+
+    def test_distance_is_manhattan(self):
+        lat = OrthogonalLattice((10, 10))
+        assert lat.distance((0, 0), (3, 4)) == 7
+        assert lat.distance((5, 5), (5, 5)) == 0
+
+    def test_distance_rejects_outside(self):
+        lat = OrthogonalLattice((4, 4))
+        with pytest.raises(ValueError):
+            lat.distance((0, 0), (4, 4))
+
+    def test_reachable_within_interior_vs_corner(self):
+        lat = OrthogonalLattice((21, 21))
+        corner = lat.reachable_within((0, 0), 3)
+        center = lat.reachable_within((10, 10), 3)
+        assert corner == manhattan_ball_size(2, 3)
+        assert center == manhattan_ball_size(2, 3, orthant=False)
+        assert corner < center
+
+    def test_reachable_within_radius_zero(self):
+        lat = OrthogonalLattice((4, 4))
+        assert lat.reachable_within((1, 1), 0) == 1
+
+    def test_reachable_within_caps_at_lattice(self):
+        lat = OrthogonalLattice((3, 3))
+        assert lat.reachable_within((1, 1), 100) == 9
+
+    def test_min_reachable_is_corner(self):
+        lat = OrthogonalLattice((9, 9))
+        assert lat.min_reachable_within(4) == lat.reachable_within((0, 0), 4)
+
+    @given(st.integers(1, 3), st.integers(2, 6), st.integers(0, 5))
+    def test_reachable_within_matches_bruteforce(self, d, side, j):
+        lat = OrthogonalLattice.cube(d, side)
+        origin = (0,) * d
+        brute = sum(
+            1 for s in lat.sites() if lat.distance(origin, s) <= j
+        )
+        assert lat.reachable_within(origin, j) == brute
+
+    def test_sites_enumeration_count(self):
+        lat = OrthogonalLattice((3, 4))
+        assert len(list(lat.sites())) == 12
+
+    def test_contains(self):
+        lat = OrthogonalLattice((2, 2))
+        assert lat.contains((1, 1))
+        assert not lat.contains((2, 0))
+        assert not lat.contains((0,))  # wrong dimension
+
+
+class TestHexagonalLattice:
+    def test_sizes(self):
+        hex_ = HexagonalLattice(4, 6)
+        assert hex_.num_sites == 24
+        assert hex_.num_directions == 6
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            HexagonalLattice(0, 5)
+
+    def test_opposite(self):
+        for i in range(6):
+            assert HexagonalLattice.opposite(HexagonalLattice.opposite(i)) == i
+            assert HexagonalLattice.opposite(i) == (i + 3) % 6
+
+    def test_opposite_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            HexagonalLattice.opposite(6)
+
+    def test_neighbor_even_row(self):
+        hex_ = HexagonalLattice(6, 6)
+        assert hex_.neighbor((2, 3), 0) == (2, 4)
+        assert hex_.neighbor((2, 3), 1) == (1, 3)
+        assert hex_.neighbor((2, 3), 2) == (1, 2)
+
+    def test_neighbor_odd_row(self):
+        hex_ = HexagonalLattice(6, 6)
+        assert hex_.neighbor((3, 3), 1) == (2, 4)
+        assert hex_.neighbor((3, 3), 2) == (2, 3)
+
+    def test_neighbor_off_grid_is_none(self):
+        hex_ = HexagonalLattice(4, 4)
+        assert hex_.neighbor((0, 0), 2) is None
+
+    def test_neighbor_rejects_bad_direction(self):
+        hex_ = HexagonalLattice(4, 4)
+        with pytest.raises(ValueError):
+            hex_.neighbor((0, 0), -1)
+
+    def test_neighbor_rejects_bad_site(self):
+        hex_ = HexagonalLattice(4, 4)
+        with pytest.raises(ValueError):
+            hex_.neighbor((4, 0), 0)
+
+    def test_interior_neighborhood_has_seven(self):
+        hex_ = HexagonalLattice(6, 6)
+        assert len(hex_.neighborhood((3, 3))) == 7
+
+    def test_neighbor_reciprocity(self):
+        """x's direction-i neighbor has x as its direction-(i+3) neighbor."""
+        hex_ = HexagonalLattice(8, 8)
+        for r in range(8):
+            for c in range(8):
+                for i in range(6):
+                    n = hex_.neighbor((r, c), i)
+                    if n is not None:
+                        assert hex_.neighbor(n, (i + 3) % 6) == (r, c)
+
+    def test_direction_vectors_unit_norm(self):
+        vecs = HexagonalLattice(2, 2).direction_vectors()
+        assert np.allclose(np.linalg.norm(vecs, axis=1), 1.0)
+
+    def test_direction_vectors_sum_to_zero(self):
+        vecs = HexagonalLattice(2, 2).direction_vectors()
+        assert np.allclose(vecs.sum(axis=0), 0.0)
+
+    def test_opposite_vectors_negate(self):
+        vecs = HexagonalLattice(2, 2).direction_vectors()
+        for i in range(6):
+            assert np.allclose(vecs[i], -vecs[(i + 3) % 6])

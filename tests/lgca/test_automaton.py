@@ -1,0 +1,155 @@
+"""Unit tests for the reference LGCA driver and obstacle handling."""
+
+import numpy as np
+import pytest
+
+from repro.lgca.automaton import (
+    LatticeGasAutomaton,
+    ObstacleMap,
+    bounce_back_table,
+)
+from repro.lgca.fhp import FHPModel
+from repro.lgca.hpp import HPPModel
+from repro.lgca.flows import cylinder_obstacle, uniform_random_state
+
+
+class TestBounceBackTable:
+    @pytest.mark.parametrize("channels", [4, 6, 7])
+    def test_involution(self, channels):
+        t = bounce_back_table(channels)
+        assert np.array_equal(t[t], np.arange(1 << channels))
+
+    def test_hpp_reverses(self):
+        t = bounce_back_table(4)
+        assert t[0b0001] == 0b0100
+        assert t[0b0011] == 0b1100
+
+    def test_fhp_reverses(self):
+        t = bounce_back_table(6)
+        assert t[1 << 0] == 1 << 3
+        assert t[1 << 2] == 1 << 5
+
+    def test_rest_particle_unaffected(self):
+        t = bounce_back_table(7)
+        assert t[1 << 6] == 1 << 6
+
+    def test_mass_conserved(self):
+        t = bounce_back_table(6)
+        pc = lambda x: bin(int(x)).count("1")
+        for s in range(64):
+            assert pc(t[s]) == pc(s)
+
+    def test_unknown_channel_count(self):
+        with pytest.raises(ValueError):
+            bounce_back_table(5)
+
+
+class TestObstacleMap:
+    def test_empty(self):
+        om = ObstacleMap.empty(3, 4)
+        assert om.shape == (3, 4)
+        assert om.num_solid == 0
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ObstacleMap(np.zeros(5, dtype=bool))
+
+    def test_union(self):
+        a = ObstacleMap.empty(2, 2)
+        m = np.zeros((2, 2), dtype=bool)
+        m[0, 0] = True
+        b = ObstacleMap(m)
+        assert (a | b).num_solid == 1
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ObstacleMap.empty(2, 2) | ObstacleMap.empty(3, 3)
+
+
+class TestLatticeGasAutomaton:
+    def test_state_copied(self, rng):
+        m = FHPModel(4, 4)
+        s = uniform_random_state(4, 4, 6, 0.5, rng)
+        a = LatticeGasAutomaton(m, s)
+        a.step()
+        assert not np.shares_memory(a.state, s)
+
+    def test_rejects_mismatched_obstacles(self, rng):
+        m = FHPModel(4, 4)
+        s = uniform_random_state(4, 4, 6, 0.5, rng)
+        with pytest.raises(ValueError, match="obstacle"):
+            LatticeGasAutomaton(m, s, obstacles=ObstacleMap.empty(5, 5))
+
+    def test_time_advances(self, rng):
+        m = FHPModel(4, 4)
+        a = LatticeGasAutomaton(m, uniform_random_state(4, 4, 6, 0.3, rng))
+        a.run(7)
+        assert a.time == 7
+
+    def test_run_zero_is_noop(self, rng):
+        m = FHPModel(4, 4)
+        a = LatticeGasAutomaton(m, uniform_random_state(4, 4, 6, 0.3, rng))
+        before = a.state.copy()
+        a.run(0)
+        assert np.array_equal(a.state, before)
+
+    def test_history_shape_and_consistency(self, rng):
+        m = HPPModel(4, 4)
+        a = LatticeGasAutomaton(m, uniform_random_state(4, 4, 4, 0.3, rng))
+        h = a.history(5)
+        assert h.shape == (6, 4, 4)
+        # history[t] is reproducible by stepping a fresh automaton
+        b = LatticeGasAutomaton(m, h[0])
+        b.run(5)
+        assert np.array_equal(b.state, h[5])
+
+    def test_site_update_count(self, rng):
+        m = FHPModel(4, 6)
+        a = LatticeGasAutomaton(m, uniform_random_state(4, 6, 6, 0.3, rng))
+        assert a.site_update_count(10) == 240
+
+    def test_obstacle_conserves_mass(self, rng):
+        m = FHPModel(16, 16)
+        s = uniform_random_state(16, 16, 6, 0.4, rng)
+        obs = cylinder_obstacle(16, 16, center=(8, 8), radius=3)
+        a = LatticeGasAutomaton(m, s, obstacles=obs)
+        mass0 = a.particle_count()
+        a.run(20)
+        assert a.particle_count() == mass0
+
+    def test_obstacle_reverses_incident_particle(self):
+        m = FHPModel(6, 6)
+        s = np.zeros((6, 6), dtype=np.uint8)
+        s[2, 2] = 1 << 0  # +x particle sitting ON a solid site
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2, 2] = True
+        a = LatticeGasAutomaton(m, s, obstacles=ObstacleMap(mask))
+        a.step()
+        # bounce-back: now a -x particle moved to (2, 1)
+        assert a.state[2, 1] == 1 << 3
+
+    def test_obstacle_blocks_momentum_conservation(self, rng):
+        """Drag: a body exchanges momentum with the gas."""
+        m = FHPModel(16, 16)
+        from repro.lgca.flows import channel_flow_state
+
+        s = channel_flow_state(16, 16, m.velocities, 0.3, 0.2, rng)
+        obs = cylinder_obstacle(16, 16, center=(8, 8), radius=3)
+        a = LatticeGasAutomaton(m, s, obstacles=obs)
+        p0 = a.momentum()
+        a.run(10)
+        assert not np.allclose(a.momentum(), p0, atol=1e-6)
+
+    def test_empty_gas_stays_empty(self):
+        m = HPPModel(4, 4)
+        a = LatticeGasAutomaton(m, np.zeros((4, 4), dtype=np.uint8))
+        a.run(5)
+        assert a.state.sum() == 0
+
+    def test_full_lattice_is_fixed_point_of_mass(self, rng):
+        """A completely full FHP lattice stays full (exclusion ceiling)."""
+        m = FHPModel(6, 6)
+        s = np.full((6, 6), 0b111111, dtype=np.uint8)
+        a = LatticeGasAutomaton(m, s)
+        a.run(3)
+        assert (a.state == 0b111111).all()

@@ -1,0 +1,132 @@
+"""Unit tests for kinetic diagnostics and the saturated collision set."""
+
+import numpy as np
+import pytest
+
+from repro.lgca.diagnostics import (
+    channel_occupation,
+    collision_rate,
+    measure_shear_viscosity,
+)
+from repro.lgca.fhp import FHPModel, fhp_saturated_tables
+from repro.lgca.flows import uniform_random_state
+
+
+class TestSaturatedTables:
+    def test_permutations(self):
+        left, right = fhp_saturated_tables()
+        assert sorted(left.table.tolist()) == list(range(128))
+        assert sorted(right.table.tolist()) == list(range(128))
+
+    def test_right_inverts_left(self):
+        left, right = fhp_saturated_tables()
+        assert np.array_equal(right.table[left.table], np.arange(128))
+
+    def test_every_degenerate_state_collides(self):
+        """States sharing (mass, momentum) with another state must move."""
+        left, _ = fhp_saturated_tables()
+        fixed = set(left.fixed_points().tolist())
+        # the FHP-I head-on pairs and triads are certainly degenerate
+        for i in range(3):
+            assert ((1 << i) | (1 << (i + 3))) not in fixed
+        assert 0b010101 not in fixed
+        # a lone mover is momentum-unique: must be fixed
+        assert 0b000001 in fixed
+        assert 0 in fixed
+
+    def test_superset_of_fhp2_collisions(self):
+        """Every state FHP-II collides, the saturated set also collides."""
+        from repro.lgca.fhp import fhp7_collision_tables
+
+        fhp2_left, _ = fhp7_collision_tables()
+        sat_left, _ = fhp_saturated_tables()
+        states = np.arange(128)
+        fhp2_moves = states[fhp2_left.table != states]
+        sat_fixed = set(sat_left.fixed_points().tolist())
+        for s in fhp2_moves:
+            assert int(s) not in sat_fixed
+
+    def test_model_integration(self, rng):
+        m = FHPModel(16, 16, rest_particles=True, saturated=True)
+        s = uniform_random_state(16, 16, 7, 0.2, rng)
+        from repro.lgca.observables import total_mass, total_momentum
+
+        mass0 = total_mass(s, 7)
+        p0 = total_momentum(s, m.velocities)
+        for t in range(6):
+            s = m.step(s, t)
+        assert total_mass(s, 7) == mass0
+        assert np.allclose(total_momentum(s, m.velocities), p0, atol=1e-9)
+
+    def test_saturated_requires_rest(self):
+        with pytest.raises(ValueError, match="rest_particles"):
+            FHPModel(8, 8, saturated=True)
+
+
+class TestCollisionRate:
+    def test_zero_for_empty_gas(self):
+        m = FHPModel(8, 8)
+        assert collision_rate(m, np.zeros((8, 8), dtype=np.uint8)) == 0.0
+
+    def test_one_for_all_head_on(self):
+        m = FHPModel(8, 8)
+        s = np.full((8, 8), 0b001001, dtype=np.uint8)
+        assert collision_rate(m, s) == 1.0
+
+    def test_ordering_fhp1_fhp2_saturated(self, rng):
+        rates = {}
+        for name, kw in (
+            ("fhp1", {}),
+            ("fhp2", dict(rest_particles=True)),
+            ("sat", dict(rest_particles=True, saturated=True)),
+        ):
+            m = FHPModel(48, 48, **kw)
+            d = 1.0 / m.num_channels
+            s = uniform_random_state(48, 48, m.num_channels, d, rng)
+            rates[name] = collision_rate(m, s)
+        assert rates["fhp1"] < rates["fhp2"] < rates["sat"]
+
+
+class TestChannelOccupation:
+    def test_shape_and_values(self):
+        s = np.full((4, 4), 0b000011, dtype=np.uint8)
+        occ = channel_occupation(s, 6)
+        assert occ.shape == (6,)
+        assert occ[0] == occ[1] == 1.0
+        assert occ[2:].sum() == 0.0
+
+    def test_equilibration_evens_channels(self, rng):
+        """A channel-biased gas relaxes toward equal occupations."""
+        m = FHPModel(32, 32)
+        s = np.zeros((32, 32), dtype=np.uint8)
+        # all mass initially in channels 0 and 3 (head-on: collides hard)
+        mask = rng.random((32, 32)) < 0.6
+        s[mask] = 0b001001
+        occ0 = channel_occupation(s, 6)
+        for t in range(40):
+            s = m.step(s, t)
+        occ1 = channel_occupation(s, 6)
+        assert occ0.std() > 5 * occ1.std()
+
+
+class TestViscosityMeasurement:
+    def test_fhp1_matches_boltzmann(self, rng):
+        m = FHPModel(128, 128, chirality="alternate")
+        res = measure_shear_viscosity(m, density=0.2, amplitude=0.15, steps=200, rng=rng)
+        assert res.r_squared > 0.97
+        assert res.relative_error < 0.25
+
+    def test_saturated_less_viscous_than_fhp1(self, rng):
+        """More collisions, lower viscosity — measured, not asserted
+        from the formula."""
+        m1 = FHPModel(96, 96, chirality="alternate")
+        r1 = measure_shear_viscosity(m1, 0.2, 0.15, 150, rng)
+        m3 = FHPModel(96, 96, rest_particles=True, saturated=True)
+        r3 = measure_shear_viscosity(m3, 0.2, 0.15, 150, rng)
+        assert r3.measured < r1.measured
+
+    def test_too_few_points_raises(self, rng):
+        """Fewer than 10 usable fit points is refused."""
+        m = FHPModel(16, 16)
+        with pytest.raises(ValueError, match="noise floor"):
+            measure_shear_viscosity(m, 0.2, 0.15, steps=10, rng=rng)

@@ -1,0 +1,107 @@
+"""Unit tests for initial conditions and obstacle geometries."""
+
+import numpy as np
+import pytest
+
+from repro.lgca.fhp import FHP_VELOCITIES
+from repro.lgca.flows import (
+    channel_flow_state,
+    cylinder_obstacle,
+    density_pulse_state,
+    directed_beam_state,
+    plate_obstacle,
+    shear_flow_state,
+    uniform_random_state,
+)
+from repro.lgca.observables import density_field, momentum_field, total_mass
+
+
+class TestUniformRandomState:
+    def test_density_statistics(self, rng):
+        s = uniform_random_state(64, 64, 6, 0.3, rng)
+        mean_occ = total_mass(s, 6) / (64 * 64 * 6)
+        assert 0.27 < mean_occ < 0.33
+
+    def test_density_zero_empty(self, rng):
+        assert uniform_random_state(8, 8, 6, 0.0, rng).sum() == 0
+
+    def test_density_one_full(self, rng):
+        s = uniform_random_state(8, 8, 6, 1.0, rng)
+        assert (s == 0b111111).all()
+
+    def test_deterministic_with_seed(self, rng_factory):
+        a = uniform_random_state(8, 8, 6, 0.5, rng_factory(7))
+        b = uniform_random_state(8, 8, 6, 0.5, rng_factory(7))
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_density(self, rng):
+        with pytest.raises(ValueError):
+            uniform_random_state(4, 4, 6, 1.5, rng)
+
+
+class TestDriftedStates:
+    def test_channel_flow_has_positive_x_momentum(self, rng):
+        s = channel_flow_state(32, 32, FHP_VELOCITIES, 0.3, 0.2, rng)
+        mom = momentum_field(s, FHP_VELOCITIES).sum(axis=(0, 1))
+        assert mom[0] > 0
+        assert abs(mom[1]) < mom[0] * 0.2
+
+    def test_shear_flow_opposes(self, rng):
+        s = shear_flow_state(32, 32, FHP_VELOCITIES, 0.3, 0.25, rng)
+        mom = momentum_field(s, FHP_VELOCITIES)
+        assert mom[:16, :, 0].mean() > 0
+        assert mom[16:, :, 0].mean() < 0
+
+    def test_zero_speed_is_unbiased(self, rng):
+        s = channel_flow_state(48, 48, FHP_VELOCITIES, 0.3, 0.0, rng)
+        mom = momentum_field(s, FHP_VELOCITIES).sum(axis=(0, 1))
+        # Expect O(sqrt(N)) fluctuation, not a systematic drift.
+        assert abs(mom[0]) < 150
+
+
+class TestDensityPulse:
+    def test_center_denser_than_background(self, rng):
+        s = density_pulse_state(32, 32, 6, 0.1, 0.9, 5, rng)
+        d = density_field(s, 6)
+        center = d[13:19, 13:19].mean()
+        edge = d[:4, :4].mean()
+        assert center > edge * 2
+
+    def test_rejects_bad_radius(self, rng):
+        with pytest.raises(ValueError):
+            density_pulse_state(16, 16, 6, 0.1, 0.9, 0, rng)
+
+
+class TestDirectedBeam:
+    def test_full_grid(self):
+        s = directed_beam_state(4, 4, channel=2)
+        assert (s == 1 << 2).all()
+
+    def test_rectangle(self):
+        s = directed_beam_state(6, 6, channel=0, row_range=(1, 3), col_range=(2, 5))
+        assert s[1, 2] == 1 and s[2, 4] == 1
+        assert s[0, 0] == 0 and s[3, 2] == 0
+
+
+class TestObstacles:
+    def test_cylinder_contains_center(self):
+        om = cylinder_obstacle(16, 16, center=(8, 8), radius=3)
+        assert om.mask[8, 8]
+        assert not om.mask[0, 0]
+
+    def test_cylinder_area_approximation(self):
+        om = cylinder_obstacle(64, 64, center=(32, 32), radius=10)
+        assert abs(om.num_solid - np.pi * 100) < 40
+
+    def test_plate(self):
+        om = plate_obstacle(16, 16, row=8, col_range=(4, 12))
+        assert om.num_solid == 8
+        assert om.mask[8, 4] and om.mask[8, 11]
+
+    def test_plate_thickness(self):
+        om = plate_obstacle(16, 16, row=8, col_range=(4, 12), thickness=2)
+        assert om.num_solid == 16
+
+    def test_plate_rejects_outside(self):
+        with pytest.raises(ValueError, match="fit"):
+            plate_obstacle(8, 8, row=9, col_range=(0, 4))

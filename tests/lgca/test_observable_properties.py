@@ -1,0 +1,128 @@
+"""Property-based tests for observables and flows (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lgca.fhp import FHP_VELOCITIES
+from repro.lgca.observables import (
+    coarse_grain,
+    density_field,
+    momentum_field,
+    total_mass,
+    total_momentum,
+)
+
+
+def random_state(seed, rows, cols, channels=6):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << channels, size=(rows, cols)).astype(np.uint8)
+
+
+class TestDensityProperties:
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 12), st.integers(2, 12))
+    def test_density_bounds(self, seed, rows, cols):
+        d = density_field(random_state(seed, rows, cols), 6)
+        assert (d >= 0).all() and (d <= 6).all()
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_total_mass_is_sum_of_density(self, seed):
+        s = random_state(seed, 6, 6)
+        assert total_mass(s, 6) == density_field(s, 6).sum()
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_mass_additive_over_disjoint_states(self, seed):
+        """Mass of a union of disjoint channel sets adds."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 8, size=(5, 5)).astype(np.uint8)  # channels 0-2
+        b = (rng.integers(0, 8, size=(5, 5)).astype(np.uint8)) << np.uint8(3)
+        assert total_mass(a | b, 6) == total_mass(a, 6) + total_mass(b, 6)
+
+
+class TestMomentumProperties:
+    @given(st.integers(0, 2**31 - 1))
+    def test_momentum_additive_over_disjoint_states(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 8, size=(4, 4)).astype(np.uint8)
+        b = (rng.integers(0, 8, size=(4, 4)).astype(np.uint8)) << np.uint8(3)
+        pa = total_momentum(a, FHP_VELOCITIES)
+        pb = total_momentum(b, FHP_VELOCITIES)
+        pab = total_momentum(a | b, FHP_VELOCITIES)
+        assert np.allclose(pab, pa + pb, atol=1e-12)
+
+    def test_full_state_has_zero_momentum(self):
+        """All six channels occupied: velocities sum to zero."""
+        s = np.full((3, 3), 0b111111, dtype=np.uint8)
+        assert np.allclose(total_momentum(s, FHP_VELOCITIES), 0, atol=1e-12)
+
+    @given(st.integers(0, 5))
+    def test_single_channel_momentum_direction(self, ch):
+        s = np.zeros((2, 2), dtype=np.uint8)
+        s[0, 0] = 1 << ch
+        p = total_momentum(s, FHP_VELOCITIES)
+        assert np.allclose(p, FHP_VELOCITIES[ch], atol=1e-12)
+
+
+class TestCoarseGrainProperties:
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([1, 2, 3, 4, 6]),
+    )
+    def test_mean_preserved(self, seed, window):
+        """Coarse graining preserves the global mean exactly."""
+        rng = np.random.default_rng(seed)
+        field = rng.random((12, 12))
+        coarse = coarse_grain(field, window)
+        assert coarse.mean() == pytest.approx(field.mean())
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_vector_components_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        field = rng.random((8, 8, 2))
+        coarse = coarse_grain(field, 4)
+        for k in (0, 1):
+            assert np.allclose(
+                coarse[..., k], coarse_grain(field[..., k], 4)
+            )
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_momentum_field_sums_to_total(self, seed):
+        s = random_state(seed, 6, 6)
+        mom = momentum_field(s, FHP_VELOCITIES)
+        assert np.allclose(mom.sum(axis=(0, 1)), total_momentum(s, FHP_VELOCITIES))
+
+
+class TestBoundaryProperties:
+    @given(st.integers(-50, 50), st.integers(1, 20))
+    def test_periodic_resolve_in_range(self, index, size):
+        from repro.lattice.boundary import PeriodicBoundary
+
+        r = PeriodicBoundary().resolve(index, size)
+        assert 0 <= r < size
+        assert (index - r) % size == 0
+
+    @given(st.integers(-50, 50), st.integers(2, 20))
+    def test_reflecting_resolve_in_range(self, index, size):
+        from repro.lattice.boundary import ReflectingBoundary
+
+        r = ReflectingBoundary().resolve(index, size)
+        assert 0 <= r < size
+
+    @given(st.integers(0, 19), st.integers(2, 20))
+    def test_all_boundaries_identity_inside(self, index, size):
+        from repro.lattice.boundary import make_boundary
+
+        if index >= size:
+            return
+        for name in ("null", "periodic", "reflecting", "truncated"):
+            assert make_boundary(name).resolve(index, size) == index
+
+    @given(st.integers(2, 20))
+    def test_reflecting_is_even_extension(self, size):
+        """resolve(-k) == resolve(k) for the mirror boundary."""
+        from repro.lattice.boundary import ReflectingBoundary
+
+        b = ReflectingBoundary()
+        for k in range(1, size):
+            assert b.resolve(-k, size) == b.resolve(k, size)

@@ -1,0 +1,41 @@
+"""Tests for the sound-speed measurement (FHP hydrodynamics check)."""
+
+import math
+
+import pytest
+
+from repro.lgca.diagnostics import measure_sound_speed
+from repro.lgca.fhp import FHPModel
+
+
+class TestSoundSpeed:
+    def test_fhp6_near_one_over_sqrt2(self, rng):
+        model = FHPModel(64, 64, chirality="alternate")
+        res = measure_sound_speed(model, density=0.2, amplitude=0.3, steps=400, rng=rng)
+        assert res.predicted == pytest.approx(1 / math.sqrt(2))
+        assert res.relative_error < 0.15
+
+    def test_fhp7_prediction_smaller(self, rng):
+        """The rest particle lowers the sound speed to √(3/7)."""
+        model = FHPModel(64, 64, rest_particles=True)
+        res = measure_sound_speed(model, density=0.15, amplitude=0.3, steps=400, rng=rng)
+        assert res.predicted == pytest.approx(math.sqrt(3 / 7))
+        assert res.relative_error < 0.15
+
+    def test_series_recorded(self, rng):
+        model = FHPModel(32, 32)
+        res = measure_sound_speed(model, 0.2, 0.3, 64, rng)
+        assert res.amplitudes.shape == (65,)
+
+    def test_wave_oscillates(self, rng):
+        """The density mode must actually change sign (it is a wave,
+        not a diffusing bump)."""
+        model = FHPModel(64, 64)
+        res = measure_sound_speed(model, 0.2, 0.3, 300, rng)
+        a = res.amplitudes
+        assert (a[:150] > 0).any() and (a[:150] < 0).any()
+
+    def test_validates(self, rng):
+        model = FHPModel(16, 16)
+        with pytest.raises(ValueError):
+            measure_sound_speed(model, 0.2, 0.3, 0, rng)

@@ -1,0 +1,121 @@
+"""Unit + property tests for the 1-D CA substrate (reference [16] workload)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lgca.wolfram import ElementaryCA, ParityCA
+
+
+class TestElementaryCA:
+    def test_rejects_bad_rule(self):
+        with pytest.raises(ValueError):
+            ElementaryCA(256)
+        with pytest.raises(ValueError):
+            ElementaryCA(90.5)
+
+    def test_rejects_bad_boundary(self):
+        with pytest.raises(ValueError):
+            ElementaryCA(90, boundary="reflect")
+
+    def test_rule_table_bits(self):
+        table = ElementaryCA(110).rule_table()
+        assert table.tolist() == [(110 >> i) & 1 for i in range(8)]
+
+    def test_rule90_is_xor_of_neighbors(self):
+        ca = ElementaryCA(90)
+        tape = np.array([0, 1, 1, 0, 1], dtype=np.uint8)
+        out = ca.step(tape)
+        expected = np.roll(tape, 1) ^ np.roll(tape, -1)
+        assert np.array_equal(out, expected)
+
+    def test_rule254_spreads(self):
+        ca = ElementaryCA(254, boundary="null")
+        tape = np.zeros(9, dtype=np.uint8)
+        tape[4] = 1
+        out = ca.run(tape, 3)
+        assert out[1:8].all() and out[0] == 0
+
+    def test_rule0_dies(self):
+        ca = ElementaryCA(0)
+        tape = np.ones(8, dtype=np.uint8)
+        assert ca.step(tape).sum() == 0
+
+    def test_sierpinski_row_counts(self):
+        """Rule 90 from a point: row t has 2^(popcount t) ones."""
+        ca = ElementaryCA(90, boundary="null")
+        tape = np.zeros(65, dtype=np.uint8)
+        tape[32] = 1
+        h = ca.history(tape, 16)
+        for t in range(17):
+            assert h[t].sum() == 2 ** bin(t).count("1")
+
+    def test_history_first_row_is_input(self):
+        ca = ElementaryCA(30)
+        tape = np.array([1, 0, 0, 1], dtype=np.uint8)
+        assert np.array_equal(ca.history(tape, 3)[0], tape)
+
+    def test_rejects_non_binary_tape(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            ElementaryCA(30).step(np.array([0, 2, 1]))
+
+    def test_rejects_empty_tape(self):
+        with pytest.raises(ValueError):
+            ElementaryCA(30).step(np.array([], dtype=np.uint8))
+
+    def test_null_boundary_edges_read_zero(self):
+        ca = ElementaryCA(90, boundary="null")
+        tape = np.array([1, 0, 0, 0], dtype=np.uint8)
+        out = ca.step(tape)
+        # cell 0 reads left=0, right=0 -> 0 XOR 0 = 0; cell 1 reads 1
+        assert out.tolist() == [0, 1, 0, 0]
+
+    @given(st.integers(0, 255), st.lists(st.integers(0, 1), min_size=3, max_size=24))
+    def test_shift_invariance_periodic(self, rule, cells):
+        """Periodic CA commutes with tape rotation."""
+        ca = ElementaryCA(rule)
+        tape = np.array(cells, dtype=np.uint8)
+        a = np.roll(ca.step(tape), 3)
+        b = ca.step(np.roll(tape, 3))
+        assert np.array_equal(a, b)
+
+
+class TestParityCA:
+    def test_rejects_empty_taps(self):
+        with pytest.raises(ValueError):
+            ParityCA(taps=())
+
+    def test_rejects_duplicate_taps(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            ParityCA(taps=(1, 1))
+
+    def test_radius(self):
+        assert ParityCA(taps=(-3, 0, 2)).radius == 3
+
+    def test_default_is_rule90(self):
+        p = ParityCA()
+        e = ElementaryCA(90)
+        tape = np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8)
+        assert np.array_equal(p.step(tape), e.step(tape))
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=4, max_size=16),
+        st.lists(st.integers(0, 1), min_size=4, max_size=16),
+        st.integers(1, 5),
+    )
+    def test_linearity(self, a_cells, b_cells, gens):
+        """Evolution distributes over XOR of initial tapes."""
+        n = min(len(a_cells), len(b_cells))
+        a = np.array(a_cells[:n], dtype=np.uint8)
+        b = np.array(b_cells[:n], dtype=np.uint8)
+        ca = ParityCA(taps=(-1, 0, 1))
+        lhs = ca.run(a ^ b, gens)
+        rhs = ca.run(a, gens) ^ ca.run(b, gens)
+        assert np.array_equal(lhs, rhs)
+
+    def test_null_boundary_shift(self):
+        ca = ParityCA(taps=(1,), boundary="null")
+        tape = np.array([0, 0, 1, 0], dtype=np.uint8)
+        # each cell reads its right neighbor: the pattern shifts left
+        assert ca.step(tape).tolist() == [0, 1, 0, 0]

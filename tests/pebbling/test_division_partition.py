@@ -1,0 +1,153 @@
+"""Unit tests for S-I/O-divisions, induced partitions, and K-partition
+verification (Theorem 2 machinery)."""
+
+import pytest
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.division import division_size, induced_partition, io_division
+from repro.pebbling.game import Move, MoveKind
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.partition import (
+    KPartition,
+    PartitionError,
+    verify_dominator,
+    verify_partition,
+)
+from repro.pebbling.schedules import (
+    per_site_schedule,
+    row_cache_schedule,
+)
+
+
+@pytest.fixture
+def graph() -> ComputationGraph:
+    return ComputationGraph(OrthogonalLattice.cube(1, 6), generations=4)
+
+
+def io(v):
+    return Move(MoveKind.READ, v)
+
+
+def comp(v):
+    return Move(MoveKind.COMPUTE, v)
+
+
+class TestIODivision:
+    def test_exact_chunks(self):
+        moves = [io(0), comp(1), io(1), io(2), comp(3), io(3)]
+        chunks = io_division(moves, storage=2)
+        assert len(chunks) == 2
+        assert sum(m.is_io() for m in chunks[0]) == 2
+        assert sum(m.is_io() for m in chunks[1]) == 2
+
+    def test_remainder_chunk(self):
+        moves = [io(0), io(1), io(2)]
+        chunks = io_division(moves, storage=2)
+        assert len(chunks) == 2
+        assert sum(m.is_io() for m in chunks[1]) == 1
+
+    def test_trailing_non_io_attaches(self):
+        moves = [io(0), io(1), comp(5)]
+        chunks = io_division(moves, storage=2)
+        assert len(chunks) == 2
+        assert chunks[1][0].kind is MoveKind.COMPUTE
+
+    def test_empty_sequence(self):
+        assert division_size([], storage=3) == 1
+
+    def test_division_size_counts(self):
+        moves = [io(i) for i in range(10)]
+        assert division_size(moves, storage=3) == 4  # 3+3+3+1
+
+
+class TestInducedPartition:
+    @pytest.mark.parametrize("storage", [4, 8, 16])
+    def test_partition_is_valid_2s_partition(self, graph, storage):
+        """Theorem 2, checked constructively: the partition induced by a
+        real pebbling is a valid 2S-partition."""
+        moves = row_cache_schedule(graph, depth=2)
+        part = induced_partition(graph, moves, storage)
+        universe = sorted({v for sub in part.subsets for v in sub})
+        verify_partition(graph, part, 2 * storage, universe=universe)
+
+    def test_per_site_schedule_partition(self, graph):
+        moves = per_site_schedule(graph)
+        part = induced_partition(graph, moves, 6)
+        universe = sorted({v for sub in part.subsets for v in sub})
+        verify_partition(graph, part, 12, universe=universe)
+
+    def test_partition_covers_computed_and_read(self, graph):
+        moves = row_cache_schedule(graph, depth=1)
+        part = induced_partition(graph, moves, 8)
+        covered = {v for sub in part.subsets for v in sub}
+        # every vertex ever red — inputs (read) + all computed vertices
+        assert covered == set(range(graph.num_vertices))
+
+    def test_size_relates_to_io(self, graph):
+        """g ≈ h = ceil(q / S): each chunk holds exactly S I/O moves."""
+        moves = row_cache_schedule(graph, depth=1)
+        storage = 10
+        from repro.pebbling.game import replay
+
+        q = replay(graph, 200, moves).io_moves
+        part = induced_partition(graph, moves, storage)
+        assert part.size <= -(-q // storage)  # ceil division
+
+    def test_dominator_sizes_bounded(self, graph):
+        moves = row_cache_schedule(graph, depth=2)
+        storage = 8
+        part = induced_partition(graph, moves, storage)
+        assert part.max_dominator_size() <= 2 * storage
+        assert part.max_minimum_size() <= 2 * storage
+
+
+class TestVerifyDominator:
+    def test_accepts_true_dominator(self, graph):
+        # subset = layer-1 vertex for site 2; dominator = its inputs
+        v = graph.vertex((2,), 1)
+        dom = [graph.vertex((i,), 0) for i in (1, 2, 3)]
+        verify_dominator(graph, [v], dom)
+
+    def test_rejects_leaky_dominator(self, graph):
+        v = graph.vertex((2,), 1)
+        dom = [graph.vertex((1,), 0)]  # misses inputs 2 and 3
+        with pytest.raises(PartitionError, match="misses"):
+            verify_dominator(graph, [v], dom)
+
+    def test_subset_vertex_in_dominator_is_fine(self, graph):
+        v = graph.vertex((2,), 1)
+        verify_dominator(graph, [v], [v])
+
+
+class TestVerifyPartition:
+    def test_rejects_overlapping_subsets(self, graph):
+        part = KPartition(
+            subsets=((6, 7), (7, 8)),
+            dominators=((), ()),
+            minimums=((6, 7), (7, 8)),
+        )
+        with pytest.raises(PartitionError, match="two subsets"):
+            verify_partition(graph, part, 10, universe=[6, 7, 8])
+
+    def test_rejects_wrong_universe(self, graph):
+        part = KPartition(subsets=((6,),), dominators=((),), minimums=((6,),))
+        with pytest.raises(PartitionError, match="wrong vertex set"):
+            verify_partition(graph, part, 10, universe=[6, 7])
+
+    def test_rejects_oversized_dominator(self, graph):
+        v = graph.vertex((2,), 1)
+        dom = tuple(graph.vertex((i,), 0) for i in (1, 2, 3))
+        part = KPartition(subsets=((v,),), dominators=(dom,), minimums=(((v,)),))
+        with pytest.raises(PartitionError, match="exceed"):
+            verify_partition(graph, part, 2, universe=[v])
+
+    def test_rejects_missing_minimum(self, graph):
+        v = graph.vertex((2,), 1)
+        dom = tuple(graph.vertex((i,), 0) for i in (1, 2, 3))
+        part = KPartition(subsets=((v,),), dominators=(dom,), minimums=((),))
+        with pytest.raises(PartitionError, match="minimum"):
+            verify_partition(graph, part, 10, universe=[v])
+
+    def test_alignment_required(self):
+        with pytest.raises(PartitionError, match="align"):
+            KPartition(subsets=((1,),), dominators=(), minimums=())

@@ -1,0 +1,173 @@
+"""Unit tests for the sequential red-blue pebble game."""
+
+import pytest
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.game import (
+    IllegalMoveError,
+    Move,
+    MoveKind,
+    RedBluePebbleGame,
+    replay,
+)
+from repro.pebbling.graph import ComputationGraph
+
+
+@pytest.fixture
+def graph() -> ComputationGraph:
+    return ComputationGraph(OrthogonalLattice.cube(1, 3), generations=1)
+
+
+class TestInitialState:
+    def test_inputs_blue(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        for v in graph.inputs():
+            assert game.is_blue(int(v))
+        assert game.io_moves == 0
+        assert not game.goal_reached()
+
+
+class TestReads:
+    def test_read_blue_vertex(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.read(0)
+        assert game.is_red(0)
+        assert game.io_moves == 1
+
+    def test_read_requires_blue(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        with pytest.raises(IllegalMoveError, match="no blue"):
+            game.read(3)  # layer-1 vertex, not in memory yet
+
+    def test_read_already_red_is_wasted(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.read(0)
+        with pytest.raises(IllegalMoveError, match="already red"):
+            game.read(0)
+
+    def test_red_budget_enforced(self, graph):
+        game = RedBluePebbleGame(graph, storage=2)
+        game.read(0)
+        game.read(1)
+        with pytest.raises(IllegalMoveError, match="red pebbles in use"):
+            game.read(2)
+
+
+class TestCompute:
+    def test_compute_with_red_preds(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        for v in (0, 1):
+            game.read(v)
+        game.compute(3)  # site 0 at layer 1 depends on sites 0,1
+        assert game.is_red(3)
+        assert game.compute_moves == 1
+
+    def test_compute_missing_pred(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.read(0)
+        with pytest.raises(IllegalMoveError, match="not red-pebbled"):
+            game.compute(3)
+
+    def test_compute_input_forbidden(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        with pytest.raises(IllegalMoveError, match="input"):
+            game.compute(0)
+
+    def test_compute_budget(self, graph):
+        game = RedBluePebbleGame(graph, storage=2)
+        game.read(0)
+        game.read(1)
+        with pytest.raises(IllegalMoveError, match="red pebbles in use"):
+            game.compute(3)
+
+    def test_recompute_allowed_after_removal(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.read(0)
+        game.read(1)
+        game.compute(3)
+        game.remove_red(3)
+        game.compute(3)  # recomputation is legal in pebble games
+        assert game.compute_moves == 2
+        assert len(game.computed) == 1
+
+
+class TestWriteAndRemove:
+    def test_write_requires_red(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        with pytest.raises(IllegalMoveError, match="no red"):
+            game.write(3)
+
+    def test_write_already_blue_wasted(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.read(0)
+        with pytest.raises(IllegalMoveError, match="already blue"):
+            game.write(0)
+
+    def test_remove_red(self, graph):
+        game = RedBluePebbleGame(graph, storage=1)
+        game.read(0)
+        game.remove_red(0)
+        assert not game.is_red(0)
+        game.read(1)  # budget freed
+
+    def test_remove_red_requires_red(self, graph):
+        game = RedBluePebbleGame(graph, storage=2)
+        with pytest.raises(IllegalMoveError):
+            game.remove_red(0)
+
+    def test_remove_blue(self, graph):
+        game = RedBluePebbleGame(graph, storage=2)
+        game.remove_blue(0)
+        assert not game.is_blue(0)
+        with pytest.raises(IllegalMoveError):
+            game.remove_blue(0)
+
+    def test_evict_lru_like(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.read(0)
+        game.read(1)
+        game.read(2)
+        game.evict_lru_like(keep=[1])
+        assert game.red == {1}
+
+
+class TestGoalAndReplay:
+    def _complete_moves(self, graph):
+        """Hand-built complete computation of the 3-site, 1-generation C_1."""
+        moves = [Move(MoveKind.READ, v) for v in (0, 1, 2)]
+        for out, preds in ((3, (0, 1)), (4, (0, 1, 2)), (5, (1, 2))):
+            moves.append(Move(MoveKind.COMPUTE, out))
+            moves.append(Move(MoveKind.WRITE, out))
+        return moves
+
+    def test_goal_reached(self, graph):
+        game = replay(graph, storage=6, moves=self._complete_moves(graph))
+        assert game.goal_reached()
+        assert game.io_moves == 3 + 3
+
+    def test_replay_rejects_illegal(self, graph):
+        moves = [Move(MoveKind.COMPUTE, 3)]
+        with pytest.raises(IllegalMoveError):
+            replay(graph, storage=6, moves=moves)
+
+    def test_history_recorded(self, graph):
+        game = replay(graph, storage=6, moves=self._complete_moves(graph))
+        assert len(game.history) == 9
+        assert game.history[0].kind is MoveKind.READ
+
+    def test_apply_dispatch(self, graph):
+        game = RedBluePebbleGame(graph, storage=4)
+        game.apply(Move(MoveKind.READ, 0))
+        game.apply(Move(MoveKind.REMOVE_RED, 0))
+        game.apply(Move(MoveKind.REMOVE_BLUE, 0))
+        assert game.io_moves == 1
+
+    def test_move_is_io(self):
+        assert Move(MoveKind.READ, 0).is_io()
+        assert Move(MoveKind.WRITE, 0).is_io()
+        assert not Move(MoveKind.COMPUTE, 0).is_io()
+        assert not Move(MoveKind.REMOVE_RED, 0).is_io()
+
+    def test_storage_validated(self, graph):
+        with pytest.raises(ValueError):
+            RedBluePebbleGame(graph, storage=0)

@@ -1,0 +1,144 @@
+"""Unit tests for the LGCA computation graph C_d."""
+
+import numpy as np
+import pytest
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.graph import ComputationGraph
+
+
+@pytest.fixture
+def g1() -> ComputationGraph:
+    return ComputationGraph(OrthogonalLattice.cube(1, 5), generations=3)
+
+
+@pytest.fixture
+def g2() -> ComputationGraph:
+    return ComputationGraph(OrthogonalLattice.cube(2, 4), generations=2)
+
+
+class TestSizes:
+    def test_layers_and_vertices(self, g1):
+        assert g1.num_layers == 4
+        assert g1.num_vertices == 20
+        assert g1.num_sites == 5
+        assert g1.num_non_input_vertices == 15
+
+    def test_2d(self, g2):
+        assert g2.num_vertices == 3 * 16
+        assert g2.d == 2
+
+    def test_validates_generations(self):
+        with pytest.raises(ValueError):
+            ComputationGraph(OrthogonalLattice.cube(1, 3), generations=0)
+
+
+class TestEncoding:
+    def test_vertex_roundtrip(self, g2):
+        v = g2.vertex((1, 2), 2)
+        assert g2.layer_of(v) == 2
+        assert g2.site_of(v) == (1, 2)
+
+    def test_vertex_rejects_bad_layer(self, g2):
+        with pytest.raises(ValueError):
+            g2.vertex((0, 0), 3)
+
+    def test_check_vertex_range(self, g1):
+        with pytest.raises(ValueError):
+            g1.layer_of(20)
+        with pytest.raises(ValueError):
+            g1.layer_of(-1)
+
+    def test_site_index_of(self, g1):
+        v = g1.vertex((3,), 2)
+        assert g1.site_index_of(v) == 3
+
+
+class TestStructure:
+    def test_inputs_outputs(self, g1):
+        assert np.array_equal(g1.inputs(), np.arange(5))
+        assert np.array_equal(g1.outputs(), np.arange(15, 20))
+
+    def test_layer(self, g1):
+        assert np.array_equal(g1.layer(2), np.arange(10, 15))
+        with pytest.raises(ValueError):
+            g1.layer(4)
+
+    def test_inputs_have_no_predecessors(self, g1):
+        for v in g1.inputs():
+            assert g1.predecessors(int(v)).size == 0
+
+    def test_outputs_have_no_successors(self, g1):
+        for v in g1.outputs():
+            assert g1.successors(int(v)).size == 0
+
+    def test_interior_1d_predecessors(self, g1):
+        v = g1.vertex((2,), 1)
+        preds = {g1.site_of(int(u)) + (g1.layer_of(int(u)),) for u in g1.predecessors(v)}
+        assert preds == {(1, 0), (2, 0), (3, 0)}
+
+    def test_boundary_1d_predecessors(self, g1):
+        v = g1.vertex((0,), 1)
+        assert g1.predecessors(v).size == 2  # self + right neighbor
+
+    def test_2d_interior_in_degree(self, g2):
+        v = g2.vertex((1, 1), 1)
+        assert g2.in_degree(v) == 5  # self + 4 von Neumann neighbors
+
+    def test_successors_are_adjoint(self, g2):
+        """u in preds(v) iff v in succs(u)."""
+        for v in range(g2.num_sites, g2.num_vertices):
+            for u in g2.predecessors(v):
+                assert v in set(g2.successors(int(u)).tolist())
+
+    def test_bounded_in_degree(self, g2):
+        max_deg = max(g2.in_degree(v) for v in range(g2.num_sites, g2.num_vertices))
+        assert max_deg == 2 * g2.d + 1
+
+
+class TestDistances:
+    def test_lemma3_paths_have_layer_gap_length(self, g1):
+        """Every (u,v)-path has length layer(v) - layer(u)."""
+        u = g1.vertex((1,), 0)
+        v = g1.vertex((2,), 2)
+        assert g1.distance(u, v) == 2
+
+    def test_unreachable_spatially(self, g1):
+        u = g1.vertex((0,), 0)
+        v = g1.vertex((4,), 1)  # needs 4 lattice steps in 1 layer
+        assert g1.distance(u, v) is None
+
+    def test_backwards_unreachable(self, g1):
+        u = g1.vertex((0,), 2)
+        v = g1.vertex((0,), 1)
+        assert g1.distance(u, v) is None
+
+    def test_reachable_in_counts(self, g2):
+        u = g2.vertex((0, 0), 0)
+        reach = g2.reachable_in(u, 1)
+        # corner: sites within distance 1 = 3 sites
+        assert reach.size == 3
+        assert all(g2.layer_of(int(v)) == 1 for v in reach)
+
+    def test_reachable_in_beyond_depth_empty(self, g2):
+        u = g2.vertex((0, 0), 2)
+        assert g2.reachable_in(u, 1).size == 0
+
+
+class TestNetworkx:
+    def test_matches_networkx_dag(self, g2):
+        nxg = g2.to_networkx()
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(nxg)
+        assert nxg.number_of_nodes() == g2.num_vertices
+        # arc count = sum of in-degrees
+        expected_arcs = sum(
+            g2.in_degree(v) for v in range(g2.num_sites, g2.num_vertices)
+        )
+        assert nxg.number_of_edges() == expected_arcs
+
+    def test_refuses_huge(self):
+        g = ComputationGraph(OrthogonalLattice.cube(2, 400), generations=2)
+        with pytest.raises(ValueError, match="refusing"):
+            g.to_networkx()

@@ -1,0 +1,132 @@
+"""Hexagonal computation graphs: the paper's worst-case claim, checked.
+
+Section 7 proves its bounds on the orthogonal grid and argues that is
+the worst case: "we are assuming the minimum connectivity for G in the
+sense that any lattice that satisfies isotropy requires at least the
+same degree of connectivity."  These tests run the full pebbling stack
+on the *actual FHP lattice* and verify (a) line-spreads dominate the
+orthogonal ones (so Lemma 8 / Theorem 4 hold a fortiori), and (b) the
+schedules and bound machinery work unchanged.
+"""
+
+import pytest
+
+from repro.lattice.geometry import HexagonalLattice, OrthogonalLattice
+from repro.pebbling.bounds import (
+    lemma8_lower_bound,
+    theorem4_line_time_bound,
+)
+from repro.pebbling.division import induced_partition
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.lines import line_spread, max_line_vertices_per_subset
+from repro.pebbling.schedules import (
+    lru_cache_schedule,
+    measure_schedule,
+    per_site_schedule,
+    trapezoid_schedule,
+    trapezoid_storage_needed,
+)
+
+
+@pytest.fixture
+def hex_graph():
+    return ComputationGraph(HexagonalLattice(8, 8), generations=3)
+
+
+class TestHexLatticeGraphInterface:
+    def test_index_site_roundtrip(self):
+        hexl = HexagonalLattice(5, 7)
+        for i in range(hexl.num_sites):
+            assert hexl.index(hexl.site(i)) == i
+
+    def test_distance_symmetric(self):
+        hexl = HexagonalLattice(6, 6)
+        assert hexl.distance((0, 0), (3, 3)) == hexl.distance((3, 3), (0, 0))
+
+    def test_distance_shorter_than_manhattan(self):
+        """Hex diagonals shortcut the orthogonal metric."""
+        hexl = HexagonalLattice(8, 8)
+        orth = OrthogonalLattice((8, 8))
+        assert hexl.distance((0, 0), (5, 5)) <= orth.distance((0, 0), (5, 5))
+
+    def test_reachable_within_grows(self):
+        hexl = HexagonalLattice(10, 10)
+        counts = [hexl.reachable_within((5, 5), j) for j in range(4)]
+        assert counts[0] == 1
+        assert all(a < b for a, b in zip(counts, counts[1:]))
+
+    def test_interior_ball_sizes_hex(self):
+        """Interior hex ball: 1 + 3j(j+1) sites within j steps."""
+        hexl = HexagonalLattice(20, 20)
+        for j in (1, 2, 3):
+            assert hexl.reachable_within((10, 10), j) == 1 + 3 * j * (j + 1)
+
+    def test_validation(self):
+        hexl = HexagonalLattice(4, 4)
+        with pytest.raises(ValueError):
+            hexl.index((4, 0))
+        with pytest.raises(ValueError):
+            hexl.site(16)
+        with pytest.raises(ValueError):
+            hexl.reachable_within((0, 0), -1)
+
+
+class TestHexComputationGraph:
+    def test_in_degree_is_seven_interior(self, hex_graph):
+        v = hex_graph.vertex((4, 4), 1)
+        assert hex_graph.in_degree(v) == 7  # self + 6 hex neighbors
+
+    def test_minimal_connectivity_claim(self):
+        """The paper's worst-case argument: the hexagonal lattice reaches
+        at least as many sites in j steps as the orthogonal one, for
+        every j — so bounds proved on the orthogonal grid carry over."""
+        hexl = HexagonalLattice(10, 10)
+        orth = OrthogonalLattice((10, 10))
+        for j in range(1, 6):
+            assert hexl.min_reachable_within(j) >= orth.min_reachable_within(j)
+
+    def test_line_spread_dominates_orthogonal(self):
+        hex_g = ComputationGraph(HexagonalLattice(10, 10), generations=5)
+        orth_g = ComputationGraph(OrthogonalLattice((10, 10)), generations=5)
+        for j in (1, 2, 3, 4):
+            assert line_spread(hex_g, j) >= line_spread(orth_g, j)
+
+    def test_lemma8_holds_a_fortiori(self, hex_graph):
+        for j in (1, 2, 3):
+            assert line_spread(hex_graph, j) > lemma8_lower_bound(2, j)
+
+
+class TestSchedulesOnHexGraphs:
+    def test_per_site_complete(self, hex_graph):
+        report = measure_schedule(
+            hex_graph, per_site_schedule(hex_graph), 8, "ps-hex"
+        )
+        assert report.unique_computed == hex_graph.num_non_input_vertices
+        # hex stencil: up to 7 reads + 1 write per update
+        assert 6.0 < report.io_per_update <= 8.0
+
+    def test_lru_complete(self, hex_graph):
+        report = measure_schedule(
+            hex_graph, lru_cache_schedule(hex_graph, 64), 64, "lru-hex"
+        )
+        assert report.unique_computed == hex_graph.num_non_input_vertices
+
+    def test_trapezoid_complete(self, hex_graph):
+        """Hex storage offsets stay within ±1 per axis, so the orthogonal
+        trapezoid halo still covers every dependency."""
+        report = measure_schedule(
+            hex_graph,
+            trapezoid_schedule(hex_graph, 4, 2),
+            trapezoid_storage_needed(hex_graph, 4, 2),
+            "trap-hex",
+        )
+        assert report.unique_computed == hex_graph.num_non_input_vertices
+
+    def test_theorem4_on_hex_partitions(self, hex_graph):
+        """τ of induced 2S-partitions respects the orthogonal-lattice
+        bound (hex spreads are larger, dominators bite harder)."""
+        moves = per_site_schedule(hex_graph)
+        for storage in (8, 16):
+            part = induced_partition(hex_graph, moves, storage)
+            tau = max_line_vertices_per_subset(hex_graph, part)
+            assert tau < theorem4_line_time_bound(2, storage)

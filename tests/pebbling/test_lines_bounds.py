@@ -1,0 +1,158 @@
+"""Unit + property tests for lines, line-spread, Lemma 8, and Theorem 4."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.bounds import (
+    io_moves_lower_bound,
+    io_per_update_lower_bound,
+    lemma8_lower_bound,
+    partition_size_lower_bound,
+    theorem4_line_time_bound,
+)
+from repro.pebbling.division import induced_partition
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.lines import (
+    complete_line_set,
+    line_of_vertex,
+    line_spread,
+    lines_covered_by_ball,
+    max_line_vertices_per_subset,
+)
+from repro.pebbling.schedules import row_cache_schedule, trapezoid_schedule
+
+
+@pytest.fixture
+def g1():
+    return ComputationGraph(OrthogonalLattice.cube(1, 8), generations=6)
+
+
+@pytest.fixture
+def g2():
+    return ComputationGraph(OrthogonalLattice.cube(2, 5), generations=4)
+
+
+class TestLines:
+    def test_line_of_vertex_is_site_column(self, g1):
+        v = g1.vertex((3,), 2)
+        line = line_of_vertex(g1, v)
+        assert line.size == g1.num_layers
+        assert all(g1.site_index_of(int(u)) == 3 for u in line)
+        assert [g1.layer_of(int(u)) for u in line] == list(range(7))
+
+    def test_complete_line_set_disjoint_and_covering(self, g2):
+        lines = complete_line_set(g2)
+        assert len(lines) == g2.num_sites
+        all_vertices = np.concatenate(lines)
+        assert np.unique(all_vertices).size == g2.num_vertices
+
+    def test_lines_covered_by_ball_matches_lattice(self, g2):
+        u = g2.vertex((0, 0), 0)
+        assert lines_covered_by_ball(g2, u, 2) == g2.lattice.reachable_within(
+            (0, 0), 2
+        )
+
+    def test_lines_covered_infinite_when_too_deep(self, g2):
+        u = g2.vertex((0, 0), 3)
+        assert lines_covered_by_ball(g2, u, 2) == math.inf
+
+    def test_line_spread_corner_minimizes(self, g2):
+        assert line_spread(g2, 2) == g2.lattice.min_reachable_within(2)
+
+    def test_line_spread_infinite_beyond_depth(self, g2):
+        assert line_spread(g2, 5) == math.inf
+
+
+class TestLemma8:
+    @given(st.integers(1, 3), st.integers(1, 8))
+    def test_line_spread_exceeds_bound(self, d, j):
+        side = 12
+        graph = ComputationGraph(OrthogonalLattice.cube(d, side), generations=9)
+        if j > graph.generations:
+            return
+        spread = line_spread(graph, j)
+        assert spread > lemma8_lower_bound(d, j)
+
+    def test_bound_values(self):
+        assert lemma8_lower_bound(1, 5) == 5.0
+        assert lemma8_lower_bound(2, 4) == 8.0
+        assert lemma8_lower_bound(3, 6) == 36.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            lemma8_lower_bound(0, 3)
+        with pytest.raises(ValueError):
+            lemma8_lower_bound(2, -1)
+
+
+class TestTheorem4:
+    def test_bound_form(self):
+        assert theorem4_line_time_bound(1, 10) == pytest.approx(2 * (2 * 10))
+        assert theorem4_line_time_bound(2, 50) == pytest.approx(
+            2 * math.sqrt(2 * 2 * 50)
+        )
+
+    @pytest.mark.parametrize("storage", [4, 8, 16])
+    def test_realized_partitions_respect_bound_1d(self, g1, storage):
+        """Every 2S-partition induced by a real pebbling obeys
+        τ(2S) < 2(d!·2S)^{1/d} — the theorem, checked on constructions."""
+        moves = row_cache_schedule(g1, depth=2)
+        part = induced_partition(g1, moves, storage)
+        tau = max_line_vertices_per_subset(g1, part)
+        assert tau < theorem4_line_time_bound(g1.d, storage)
+
+    @pytest.mark.parametrize("storage", [12, 24])
+    def test_realized_partitions_respect_bound_2d(self, g2, storage):
+        moves = trapezoid_schedule(g2, base=3, height=2)
+        part = induced_partition(g2, moves, storage)
+        tau = max_line_vertices_per_subset(g2, part)
+        assert tau < theorem4_line_time_bound(g2.d, storage)
+
+    def test_tau_trivially_bounded_by_layers(self, g1):
+        moves = row_cache_schedule(g1, depth=1)
+        part = induced_partition(g1, moves, 8)
+        assert max_line_vertices_per_subset(g1, part) <= g1.num_layers
+
+
+class TestIOLowerBounds:
+    def test_partition_size_bound_formula(self, g2):
+        s = 10
+        expected = g2.num_vertices / (2 * s * theorem4_line_time_bound(2, s))
+        assert partition_size_lower_bound(g2, s) == pytest.approx(expected)
+
+    def test_io_moves_bound_nonnegative(self, g2):
+        assert io_moves_lower_bound(g2, 1000) == 0.0
+
+    def test_io_moves_bound_positive_at_scale(self):
+        big = ComputationGraph(OrthogonalLattice.cube(1, 512), generations=64)
+        assert io_moves_lower_bound(big, 16) > 0
+
+    def test_measured_io_exceeds_lower_bound(self):
+        """The fundamental soundness check: a real legal pebbling's I/O
+        is at least the Lemma 1 lower bound."""
+        graph = ComputationGraph(OrthogonalLattice.cube(1, 64), generations=16)
+        from repro.pebbling.game import replay
+
+        for depth, storage in ((1, 8), (4, 16)):
+            moves = row_cache_schedule(graph, depth=depth)
+            game = replay(graph, 500, moves)
+            assert game.io_moves >= io_moves_lower_bound(graph, storage)
+
+    def test_per_update_scaling_in_storage(self):
+        """The bound floor decays as S grows (more reuse possible)."""
+        graph = ComputationGraph(OrthogonalLattice.cube(2, 64), generations=32)
+        lo = io_per_update_lower_bound(graph, 16)
+        hi = io_per_update_lower_bound(graph, 256)
+        assert hi < lo
+
+    def test_asymptotic_s_power(self):
+        """For |X| >> S the per-update floor ~ 1/(2τ(2S)) ∝ S^{-1/d}."""
+        graph = ComputationGraph(OrthogonalLattice.cube(2, 256), generations=64)
+        f1 = io_per_update_lower_bound(graph, 100)
+        f2 = io_per_update_lower_bound(graph, 400)
+        assert f1 / f2 == pytest.approx(2.0, rel=0.2)

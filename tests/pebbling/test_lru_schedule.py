@@ -1,0 +1,89 @@
+"""Unit tests for the LRU-cache schedule (general-purpose-machine model)."""
+
+import pytest
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.schedules import (
+    lru_cache_schedule,
+    measure_schedule,
+    row_cache_schedule,
+    row_cache_storage_needed,
+)
+
+
+def graph_2d(side=12, gens=4):
+    return ComputationGraph(OrthogonalLattice.cube(2, side), generations=gens)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("storage", [6, 20, 60, 300])
+    def test_complete_and_legal(self, storage):
+        g = graph_2d()
+        report = measure_schedule(
+            g, lru_cache_schedule(g, storage), storage, f"lru-{storage}"
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+        assert report.recompute_factor == 1.0
+
+    def test_respects_budget_exactly(self):
+        g = graph_2d()
+        report = measure_schedule(g, lru_cache_schedule(g, 25), 25, "lru")
+        assert report.max_red <= 25
+
+    def test_1d_graph(self):
+        g = ComputationGraph(OrthogonalLattice.cube(1, 24), generations=8)
+        report = measure_schedule(g, lru_cache_schedule(g, 8), 8, "lru1d")
+        assert report.unique_computed == g.num_non_input_vertices
+
+    def test_rejects_below_working_set(self):
+        g = graph_2d()
+        with pytest.raises(ValueError, match="working set"):
+            lru_cache_schedule(g, 5)
+
+
+class TestCacheBehaviour:
+    def test_capacity_cliff(self):
+        """Below the two-line working set the cache thrashes; above it,
+        it matches the pipeline's 2 I/O per update."""
+        g = graph_2d(side=16, gens=4)
+        thrash = measure_schedule(g, lru_cache_schedule(g, 16), 16, "small")
+        smooth = measure_schedule(g, lru_cache_schedule(g, 300), 300, "big")
+        assert smooth.io_per_update == pytest.approx(2.0)
+        assert thrash.io_per_update > 1.5 * smooth.io_per_update
+
+    def test_working_set_cache_matches_pipeline_io(self):
+        """A cache holding the stencil working set (but not whole
+        layers across generations) does exactly what the single-stage
+        pipeline does: 2 I/O per update."""
+        g = graph_2d(side=10, gens=4)
+        lru = measure_schedule(g, lru_cache_schedule(g, 40), 40, "lru")
+        pipe = measure_schedule(
+            g, row_cache_schedule(g, 1), row_cache_storage_needed(g, 1), "pipe"
+        )
+        assert lru.io_per_update == pytest.approx(pipe.io_per_update)
+
+    def test_whole_problem_in_cache_floor(self):
+        """When the entire graph fits, only the unavoidable I/O remains:
+        read every input, write every computed value once."""
+        g = graph_2d(side=8, gens=3)
+        lru = measure_schedule(g, lru_cache_schedule(g, 10_000), 10_000, "lru")
+        expected = (g.num_sites + g.num_non_input_vertices) / g.num_non_input_vertices
+        assert lru.io_per_update == pytest.approx(expected)
+
+    def test_monotone_in_storage(self):
+        """More cache never costs more I/O for this sweep order."""
+        g = graph_2d(side=12, gens=4)
+        ios = [
+            measure_schedule(g, lru_cache_schedule(g, s), s, "m").io_per_update
+            for s in (8, 24, 72, 216)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(ios, ios[1:]))
+
+    def test_never_beats_two_when_problem_exceeds_cache(self):
+        """Without cross-generation blocking, a cache smaller than the
+        problem cannot beat the read-once/write-once floor — beating 2
+        requires the engines' k-deep pipelines or trapezoid tiles."""
+        g = graph_2d(side=8, gens=3)
+        lru = measure_schedule(g, lru_cache_schedule(g, 48), 48, "lru")
+        assert lru.io_per_update >= 2.0 - 1e-9

@@ -1,0 +1,85 @@
+"""Unit tests for the exact minimum-I/O pebbling search."""
+
+import pytest
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.bounds import io_moves_lower_bound
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.optimal import minimum_io, optimal_pebbling
+from repro.pebbling.schedules import (
+    measure_schedule,
+    per_site_schedule,
+    row_cache_schedule,
+    row_cache_storage_needed,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    """1-D lattice, 4 sites, 2 generations: 12 vertices."""
+    return ComputationGraph(OrthogonalLattice.cube(1, 4), generations=2)
+
+
+class TestValidation:
+    def test_rejects_large_graph(self):
+        g = ComputationGraph(OrthogonalLattice.cube(1, 10), generations=2)
+        with pytest.raises(ValueError, match="capped"):
+            optimal_pebbling(g, 8)
+
+    def test_rejects_insufficient_storage(self, tiny):
+        with pytest.raises(ValueError, match="in-degree"):
+            optimal_pebbling(tiny, 3)
+
+    def test_rejects_zero_storage(self, tiny):
+        with pytest.raises(ValueError):
+            optimal_pebbling(tiny, 0)
+
+
+class TestExactValues:
+    def test_generous_storage_floor_is_inputs_plus_outputs(self, tiny):
+        """With S >= all vertices, the only unavoidable I/O is reading
+        every input once and writing every output once."""
+        assert minimum_io(tiny, 12) == tiny.num_sites * 2  # 4 + 4
+
+    def test_monotone_in_storage(self, tiny):
+        q4 = minimum_io(tiny, 4)
+        q6 = minimum_io(tiny, 6)
+        q8 = minimum_io(tiny, 8)
+        assert q4 >= q6 >= q8
+
+    def test_tight_budget_costs_more(self, tiny):
+        assert minimum_io(tiny, 4) > minimum_io(tiny, 8)
+
+    def test_exact_against_lemma_bound(self, tiny):
+        """The exact optimum respects (and dominates) the Lemma 1/2 lower
+        bound."""
+        for s in (4, 6, 8):
+            assert minimum_io(tiny, s) >= io_moves_lower_bound(tiny, s)
+
+    def test_single_generation_line(self):
+        """3-site, 1-generation path: Q* = 3 reads + 3 writes with room,
+        since every input must enter and every output must leave."""
+        g = ComputationGraph(OrthogonalLattice.cube(1, 3), generations=1)
+        assert minimum_io(g, 6) == 6
+
+
+class TestSchedulesVsOptimal:
+    def test_row_cache_is_optimal_at_depth_t(self, tiny):
+        """The paper's pipeline schedule with k = T matches the exact
+        optimum Q* = inputs + outputs (reads each input once, writes
+        each output once, nothing else)."""
+        moves = row_cache_schedule(tiny, depth=2)
+        report = measure_schedule(
+            tiny, moves, row_cache_storage_needed(tiny, 2), "rc"
+        )
+        assert report.io_moves == minimum_io(tiny, report.max_red)
+
+    def test_per_site_is_far_from_optimal(self, tiny):
+        report = measure_schedule(tiny, per_site_schedule(tiny), 4, "ps")
+        q_star = minimum_io(tiny, 4)
+        assert report.io_moves > 2 * q_star
+
+    def test_search_diagnostics(self, tiny):
+        res = optimal_pebbling(tiny, 6)
+        assert res.states_expanded > 0
+        assert res.storage == 6

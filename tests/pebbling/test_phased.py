@@ -1,0 +1,73 @@
+"""Tests for native parallel-red-blue schedules."""
+
+import pytest
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.game import IllegalMoveError
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.parallel_game import ParallelRedBluePebbleGame
+from repro.pebbling.phased import layer_parallel_steps, measure_phased
+
+
+@pytest.fixture
+def graph():
+    return ComputationGraph(OrthogonalLattice.cube(2, 5), generations=4)
+
+
+class TestLayerParallelSteps:
+    def test_complete_and_legal(self, graph):
+        storage = graph.num_sites
+        steps = layer_parallel_steps(graph, storage)
+        report = measure_phased(graph, steps, storage)
+        assert report.io_moves > 0
+
+    def test_io_matches_sequential_pipeline(self, graph):
+        """Parallelism changes time, never I/O: (T+1)·n transfers, the
+        same as the sequential k=1 sweep."""
+        storage = graph.num_sites
+        report = measure_phased(graph, layer_parallel_steps(graph, storage), storage)
+        assert report.io_moves == graph.num_layers * graph.num_sites
+
+    def test_pink_pebble_slide_needs_only_one_layer(self, graph):
+        """The pink-pebble fan-out/slide: supports hand registers to the
+        results computed in the same phase, so S = n suffices."""
+        storage = graph.num_sites
+        report = measure_phased(graph, layer_parallel_steps(graph, storage), storage)
+        assert report.steps > 0
+
+    def test_parallel_speedup_scales_with_storage(self, graph):
+        """Wider parallel I/O (bigger S) means fewer steps."""
+        s_small = graph.num_sites
+        rep_small = measure_phased(
+            graph, layer_parallel_steps(graph, s_small), s_small
+        )
+        s_big = 10 * graph.num_sites
+        rep_big = measure_phased(graph, layer_parallel_steps(graph, s_big), s_big)
+        assert rep_big.steps <= rep_small.steps
+        assert rep_big.parallel_speedup >= rep_small.parallel_speedup
+
+    def test_speedup_order_of_magnitude(self, graph):
+        """Steps ≈ 2T + n/S-ish vs ~5n·T sequential moves: the phased
+        machine is ~n times faster at full width."""
+        storage = 2 * graph.num_sites
+        report = measure_phased(graph, layer_parallel_steps(graph, storage), storage)
+        assert report.parallel_speedup > graph.num_sites / 4
+
+    def test_rejects_insufficient_storage(self, graph):
+        with pytest.raises(ValueError, match="one layer"):
+            layer_parallel_steps(graph, graph.num_sites - 1)
+
+    def test_budget_enforced_by_game(self, graph):
+        """Replaying with a budget below one layer fails in the game's
+        own legality checks."""
+        storage = graph.num_sites
+        steps = layer_parallel_steps(graph, storage)
+        game = ParallelRedBluePebbleGame(graph, storage - 1)
+        with pytest.raises(IllegalMoveError):
+            game.run(steps)
+
+    def test_1d_graph(self):
+        g = ComputationGraph(OrthogonalLattice.cube(1, 12), generations=6)
+        storage = g.num_sites
+        report = measure_phased(g, layer_parallel_steps(g, storage), storage)
+        assert report.io_moves == g.num_layers * g.num_sites

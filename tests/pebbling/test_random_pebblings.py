@@ -1,0 +1,108 @@
+"""Property tests: Theorem 2 machinery over *randomized* legal pebblings.
+
+The induced-partition construction must hold for any legal pebbling, not
+just our tidy schedules.  These tests generate randomized-but-legal
+pebblings (random site order per layer, random eviction victims) and
+check every Theorem 2 property on the result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.division import induced_partition, io_division
+from repro.pebbling.game import Move, MoveKind, replay
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.lines import max_line_vertices_per_subset
+from repro.pebbling.bounds import theorem4_line_time_bound
+from repro.pebbling.partition import verify_partition
+
+
+def random_legal_pebbling(graph, rng) -> list[Move]:
+    """A randomized no-reuse pebbling: each layer in random site order,
+    each update reading its neighborhood fresh and evicting in random
+    order."""
+    moves: list[Move] = []
+    for t in range(1, graph.num_layers):
+        order = rng.permutation(graph.num_sites)
+        for s in order:
+            v = int(t * graph.num_sites + s)
+            preds = [int(u) for u in graph.predecessors(v)]
+            rng.shuffle(preds)
+            for u in preds:
+                moves.append(Move(MoveKind.READ, u))
+            moves.append(Move(MoveKind.COMPUTE, v))
+            moves.append(Move(MoveKind.WRITE, v))
+            victims = preds + [v]
+            rng.shuffle(victims)
+            for u in victims:
+                moves.append(Move(MoveKind.REMOVE_RED, u))
+    return moves
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    d=st.integers(1, 2),
+    side=st.integers(3, 6),
+    gens=st.integers(1, 4),
+    storage=st.integers(6, 40),
+)
+def test_induced_partition_always_valid(seed, d, side, gens, storage):
+    rng = np.random.default_rng(seed)
+    graph = ComputationGraph(OrthogonalLattice.cube(d, side), generations=gens)
+    moves = random_legal_pebbling(graph, rng)
+    # legality of the generated pebbling itself
+    game = replay(graph, 2 * d + 2, moves)
+    assert game.goal_reached()
+    part = induced_partition(graph, moves, storage)
+    universe = sorted({v for sub in part.subsets for v in sub})
+    verify_partition(graph, part, 2 * storage, universe=universe)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    side=st.integers(3, 6),
+    gens=st.integers(1, 4),
+    storage=st.integers(6, 40),
+)
+def test_theorem4_on_random_pebblings(seed, side, gens, storage):
+    """τ of the induced 2S-partition respects the Theorem 4 bound for
+    arbitrary legal pebblings."""
+    rng = np.random.default_rng(seed)
+    graph = ComputationGraph(OrthogonalLattice.cube(2, side), generations=gens)
+    moves = random_legal_pebbling(graph, rng)
+    part = induced_partition(graph, moves, storage)
+    tau = max_line_vertices_per_subset(graph, part)
+    assert tau < theorem4_line_time_bound(graph.d, storage)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    storage=st.integers(1, 50),
+    n_io=st.integers(0, 200),
+)
+def test_io_division_invariants(seed, storage, n_io):
+    """Division invariants hold for arbitrary move streams: every chunk
+    except the last carries exactly S I/O moves, chunks concatenate to
+    the original sequence, and h = ceil(q/S) (+1 for a trailing
+    non-I/O-only chunk)."""
+    rng = np.random.default_rng(seed)
+    moves = []
+    for _ in range(n_io):
+        kind = MoveKind.READ if rng.random() < 0.5 else MoveKind.WRITE
+        moves.append(Move(kind, int(rng.integers(0, 100))))
+        for _ in range(int(rng.integers(0, 3))):
+            moves.append(Move(MoveKind.COMPUTE, int(rng.integers(0, 100))))
+    chunks = io_division(moves, storage)
+    flat = [m for chunk in chunks for m in chunk]
+    assert flat == moves
+    for chunk in chunks[:-1]:
+        assert sum(m.is_io() for m in chunk) == storage
+    q = sum(m.is_io() for m in moves)
+    expected_h = max(1, -(-q // storage))
+    assert expected_h <= len(chunks) <= expected_h + 1

@@ -1,0 +1,226 @@
+"""Unit + property tests for constructive pebbling schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice.geometry import OrthogonalLattice
+from repro.pebbling.game import IllegalMoveError, replay
+from repro.pebbling.graph import ComputationGraph
+from repro.pebbling.schedules import (
+    measure_schedule,
+    per_site_schedule,
+    per_site_storage_needed,
+    row_cache_schedule,
+    row_cache_storage_needed,
+    trapezoid_schedule,
+    trapezoid_storage_needed,
+)
+
+
+def graph_1d(side=16, gens=8):
+    return ComputationGraph(OrthogonalLattice.cube(1, side), generations=gens)
+
+
+def graph_2d(side=6, gens=4):
+    return ComputationGraph(OrthogonalLattice.cube(2, side), generations=gens)
+
+
+class TestPerSite:
+    def test_complete_and_legal(self):
+        g = graph_1d()
+        report = measure_schedule(
+            g, per_site_schedule(g), per_site_storage_needed(g), "per-site"
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+        assert report.recompute_factor == 1.0
+
+    def test_io_per_update_constant(self):
+        """No reuse: ~2d+2 I/O per update regardless of problem size."""
+        small = graph_1d(8, 4)
+        large = graph_1d(32, 8)
+        r_small = measure_schedule(
+            small, per_site_schedule(small), 8, "s"
+        ).io_per_update
+        r_large = measure_schedule(
+            large, per_site_schedule(large), 8, "l"
+        ).io_per_update
+        assert r_small == pytest.approx(r_large, rel=0.1)
+        assert 3.0 < r_large <= 4.0  # 3 reads + 1 write, minus boundary
+
+    def test_storage_needed_tiny(self):
+        g = graph_2d()
+        assert per_site_storage_needed(g) == 6
+        measure_schedule(g, per_site_schedule(g), 6, "min-storage")
+
+    def test_fails_below_min_storage(self):
+        g = graph_2d()
+        with pytest.raises(IllegalMoveError):
+            measure_schedule(g, per_site_schedule(g), 5, "too-small")
+
+
+class TestRowCache:
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_complete_all_depths_1d(self, depth):
+        g = graph_1d()
+        report = measure_schedule(
+            g,
+            row_cache_schedule(g, depth),
+            row_cache_storage_needed(g, depth),
+            f"rc-{depth}",
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+        assert report.recompute_factor == 1.0
+
+    @pytest.mark.parametrize("depth", [1, 3])
+    def test_complete_2d(self, depth):
+        g = graph_2d(6, 3)
+        report = measure_schedule(
+            g,
+            row_cache_schedule(g, depth),
+            row_cache_storage_needed(g, depth),
+            f"rc2-{depth}",
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+
+    def test_io_scales_inverse_depth(self):
+        """The k-stage pipeline reads+writes each generation once per
+        pass: I/O per update = 2/k exactly."""
+        g = graph_1d(16, 8)
+        for depth in (1, 2, 4, 8):
+            report = measure_schedule(
+                g,
+                row_cache_schedule(g, depth),
+                row_cache_storage_needed(g, depth),
+                "rc",
+            )
+            assert report.io_per_update == pytest.approx(2.0 / depth)
+
+    def test_storage_grows_with_depth(self):
+        g = graph_2d(6, 4)
+        r1 = measure_schedule(
+            g, row_cache_schedule(g, 1), row_cache_storage_needed(g, 1), "a"
+        )
+        r4 = measure_schedule(
+            g, row_cache_schedule(g, 4), row_cache_storage_needed(g, 4), "b"
+        )
+        assert r4.max_red > 2 * r1.max_red
+
+    def test_depth_cannot_exceed_generations(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            row_cache_schedule(graph_1d(8, 2), depth=3)
+
+    def test_partial_final_pass(self):
+        g = graph_1d(12, 7)  # 7 = 3+3+1 with depth 3
+        report = measure_schedule(
+            g, row_cache_schedule(g, 3), row_cache_storage_needed(g, 3), "rc"
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+
+
+class TestTrapezoid:
+    @pytest.mark.parametrize("base,height", [(4, 2), (8, 4), (4, 4)])
+    def test_complete_1d(self, base, height):
+        g = graph_1d(16, 8)
+        report = measure_schedule(
+            g,
+            trapezoid_schedule(g, base, height),
+            trapezoid_storage_needed(g, base, height),
+            "trap",
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+
+    def test_complete_2d(self):
+        g = graph_2d(6, 4)
+        report = measure_schedule(
+            g,
+            trapezoid_schedule(g, 3, 2),
+            trapezoid_storage_needed(g, 3, 2),
+            "trap2",
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+
+    def test_recompute_overhead_bounded(self):
+        g = graph_1d(32, 8)
+        report = measure_schedule(
+            g, trapezoid_schedule(g, 8, 4), trapezoid_storage_needed(g, 8, 4), "t"
+        )
+        assert 1.0 <= report.recompute_factor < 2.0
+
+    def test_height_amortizes_io(self):
+        """Taller trapezoids amortize the halo: I/O per update falls."""
+        g = graph_1d(64, 16)
+        r2 = measure_schedule(
+            g, trapezoid_schedule(g, 16, 2), trapezoid_storage_needed(g, 16, 2), "a"
+        )
+        r8 = measure_schedule(
+            g, trapezoid_schedule(g, 16, 8), trapezoid_storage_needed(g, 16, 8), "b"
+        )
+        assert r8.io_per_update < r2.io_per_update
+
+    def test_io_scaling_matches_s_power_1d(self):
+        """Doubling b=h roughly halves I/O per update at 4x the storage
+        (d=1: I/O ∝ 1/S)."""
+        g = graph_1d(128, 32)
+        reports = []
+        for b in (4, 8, 16):
+            rep = measure_schedule(
+                g, trapezoid_schedule(g, b, b), trapezoid_storage_needed(g, b, b), "t"
+            )
+            reports.append(rep)
+        assert reports[1].io_per_update < 0.7 * reports[0].io_per_update
+        assert reports[2].io_per_update < 0.7 * reports[1].io_per_update
+
+    def test_height_capped(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            trapezoid_schedule(graph_1d(8, 2), base=4, height=3)
+
+    def test_validates(self):
+        g = graph_1d()
+        with pytest.raises(ValueError):
+            trapezoid_schedule(g, base=0, height=1)
+
+
+class TestMeasureSchedule:
+    def test_incomplete_schedule_rejected(self):
+        g = graph_1d(8, 2)
+        moves = row_cache_schedule(g, 1)[:-10]  # drop the tail
+        with pytest.raises((ValueError, IllegalMoveError)):
+            measure_schedule(g, moves, 100, "partial")
+
+    def test_max_red_reported(self):
+        g = graph_1d(8, 2)
+        report = measure_schedule(g, per_site_schedule(g), 10, "x")
+        assert report.max_red == 4  # 3 preds + 1 output
+
+
+class TestScheduleProperties:
+    @given(
+        st.integers(6, 14),
+        st.integers(2, 5),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=10)
+    def test_row_cache_always_legal_and_complete_1d(self, side, gens, depth):
+        depth = min(depth, gens)
+        g = ComputationGraph(OrthogonalLattice.cube(1, side), generations=gens)
+        report = measure_schedule(
+            g,
+            row_cache_schedule(g, depth),
+            row_cache_storage_needed(g, depth),
+            "prop",
+        )
+        assert report.unique_computed == g.num_non_input_vertices
+
+    @given(st.integers(3, 7), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=10)
+    def test_trapezoid_always_legal_and_complete_1d(self, side, gens, base):
+        g = ComputationGraph(OrthogonalLattice.cube(1, side), generations=gens)
+        height = min(gens, base)
+        report = measure_schedule(
+            g,
+            trapezoid_schedule(g, base, height),
+            trapezoid_storage_needed(g, base, height),
+            "prop",
+        )
+        assert report.unique_computed == g.num_non_input_vertices

@@ -1,0 +1,55 @@
+"""Package-level contracts: version, exports, subpackage imports."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.lattice",
+    "repro.lgca",
+    "repro.engines",
+    "repro.pebbling",
+    "repro.util",
+]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        """Every name in __all__ actually exists — no stale exports."""
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_documented(self, name):
+        """Every exported callable/class has a docstring."""
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if callable(obj):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+    def test_cli_importable(self):
+        from repro.cli import build_parser
+
+        assert build_parser().prog == "repro"
+
+    def test_no_circular_imports(self):
+        """core, engines, pebbling import cleanly in any order."""
+        for order in (
+            ["repro.pebbling", "repro.core", "repro.engines"],
+            ["repro.engines", "repro.pebbling", "repro.core"],
+        ):
+            for name in order:
+                importlib.reload(importlib.import_module(name))

@@ -1,0 +1,96 @@
+"""Unit tests for ASCII field rendering."""
+
+import numpy as np
+import pytest
+
+from repro.util.render import SHADES, shade_map, spacetime_diagram, speed_map
+
+
+class TestShadeMap:
+    def test_zero_field_blank(self):
+        out = shade_map(np.zeros((2, 3)))
+        assert out == "   \n   "
+
+    def test_max_value_darkest(self):
+        field = np.array([[0.0, 1.0]])
+        out = shade_map(field)
+        assert out[0] == SHADES[0]
+        assert out[1] == SHADES[-1]
+
+    def test_shape(self):
+        out = shade_map(np.random.default_rng(0).random((4, 7)))
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == 7 for l in lines)
+
+    def test_vmax_normalization(self):
+        field = np.array([[1.0]])
+        assert shade_map(field, vmax=2.0)[0] != SHADES[-1]
+        assert shade_map(field, vmax=1.0)[0] == SHADES[-1]
+
+    def test_overlay(self):
+        field = np.ones((2, 2))
+        mask = np.array([[True, False], [False, False]])
+        out = shade_map(field, overlay=mask)
+        assert out.splitlines()[0][0] == "#"
+
+    def test_overlay_shape_mismatch(self):
+        with pytest.raises(ValueError, match="overlay shape"):
+            shade_map(np.ones((2, 2)), overlay=np.ones((3, 3), dtype=bool))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            shade_map(np.ones(3))
+
+    def test_rejects_multichar_overlay(self):
+        with pytest.raises(ValueError, match="single character"):
+            shade_map(np.ones((2, 2)), overlay=np.ones((2, 2), dtype=bool), overlay_char="##")
+
+    def test_values_above_vmax_clamped(self):
+        out = shade_map(np.array([[5.0]]), vmax=1.0)
+        assert out == SHADES[-1]
+
+
+class TestSpeedMap:
+    def test_magnitude(self):
+        v = np.zeros((1, 2, 2))
+        v[0, 1] = [3.0, 4.0]  # |u| = 5
+        out = speed_map(v)
+        assert out[0] == SHADES[0]
+        assert out[1] == SHADES[-1]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            speed_map(np.zeros((2, 2)))
+
+
+class TestSpacetimeDiagram:
+    def test_renders_history(self):
+        h = np.array([[0, 1, 0], [1, 1, 1]])
+        assert spacetime_diagram(h) == ".#.\n###"
+
+    def test_custom_chars(self):
+        h = np.array([[1, 0]])
+        assert spacetime_diagram(h, on="X", off="_") == "X_"
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError, match="0 or 1"):
+            spacetime_diagram(np.array([[2]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            spacetime_diagram(np.array([1, 0]))
+
+    def test_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            spacetime_diagram(np.array([[1]]), on="##")
+
+    def test_rule90_smoke(self):
+        from repro.lgca.wolfram import ElementaryCA
+
+        tape = np.zeros(9, dtype=np.uint8)
+        tape[4] = 1
+        h = ElementaryCA(90, boundary="null").history(tape, 2)
+        out = spacetime_diagram(h)
+        assert out.splitlines()[0] == "....#...."
+        assert out.splitlines()[1] == "...#.#..."

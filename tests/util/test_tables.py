@@ -1,0 +1,74 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table, format_quantity, format_rate
+
+
+class TestFormatQuantity:
+    def test_mega(self):
+        assert format_quantity(2.0e7, "B/s") == "20 MB/s"
+
+    def test_kilo(self):
+        assert format_quantity(1500, "b") == "1.5 kb"
+
+    def test_plain_below_thousand(self):
+        assert format_quantity(64, "bits") == "64 bits"
+
+    def test_giga(self):
+        assert "G" in format_quantity(3.14e10)
+
+    def test_tera(self):
+        assert "T" in format_quantity(2e12)
+
+    def test_negative(self):
+        assert format_quantity(-2e6, "B").startswith("-2")
+
+    def test_no_unit(self):
+        assert format_quantity(5e6) == "5 M"
+
+
+class TestFormatRate:
+    def test_paper_style(self):
+        assert format_rate(20e6) == "20 Mupdates/s"
+
+    def test_unit_rate(self):
+        assert format_rate(1e6) == "1 Mupdates/s"
+
+
+class TestTable:
+    def test_render_contains_title_and_cells(self):
+        t = Table("E5", ["arch", "P"])
+        t.add_row("WSA", 4)
+        t.add_row("SPA", 12)
+        text = t.render()
+        assert "E5" in text
+        assert "WSA" in text and "12" in text
+
+    def test_row_width_mismatch(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table("x", ["v"])
+        t.add_row(3.14159265358979)
+        assert "3.14159" in t.render()
+
+    def test_add_rows_bulk(self):
+        t = Table("x", ["a", "b"])
+        t.add_rows([(1, 2), (3, 4)])
+        assert len(t.rows) == 2
+
+    def test_columns_aligned(self):
+        t = Table("x", ["name", "v"])
+        t.add_row("long-name-here", 1)
+        lines = t.render().splitlines()
+        header, rule, row = lines[2], lines[3], lines[4]
+        assert len(header) == len(rule) == len(row)
+
+    def test_print_smoke(self, capsys):
+        t = Table("t", ["a"])
+        t.add_row(1)
+        t.print()
+        assert "t" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Unit tests for repro.util.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckInteger:
+    def test_accepts_python_int(self):
+        assert check_integer(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer(np.int64(7), "x") == 7
+
+    def test_accepts_integral_float(self):
+        assert check_integer(4.0, "x") == 4
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeError, match="x=4.5"):
+            check_integer(4.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_integer(True, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_integer("4", "x")
+
+    def test_returns_int_type(self):
+        assert type(check_integer(np.int32(3), "x")) is int
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x=-3"):
+            check_positive(-3, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_positive(math.nan, "x")
+
+    def test_integer_mode_rejects_fraction(self):
+        with pytest.raises(TypeError):
+            check_positive(2.5, "x", integer=True)
+
+    def test_integer_mode_converts(self):
+        assert check_positive(3.0, "x", integer=True) == 3
+
+    def test_rejects_non_real(self):
+        with pytest.raises(TypeError):
+            check_positive([1], "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonnegative(-1e-9, "x")
+
+    def test_integer_mode(self):
+        assert check_nonnegative(0.0, "x", integer=True) == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(float("nan"), "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range(0, "x", 0, 1) == 0
+        assert check_in_range(1, "x", 0, 1) == 1
+
+    def test_exclusive_rejects_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(0, "x", 0, 1, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_in_range(1.5, "x", 0, 1)
+
+    def test_rejects_non_real(self):
+        with pytest.raises(TypeError):
+            check_in_range(None, "x", 0, 1)
+
+
+class TestCheckProbability:
+    def test_accepts_half(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_returns_float(self):
+        assert isinstance(check_probability(1, "p"), float)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
