@@ -1,0 +1,77 @@
+"""Diagnostic records produced by the lint engine.
+
+A :class:`Diagnostic` is one finding at one source location.  The
+machine-readable form (:meth:`Diagnostic.to_dict`) is stable — tests
+pin its schema so downstream tooling (CI annotations, editors) can rely
+on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings fail ``repro lint``; ``WARNING`` findings are
+    reported but do not affect the exit code.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding: a rule violated at a source location.
+
+    Attributes
+    ----------
+    path:
+        Display path of the offending file (as given to the engine).
+    line, col:
+        1-based line and 0-based column of the offending node, matching
+        the :mod:`ast` convention.
+    rule:
+        Rule identifier, e.g. ``"RPR001"``.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable explanation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by file, then location, then rule id."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def format(self) -> str:
+        """The one-line ``path:line:col: RULE [severity] message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (schema pinned by tests)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }

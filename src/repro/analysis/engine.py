@@ -1,0 +1,170 @@
+"""The lint engine: file discovery, parsing, rule dispatch, reporting.
+
+The engine is deliberately small: it finds Python files, parses each
+one once, hands the AST to every applicable rule, and aggregates the
+findings into a :class:`LintReport` with stable text and JSON
+renderings.  Unparseable files produce an ``RPR000`` diagnostic rather
+than crashing the run, so one broken fixture cannot hide findings in
+the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import ALL_RULES, ModuleUnderCheck, Rule
+
+__all__ = ["LintEngine", "LintReport", "iter_python_files", "lint_paths"]
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".mypy_cache"}
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises
+    ------
+    FileNotFoundError
+        if a named path does not exist.
+    """
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(Path(dirpath) / name)
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(set(out))
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run.
+
+    Attributes
+    ----------
+    diagnostics:
+        All findings, sorted by (path, line, col, rule).
+    files_checked:
+        Number of files parsed (including unparseable ones).
+    """
+
+    diagnostics: tuple[Diagnostic, ...]
+    files_checked: int = 0
+
+    @property
+    def error_count(self) -> int:
+        """Findings at :attr:`Severity.ERROR`."""
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        """Findings at :attr:`Severity.WARNING`."""
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 1 if any error-severity finding, else 0."""
+        return 1 if self.error_count else 0
+
+    def format_text(self) -> str:
+        """The human-readable report (one line per finding + summary)."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{self.files_checked} file(s) checked: "
+            f"{self.error_count} error(s), {self.warning_count} warning(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (schema version pinned by tests)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "summary": {
+                "errors": self.error_count,
+                "warnings": self.warning_count,
+                "total": len(self.diagnostics),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def format_json(self) -> str:
+        """Deterministic JSON rendering (sorted keys, 2-space indent)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+@dataclass
+class LintEngine:
+    """Runs a rule set over source files.
+
+    Parameters
+    ----------
+    rules:
+        The rules to apply (default: every registered rule).
+    """
+
+    rules: Sequence[Rule] = field(default_factory=lambda: ALL_RULES)
+
+    def lint_source(self, source: str, path: str) -> list[Diagnostic]:
+        """Lint source text under a display path (used by tests/fixtures)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule="RPR000",
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        module = ModuleUnderCheck(path=path, source=source, tree=tree)
+        found: list[Diagnostic] = []
+        for rule in self.rules:
+            if rule.applies_to(module):
+                found.extend(rule.check(module))
+        return found
+
+    def lint_file(self, path: str | Path) -> list[Diagnostic]:
+        """Lint one file from disk."""
+        path = Path(path)
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(source, str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> LintReport:
+        """Lint files and directories; returns the aggregated report."""
+        files = iter_python_files(paths)
+        diagnostics: list[Diagnostic] = []
+        for file_path in files:
+            diagnostics.extend(self.lint_file(file_path))
+        diagnostics.sort(key=Diagnostic.sort_key)
+        return LintReport(
+            diagnostics=tuple(diagnostics), files_checked=len(files)
+        )
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintReport:
+    """One-call convenience: lint ``paths`` with an optional rule subset."""
+    from repro.analysis.rules import get_rules
+
+    return LintEngine(rules=get_rules(select, ignore)).lint_paths(paths)

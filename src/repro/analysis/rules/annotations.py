@@ -1,0 +1,90 @@
+"""RPR003 — public API functions carry type annotations and a docstring.
+
+The ``core/``, ``engines/``, and ``pebbling/`` packages are the paper's
+quantitative surface: every public function there encodes a formula or
+a machine behavior with units and conventions that a signature alone
+cannot convey.  Annotations make the contracts checkable; the docstring
+says what the quantity *is*.
+
+Checked: public (non-underscore, non-dunder) functions at module level
+and directly inside public classes.  ``self`` / ``cls``, ``*args`` /
+``**kwargs``, and property setters/deleters are exempt from the
+parameter-annotation requirement.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["PublicAPIAnnotationRule"]
+
+
+def _is_accessor_decorator(dec: ast.expr) -> bool:
+    """Whether a decorator marks a property setter/deleter/getter."""
+    return isinstance(dec, ast.Attribute) and dec.attr in (
+        "setter",
+        "deleter",
+        "getter",
+    )
+
+
+def _is_public_name(name: str) -> bool:
+    """Public means no leading underscore (dunders are not public API)."""
+    return not name.startswith("_")
+
+
+class PublicAPIAnnotationRule(Rule):
+    """Require annotations + docstrings on the public design-model API."""
+
+    id = "RPR003"
+    title = "public API needs annotations and docstrings"
+    scopes = ("core", "engines", "pebbling")
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Check module-level and public-class-level function definitions."""
+        yield from self._check_body(module, module.tree.body, owner=None)
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and _is_public_name(node.name):
+                yield from self._check_body(module, node.body, owner=node.name)
+
+    def _check_body(
+        self,
+        module: ModuleUnderCheck,
+        body: list[ast.stmt],
+        owner: str | None,
+    ) -> Iterator[Diagnostic]:
+        """Check the function definitions directly inside ``body``."""
+        for node in body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_public_name(node.name):
+                continue
+            if any(_is_accessor_decorator(d) for d in node.decorator_list):
+                continue
+            label = f"{owner}.{node.name}" if owner else node.name
+            if ast.get_docstring(node) is None:
+                yield self.diagnostic(
+                    module, node, f"public function {label!r} has no docstring"
+                )
+            if node.returns is None:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"public function {label!r} has no return annotation",
+                )
+            params = list(node.args.posonlyargs) + list(node.args.args)
+            if owner is not None and params and params[0].arg in ("self", "cls"):
+                params = params[1:]
+            params += list(node.args.kwonlyargs)
+            for param in params:
+                if param.annotation is None:
+                    yield self.diagnostic(
+                        module,
+                        param,
+                        f"parameter {param.arg!r} of public function "
+                        f"{label!r} has no type annotation",
+                    )

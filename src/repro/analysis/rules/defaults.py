@@ -1,0 +1,63 @@
+"""RPR001 — no mutable default arguments.
+
+A mutable default (``def f(x=[])``) is evaluated once at definition
+time and shared across calls; mutating it leaks state between calls.
+This is the classic source of "works once, wrong forever after" bugs in
+long-lived simulation drivers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+_MUTABLE_ATTR_CALLS = {"defaultdict", "OrderedDict", "Counter", "deque", "array"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    """Whether a default-value expression builds a fresh mutable object."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CALLS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_ATTR_CALLS:
+            return True
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """Flag list/dict/set (literal or constructor) default arguments."""
+
+    id = "RPR001"
+    title = "no mutable default arguments"
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Scan every function (and lambda) for mutable defaults."""
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            name = getattr(node, "name", "<lambda>")
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.diagnostic(
+                        module,
+                        default,
+                        f"function {name!r} has a mutable default argument; "
+                        "use None and create the object inside the body",
+                    )

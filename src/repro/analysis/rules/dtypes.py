@@ -1,0 +1,59 @@
+"""RPR004 — numpy dtype discipline in the LGCA kernels.
+
+Lattice-gas state lives in packed ``uint8``/``uint16`` planes; the
+arrays that drive them (probability fields, time series, momenta) are
+``float64`` *by decision*, not by accident.  ``np.zeros(...)`` without
+a dtype silently defaults to ``float64`` — fine until someone "fixes"
+a kernel by assigning through it and upcasts a bit-plane, exactly the
+class of silent vectorized-CA bug Szkoda et al. (2012) report.  In
+``lgca/`` every array *creation* must therefore state its dtype.
+
+``*_like`` constructors and functions that inherit a dtype from their
+input (``np.roll``, slicing, …) are exempt — they cannot upcast.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["ExplicitDtypeRule"]
+
+_CREATION_FUNCS = {"zeros", "ones", "empty", "full"}
+
+
+class ExplicitDtypeRule(Rule):
+    """Require an explicit ``dtype=`` on numpy array creation in lgca/."""
+
+    id = "RPR004"
+    title = "explicit dtype on numpy array creation"
+    scopes = ("lgca",)
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Scan for ``np.zeros/ones/empty/full`` calls without ``dtype=``."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+                and func.attr in _CREATION_FUNCS
+            ):
+                continue
+            has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+            # np.full(shape, fill, dtype) / np.zeros(shape, dtype) as a
+            # positional second/third argument also counts as explicit.
+            positional_dtype_slot = 2 if func.attr == "full" else 1
+            has_dtype = has_dtype or len(node.args) > positional_dtype_slot
+            if not has_dtype:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"np.{func.attr} without an explicit dtype defaults to "
+                    "float64; state the intended dtype",
+                )

@@ -1,0 +1,35 @@
+"""RPR005 — no bare ``except:`` clauses.
+
+A bare ``except:`` swallows ``KeyboardInterrupt`` and ``SystemExit``
+along with the error it meant to catch, turning a Ctrl-C into silent
+corruption of a long simulation run.  Catch a concrete exception type,
+or ``Exception`` if the intent really is "anything recoverable".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["BareExceptRule"]
+
+
+class BareExceptRule(Rule):
+    """Flag ``except:`` handlers with no exception type."""
+
+    id = "RPR005"
+    title = "no bare except clauses"
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Scan every exception handler for a missing type."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type (or Exception)",
+                )

@@ -1,0 +1,124 @@
+"""RPR006 — ``__all__`` names must exist in the module.
+
+Every package in this repo re-exports its public surface through
+``__all__``; a stale entry (renamed function, removed class) makes
+``from repro.x import *`` raise at import time — but only for the user
+who does it, long after the rename.  This rule resolves each
+``__all__`` entry against the module's top-level definitions and
+imports, and flags duplicates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["DunderAllRule"]
+
+
+def _literal_all_entries(node: ast.expr) -> list[tuple[str, ast.expr]] | None:
+    """Extract ``__all__`` entries from a list/tuple literal, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    entries = []
+    for elt in node.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            entries.append((elt.value, elt))
+        else:
+            return None  # computed __all__ — not statically checkable
+    return entries
+
+
+def _collect_top_level_names(body: list[ast.stmt]) -> tuple[set[str], bool]:
+    """Names bound at module top level; second item True on star-imports.
+
+    Recurses into ``if``/``try`` blocks (version-gated imports) but not
+    into functions or classes, mirroring what module execution binds.
+    """
+    names: set[str] = set()
+    has_star = False
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    has_star = True
+                else:
+                    names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):
+            sub, star = _collect_top_level_names(node.body + node.orelse)
+            names |= sub
+            has_star = has_star or star
+        elif isinstance(node, ast.Try):
+            blocks = node.body + node.orelse + node.finalbody
+            for handler in node.handlers:
+                blocks = blocks + handler.body
+            sub, star = _collect_top_level_names(blocks)
+            names |= sub
+            has_star = has_star or star
+    return names, has_star
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    """Names bound by an assignment target (handles tuple unpacking)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _target_names(elt)
+        return out
+    return set()
+
+
+class DunderAllRule(Rule):
+    """Flag ``__all__`` entries that do not resolve, and duplicates."""
+
+    id = "RPR006"
+    title = "__all__ consistency"
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Resolve each ``__all__`` entry against top-level bindings."""
+        all_node: ast.expr | None = None
+        for node in module.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+            ):
+                all_node = node.value
+        if all_node is None:
+            return
+        entries = _literal_all_entries(all_node)
+        if entries is None:
+            return  # computed __all__ (e.g. concatenation) — skip
+        defined, has_star = _collect_top_level_names(module.tree.body)
+        if has_star:
+            return  # star-import makes static resolution unsound
+        seen: set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield self.diagnostic(
+                    module, node, f"duplicate __all__ entry {name!r}"
+                )
+            seen.add(name)
+            if name not in defined:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"__all__ entry {name!r} is not defined or imported "
+                    "in this module",
+                )

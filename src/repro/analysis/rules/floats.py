@@ -1,0 +1,88 @@
+"""RPR002 — no ``==`` / ``!=`` on floats in design-model code.
+
+The ``core/`` design models chain closed-form expressions (pin/area
+limits, throughput rates) whose values are irrational for realistic
+constants; exact equality on such quantities is either dead code or a
+latent flaky branch.  Use ``math.isclose`` or an explicit tolerance.
+
+The check is deliberately conservative: it only flags comparisons where
+an operand *provably* produces a float (a float literal, a true
+division, a ``float(...)`` / ``math.*(...)`` call, or arithmetic over
+one of those), so it never misfires on integer identities.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["FloatEqualityRule"]
+
+_MATH_FLOAT_FUNCS = {
+    "sqrt",
+    "exp",
+    "log",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "floor",
+    "ceil",
+    "fabs",
+    "hypot",
+    "pow",
+}
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Whether ``node`` provably evaluates to a Python/NumPy float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields a float
+        return _is_float_expr(node.left) or _is_float_expr(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("math", "np", "numpy")
+            and func.attr in _MATH_FLOAT_FUNCS
+        ):
+            return True
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """Flag exact equality comparisons against float-valued expressions."""
+
+    id = "RPR002"
+    title = "no float equality in design-model code"
+    scopes = ("core",)
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Scan every comparison chain for float ``==`` / ``!=`` links."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(operands[i]) or _is_float_expr(operands[i + 1]):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.diagnostic(
+                        module,
+                        operands[i],
+                        f"exact {symbol} on a float-valued expression; "
+                        "use math.isclose or an explicit tolerance",
+                    )

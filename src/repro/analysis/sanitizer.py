@@ -1,0 +1,84 @@
+"""The ``repro sanitize`` check registry and runner.
+
+Maps stable check-group names to the invariant functions in
+:mod:`repro.analysis.invariants`.  A group that *raises* is converted
+into a failed :class:`~repro.analysis.invariants.CheckResult` — the
+sanitizer's contract is that it always reports, never crashes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.analysis.invariants import (
+    CheckResult,
+    check_design_algebra,
+    check_fhp_tables,
+    check_hpp_table,
+    check_ndim_tables,
+    check_pebble_legality,
+    check_spa_engine_formulas,
+    check_wsa_engine_formulas,
+)
+
+__all__ = ["CHECK_GROUPS", "available_checks", "run_checks", "format_results_json"]
+
+#: Ordered registry: group name -> zero-argument callable returning results.
+CHECK_GROUPS: dict[str, Callable[[], list[CheckResult]]] = {
+    "hpp": check_hpp_table,
+    "fhp": check_fhp_tables,
+    "ndim": check_ndim_tables,
+    "pebble": check_pebble_legality,
+    "wsa": check_wsa_engine_formulas,
+    "spa": check_spa_engine_formulas,
+    "design": check_design_algebra,
+}
+
+
+def available_checks() -> list[str]:
+    """The registered check-group names, in run order."""
+    return list(CHECK_GROUPS)
+
+
+def run_checks(names: list[str] | None = None) -> list[CheckResult]:
+    """Run the named check groups (default: all) and collect results.
+
+    Raises
+    ------
+    ValueError
+        on a name that matches no registered group.
+    """
+    selected = names or available_checks()
+    unknown = [n for n in selected if n not in CHECK_GROUPS]
+    if unknown:
+        raise ValueError(
+            f"unknown check group(s) {unknown}; available: {available_checks()}"
+        )
+    results: list[CheckResult] = []
+    for name in selected:
+        try:
+            results.extend(CHECK_GROUPS[name]())
+        except Exception as exc:  # the harness reports, it never crashes
+            results.append(
+                CheckResult(
+                    name=f"{name}/<crashed>",
+                    passed=False,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return results
+
+
+def format_results_json(results: list[CheckResult]) -> str:
+    """Deterministic JSON rendering of sanitizer results."""
+    payload = {
+        "version": 1,
+        "summary": {
+            "total": len(results),
+            "passed": sum(1 for r in results if r.passed),
+            "failed": sum(1 for r in results if not r.passed),
+        },
+        "checks": [r.to_dict() for r in results],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -15,6 +15,11 @@ machines
     The 1987 machine comparison (Connection Machine, CRAY X-MP, ...).
 viscosity
     Measure FHP shear viscosity by wave decay and compare to Boltzmann.
+lint
+    Run the repo's static design-rule checker (RPR001...) over sources.
+sanitize
+    Run the physics sanitizer: exhaustive collision-table conservation,
+    pebble-game legality, and design-formula cross-checks.
 
 Every command prints the same fixed-width tables the benchmark harness
 writes, so CLI output can be diffed against ``benchmarks/out/``.
@@ -344,6 +349,61 @@ def _cmd_viscosity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.engine import lint_paths
+    from repro.analysis.rules import ALL_RULES
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scope = ", ".join(rule.scopes) if rule.scopes else "all files"
+            print(f"{rule.id}  [{rule.severity}]  {rule.title}  ({scope})")
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        report = lint_paths(args.paths, select=select, ignore=ignore)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.analysis.sanitizer import (
+        available_checks,
+        format_results_json,
+        run_checks,
+    )
+    from repro.util.tables import Table
+
+    if args.list_checks:
+        for name in available_checks():
+            print(name)
+        return 0
+    try:
+        results = run_checks(args.check or None)
+    except ValueError as exc:
+        print(f"repro sanitize: {exc}", file=sys.stderr)
+        return 2
+    failed = [r for r in results if not r.passed]
+    if args.format == "json":
+        print(format_results_json(results))
+    else:
+        table = Table("Physics sanitizer", ["check", "status", "detail"])
+        for r in results:
+            table.add_row(r.name, r.status, r.detail)
+        table.print()
+        print(
+            f"{len(results) - len(failed)}/{len(results)} checks passed"
+            + ("" if not failed else f"; FAILED: {', '.join(r.name for r in failed)}")
+        )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -417,6 +477,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_viscosity)
+
+    p = sub.add_parser("lint", help="run the static design-rule checker")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--select", default=None, help="comma-separated rule ids")
+    p.add_argument("--ignore", default=None, help="comma-separated rule ids")
+    p.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser("sanitize", help="run the physics sanitizer")
+    p.add_argument(
+        "--check",
+        action="append",
+        default=None,
+        help="check group to run (repeatable; default: all)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--list-checks", action="store_true", help="list check groups and exit"
+    )
+    p.set_defaults(func=_cmd_sanitize)
 
     return parser
 

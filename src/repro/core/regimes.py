@@ -147,7 +147,7 @@ def regime_map(
                 bandwidth_budget_bits_per_tick,
             )
             winner = max(rates, key=lambda k: rates[k])
-            if rates[winner] == 0.0:
+            if rates[winner] <= 0.0:
                 winner = "none"
             points.append(
                 RegimePoint(

@@ -98,11 +98,13 @@ class SPADesign:
         return 2 * t.D * self.pes_wide + 2 * t.E * self.pes_deep
 
     def is_feasible(self) -> bool:
+        """Whether the chip meets both pin and area constraints."""
         return (
             self.pins_used <= self.technology.Pi and self.chip_area_used <= 1.0 + 1e-12
         )
 
     def infeasibility_reasons(self) -> list[str]:
+        """Which constraints the design violates (empty when feasible)."""
         reasons = []
         if self.pins_used > self.technology.Pi:
             reasons.append(f"pins: {self.pins_used} > Π={self.technology.Pi}")
@@ -130,6 +132,7 @@ class SPADesign:
 
     @property
     def num_chips_integer(self) -> int:
+        """N with whole chips: ⌈slices / P_w⌉ · ⌈k / P_k⌉."""
         chips_wide = math.ceil(self.num_slices / self.pes_wide)
         ranks = math.ceil(self.pipeline_depth / self.pes_deep)
         return chips_wide * ranks
@@ -163,6 +166,7 @@ class SPADesign:
 
     @property
     def main_memory_bandwidth_bytes_per_second(self) -> float:
+        """Main-memory traffic at the configured clock, in bytes/s."""
         return self.main_memory_bandwidth_bits_per_tick * self.technology.F / 8.0
 
     @property

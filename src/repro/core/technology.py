@@ -83,26 +83,32 @@ class ChipTechnology:
 
     @property
     def D(self) -> int:  # noqa: N802 - paper symbol
+        """D — bits of state per lattice site."""
         return self.bits_per_site
 
     @property
     def E(self) -> int:  # noqa: N802 - paper symbol
+        """E — bits exchanged across a slice boundary per update."""
         return self.boundary_bits
 
     @property
     def Pi(self) -> int:  # noqa: N802 - paper symbol Π
+        """Π — usable I/O pins per chip."""
         return self.pins
 
     @property
     def B(self) -> float:  # noqa: N802 - paper symbol
+        """B — normalized chip area of one site value of storage."""
         return self.site_area
 
     @property
     def Gamma(self) -> float:  # noqa: N802 - paper symbol Γ
+        """Γ — normalized chip area of one processing element."""
         return self.pe_area
 
     @property
     def F(self) -> float:  # noqa: N802 - paper symbol
+        """F — clock rate in Hz (ticks per second)."""
         return self.clock_hz
 
     def with_(self, **changes) -> "ChipTechnology":

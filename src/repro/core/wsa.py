@@ -89,6 +89,7 @@ class WSADesign:
         )
 
     def infeasibility_reasons(self) -> list[str]:
+        """Which constraints the design violates (empty when feasible)."""
         reasons = []
         if self.pins_used > self.technology.Pi:
             reasons.append(
@@ -112,6 +113,7 @@ class WSADesign:
 
     @property
     def updates_per_chip_per_second(self) -> float:
+        """R / N = F · P — per-chip throughput."""
         return self.technology.F * self.pes_per_chip
 
     @property
@@ -125,6 +127,7 @@ class WSADesign:
 
     @property
     def main_memory_bandwidth_bytes_per_second(self) -> float:
+        """Main-memory traffic at the configured clock, in bytes/s."""
         return self.main_memory_bandwidth_bits_per_tick * self.technology.F / 8.0
 
     @property

@@ -71,6 +71,7 @@ class WSAEDesign:
         return 6 * self.technology.D
 
     def is_feasible(self) -> bool:
+        """Whether the pin constraint (the only chip constraint) is met."""
         return self.pins_used <= self.technology.Pi
 
     # -- storage and area ---------------------------------------------------------
@@ -114,6 +115,7 @@ class WSAEDesign:
 
     @property
     def main_memory_bandwidth_bytes_per_second(self) -> float:
+        """Main-memory traffic at the configured clock, in bytes/s."""
         return self.main_memory_bandwidth_bits_per_tick * self.technology.F / 8.0
 
 
@@ -129,6 +131,13 @@ class WSAEModel:
         pipeline_depth: int = 1,
         commercial_density: float = 8.0,
     ) -> WSAEDesign:
+        """A feasible WSA-E machine for a lattice of size L.
+
+        Raises
+        ------
+        ValueError
+            if the 6D pin load exceeds the package's Π.
+        """
         design = WSAEDesign(
             technology=self.technology,
             lattice_size=lattice_size,

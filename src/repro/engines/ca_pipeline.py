@@ -63,10 +63,12 @@ class CAPipelineEngine:
 
     @property
     def name(self) -> str:
+        """Engine identifier used in stats and tables."""
         return f"ca-pipeline(r={self.rule.radius},k={self.pipeline_depth})"
 
     @property
     def radius(self) -> int:
+        """Neighborhood radius r of the 1-D rule."""
         return self.rule.radius
 
     @property
@@ -77,6 +79,7 @@ class CAPipelineEngine:
 
     @property
     def latency_ticks(self) -> int:
+        """Ticks before a stage emits its first updated cell: r."""
         return self.radius
 
     # -- stage implementations ---------------------------------------------------

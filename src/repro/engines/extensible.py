@@ -65,10 +65,12 @@ class ExtensibleSerialEngine:
 
     @property
     def name(self) -> str:
+        """Engine identifier used in stats and tables."""
         return f"wsa-e(k={self.pipeline_depth})"
 
     @property
     def num_sites(self) -> int:
+        """Total lattice sites streamed per pass."""
         return self.model.rows * self.model.cols
 
     # -- WSA-E architecture accounting ---------------------------------------------
@@ -80,10 +82,12 @@ class ExtensibleSerialEngine:
 
     @property
     def on_chip_sites_per_stage(self) -> int:
+        """Window cells kept on the processor chip (the '10')."""
         return _ON_CHIP_WINDOW
 
     @property
     def off_chip_sites_per_stage(self) -> int:
+        """Delay cells pushed out to commercial memory (2L)."""
         return self.delay_sites_per_stage - _ON_CHIP_WINDOW
 
     def pins_used(self, bits_per_site: int | None = None) -> int:
@@ -105,6 +109,7 @@ class ExtensibleSerialEngine:
         generations: int,
         start_time: int = 0,
     ) -> tuple[np.ndarray, EngineStats]:
+        """Advance ``generations`` steps; returns (final frame, stats)."""
         generations = check_nonnegative(generations, "generations", integer=True)
         frame = self.model.check_state(frame)
         stream = frame.ravel().copy()

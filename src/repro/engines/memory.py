@@ -18,8 +18,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.engines.stats import EngineStats, ThroughputReport
 from repro.util.validation import check_positive
 
@@ -51,6 +49,7 @@ class MainMemory:
 
     @property
     def bits_total(self) -> int:
+        """Total traffic accounted so far (read + written)."""
         return self.bits_read + self.bits_written
 
     def read_sites(self, count: int) -> None:
@@ -87,6 +86,7 @@ class MainMemory:
         return max(compute_ticks, self.min_ticks_for_traffic(bits))
 
     def reset(self) -> None:
+        """Zero the traffic counters."""
         self.bits_read = 0
         self.bits_written = 0
 

@@ -71,6 +71,7 @@ class SliceExchangeRecord:
 
     @property
     def total_bits(self) -> int:
+        """Traffic across this boundary in both directions."""
         return self.bits_leftward + self.bits_rightward
 
 
@@ -115,17 +116,21 @@ class PartitionedEngine:
 
     @property
     def name(self) -> str:
+        """Engine identifier used in stats and tables."""
         return f"partitioned(W={self.slice_width},k={self.pipeline_depth})"
 
     @property
     def num_sites(self) -> int:
+        """Total lattice sites per frame."""
         return self.model.rows * self.model.cols
 
     @property
     def num_slices(self) -> int:
+        """Number of slices: ⌈cols / W⌉ (the last may be narrower)."""
         return math.ceil(self.model.cols / self.slice_width)
 
     def slice_of_column(self, col: int) -> int:
+        """Index of the slice that owns lattice column ``col``."""
         return col // self.slice_width
 
     @property

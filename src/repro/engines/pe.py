@@ -17,7 +17,7 @@ implementations consume these, so they cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -66,6 +66,7 @@ class StreamStencil:
 
     @property
     def num_moving_channels(self) -> int:
+        """Channels that propagate (rest particles excluded)."""
         return len(self.row_offsets)
 
     def window_reach(self) -> int:
@@ -152,6 +153,7 @@ class SiteUpdateRule:
 
     @property
     def bits_per_site(self) -> int:
+        """D — site state width in bits."""
         return self.num_channels
 
 

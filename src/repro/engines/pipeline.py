@@ -175,10 +175,12 @@ class SerialPipelineEngine:
 
     @property
     def name(self) -> str:
+        """Engine identifier used in stats and tables."""
         return f"serial-pipeline(k={self.pipeline_depth})"
 
     @property
     def num_sites(self) -> int:
+        """Total lattice sites per frame."""
         return self.model.rows * self.model.cols
 
     def _frame_to_stream(self, frame: np.ndarray) -> np.ndarray:

@@ -9,7 +9,7 @@ sites plus PEs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -79,6 +79,7 @@ class EngineStats:
 
     @property
     def updates_per_tick(self) -> float:
+        """Average site updates retired per clock tick."""
         return self.site_updates / self.ticks if self.ticks else 0.0
 
     @property
@@ -88,6 +89,7 @@ class EngineStats:
 
     @property
     def main_bandwidth_bytes_per_second(self) -> float:
+        """Main-memory traffic at the configured clock, in bytes/s."""
         return self.main_bandwidth_bits_per_tick * self.clock_hz / 8.0
 
     @property

@@ -64,10 +64,12 @@ class WideSerialEngine:
 
     @property
     def name(self) -> str:
+        """Engine identifier used in stats and tables."""
         return f"wide-serial(P={self.lanes},k={self.pipeline_depth})"
 
     @property
     def num_sites(self) -> int:
+        """Total lattice sites per frame."""
         return self.model.rows * self.model.cols
 
     @property

@@ -26,7 +26,6 @@ lower bound for tests and benchmarks to check against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ standard no-slip body condition for lattice gases, which conserves mass
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 

@@ -198,7 +198,9 @@ class CollisionTable:
         )
 
 
-def identity_table(num_channels: int, velocities: np.ndarray, name: str = "identity") -> CollisionTable:
+def identity_table(
+    num_channels: int, velocities: np.ndarray, name: str = "identity"
+) -> CollisionTable:
     """The no-collision rule (propagation only)."""
     num_channels = check_positive(num_channels, "num_channels", integer=True)
     return CollisionTable(

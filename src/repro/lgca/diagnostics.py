@@ -135,7 +135,7 @@ def measure_sound_speed(
     k = 2.0 * math.pi / cols
 
     cols_idx = np.arange(cols)
-    probs = np.empty((num_channels, rows, cols))
+    probs = np.empty((num_channels, rows, cols), dtype=np.float64)
     modulation = density * (1.0 + amplitude * np.cos(k * cols_idx))
     probs[:, :, :] = np.clip(modulation, 0.0, 1.0)[None, None, :]
     state = _biased_state(rows, cols, probs, rng)
@@ -149,7 +149,7 @@ def measure_sound_speed(
         col_density = popcount(s, num_channels).astype(np.float64).sum(axis=0)
         return float((col_density * basis).sum() / norm)
 
-    series = np.empty(steps + 1)
+    series = np.empty(steps + 1, dtype=np.float64)
     series[0] = mode(state)
     for t in range(steps):
         state = model.step(state, t, rng)
@@ -175,7 +175,7 @@ def measure_sound_speed(
 def _shear_amplitude(state: np.ndarray, velocities: np.ndarray, k: float) -> float:
     """Projection of the x-momentum profile onto sin(k·row)."""
     channels = unpack_channels(state, velocities.shape[0])
-    ux_per_row = np.zeros(state.shape[0])
+    ux_per_row = np.zeros(state.shape[0], dtype=np.float64)
     for ch in range(velocities.shape[0]):
         ux_per_row += channels[ch].sum(axis=1) * velocities[ch][0]
     rows = np.arange(state.shape[0])
@@ -218,14 +218,14 @@ def measure_shear_viscosity(
     velocities = np.asarray(model.velocities, dtype=np.float64)
 
     # per-row drifted channel probabilities
-    probs = np.empty((velocities.shape[0], rows, cols))
+    probs = np.empty((velocities.shape[0], rows, cols), dtype=np.float64)
     for r in range(rows):
         u = amplitude * math.sin(k * (r + 0.5))
         p = _drifted_probs(velocities, density, np.array([u, 0.0]))
         probs[:, r, :] = p[:, None]
     state = _biased_state(rows, cols, probs, rng)
 
-    amplitudes = np.empty(steps + 1)
+    amplitudes = np.empty(steps + 1, dtype=np.float64)
     amplitudes[0] = _shear_amplitude(state, velocities, k)
     for t in range(steps):
         state = model.step(state, t, rng)

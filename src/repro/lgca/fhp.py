@@ -142,7 +142,7 @@ def fhp_saturated_tables() -> tuple[CollisionTable, CollisionTable]:
     conservation laws); benchmarks quote collision rates, not the exact
     microdynamics.
     """
-    momenta = np.zeros((128, 2))
+    momenta = np.zeros((128, 2), dtype=np.float64)
     masses = np.zeros(128, dtype=np.int64)
     for state in range(128):
         for ch in range(6):

@@ -63,7 +63,7 @@ def _biased_state(
     """
     channel_probs = np.asarray(channel_probs, dtype=np.float64)
     if channel_probs.ndim == 1:
-        channel_probs = channel_probs[:, None, None] * np.ones((1, rows, cols))
+        channel_probs = channel_probs[:, None, None] * np.ones((1, rows, cols), dtype=np.float64)
     if np.any(channel_probs < 0) or np.any(channel_probs > 1):
         raise ValueError("channel probabilities must lie in [0, 1]")
     state = np.zeros((rows, cols), dtype=np.uint8)
@@ -107,7 +107,7 @@ def shear_flow_state(
     num_channels = velocities.shape[0]
     top = _drifted_probs(velocities, density, np.array([shear_speed, 0.0]))
     bottom = _drifted_probs(velocities, density, np.array([-shear_speed, 0.0]))
-    probs = np.empty((num_channels, rows, cols))
+    probs = np.empty((num_channels, rows, cols), dtype=np.float64)
     half = rows // 2
     probs[:, :half, :] = top[:, None, None]
     probs[:, half:, :] = bottom[:, None, None]

@@ -44,7 +44,7 @@ def ndhpp_velocities(d: int) -> np.ndarray:
     2a is +axis a).
     """
     d = check_positive(d, "d", integer=True)
-    out = np.zeros((2 * d, d))
+    out = np.zeros((2 * d, d), dtype=np.float64)
     for axis in range(d):
         out[2 * axis, axis] = 1.0
         out[2 * axis + 1, axis] = -1.0
@@ -80,7 +80,7 @@ def ndhpp_collision_table(d: int) -> CollisionTable:
     _verify_ndim_conservation(table, velocities)
     # Construct with the first two velocity components (or zero-padded),
     # skipping the built-in check we already superseded.
-    vel2 = np.zeros((2 * d, 2))
+    vel2 = np.zeros((2 * d, 2), dtype=np.float64)
     vel2[:, : min(2, d)] = velocities[:, : min(2, d)]
     return CollisionTable(
         name=f"ndhpp-{d}d",

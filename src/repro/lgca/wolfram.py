@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.validation import check_in_range, check_nonnegative, check_positive
+from repro.util.validation import check_in_range, check_nonnegative
 
 __all__ = ["ElementaryCA", "ParityCA"]
 

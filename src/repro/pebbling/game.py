@@ -47,6 +47,7 @@ class Move:
     vertex: int
 
     def is_io(self) -> bool:
+        """Whether this is a rule-2/3 I/O move (read or write)."""
         return self.kind in (MoveKind.READ, MoveKind.WRITE)
 
 
@@ -82,12 +83,15 @@ class RedBluePebbleGame:
 
     @property
     def red_count(self) -> int:
+        """Red pebbles currently on the board."""
         return len(self.red)
 
     def is_red(self, v: int) -> bool:
+        """Whether ``v`` holds a red (processor-storage) pebble."""
         return v in self.red
 
     def is_blue(self, v: int) -> bool:
+        """Whether ``v`` holds a blue (main-memory) pebble."""
         return v in self.blue
 
     def goal_reached(self) -> bool:

@@ -54,18 +54,22 @@ class ComputationGraph:
 
     @property
     def d(self) -> int:
+        """Lattice dimension."""
         return self.lattice.d
 
     @property
     def num_sites(self) -> int:
+        """Sites per layer (one layer = one generation)."""
         return self.lattice.num_sites
 
     @property
     def num_layers(self) -> int:
+        """T + 1 layers, counting the layer-0 inputs."""
         return self.generations + 1
 
     @property
     def num_vertices(self) -> int:
+        """|X| = (T + 1) · sites."""
         return self.num_layers * self.num_sites
 
     @property
@@ -93,6 +97,7 @@ class ComputationGraph:
         return self.lattice.site(v % self.num_sites)
 
     def site_index_of(self, v: int) -> int:
+        """Within-layer site index of a flat vertex id."""
         self._check_vertex(v)
         return v % self.num_sites
 
@@ -136,6 +141,7 @@ class ComputationGraph:
         return (t + 1) * self.num_sites + self._neighborhood_indices[s]
 
     def in_degree(self, v: int) -> int:
+        """Number of immediate predecessors of ``v``."""
         return int(self.predecessors(v).size)
 
     def inputs(self) -> np.ndarray:
@@ -158,6 +164,7 @@ class ComputationGraph:
         )
 
     def vertices(self) -> Iterator[int]:
+        """Iterate over all flat vertex ids, layer by layer."""
         return iter(range(self.num_vertices))
 
     # -- distances (Lemmas 3 & 4 machinery) ------------------------------------------
@@ -197,7 +204,7 @@ class ComputationGraph:
 
     # -- export ---------------------------------------------------------------------------
 
-    def to_networkx(self):
+    def to_networkx(self) -> "nx.DiGraph":
         """Materialize as a networkx.DiGraph (tests / small graphs only)."""
         import networkx as nx
 

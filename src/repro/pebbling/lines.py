@@ -20,7 +20,6 @@ quantities the bounds use:
 from __future__ import annotations
 
 import math
-from typing import Sequence
 
 import numpy as np
 

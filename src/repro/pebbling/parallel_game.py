@@ -25,7 +25,7 @@ The ordering requirements the paper derives are enforced literally:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.pebbling.game import IllegalMoveError
@@ -70,6 +70,7 @@ class PhaseStep:
 
     @property
     def io_moves(self) -> int:
+        """I/O moves this step contributes: writes + reads."""
         return len(self.writes) + len(self.reads)
 
 
@@ -101,9 +102,11 @@ class ParallelRedBluePebbleGame:
 
     @property
     def red_count(self) -> int:
+        """Red pebbles currently on the board."""
         return len(self.red)
 
     def goal_reached(self) -> bool:
+        """All outputs blue-pebbled (the complete-computation goal)."""
         return all(int(v) in self.blue for v in self.graph.outputs())
 
     # -- one step -----------------------------------------------------------------
@@ -117,6 +120,7 @@ class ParallelRedBluePebbleGame:
         self.steps_run += 1
 
     def run(self, steps: Iterable[PhaseStep]) -> None:
+        """Execute a sequence of phase steps, enforcing the rules."""
         for step in steps:
             self.run_step(step)
 

@@ -60,9 +60,11 @@ class KPartition:
         return len(self.subsets)
 
     def max_dominator_size(self) -> int:
+        """Largest dominator-set size over the partition."""
         return max((len(d) for d in self.dominators), default=0)
 
     def max_minimum_size(self) -> int:
+        """Largest minimum-set size over the partition."""
         return max((len(m) for m in self.minimums), default=0)
 
     def is_k_partition(self, k: int) -> bool:

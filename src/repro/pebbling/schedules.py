@@ -31,7 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.pebbling.game import Move, MoveKind, RedBluePebbleGame, replay
+from repro.pebbling.game import Move, MoveKind, RedBluePebbleGame
 from repro.pebbling.graph import ComputationGraph
 from repro.util.validation import check_positive
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.util.validation import check_positive
 
 __all__ = ["shade_map", "speed_map", "spacetime_diagram"]
 

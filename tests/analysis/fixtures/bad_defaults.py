@@ -1,0 +1,23 @@
+"""Negative fixture: RPR001 mutable default arguments."""
+
+
+def append_to(item, bucket=[]):  # line 4: list literal default
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):  # line 9: dict literal default
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(item, seen=set()):  # line 14: set constructor default
+    seen.add(item)
+    return seen
+
+
+def fine(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,15 @@
+"""Negative fixture: RPR005 bare except clauses."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # line 7: bare except
+        return None
+
+
+def named_exception_is_fine(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

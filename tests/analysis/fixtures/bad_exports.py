@@ -1,0 +1,12 @@
+"""Negative fixture: RPR006 stale and duplicated __all__ entries."""
+
+__all__ = [
+    "real_function",
+    "ghost_function",  # line 5: not defined anywhere
+    "real_function",  # line 6: duplicate
+]
+
+
+def real_function():
+    """Exists, exported, fine."""
+    return 1

@@ -1,0 +1,29 @@
+"""Negative fixture: RPR003 missing annotations/docstrings on public API."""
+
+
+def no_docstring() -> int:  # line 4: docstring missing
+    return 1
+
+
+def no_return_annotation(x: int):  # line 8: return annotation missing
+    """Documented but unannotated."""
+    return x
+
+
+def bare_param(x) -> int:  # line 13: parameter annotation missing
+    """Documented, return annotated, parameter not."""
+    return x
+
+
+class Design:
+    """A public class with one offending method."""
+
+    def rate(self, clock):  # line 21: no docstring, no annotations
+        return clock * 2
+
+    def _private_is_exempt(self, anything):
+        return anything
+
+
+def _private_function_is_exempt(x):
+    return x

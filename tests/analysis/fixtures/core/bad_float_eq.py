@@ -1,0 +1,17 @@
+"""Negative fixture: RPR002 float equality in design-model code."""
+
+
+def corner_matches(p: float) -> bool:
+    return p == 4.01  # line 5: == against a float literal
+
+
+def rate_differs(rate: float, clock: float, pes: int) -> bool:
+    return rate != clock * float(pes)  # line 9: != against float()
+
+
+def area_exhausted(used: float, total: float) -> bool:
+    return used / total == 1  # line 13: == on a true-division result
+
+
+def integer_identity_is_fine(n: int) -> bool:
+    return n == 4

@@ -1,0 +1,15 @@
+"""Positive fixture: passes every rule even under core/ scoping."""
+
+import math
+
+__all__ = ["pin_limit", "rates_close"]
+
+
+def pin_limit(pins: int, bits: int) -> float:
+    """Largest continuous P the pin constraint allows: Π / 2D."""
+    return pins / (2.0 * bits)
+
+
+def rates_close(a: float, b: float) -> bool:
+    """Tolerant float comparison, the way RPR002 wants it."""
+    return math.isclose(a, b, rel_tol=1e-9)

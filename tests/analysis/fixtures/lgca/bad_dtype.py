@@ -1,0 +1,16 @@
+"""Negative fixture: RPR004 numpy creation without an explicit dtype."""
+
+import numpy as np
+
+
+def make_state(rows, cols):
+    state = np.zeros((rows, cols))  # line 7: implicit float64
+    probs = np.empty((4, rows, cols))  # line 8: implicit float64
+    mask = np.ones((rows, cols))  # line 9: implicit float64
+    return state, probs, mask
+
+
+def explicit_is_fine(rows, cols):
+    state = np.zeros((rows, cols), dtype=np.uint8)
+    like = np.zeros_like(state)
+    return state, like

@@ -1,0 +1,103 @@
+"""Property-based conservation tests for the collision operators.
+
+The sanitizer proves conservation exhaustively over single-site states;
+these tests attack from the other side with hypothesis-generated random
+*fields*, asserting that applying a collision table to an arbitrary
+packed lattice never changes the total particle count or the per-axis
+momentum.  Together they pin the operators from both directions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lgca.fhp import (
+    FHP7_VELOCITIES,
+    FHP_VELOCITIES,
+    fhp6_collision_tables,
+    fhp7_collision_tables,
+    fhp_saturated_tables,
+)
+from repro.lgca.hpp import HPP_VELOCITIES, hpp_collision_table
+
+_POPCOUNT = {}
+
+
+def popcounts(num_states):
+    if num_states not in _POPCOUNT:
+        counts = np.array(
+            [bin(s).count("1") for s in range(num_states)], dtype=np.int64
+        )
+        _POPCOUNT[num_states] = counts
+    return _POPCOUNT[num_states]
+
+
+def momentum(field, velocities):
+    """Total (px, py) of a packed lattice field."""
+    num_channels = velocities.shape[0]
+    total = np.zeros(2)
+    for channel in range(num_channels):
+        occupied = (field >> channel) & 1
+        total += occupied.sum() * velocities[channel]
+    return total
+
+
+def field_strategy(num_states):
+    shapes = st.tuples(st.integers(1, 6), st.integers(1, 6))
+    return shapes.flatmap(
+        lambda shape: st.lists(
+            st.integers(0, num_states - 1),
+            min_size=shape[0] * shape[1],
+            max_size=shape[0] * shape[1],
+        ).map(lambda flat: np.array(flat, dtype=np.uint16).reshape(shape))
+    )
+
+
+def assert_conserves(table, velocities, field):
+    out = np.asarray(table.table, dtype=np.uint16)[field]
+    counts = popcounts(len(table.table))
+    assert counts[field].sum() == counts[out].sum(), "particle count changed"
+    np.testing.assert_allclose(
+        momentum(out, velocities),
+        momentum(field, velocities),
+        atol=1e-9,
+        err_msg="momentum changed",
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(field=field_strategy(16))
+def test_hpp_conserves_on_random_fields(field):
+    assert_conserves(hpp_collision_table(), HPP_VELOCITIES, field)
+
+
+@settings(max_examples=100, deadline=None)
+@given(field=field_strategy(64))
+def test_fhp6_conserves_on_random_fields(field):
+    left, right = fhp6_collision_tables()
+    assert_conserves(left, FHP_VELOCITIES, field)
+    assert_conserves(right, FHP_VELOCITIES, field)
+
+
+@settings(max_examples=100, deadline=None)
+@given(field=field_strategy(128))
+def test_fhp7_conserves_on_random_fields(field):
+    left, right = fhp7_collision_tables()
+    assert_conserves(left, FHP7_VELOCITIES, field)
+    assert_conserves(right, FHP7_VELOCITIES, field)
+
+
+@settings(max_examples=100, deadline=None)
+@given(field=field_strategy(128))
+def test_fhp_saturated_conserves_on_random_fields(field):
+    left, right = fhp_saturated_tables()
+    assert_conserves(left, FHP7_VELOCITIES, field)
+    assert_conserves(right, FHP7_VELOCITIES, field)
+
+
+@settings(max_examples=100, deadline=None)
+@given(field=field_strategy(16))
+def test_hpp_double_collision_is_identity(field):
+    # The HPP rule is an involution; two applications restore the field.
+    table = np.asarray(hpp_collision_table().table, dtype=np.uint16)
+    np.testing.assert_array_equal(table[table[field]], field)

@@ -1,0 +1,65 @@
+"""Regression tests pinning the ``repro lint --format json`` schema.
+
+CI and editor tooling parse this output; any key rename or reordering
+is a breaking change and must fail here first.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_json(capsys, *args):
+    code = main(["lint", "--format", "json", *args])
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestJsonSchema:
+    def test_top_level_keys(self, capsys):
+        _, payload = lint_json(capsys, str(FIXTURES / "core" / "clean.py"))
+        assert set(payload) == {
+            "version",
+            "files_checked",
+            "summary",
+            "diagnostics",
+        }
+        assert payload["version"] == 1
+
+    def test_clean_file_exits_zero(self, capsys):
+        code, payload = lint_json(capsys, str(FIXTURES / "core" / "clean.py"))
+        assert code == 0
+        assert payload["summary"] == {"errors": 0, "warnings": 0, "total": 0}
+        assert payload["diagnostics"] == []
+
+    def test_diagnostic_record_shape(self, capsys):
+        code, payload = lint_json(capsys, str(FIXTURES / "bad_except.py"))
+        assert code == 1
+        (diag,) = payload["diagnostics"]
+        assert set(diag) == {"path", "line", "col", "rule", "severity", "message"}
+        assert diag["rule"] == "RPR005"
+        assert diag["severity"] == "error"
+        assert diag["line"] == 7
+        assert diag["path"].endswith("bad_except.py")
+
+    def test_summary_totals_match_diagnostics(self, capsys):
+        _, payload = lint_json(capsys, str(FIXTURES))
+        assert payload["summary"]["total"] == len(payload["diagnostics"])
+        assert payload["summary"]["total"] == (
+            payload["summary"]["errors"] + payload["summary"]["warnings"]
+        )
+
+    def test_output_is_stable_across_runs(self, capsys):
+        _, first = lint_json(capsys, str(FIXTURES))
+        _, second = lint_json(capsys, str(FIXTURES))
+        assert first == second
+
+    def test_repo_sources_lint_clean(self, capsys):
+        import repro
+
+        src = str(Path(repro.__file__).parent)
+        code, payload = lint_json(capsys, src)
+        assert code == 0, payload["diagnostics"]
+        assert payload["summary"]["errors"] == 0

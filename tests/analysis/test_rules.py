@@ -1,0 +1,110 @@
+"""Per-rule tests: each rule fires on its negative fixture at the right
+lines and stays silent on clean code (and out of scope)."""
+
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings(path, rule):
+    report = lint_paths([path], select=[rule])
+    return [(d.line, d.message) for d in report.diagnostics]
+
+
+class TestRPR001MutableDefaults:
+    def test_flags_all_three_defaults(self):
+        hits = findings(FIXTURES / "bad_defaults.py", "RPR001")
+        assert [line for line, _ in hits] == [4, 9, 14]
+
+    def test_none_default_is_fine(self):
+        hits = findings(FIXTURES / "bad_defaults.py", "RPR001")
+        assert not any("fine" in msg for _, msg in hits)
+
+    def test_applies_everywhere(self):
+        source = "def f(x=[]):\n    return x\n"
+        from repro.analysis.engine import LintEngine
+        from repro.analysis.rules import get_rules
+
+        engine = LintEngine(rules=get_rules(select=["RPR001"]))
+        assert engine.lint_source(source, "anywhere/util.py")
+
+
+class TestRPR002FloatEquality:
+    def test_flags_float_comparisons(self):
+        hits = findings(FIXTURES / "core" / "bad_float_eq.py", "RPR002")
+        assert [line for line, _ in hits] == [5, 9, 13]
+
+    def test_integer_equality_not_flagged(self):
+        hits = findings(FIXTURES / "core" / "bad_float_eq.py", "RPR002")
+        assert len(hits) == 3  # the int identity on line 17 is untouched
+
+    def test_scoped_to_core(self):
+        from repro.analysis.engine import LintEngine
+        from repro.analysis.rules import get_rules
+
+        engine = LintEngine(rules=get_rules(select=["RPR002"]))
+        source = "def f(x):\n    return x == 1.5\n"
+        assert engine.lint_source(source, "core/model.py")
+        assert not engine.lint_source(source, "lgca/kernel.py")
+
+
+class TestRPR003Annotations:
+    def test_flags_each_gap(self):
+        hits = findings(FIXTURES / "core" / "bad_annotations.py", "RPR003")
+        lines = [line for line, _ in hits]
+        assert 4 in lines  # missing docstring
+        assert 8 in lines  # missing return annotation
+        assert 13 in lines  # missing parameter annotation
+        assert 21 in lines  # method missing everything
+
+    def test_method_reports_three_findings(self):
+        hits = findings(FIXTURES / "core" / "bad_annotations.py", "RPR003")
+        assert sum(1 for line, _ in hits if line == 21) == 3
+
+    def test_private_names_exempt(self):
+        hits = findings(FIXTURES / "core" / "bad_annotations.py", "RPR003")
+        assert not any("private" in msg for _, msg in hits)
+
+
+class TestRPR004Dtype:
+    def test_flags_implicit_float64(self):
+        hits = findings(FIXTURES / "lgca" / "bad_dtype.py", "RPR004")
+        assert [line for line, _ in hits] == [7, 8, 9]
+
+    def test_zeros_like_exempt(self):
+        hits = findings(FIXTURES / "lgca" / "bad_dtype.py", "RPR004")
+        assert not any("zeros_like" in msg for _, msg in hits)
+
+    def test_scoped_to_lgca(self):
+        from repro.analysis.engine import LintEngine
+        from repro.analysis.rules import get_rules
+
+        engine = LintEngine(rules=get_rules(select=["RPR004"]))
+        source = "import numpy as np\nx = np.zeros((3, 3))\n"
+        assert engine.lint_source(source, "lgca/kernel.py")
+        assert not engine.lint_source(source, "core/model.py")
+
+
+class TestRPR005BareExcept:
+    def test_flags_bare_except(self):
+        hits = findings(FIXTURES / "bad_except.py", "RPR005")
+        assert [line for line, _ in hits] == [7]
+
+
+class TestRPR006Exports:
+    def test_flags_ghost_and_duplicate(self):
+        hits = findings(FIXTURES / "bad_exports.py", "RPR006")
+        messages = " ".join(msg for _, msg in hits)
+        assert "ghost_function" in messages
+        assert "duplicate" in messages
+        assert len(hits) == 2
+
+    def test_repo_modules_resolve(self):
+        # The real package must satisfy its own export contract.
+        import repro
+
+        src = Path(repro.__file__).parent
+        report = lint_paths([src], select=["RPR006"])
+        assert report.diagnostics == ()

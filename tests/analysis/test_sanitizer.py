@@ -1,0 +1,145 @@
+"""Sanitizer tests: every registered check passes on the real code, and
+a deliberately corrupted rule table is caught with a state-level detail."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import (
+    check_design_algebra,
+    check_fhp_tables,
+    check_hpp_table,
+    check_ndim_tables,
+    check_pebble_legality,
+    check_spa_engine_formulas,
+    check_table_exhaustive,
+    check_wsa_engine_formulas,
+)
+from repro.analysis.sanitizer import (
+    available_checks,
+    format_results_json,
+    run_checks,
+)
+from repro.lgca.hpp import HPP_VELOCITIES, hpp_collision_table
+
+
+class TestRunAll:
+    def test_all_checks_pass_on_the_repo(self):
+        results = run_checks()
+        failed = [r for r in results if not r.passed]
+        assert not failed, [f"{r.name}: {r.detail}" for r in failed]
+
+    def test_hpp_is_exhaustive_over_16_states(self):
+        (result,) = check_hpp_table()
+        assert result.passed
+        assert "16/16" in result.detail
+
+    def test_fhp_is_exhaustive_over_64_and_128_states(self):
+        details = {r.name: r.detail for r in check_fhp_tables()}
+        assert "64/64" in details["fhp6/left/conservation"]
+        assert "128/128" in details["fhp7/left/conservation"]
+        assert "128/128" in details["fhp-sat/right/conservation"]
+
+    def test_chirality_tables_are_mutual_inverses(self):
+        byname = {r.name: r for r in check_fhp_tables()}
+        for label in ("fhp6", "fhp7", "fhp-sat"):
+            assert byname[f"{label}/chirality-inverse"].passed
+
+    def test_subset_selection(self):
+        results = run_checks(["hpp"])
+        assert [r.name for r in results] == ["hpp/conservation"]
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(ValueError, match="unknown check group"):
+            run_checks(["warp-drive"])
+
+    def test_registry_lists_all_groups(self):
+        assert available_checks() == [
+            "hpp",
+            "fhp",
+            "ndim",
+            "pebble",
+            "wsa",
+            "spa",
+            "design",
+        ]
+
+    def test_json_rendering_parses(self):
+        results = run_checks(["hpp", "design"])
+        payload = json.loads(format_results_json(results))
+        assert payload["version"] == 1
+        assert payload["summary"]["failed"] == 0
+        assert all({"name", "status", "detail"} <= set(c) for c in payload["checks"])
+
+
+class TestCorruptedTables:
+    def test_mass_violation_caught(self):
+        table = np.asarray(hpp_collision_table().table).copy()
+        table[0b0001] = 0b0011  # one particle in, two out
+        result = check_table_exhaustive("hpp-corrupt", table, HPP_VELOCITIES)
+        assert not result.passed
+        assert "mass broken at state 0x1" in result.detail
+
+    def test_momentum_violation_caught(self):
+        table = np.asarray(hpp_collision_table().table).copy()
+        # +x particle turned into +y particle: mass fine, momentum rotated.
+        table[0b0001] = 0b0010
+        result = check_table_exhaustive("hpp-corrupt", table, HPP_VELOCITIES)
+        assert not result.passed
+        assert "momentum broken" in result.detail
+
+    def test_non_bijective_table_caught(self):
+        table = np.asarray(hpp_collision_table().table).copy()
+        # Merge two distinct head-on states; conservation holds, but the
+        # deterministic microdynamics loses information.
+        table[0b0101] = 0b0101
+        result = check_table_exhaustive("hpp-corrupt", table, HPP_VELOCITIES)
+        assert not result.passed
+        assert "not a permutation" in result.detail
+
+    def test_out_of_range_table_caught(self):
+        table = np.asarray(hpp_collision_table().table).copy()
+        table[3] = 99
+        result = check_table_exhaustive("hpp-corrupt", table, HPP_VELOCITIES)
+        assert not result.passed
+
+    def test_crashing_group_reports_instead_of_raising(self, monkeypatch):
+        import repro.analysis.sanitizer as sanitizer
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        monkeypatch.setitem(sanitizer.CHECK_GROUPS, "hpp", boom)
+        results = run_checks(["hpp"])
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "kaput" in results[0].detail
+
+
+class TestIndividualGroups:
+    def test_ndim_covers_d_1_through_4(self):
+        names = [r.name for r in check_ndim_tables()]
+        assert names == [f"ndim/d={d}/conservation" for d in (1, 2, 3, 4)]
+
+    def test_pebble_schedules_all_legal(self):
+        results = check_pebble_legality()
+        assert {r.name for r in results} == {
+            "pebble/per-site",
+            "pebble/row-cache",
+            "pebble/trapezoid",
+            "pebble/lru",
+        }
+        assert all(r.passed for r in results)
+
+    def test_wsa_formulas_within_fill_latency(self):
+        assert all(r.passed for r in check_wsa_engine_formulas())
+
+    def test_spa_formulas_within_fill_latency(self):
+        assert all(r.passed for r in check_spa_engine_formulas())
+
+    def test_design_algebra_tight_at_paper_point(self):
+        byname = {r.name: r for r in check_design_algebra()}
+        assert byname["design/wsa-feasible"].passed
+        assert "P=4, L=785" in byname["design/wsa-feasible"].detail
+        assert byname["design/spa-feasible"].passed

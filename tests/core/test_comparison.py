@@ -7,7 +7,6 @@ from repro.core.comparison import (
     compare_optimal_designs,
     summarize_architectures,
 )
-from repro.core.technology import PAPER_TECHNOLOGY
 
 
 class TestOptimalComparison:

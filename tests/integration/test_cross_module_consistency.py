@@ -7,7 +7,6 @@ from it).  These tests pin them to each other.
 """
 
 import numpy as np
-import pytest
 
 from repro.engines.pe import make_rule
 from repro.lattice.geometry import HexagonalLattice, OrthogonalLattice

@@ -2,7 +2,6 @@
 -> line-time -> bounds, on one graph, every link checked (experiments
 E8-E10's test-scale versions)."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ check every Theorem 2 property on the result.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lattice.geometry import OrthogonalLattice
-from repro.pebbling.game import IllegalMoveError, replay
+from repro.pebbling.game import IllegalMoveError
 from repro.pebbling.graph import ComputationGraph
 from repro.pebbling.schedules import (
     measure_schedule,

@@ -152,6 +152,79 @@ class TestPebble:
         assert "C_1" in capsys.readouterr().out
 
 
+class TestLint:
+    def test_repo_sources_are_clean(self, capsys):
+        import repro
+
+        src = str(__import__("pathlib").Path(repro.__file__).parent)
+        assert main(["lint", src]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"{bad}:1:" in out
+        assert "RPR001" in out
+
+    def test_json_format(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 1
+        assert payload["diagnostics"][0]["rule"] == "RPR005"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "RPR006" in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "no/such/path.py"]) == 2
+        assert "no/such/path.py" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--select", "RPR999", "src/repro"]) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+
+class TestSanitize:
+    def test_all_checks_pass(self, capsys):
+        assert main(["sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "FAIL" not in out
+        assert "checks passed" in out
+
+    def test_single_group(self, capsys):
+        assert main(["sanitize", "--check", "hpp"]) == 0
+        out = capsys.readouterr().out
+        assert "hpp/conservation" in out
+        assert "16/16" in out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["sanitize", "--check", "design", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["failed"] == 0
+
+    def test_list_checks(self, capsys):
+        assert main(["sanitize", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        assert "hpp" in out
+        assert "design" in out
+
+    def test_unknown_group_is_usage_error(self, capsys):
+        assert main(["sanitize", "--check", "warp-drive"]) == 2
+        assert "warp-drive" in capsys.readouterr().err
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -1,9 +1,7 @@
 """Cross-cutting edge cases gathered from review of the public API."""
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.core.design_space import DesignCurve
 from repro.core.technology import PAPER_TECHNOLOGY
