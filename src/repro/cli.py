@@ -20,6 +20,10 @@ lint
 sanitize
     Run the physics sanitizer: exhaustive collision-table conservation,
     pebble-game legality, and design-formula cross-checks.
+faults
+    Run the seeded fault-injection campaign (kind × location sweep)
+    and classify every trial; exits 1 if any monitored trial suffers
+    silent data corruption.
 
 Every command prints the same fixed-width tables the benchmark harness
 writes, so CLI output can be diffed against ``benchmarks/out/``.
@@ -32,6 +36,8 @@ import sys
 from typing import Sequence
 
 import numpy as np
+
+from repro.util.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -404,6 +410,31 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.resilience.campaign import (
+        CampaignConfig,
+        render_report,
+        report_json,
+        run_campaign,
+    )
+
+    config = CampaignConfig(
+        seed=args.seed,
+        rows=args.rows,
+        cols=args.cols,
+        generations=args.generations,
+        checkpoint_interval=args.checkpoint_interval,
+        monitors=not args.no_monitors,
+    )
+    report = run_campaign(config)
+    if args.format == "json":
+        print(report_json(report), end="")
+    else:
+        print(render_report(report), end="")
+    sdc = report["summary"]["silent-data-corruption"]
+    return 1 if (config.monitors and sdc) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -506,6 +537,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_sanitize)
 
+    p = sub.add_parser("faults", help="run the fault-injection campaign")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rows", type=int, default=16)
+    p.add_argument("--cols", type=int, default=16)
+    p.add_argument("--generations", type=int, default=8)
+    p.add_argument("--checkpoint-interval", type=int, default=4)
+    p.add_argument(
+        "--no-monitors",
+        action="store_true",
+        help="disable all monitors (the control arm: faults go undetected)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--json",
+        dest="format",
+        action="store_const",
+        const="json",
+        help="shorthand for --format json",
+    )
+    p.set_defaults(func=_cmd_faults)
+
     return parser
 
 
@@ -515,6 +567,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         try:

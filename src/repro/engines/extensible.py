@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engines.pe import make_rule
+from repro.engines.pe import PostCollideHook, make_rule
 from repro.engines.pipeline import PipelineStage
 from repro.engines.stats import EngineStats
 from repro.lgca.automaton import SiteModel
@@ -43,6 +43,8 @@ class ExtensibleSerialEngine:
         κ — off-chip memory density advantage (for area reports).
     clock_hz:
         Major cycle rate.
+    post_collide:
+        Optional fault-injection hook applied at every PE output.
     """
 
     def __init__(
@@ -51,6 +53,7 @@ class ExtensibleSerialEngine:
         pipeline_depth: int = 1,
         commercial_density: float = 8.0,
         clock_hz: float = 10e6,
+        post_collide: PostCollideHook | None = None,
     ):
         self.model = model
         self.pipeline_depth = check_positive(
@@ -61,7 +64,7 @@ class ExtensibleSerialEngine:
         )
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule)
+        self.stage = PipelineStage(self.rule, post_collide=post_collide)
 
     @property
     def name(self) -> str:

@@ -17,6 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
 
 from repro.engines.stats import EngineStats, ThroughputReport
 from repro.util.validation import check_positive
@@ -35,12 +38,19 @@ class MainMemory:
     bandwidth_bits_per_tick:
         B — ceiling on bits moved per major tick; ``None`` = the
         section 6 full-bandwidth assumption.
+    read_transform:
+        Optional fault hook applied to the stored words on every
+        :meth:`load_frame` — DRAM single-event upsets corrupt data *at
+        rest*, so the corruption surfaces when the frame is read back
+        (:mod:`repro.resilience` supplies seeded instances).
     """
 
     bits_per_site: int = 8
     bandwidth_bits_per_tick: float | None = None
+    read_transform: Callable[[np.ndarray], np.ndarray] | None = None
     bits_read: int = field(default=0, init=False)
     bits_written: int = field(default=0, init=False)
+    _frame: np.ndarray | None = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_positive(self.bits_per_site, "bits_per_site", integer=True)
@@ -63,6 +73,29 @@ class MainMemory:
         if count < 0:
             raise ValueError(f"count={count} must be non-negative")
         self.bits_written += count * self.bits_per_site
+
+    def store_frame(self, words: np.ndarray) -> None:
+        """Write a frame of site words into the store (accounted)."""
+        words = np.asarray(words)
+        self._frame = words.copy()
+        self.write_sites(words.size)
+
+    def load_frame(self) -> np.ndarray:
+        """Read the stored frame back (accounted), through the fault hook.
+
+        Raises
+        ------
+        LookupError
+            If no frame has been stored.
+        """
+        if self._frame is None:
+            raise LookupError("no frame stored in main memory")
+        words = self._frame.copy()
+        self.read_sites(words.size)
+        if self.read_transform is not None:
+            words = np.asarray(self.read_transform(words))
+            self._frame = words.copy()
+        return words
 
     def min_ticks_for_traffic(self, bits: int | None = None) -> int:
         """Fewest ticks the memory needs to move ``bits`` (default: all

@@ -41,7 +41,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engines.pe import make_rule
+from repro.engines.pe import PostCollideHook, make_rule
 from repro.engines.pipeline import PipelineStage
 from repro.engines.stats import EngineStats
 from repro.lgca.automaton import SiteModel
@@ -89,6 +89,14 @@ class PartitionedEngine:
         k — stages per slice; each pass advances k generations.
     clock_hz:
         Major cycle rate.
+    post_collide:
+        Optional fault-injection hook applied at every PE output.
+    failed_slices:
+        Slice indices whose PEs are marked dead.  Their work is remapped
+        round-robin onto the surviving slices (graceful degradation):
+        the evolution is unchanged, but each pass takes
+        ``⌈slices / healthy⌉`` times as long and the dead PEs drop out
+        of the storage/PE accounting.
     """
 
     def __init__(
@@ -97,6 +105,8 @@ class PartitionedEngine:
         slice_width: int,
         pipeline_depth: int = 1,
         clock_hz: float = 10e6,
+        post_collide: PostCollideHook | None = None,
+        failed_slices: tuple[int, ...] = (),
     ):
         self.model = model
         self.slice_width = check_positive(slice_width, "slice_width", integer=True)
@@ -109,15 +119,31 @@ class PartitionedEngine:
         )
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule)
+        self.stage = PipelineStage(self.rule, post_collide=post_collide)
         self._build_exchange_maps()
+        self.failed_slices = tuple(sorted(set(failed_slices)))
+        for s in self.failed_slices:
+            if not 0 <= s < self.num_slices:
+                raise ValueError(
+                    f"failed slice {s} out of range for {self.num_slices} slices"
+                )
+        if len(self.failed_slices) >= self.num_slices:
+            raise ValueError("all slices failed; no PEs left to remap work onto")
 
     # -- geometry -------------------------------------------------------------
 
     @property
     def name(self) -> str:
         """Engine identifier used in stats and tables."""
-        return f"partitioned(W={self.slice_width},k={self.pipeline_depth})"
+        base = f"partitioned(W={self.slice_width},k={self.pipeline_depth}"
+        if self.failed_slices:
+            base += f",degraded-{len(self.failed_slices)}"
+        return base + ")"
+
+    @property
+    def num_healthy_slices(self) -> int:
+        """Slices with a working PE column (all, minus the failed set)."""
+        return self.num_slices - len(self.failed_slices)
 
     @property
     def num_sites(self) -> int:
@@ -208,11 +234,17 @@ class PartitionedEngine:
     # -- timing ---------------------------------------------------------------------
 
     def ticks_per_pass(self, span: int) -> int:
-        """All slices stream in parallel: rows·W sites deep, plus drain."""
+        """All slices stream in parallel: rows·W sites deep, plus drain.
+
+        With failed PEs the surviving slices take the dead slices' work
+        round-robin, so a pass needs ``⌈slices / healthy⌉`` sequential
+        rounds.
+        """
         widest = min(self.slice_width, self.model.cols)
         stream_ticks = self.model.rows * widest
         latency = widest + 1
-        return stream_ticks + span * latency
+        rounds = math.ceil(self.num_slices / self.num_healthy_slices)
+        return rounds * stream_ticks + span * latency
 
     # -- evolution --------------------------------------------------------------------
 
@@ -249,11 +281,11 @@ class PartitionedEngine:
             ticks=ticks,
             io_bits_main=io_bits,
             io_bits_side=side_bits,
-            storage_sites=self.num_slices
+            storage_sites=self.num_healthy_slices
             * self.pipeline_depth
             * self.storage_sites_per_pe,
-            num_pes=self.num_slices * self.pipeline_depth,
-            num_chips=self.num_slices * self.pipeline_depth,
+            num_pes=self.num_healthy_slices * self.pipeline_depth,
+            num_chips=self.num_healthy_slices * self.pipeline_depth,
             clock_hz=self.clock_hz,
         )
         return stream.reshape(self.model.rows, self.model.cols), stats

@@ -30,7 +30,13 @@ from repro.lgca.fhp import (
 from repro.lgca.hpp import HPPModel, HPP_OFFSETS
 from repro.util.validation import check_positive
 
-__all__ = ["StreamStencil", "SiteUpdateRule", "make_rule"]
+__all__ = ["StreamStencil", "SiteUpdateRule", "PostCollideHook", "make_rule"]
+
+#: Fault-injection hook applied to the collided value leaving a PE —
+#: the point where the physical pipeline register sits, so a transient
+#: upset or a stuck-at defect on the collision-rule output is modeled by
+#: transforming ``(values, r, c, t) -> values`` right here.
+PostCollideHook = Callable[[np.ndarray, np.ndarray, np.ndarray, int], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -180,9 +186,37 @@ def _hpp_stream_stencil(rows: int, cols: int) -> StreamStencil:
     )
 
 
-def make_rule(model: FHPModel | HPPModel) -> SiteUpdateRule:
+def make_rule(
+    model: FHPModel | HPPModel,
+    post_collide: PostCollideHook | None = None,
+) -> SiteUpdateRule:
     """Build the PE rule for a reference model (engines never re-derive
-    physics — they reuse the verified collision tables)."""
+    physics — they reuse the verified collision tables).
+
+    ``post_collide``, when given, transforms every collided value before
+    it enters the delay line — the hook point
+    :mod:`repro.resilience` uses to inject PE pipeline-register upsets
+    and stuck-at collision outputs.
+    """
+    rule = _make_rule_clean(model)
+    if post_collide is None:
+        return rule
+    inner = rule.collide
+    hook = post_collide
+
+    def collide_faulty(states, r, c, t):
+        out = np.asarray(inner(states, r, c, t))
+        return hook(out, np.asarray(r), np.asarray(c), t)
+
+    return SiteUpdateRule(
+        name=rule.name,
+        num_channels=rule.num_channels,
+        stencil=rule.stencil,
+        collide=collide_faulty,
+    )
+
+
+def _make_rule_clean(model: FHPModel | HPPModel) -> SiteUpdateRule:
     if isinstance(model, FHPModel):
         if model.boundary != "null":
             raise ValueError(

@@ -24,10 +24,11 @@ automaton, is experiment E11.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
-from repro.engines.pe import SiteUpdateRule, make_rule
+from repro.engines.pe import PostCollideHook, SiteUpdateRule, make_rule
 from repro.engines.shiftreg import ShiftRegister
 from repro.engines.stats import EngineStats
 from repro.lgca.automaton import SiteModel
@@ -38,9 +39,18 @@ __all__ = ["PipelineStage", "SerialPipelineEngine"]
 
 @dataclass
 class PipelineStage:
-    """One pipeline stage: collide + delay-line neighborhood assembly."""
+    """One pipeline stage: collide + delay-line neighborhood assembly.
+
+    ``post_collide``, when given, transforms collided values as they
+    leave the PE and enter the delay line — the stage-level
+    fault-injection hook (see :mod:`repro.resilience.faults`).
+    ``shiftreg_transform`` is forwarded to the tick-accurate delay line
+    as its per-push fault hook (:class:`~repro.engines.shiftreg.ShiftRegister`).
+    """
 
     rule: SiteUpdateRule
+    post_collide: PostCollideHook | None = None
+    shiftreg_transform: "Callable[[int, int], int] | None" = None
 
     def __post_init__(self) -> None:
         self._stencil = self.rule.stencil
@@ -61,11 +71,23 @@ class PipelineStage:
         """Delay-line capacity: 2·reach + 1 = 2L + 3 for the hex stencil."""
         return self._stencil.window_sites()
 
+    def collide_sites(
+        self,
+        values: np.ndarray,
+        r: np.ndarray,
+        c: np.ndarray,
+        generation: int,
+    ) -> np.ndarray:
+        """Collide site values and apply the stage's fault hook (if any)."""
+        collided = np.asarray(self.rule.collide(values, r, c, generation))
+        if self.post_collide is not None:
+            collided = np.asarray(self.post_collide(collided, r, c, generation))
+        return collided
+
     def process(self, stream: np.ndarray, generation: int) -> np.ndarray:
         """Vectorized stage: one whole frame stream -> next generation."""
         stream = self._check_stream(stream)
-        collided = self.rule.collide(stream, self._r, self._c, generation)
-        collided = np.asarray(collided)
+        collided = self.collide_sites(stream, self._r, self._c, generation)
         out = np.zeros_like(stream)
         for ch in range(self._stencil.num_moving_channels):
             bit = (collided[self._src[ch]] >> ch) & 1
@@ -99,20 +121,18 @@ class PipelineStage:
             if capacity_override is not None
             else self._stencil.window_sites()
         )
-        line = ShiftRegister(capacity=capacity)
+        line = ShiftRegister(capacity=capacity, push_transform=self.shiftreg_transform)
         out = np.zeros_like(stream)
         total_ticks = n + reach
         for tick in range(total_ticks):
             if tick < n:
                 r, c = divmod(tick, cols)
                 collided = int(
-                    np.asarray(
-                        self.rule.collide(
-                            np.array([stream[tick]]),
-                            np.array([r]),
-                            np.array([c]),
-                            generation,
-                        )
+                    self.collide_sites(
+                        np.array([stream[tick]]),
+                        np.array([r]),
+                        np.array([c]),
+                        generation,
                     )[0]
                 )
                 line.push(collided)
@@ -159,6 +179,9 @@ class SerialPipelineEngine:
         k — stages in series; each pass advances k generations.
     clock_hz:
         Major cycle rate for the stats.
+    post_collide:
+        Optional fault-injection hook applied at every PE output
+        (see :class:`PipelineStage`).
     """
 
     def __init__(
@@ -166,12 +189,13 @@ class SerialPipelineEngine:
         model: SiteModel,
         pipeline_depth: int = 1,
         clock_hz: float = 10e6,
+        post_collide: PostCollideHook | None = None,
     ):
         self.model = model
         self.pipeline_depth = check_positive(pipeline_depth, "pipeline_depth", integer=True)
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule)
+        self.stage = PipelineStage(self.rule, post_collide=post_collide)
 
     @property
     def name(self) -> str:

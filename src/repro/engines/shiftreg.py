@@ -12,6 +12,7 @@ really is sufficient for the hexagonal stencil (and ``2L + 1`` for HPP).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -38,10 +39,16 @@ class ShiftRegister:
     capacity:
         Number of site values the line can hold — the chip-area cost is
         ``capacity · β``.
+    push_transform:
+        Optional fault hook ``(value, push_index) -> value`` applied to
+        every value entering the line — a transient upset in a delay
+        stage is a transform of exactly one ``(value, push_index)``
+        pair (:mod:`repro.resilience` supplies seeded instances).
     """
 
     capacity: int
     fill_value: int = 0
+    push_transform: Callable[[int, int], int] | None = None
     _buffer: np.ndarray = field(init=False, repr=False)
     _head: int = field(init=False, default=0, repr=False)
     _pushes: int = field(init=False, default=0, repr=False)
@@ -59,6 +66,8 @@ class ShiftRegister:
 
     def push(self, value: int) -> None:
         """Shift the line by one, inserting ``value`` at age 0."""
+        if self.push_transform is not None:
+            value = self.push_transform(int(value), self._pushes)
         self._head = (self._head - 1) % self.capacity
         self._buffer[self._head] = int(value)
         self._pushes += 1

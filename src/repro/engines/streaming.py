@@ -24,8 +24,9 @@ from collections.abc import Iterable, Iterator
 
 import numpy as np
 
-from repro.engines.pe import make_rule
+from repro.engines.pe import PostCollideHook, make_rule
 from repro.lgca.automaton import SiteModel
+from repro.util.errors import ConfigError
 from repro.util.validation import check_positive
 
 __all__ = ["StreamingRowUpdater", "stream_rows"]
@@ -51,10 +52,15 @@ class StreamingRowUpdater:
             ...
     """
 
-    def __init__(self, model: SiteModel, start_time: int = 0):
+    def __init__(
+        self,
+        model: SiteModel,
+        start_time: int = 0,
+        post_collide: PostCollideHook | None = None,
+    ):
         self.model = model
         self.time = start_time
-        self.rule = make_rule(model)
+        self.rule = make_rule(model, post_collide=post_collide)
         self._stencil = self.rule.stencil
         self.cols = model.cols
 
@@ -110,16 +116,23 @@ class StreamingRowUpdater:
         Only three collided rows are ever held.  The number of yielded
         rows equals the number fed (null boundary above the first and
         below the last).
+
+        Raises
+        ------
+        repro.util.errors.ConfigError
+            If an incoming row does not match the model's prism width
+            ``model.cols``, is not of integer dtype, or carries values
+            outside the model's ``num_channels``-bit state space —
+            caught *here*, at the host interface, instead of surfacing
+            as an opaque numpy broadcasting failure deep in the stencil
+            gather.
         """
         above: np.ndarray | None = None
         center: np.ndarray | None = None
+        num_channels = self.model.num_channels
         row_index = 0
         for raw in rows:
-            raw = np.asarray(raw)
-            if raw.shape != (self.cols,):
-                raise ValueError(
-                    f"row has shape {raw.shape}, expected ({self.cols},)"
-                )
+            raw = self._check_row(np.asarray(raw), row_index, num_channels)
             below = self._collide_row(raw.astype(np.uint8, copy=False), row_index)
             if center is not None:
                 yield self._emit(above, center, below, row_index - 1)
@@ -128,6 +141,26 @@ class StreamingRowUpdater:
         if center is not None:
             yield self._emit(above, center, None, row_index - 1)
         self.time += 1
+
+    def _check_row(
+        self, raw: np.ndarray, row_index: int, num_channels: int
+    ) -> np.ndarray:
+        if raw.shape != (self.cols,):
+            raise ConfigError(
+                f"stream row {row_index} has shape {raw.shape}, expected "
+                f"({self.cols},) — the prism width is fixed by model.cols"
+            )
+        if raw.dtype.kind not in "ui":
+            raise ConfigError(
+                f"stream row {row_index} has dtype {raw.dtype}, expected an "
+                "integer site-state dtype"
+            )
+        if raw.size and int(raw.max()) >= (1 << num_channels):
+            raise ConfigError(
+                f"stream row {row_index} carries value {int(raw.max())}, "
+                f"outside the {num_channels}-bit site state space"
+            )
+        return raw
 
 
 def stream_rows(

@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-from repro.engines.pe import make_rule
+from repro.engines.pe import PostCollideHook, make_rule
 from repro.engines.pipeline import PipelineStage
 from repro.engines.shiftreg import ShiftRegister
 from repro.engines.stats import EngineStats
@@ -44,6 +44,8 @@ class WideSerialEngine:
         k — stages in series (one chip per stage).
     clock_hz:
         Major cycle rate.
+    post_collide:
+        Optional fault-injection hook applied at every PE output.
     """
 
     def __init__(
@@ -52,6 +54,7 @@ class WideSerialEngine:
         lanes: int = 2,
         pipeline_depth: int = 1,
         clock_hz: float = 10e6,
+        post_collide: PostCollideHook | None = None,
     ):
         self.model = model
         self.lanes = check_positive(lanes, "lanes", integer=True)
@@ -60,7 +63,7 @@ class WideSerialEngine:
         )
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule)
+        self.stage = PipelineStage(self.rule, post_collide=post_collide)
 
     @property
     def name(self) -> str:
@@ -121,13 +124,11 @@ class WideSerialEngine:
                 if pushed < n:
                     r, c = divmod(pushed, cols)
                     collided = int(
-                        np.asarray(
-                            self.stage.rule.collide(
-                                np.array([stream[pushed]]),
-                                np.array([r]),
-                                np.array([c]),
-                                generation,
-                            )
+                        self.stage.collide_sites(
+                            np.array([stream[pushed]]),
+                            np.array([r]),
+                            np.array([c]),
+                            generation,
                         )[0]
                     )
                     line.push(collided)

@@ -1,0 +1,89 @@
+"""Fault injection, detection, and recovery for the lattice engines.
+
+Layering:
+
+* :mod:`repro.resilience.faults` — seeded fault specs, the injector,
+  and the unreliable host channel;
+* :mod:`repro.resilience.monitors` — parity tags, conservation drift,
+  TMR voting, bandwidth floor;
+* :mod:`repro.resilience.checkpoint` — self-verifying recovery points;
+* :mod:`repro.resilience.recovery` — the resilient automaton runner and
+  the reliable row transport (rollback, recompute, bounded retry);
+* :mod:`repro.resilience.campaign` — the sweep runner and its
+  deterministic report.
+"""
+
+from repro.resilience.campaign import (
+    OUTCOMES,
+    CampaignConfig,
+    Trial,
+    TrialResult,
+    build_trials,
+    render_report,
+    report_json,
+    run_campaign,
+    run_trial,
+)
+from repro.resilience.checkpoint import Checkpoint, CheckpointStore
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_LOCATIONS,
+    FaultInjector,
+    FaultSpec,
+    HostStallError,
+    RowPacket,
+    UnreliableRowChannel,
+    row_checksum,
+)
+from repro.resilience.monitors import (
+    BandwidthMonitor,
+    ConservationMonitor,
+    Detection,
+    FusedMonitor,
+    ParityMonitor,
+    TMRVoter,
+    row_parity_tags,
+)
+from repro.resilience.recovery import (
+    BackoffPolicy,
+    ReliableRowTransport,
+    ResilientAutomatonRunner,
+    RunReport,
+    TransportReport,
+    assemble_raw,
+)
+
+__all__ = [
+    "OUTCOMES",
+    "CampaignConfig",
+    "Trial",
+    "TrialResult",
+    "build_trials",
+    "render_report",
+    "report_json",
+    "run_campaign",
+    "run_trial",
+    "Checkpoint",
+    "CheckpointStore",
+    "FAULT_KINDS",
+    "FAULT_LOCATIONS",
+    "FaultInjector",
+    "FaultSpec",
+    "HostStallError",
+    "RowPacket",
+    "UnreliableRowChannel",
+    "row_checksum",
+    "BandwidthMonitor",
+    "ConservationMonitor",
+    "Detection",
+    "FusedMonitor",
+    "ParityMonitor",
+    "TMRVoter",
+    "row_parity_tags",
+    "BackoffPolicy",
+    "ReliableRowTransport",
+    "ResilientAutomatonRunner",
+    "RunReport",
+    "TransportReport",
+    "assemble_raw",
+]

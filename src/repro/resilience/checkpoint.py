@@ -1,0 +1,111 @@
+"""Checkpoint/restart for lattice evolutions.
+
+A checkpoint is everything needed to replay deterministically from a
+generation boundary: the state field, the RNG bit-generator state (for
+``chirality="random"`` models), and the generation index.  Checkpoints
+carry their own parity tags so a *corrupted checkpoint* is detected at
+restore time instead of silently seeding a wrong replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience.monitors import row_parity_tags
+from repro.util.errors import CheckpointError
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One recovery point: state field + RNG state + generation index."""
+
+    generation: int
+    state: np.ndarray = field(repr=False)
+    rng_state: dict | None = field(default=None, repr=False)
+    tags: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def verify(self) -> None:
+        """Raise :class:`CheckpointError` if the stored state rotted."""
+        if self.tags is None:
+            return
+        current = row_parity_tags(self.state)
+        if not np.array_equal(current, self.tags):
+            bad = np.nonzero(current != self.tags)[0]
+            raise CheckpointError(
+                f"checkpoint at generation {self.generation} is corrupted "
+                f"in rows {[int(r) for r in bad]}"
+            )
+
+
+class CheckpointStore:
+    """A bounded ring of recent checkpoints.
+
+    Parameters
+    ----------
+    interval:
+        Generations between checkpoints (:meth:`due` answers "now?").
+    keep:
+        Recovery points retained; older ones age out.
+    """
+
+    def __init__(self, interval: int = 8, keep: int = 2):
+        self.interval = check_positive(interval, "interval", integer=True)
+        self.keep = check_positive(keep, "keep", integer=True)
+        self._ring: list[Checkpoint] = []
+        self.saves = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def due(self, generation: int) -> bool:
+        """Whether ``generation`` falls on a checkpoint boundary."""
+        check_nonnegative(generation, "generation", integer=True)
+        return generation % self.interval == 0
+
+    def save(
+        self,
+        generation: int,
+        state: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> Checkpoint:
+        """Snapshot ``state`` (copied) and the RNG at ``generation``."""
+        cp = Checkpoint(
+            generation=check_nonnegative(generation, "generation", integer=True),
+            state=np.asarray(state).copy(),
+            rng_state=None if rng is None else dict(rng.bit_generator.state),
+            tags=row_parity_tags(state),
+        )
+        self._ring.append(cp)
+        if len(self._ring) > self.keep:
+            self._ring.pop(0)
+        self.saves += 1
+        return cp
+
+    def latest(self) -> Checkpoint:
+        """Most recent verified checkpoint.
+
+        Raises
+        ------
+        CheckpointError
+            If no checkpoint exists or the newest one fails its own
+            parity verification (and no older one survives).
+        """
+        if not self._ring:
+            raise CheckpointError("no checkpoint to restore from")
+        for cp in reversed(self._ring):
+            try:
+                cp.verify()
+            except CheckpointError:
+                continue
+            return cp
+        raise CheckpointError("every retained checkpoint is corrupted")
+
+    def restore_rng(self, cp: Checkpoint, rng: np.random.Generator | None) -> None:
+        """Rewind ``rng`` to the checkpointed bit-generator state."""
+        if rng is not None and cp.rng_state is not None:
+            rng.bit_generator.state = cp.rng_state

@@ -1,0 +1,429 @@
+"""Deterministic, seeded fault injection for the lattice engines.
+
+The fault model covers the three physical layers a real streaming
+lattice machine can lose bits in (the same taxonomy CAM-8 and the
+Columbia machine engineer against):
+
+* **memory** — single-event upsets in :class:`~repro.engines.memory.MainMemory`
+  words (data corrupted *at rest*, surfacing on the next read), and
+  stuck-at cells that force a bit for a window of generations;
+* **pe / shiftreg** — transient flips in PE pipeline registers and
+  delay-line stages, and stuck-at defects on collision-rule outputs
+  (a stuck PE output corrupts *every* site it processes);
+* **host** — dropped, duplicated, or payload-corrupted stream words,
+  transient stalls, and bandwidth brown-outs on the host interface.
+
+Everything is driven by an explicit list of :class:`FaultSpec` records;
+nothing here consults a clock or an un-seeded RNG, so a campaign with a
+given seed is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import ReproError
+from repro.util.validation import check_nonnegative
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_LOCATIONS",
+    "FaultSpec",
+    "FaultInjector",
+    "HostStallError",
+    "RowPacket",
+    "UnreliableRowChannel",
+    "row_checksum",
+]
+
+#: Transient and persistent fault kinds the injector understands.
+FAULT_KINDS = (
+    "bit_flip",
+    "stuck_at",
+    "drop_row",
+    "duplicate_row",
+    "stall",
+    "brownout",
+)
+
+#: Hardware layers a fault can live in.
+FAULT_LOCATIONS = ("memory", "pe", "shiftreg", "host")
+
+
+class HostStallError(ReproError):
+    """The host interface did not deliver a word within its deadline."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault event.
+
+    Attributes
+    ----------
+    fault_id:
+        Stable identifier used in reports and the injector's fired set.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    location:
+        One of :data:`FAULT_LOCATIONS`.
+    generation:
+        Generation at which the fault fires (first fires, for
+        persistent kinds).
+    row, col:
+        Target site for site-addressed faults; for host faults ``row``
+        is the stream row index; for shift-register faults the flat
+        push index is ``row * cols + col``.
+    channel:
+        Bit (velocity channel) the fault touches.
+    stuck_value:
+        Forced bit value for ``stuck_at`` faults.
+    duration:
+        Generations a persistent fault stays active (``stuck_at``,
+        ``brownout``) or failed attempts before a ``stall`` clears.
+        Transient kinds use 1.
+    bandwidth_factor:
+        Fraction of nominal host bandwidth available during a
+        ``brownout``.
+    """
+
+    fault_id: str
+    kind: str
+    location: str
+    generation: int
+    row: int = 0
+    col: int = 0
+    channel: int = 0
+    stuck_value: int = 0
+    duration: int = 1
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.location not in FAULT_LOCATIONS:
+            raise ValueError(f"unknown fault location {self.location!r}")
+        check_nonnegative(self.generation, "generation", integer=True)
+        if self.duration < 1:
+            raise ValueError(f"duration={self.duration} must be >= 1")
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"bandwidth_factor={self.bandwidth_factor} must be in (0, 1]"
+            )
+
+    def active_at(self, generation: int) -> bool:
+        """Whether a persistent fault's window covers ``generation``."""
+        return self.generation <= generation < self.generation + self.duration
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (stable key order via sort_keys)."""
+        return {
+            "fault_id": self.fault_id,
+            "kind": self.kind,
+            "location": self.location,
+            "generation": self.generation,
+            "row": self.row,
+            "col": self.col,
+            "channel": self.channel,
+            "stuck_value": self.stuck_value,
+            "duration": self.duration,
+            "bandwidth_factor": self.bandwidth_factor,
+        }
+
+
+class FaultInjector:
+    """Applies a list of :class:`FaultSpec` events to running hardware.
+
+    Transient faults (``bit_flip`` and host word faults) fire **once**:
+    after a rollback-and-replay the upset does not recur — that is what
+    makes checkpoint recovery effective.  Persistent faults
+    (``stuck_at``, ``brownout``) re-apply for every generation in their
+    window, so replaying through the window re-detects them and the
+    runner eventually aborts instead of looping forever.
+
+    Attributes
+    ----------
+    fired:
+        Ordered ids of transient faults that have fired.
+    landed:
+        Ids of faults that actually changed at least one bit (a
+        ``stuck_at`` forcing a bit to its existing value never lands).
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec]):
+        ids = [f.fault_id for f in faults]
+        if len(set(ids)) != len(ids):
+            raise ValueError("fault_id values must be unique")
+        self.faults = tuple(faults)
+        self.fired: list[str] = []
+        self.landed: set[str] = set()
+
+    def reset(self) -> None:
+        """Forget all fired/landed state (for a fresh run, not a replay)."""
+        self.fired.clear()
+        self.landed.clear()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _mark(self, spec: FaultSpec, changed: bool) -> None:
+        if spec.kind in ("bit_flip", "drop_row", "duplicate_row", "stall"):
+            if spec.fault_id not in self.fired:
+                self.fired.append(spec.fault_id)
+        if changed:
+            self.landed.add(spec.fault_id)
+
+    def _transient_due(self, spec: FaultSpec, generation: int) -> bool:
+        return spec.generation == generation and spec.fault_id not in self.fired
+
+    # -- memory faults -----------------------------------------------------------
+
+    def corrupt_frame(self, frame: np.ndarray, generation: int) -> np.ndarray:
+        """Apply memory-located faults to a stored frame at ``generation``.
+
+        Returns a (possibly copied) frame; the input is never mutated.
+        """
+        out = frame
+        for spec in self.faults:
+            if spec.location != "memory":
+                continue
+            if spec.kind == "bit_flip" and self._transient_due(spec, generation):
+                out = out.copy() if out is frame else out
+                out[spec.row, spec.col] ^= out.dtype.type(1 << spec.channel)
+                self._mark(spec, True)
+            elif spec.kind == "stuck_at" and spec.active_at(generation):
+                bit = out.dtype.type(1 << spec.channel)
+                old = int(out[spec.row, spec.col])
+                new = (old | int(bit)) if spec.stuck_value else (old & ~int(bit))
+                if new != old:
+                    out = out.copy() if out is frame else out
+                    out[spec.row, spec.col] = new
+                    self._mark(spec, True)
+                else:
+                    self._mark(spec, False)
+        return out
+
+    def memory_read_transform(
+        self, shape: tuple[int, int], generation_source: Callable[[], int]
+    ) -> Callable[[np.ndarray], np.ndarray]:
+        """Adapter for :attr:`repro.engines.memory.MainMemory.read_transform`.
+
+        ``generation_source`` is polled at read time (the memory has no
+        notion of lattice generations of its own).
+        """
+
+        def transform(words: np.ndarray) -> np.ndarray:
+            frame = words.reshape(shape)
+            return self.corrupt_frame(frame, generation_source()).reshape(words.shape)
+
+        return transform
+
+    # -- PE faults ---------------------------------------------------------------
+
+    def post_collide_hook(
+        self,
+    ) -> Callable[[np.ndarray, np.ndarray, np.ndarray, int], np.ndarray]:
+        """A :data:`~repro.engines.pe.PostCollideHook` applying PE faults.
+
+        ``bit_flip`` touches one site at one generation; ``stuck_at``
+        forces the channel bit on *every* site the PE processes while
+        active (a defect in the collision logic, not in one word).
+        """
+
+        def hook(values: np.ndarray, r: np.ndarray, c: np.ndarray, t: int) -> np.ndarray:
+            out = values
+            for spec in self.faults:
+                if spec.location != "pe":
+                    continue
+                if spec.kind == "bit_flip" and self._transient_due(spec, t):
+                    where = np.nonzero((r == spec.row) & (c == spec.col))[0]
+                    if where.size:
+                        out = out.copy() if out is values else out
+                        out[where[0]] ^= out.dtype.type(1 << spec.channel)
+                        self._mark(spec, True)
+                elif spec.kind == "stuck_at" and spec.active_at(t):
+                    bit = int(1 << spec.channel)
+                    if spec.stuck_value:
+                        forced = out | out.dtype.type(bit)
+                    else:
+                        forced = out & ~out.dtype.type(bit)
+                    changed = bool(np.any(forced != out))
+                    out = forced
+                    self._mark(spec, changed)
+            return out
+
+        return hook
+
+    # -- shift-register faults ---------------------------------------------------
+
+    def shiftreg_transform(
+        self, cols: int, generation: int
+    ) -> Callable[[int, int], int] | None:
+        """Per-push delay-line hook for one generation's tickwise pass.
+
+        Returns ``None`` when no shift-register fault targets
+        ``generation`` — callers then run a clean register.
+        """
+        due = [
+            spec
+            for spec in self.faults
+            if spec.location == "shiftreg"
+            and spec.kind == "bit_flip"
+            and spec.generation == generation
+            and spec.fault_id not in self.fired
+        ]
+        if not due:
+            return None
+
+        def transform(value: int, push_index: int) -> int:
+            for spec in due:
+                if push_index == spec.row * cols + spec.col and (
+                    spec.fault_id not in self.fired
+                ):
+                    value ^= 1 << spec.channel
+                    self._mark(spec, True)
+            return value
+
+        return transform
+
+    # -- host faults -------------------------------------------------------------
+
+    def host_faults(self, generation: int) -> list[FaultSpec]:
+        """Host-located faults scheduled for ``generation``."""
+        return [
+            f
+            for f in self.faults
+            if f.location == "host" and f.active_at(generation)
+        ]
+
+
+def row_checksum(row: np.ndarray) -> int:
+    """CRC-32 of a row's raw bytes — the per-row tag streamed rows carry."""
+    return zlib.crc32(np.ascontiguousarray(row).tobytes()) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class RowPacket:
+    """One word on the host wire: sequence number, checksum, payload."""
+
+    seq: int
+    checksum: int
+    row: np.ndarray = field(repr=False)
+
+    @property
+    def intact(self) -> bool:
+        """Whether the payload still matches its checksum."""
+        return row_checksum(self.row) == self.checksum
+
+
+class UnreliableRowChannel:
+    """A host interface that streams one frame row-by-row with faults.
+
+    The sender side tags every row with its sequence number and CRC-32
+    *before* the wire can touch it, so a receiver that checks tags can
+    detect anything this channel does short of a correlated
+    tag-plus-payload forgery.
+
+    Parameters
+    ----------
+    rows:
+        The frame to transmit, shape ``(R, C)``.
+    injector:
+        Source of host-located :class:`FaultSpec` events.
+    generation:
+        Which generation's scheduled host faults apply to this transfer.
+    """
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        injector: FaultInjector,
+        generation: int = 0,
+    ):
+        self.rows = np.asarray(rows)
+        if self.rows.ndim != 2:
+            raise ValueError("channel payload must be a 2-D frame of rows")
+        self.injector = injector
+        self.generation = generation
+        self._faults = injector.host_faults(generation)
+        self._stall_remaining = {
+            f.fault_id: f.duration for f in self._faults if f.kind == "stall"
+        }
+        self.transfer_time_units = 0.0
+
+    @property
+    def bandwidth_factor(self) -> float:
+        """Fraction of nominal bandwidth available (min over brown-outs)."""
+        factors = [f.bandwidth_factor for f in self._faults if f.kind == "brownout"]
+        return min(factors) if factors else 1.0
+
+    def _packet(self, seq: int) -> RowPacket:
+        row = self.rows[seq]
+        packet = RowPacket(seq=seq, checksum=row_checksum(row), row=row.copy())
+        for spec in self._faults:
+            if (
+                spec.kind == "bit_flip"
+                and spec.row == seq
+                and self.injector._transient_due(spec, self.generation)
+            ):
+                corrupted = packet.row.copy()
+                corrupted[spec.col] ^= corrupted.dtype.type(1 << spec.channel)
+                packet = replace(packet, row=corrupted)
+                self.injector._mark(spec, True)
+        return packet
+
+    def packets(self) -> Iterator[RowPacket]:
+        """The raw wire: drops, duplicates, and corruption included."""
+        for seq in range(self.rows.shape[0]):
+            self.transfer_time_units += 1.0 / self.bandwidth_factor
+            for spec in self._faults:
+                if spec.kind == "brownout" and spec.bandwidth_factor < 1.0:
+                    self.injector._mark(spec, True)
+            dropped = False
+            for spec in self._faults:
+                if (
+                    spec.kind == "drop_row"
+                    and spec.row == seq
+                    and self.injector._transient_due(spec, self.generation)
+                ):
+                    self.injector._mark(spec, True)
+                    dropped = True
+            if dropped:
+                continue
+            packet = self._packet(seq)
+            yield packet
+            for spec in self._faults:
+                if (
+                    spec.kind == "duplicate_row"
+                    and spec.row == seq
+                    and self.injector._transient_due(spec, self.generation)
+                ):
+                    self.injector._mark(spec, True)
+                    yield packet
+
+    def retransmit(self, seq: int) -> RowPacket:
+        """Re-request one row (the reliable transport's recovery path).
+
+        Retransmission reads the sender's buffer again, so it returns a
+        clean packet — but a stalled host fails the first ``duration``
+        attempts with :class:`HostStallError` before recovering.
+        """
+        if not 0 <= seq < self.rows.shape[0]:
+            raise ValueError(f"retransmit seq {seq} outside frame")
+        for spec in self._faults:
+            if spec.kind == "stall" and self._stall_remaining.get(spec.fault_id, 0) > 0:
+                self._stall_remaining[spec.fault_id] -= 1
+                self.injector._mark(spec, True)
+                raise HostStallError(
+                    f"host stalled answering retransmit of row {seq} "
+                    f"({spec.fault_id})"
+                )
+        self.transfer_time_units += 1.0 / self.bandwidth_factor
+        row = self.rows[seq]
+        return RowPacket(seq=seq, checksum=row_checksum(row), row=row.copy())
+
+    def first_fetch_stalls(self) -> list[FaultSpec]:
+        """Stall faults that will also delay the *initial* stream."""
+        return [f for f in self._faults if f.kind == "stall"]

@@ -7,6 +7,12 @@ renders the fixed-width rows the benchmark harness prints so every bench
 produces paper-style output through one code path.
 """
 
+from repro.util.errors import (
+    ReproError,
+    ConfigError,
+    FaultDetectedError,
+    CheckpointError,
+)
 from repro.util.validation import (
     check_positive,
     check_nonnegative,
@@ -18,6 +24,10 @@ from repro.util.tables import Table, format_quantity, format_rate
 from repro.util.render import shade_map, speed_map, spacetime_diagram
 
 __all__ = [
+    "ReproError",
+    "ConfigError",
+    "FaultDetectedError",
+    "CheckpointError",
     "check_positive",
     "check_nonnegative",
     "check_in_range",

@@ -1,0 +1,52 @@
+"""The package-wide exception hierarchy.
+
+Every error the toolkit raises *on purpose* derives from
+:class:`ReproError`, so callers (the CLI above all) can distinguish "the
+user asked for something impossible / the machine detected a fault" from
+a genuine bug in the toolkit: the former prints a one-line message and
+exits with code 2, the latter keeps its traceback.
+
+:class:`ConfigError` additionally derives from :class:`ValueError` so
+that pre-existing callers catching ``ValueError`` around argument
+validation keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "FaultDetectedError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all deliberate toolkit errors."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration or input is invalid (wrong shape, dtype, range).
+
+    Subclasses :class:`ValueError` for backward compatibility with
+    callers that catch validation errors generically.
+    """
+
+
+class FaultDetectedError(ReproError):
+    """A runtime monitor detected corruption that recovery could not fix.
+
+    Attributes
+    ----------
+    detections:
+        The monitor detections that triggered the abort (may be empty
+        when raised before any detection was recorded).
+    """
+
+    def __init__(self, message: str, detections: tuple = ()):  # type: ignore[type-arg]
+        super().__init__(message)
+        self.detections = tuple(detections)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be taken, found, or restored."""

@@ -129,3 +129,56 @@ class TestThroughput:
         )
         assert stats.num_pes == 3 * 2
         assert stats.storage_sites == 6 * (2 * 5 + 9)
+
+
+class TestGracefulDegradation:
+    """A failed PE's slices are remapped; evolution is unchanged but
+    each pass takes more rounds and fewer PEs are accounted."""
+
+    def test_rejects_out_of_range_slice(self, model):
+        with pytest.raises(ValueError, match="out of range"):
+            PartitionedEngine(model, slice_width=5, failed_slices=(3,))
+
+    def test_rejects_all_slices_failed(self, model):
+        with pytest.raises(ValueError, match="no PEs left"):
+            PartitionedEngine(model, slice_width=5, failed_slices=(0, 1, 2))
+
+    def test_failed_slices_deduped_and_sorted(self, model):
+        eng = PartitionedEngine(model, slice_width=5, failed_slices=(2, 0, 2))
+        assert eng.failed_slices == (0, 2)
+        assert eng.num_healthy_slices == 1
+
+    def test_degraded_name(self, model):
+        eng = PartitionedEngine(model, slice_width=5, failed_slices=(1,))
+        assert "degraded-1" in eng.name
+
+    def test_evolution_unchanged(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        ref = LatticeGasAutomaton(model, frame.copy())
+        ref.run(3)
+        out, _ = PartitionedEngine(
+            model, slice_width=5, failed_slices=(1,)
+        ).run(frame, 3)
+        assert np.array_equal(out, ref.state)
+
+    def test_degradation_stretches_passes(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        _, healthy = PartitionedEngine(model, slice_width=5).run(frame.copy(), 2)
+        _, degraded = PartitionedEngine(
+            model, slice_width=5, failed_slices=(1,)
+        ).run(frame.copy(), 2)
+        # 3 slices on 2 healthy PE columns -> ceil(3/2) = 2 rounds per pass.
+        assert degraded.ticks > healthy.ticks
+        assert degraded.updates_per_second < healthy.updates_per_second
+
+    def test_dead_pes_drop_out_of_accounting(self, model, rng):
+        frame = uniform_random_state(10, 15, 6, 0.4, rng)
+        _, healthy = PartitionedEngine(
+            model, slice_width=5, pipeline_depth=2
+        ).run(frame.copy(), 2)
+        _, degraded = PartitionedEngine(
+            model, slice_width=5, pipeline_depth=2, failed_slices=(2,)
+        ).run(frame.copy(), 2)
+        assert healthy.num_pes == 3 * 2
+        assert degraded.num_pes == 2 * 2
+        assert degraded.storage_sites < healthy.storage_sites

@@ -70,6 +70,37 @@ class TestStreamingRowUpdater:
         with pytest.raises(ValueError, match="shape"):
             list(updater.feed([np.zeros(5, dtype=np.uint8)]))
 
+    def test_bad_row_shape_is_config_error(self, model):
+        from repro.util.errors import ConfigError
+
+        updater = StreamingRowUpdater(model)
+        with pytest.raises(ConfigError, match="prism width"):
+            list(updater.feed([np.zeros(5, dtype=np.uint8)]))
+
+    def test_rejects_float_rows(self, model):
+        from repro.util.errors import ConfigError
+
+        updater = StreamingRowUpdater(model)
+        with pytest.raises(ConfigError, match="dtype"):
+            list(updater.feed([np.zeros(12, dtype=np.float64)]))
+
+    def test_rejects_out_of_range_values(self, model):
+        from repro.util.errors import ConfigError
+
+        updater = StreamingRowUpdater(model)
+        row = np.zeros(12, dtype=np.uint8)
+        row[3] = 1 << 6  # bit 6 does not exist in the 6-channel gas
+        with pytest.raises(ConfigError, match="state space"):
+            list(updater.feed([row]))
+
+    def test_error_names_offending_row(self, model, rng):
+        from repro.util.errors import ConfigError
+
+        frame = uniform_random_state(4, 12, 6, 0.3, rng)
+        rows = [frame[0], frame[1], np.zeros(7, dtype=np.uint8)]
+        with pytest.raises(ConfigError, match="row 2"):
+            list(StreamingRowUpdater(model).feed(rows))
+
     def test_time_advances_per_feed(self, model, rng):
         frame = uniform_random_state(10, 12, 6, 0.3, rng)
         updater = StreamingRowUpdater(model, start_time=0)

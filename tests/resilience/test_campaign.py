@@ -1,0 +1,137 @@
+"""Tests for the campaign runner, its report, and the CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.campaign import (
+    OUTCOMES,
+    CampaignConfig,
+    build_trials,
+    render_report,
+    report_json,
+    run_campaign,
+)
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def monitored_report():
+    return run_campaign(CampaignConfig(monitors=True))
+
+
+@pytest.fixture(scope="module")
+def unmonitored_report():
+    return run_campaign(CampaignConfig(monitors=False))
+
+
+class TestCampaignConfig:
+    def test_rejects_odd_rows(self):
+        with pytest.raises(ConfigError, match="even"):
+            CampaignConfig(rows=15)
+
+    def test_rejects_tiny_runs(self):
+        with pytest.raises(ConfigError, match="generations"):
+            CampaignConfig(generations=3)
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigError, match="density"):
+            CampaignConfig(density=0.0)
+
+
+class TestBuildTrials:
+    def test_covers_every_location(self):
+        trials = build_trials(CampaignConfig())
+        locations = {t.specs[-1].location for t in trials}
+        assert locations == {"memory", "pe", "shiftreg", "host"}
+
+    def test_covers_every_kind(self):
+        trials = build_trials(CampaignConfig())
+        kinds = {s.kind for t in trials for s in t.specs}
+        assert kinds == {
+            "bit_flip",
+            "stuck_at",
+            "drop_row",
+            "duplicate_row",
+            "stall",
+            "brownout",
+        }
+
+    def test_deterministic_for_seed(self):
+        assert build_trials(CampaignConfig(seed=5)) == build_trials(
+            CampaignConfig(seed=5)
+        )
+
+    def test_seed_changes_placement(self):
+        a = build_trials(CampaignConfig(seed=0))
+        b = build_trials(CampaignConfig(seed=1))
+        assert a != b
+
+
+class TestAcceptanceCriteria:
+    """The ISSUE's acceptance criteria, verbatim."""
+
+    def test_monitored_campaign_has_zero_sdc(self, monitored_report):
+        assert monitored_report["summary"]["silent-data-corruption"] == 0
+
+    def test_monitored_campaign_has_no_uncorrected(self, monitored_report):
+        assert monitored_report["summary"]["detected-uncorrected"] == 0
+
+    def test_unmonitored_campaign_has_sdc(self, unmonitored_report):
+        assert unmonitored_report["summary"]["silent-data-corruption"] > 0
+
+    def test_report_byte_reproducible(self, monitored_report):
+        again = run_campaign(CampaignConfig(monitors=True))
+        assert report_json(monitored_report) == report_json(again)
+
+
+class TestReportShape:
+    def test_versioned_schema(self, monitored_report):
+        assert monitored_report["schema"] == "repro-fault-campaign"
+        assert monitored_report["version"] == 1
+
+    def test_summary_buckets_complete(self, monitored_report):
+        assert set(monitored_report["summary"]) == set(OUTCOMES)
+        assert sum(monitored_report["summary"].values()) == len(
+            monitored_report["trials"]
+        )
+
+    def test_every_trial_has_faults_and_outcome(self, monitored_report):
+        for trial in monitored_report["trials"]:
+            assert trial["faults"]
+            assert trial["outcome"] in OUTCOMES
+
+    def test_json_round_trips(self, monitored_report):
+        assert json.loads(report_json(monitored_report)) == monitored_report
+
+    def test_render_mentions_summary(self, monitored_report):
+        text = render_report(monitored_report)
+        assert "silent-data-corruption=0" in text
+        assert "monitors=on" in text
+
+
+class TestFaultsCli:
+    def test_text_mode_exits_zero(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault campaign" in out
+        assert "silent-data-corruption=0" in out
+
+    def test_json_mode_byte_reproducible(self, capsys):
+        assert main(["faults", "--seed", "0", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["faults", "--seed", "0", "--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_monitors_reports_sdc_without_failing(self, capsys):
+        assert main(["faults", "--no-monitors"]) == 0
+        out = capsys.readouterr().out
+        assert "monitors=off" in out
+        assert "silent-data-corruption=0" not in out
+
+    def test_config_error_is_one_line_exit_2(self, capsys):
+        assert main(["faults", "--generations", "3"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro faults:")
+        assert err.count("\n") == 1

@@ -1,0 +1,216 @@
+"""Tests for fault specs, the injector, and the unreliable host channel."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_LOCATIONS,
+    FaultInjector,
+    FaultSpec,
+    HostStallError,
+    UnreliableRowChannel,
+    row_checksum,
+)
+
+
+def spec(**kwargs):
+    base = dict(
+        fault_id="f0", kind="bit_flip", location="memory", generation=1
+    )
+    base.update(kwargs)
+    return FaultSpec(**base)
+
+
+class TestFaultSpec:
+    def test_kinds_and_locations_closed(self):
+        assert "bit_flip" in FAULT_KINDS
+        assert "host" in FAULT_LOCATIONS
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            spec(kind="gamma_ray")
+
+    def test_rejects_unknown_location(self):
+        with pytest.raises(ValueError, match="location"):
+            spec(location="cloud")
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            spec(duration=0)
+
+    def test_rejects_bad_bandwidth_factor(self):
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            spec(kind="brownout", bandwidth_factor=0.0)
+
+    def test_active_window(self):
+        s = spec(kind="stuck_at", generation=3, duration=2)
+        assert not s.active_at(2)
+        assert s.active_at(3)
+        assert s.active_at(4)
+        assert not s.active_at(5)
+
+    def test_to_dict_round_trips_identity(self):
+        d = spec().to_dict()
+        assert d["fault_id"] == "f0"
+        assert d["kind"] == "bit_flip"
+
+
+class TestFaultInjector:
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="unique"):
+            FaultInjector([spec(), spec()])
+
+    def test_bit_flip_fires_once(self):
+        inj = FaultInjector([spec(row=1, col=2, channel=3)])
+        frame = np.zeros((4, 4), dtype=np.uint8)
+        out1 = inj.corrupt_frame(frame, 1)
+        assert out1[1, 2] == 1 << 3
+        # Replay (rollback) of the same generation: the upset is gone.
+        out2 = inj.corrupt_frame(frame, 1)
+        assert np.array_equal(out2, frame)
+        assert inj.fired == ["f0"]
+        assert inj.landed == {"f0"}
+
+    def test_bit_flip_never_mutates_input(self):
+        inj = FaultInjector([spec(row=0, col=0)])
+        frame = np.zeros((2, 2), dtype=np.uint8)
+        inj.corrupt_frame(frame, 1)
+        assert frame[0, 0] == 0
+
+    def test_stuck_at_reapplies_each_generation(self):
+        inj = FaultInjector(
+            [spec(kind="stuck_at", row=0, col=0, channel=0, stuck_value=1, duration=3)]
+        )
+        frame = np.zeros((2, 2), dtype=np.uint8)
+        for g in (1, 2, 3):
+            assert inj.corrupt_frame(frame, g)[0, 0] == 1
+        assert np.array_equal(inj.corrupt_frame(frame, 4), frame)
+
+    def test_stuck_at_matching_value_does_not_land(self):
+        inj = FaultInjector(
+            [spec(kind="stuck_at", row=0, col=0, channel=0, stuck_value=1)]
+        )
+        frame = np.ones((2, 2), dtype=np.uint8)
+        out = inj.corrupt_frame(frame, 1)
+        assert np.array_equal(out, frame)
+        assert inj.landed == set()
+
+    def test_pe_hook_flips_one_site(self):
+        inj = FaultInjector([spec(location="pe", row=0, col=1, channel=2)])
+        hook = inj.post_collide_hook()
+        values = np.zeros(4, dtype=np.uint8)
+        r = np.array([0, 0, 1, 1])
+        c = np.array([0, 1, 0, 1])
+        out = hook(values, r, c, 1)
+        assert out[1] == 1 << 2
+        assert out[0] == out[2] == out[3] == 0
+
+    def test_pe_stuck_forces_all_sites(self):
+        inj = FaultInjector(
+            [spec(location="pe", kind="stuck_at", channel=1, stuck_value=1)]
+        )
+        hook = inj.post_collide_hook()
+        values = np.zeros(3, dtype=np.uint8)
+        out = hook(values, np.zeros(3, int), np.arange(3), 1)
+        assert np.all(out == 1 << 1)
+
+    def test_shiftreg_transform_targets_flat_index(self):
+        inj = FaultInjector([spec(location="shiftreg", row=1, col=2, channel=0)])
+        transform = inj.shiftreg_transform(cols=4, generation=1)
+        assert transform is not None
+        assert transform(0, 1 * 4 + 2) == 1
+        assert transform(0, 0) == 0
+
+    def test_shiftreg_transform_none_when_not_due(self):
+        inj = FaultInjector([spec(location="shiftreg")])
+        assert inj.shiftreg_transform(cols=4, generation=7) is None
+
+    def test_reset_clears_history(self):
+        inj = FaultInjector([spec()])
+        inj.corrupt_frame(np.zeros((2, 2), dtype=np.uint8), 1)
+        inj.reset()
+        assert inj.fired == [] and inj.landed == set()
+
+
+class TestRowChecksum:
+    def test_detects_any_single_bit_flip(self):
+        row = np.arange(16, dtype=np.uint8)
+        tag = row_checksum(row)
+        for col in range(16):
+            for ch in range(6):
+                bad = row.copy()
+                bad[col] ^= 1 << ch
+                assert row_checksum(bad) != tag
+
+
+class TestUnreliableRowChannel:
+    def frame(self):
+        return (np.arange(32, dtype=np.uint8) % 64).reshape(8, 4)
+
+    def test_clean_channel_delivers_everything_intact(self):
+        inj = FaultInjector([])
+        chan = UnreliableRowChannel(self.frame(), inj, generation=0)
+        packets = list(chan.packets())
+        assert [p.seq for p in packets] == list(range(8))
+        assert all(p.intact for p in packets)
+        assert chan.transfer_time_units == 8.0
+
+    def test_drop_removes_row(self):
+        inj = FaultInjector([spec(kind="drop_row", location="host", row=3)])
+        chan = UnreliableRowChannel(self.frame(), inj, generation=1)
+        assert [p.seq for p in chan.packets()] == [0, 1, 2, 4, 5, 6, 7]
+
+    def test_duplicate_repeats_row(self):
+        inj = FaultInjector([spec(kind="duplicate_row", location="host", row=2)])
+        chan = UnreliableRowChannel(self.frame(), inj, generation=1)
+        assert [p.seq for p in chan.packets()] == [0, 1, 2, 2, 3, 4, 5, 6, 7]
+
+    def test_payload_flip_breaks_checksum_only_there(self):
+        inj = FaultInjector(
+            [spec(kind="bit_flip", location="host", row=5, col=1, channel=2)]
+        )
+        chan = UnreliableRowChannel(self.frame(), inj, generation=1)
+        packets = list(chan.packets())
+        assert [p.intact for p in packets] == [p.seq != 5 for p in packets]
+
+    def test_retransmit_returns_clean_row(self):
+        inj = FaultInjector(
+            [spec(kind="bit_flip", location="host", row=5, col=1, channel=2)]
+        )
+        frame = self.frame()
+        chan = UnreliableRowChannel(frame, inj, generation=1)
+        list(chan.packets())
+        packet = chan.retransmit(5)
+        assert packet.intact and np.array_equal(packet.row, frame[5])
+
+    def test_stall_fails_first_attempts_then_recovers(self):
+        inj = FaultInjector(
+            [spec(kind="stall", location="host", generation=1, duration=2)]
+        )
+        chan = UnreliableRowChannel(self.frame(), inj, generation=1)
+        for _ in range(2):
+            with pytest.raises(HostStallError):
+                chan.retransmit(0)
+        assert chan.retransmit(0).intact
+
+    def test_brownout_stretches_transfer_time(self):
+        inj = FaultInjector(
+            [
+                spec(
+                    kind="brownout",
+                    location="host",
+                    generation=1,
+                    bandwidth_factor=0.5,
+                )
+            ]
+        )
+        chan = UnreliableRowChannel(self.frame(), inj, generation=1)
+        list(chan.packets())
+        assert chan.transfer_time_units == pytest.approx(16.0)
+        assert inj.landed == {"f0"}
+
+    def test_faults_scoped_to_their_generation(self):
+        inj = FaultInjector([spec(kind="drop_row", location="host", row=3)])
+        chan = UnreliableRowChannel(self.frame(), inj, generation=0)
+        assert len(list(chan.packets())) == 8

@@ -1,0 +1,258 @@
+"""Tests for the corruption monitors.
+
+Includes the subsystem's key property test: *any* single bit flip in a
+conserved channel is flagged by the conservation monitor within one
+generation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.resilience.monitors import (
+    BandwidthMonitor,
+    ConservationMonitor,
+    FusedMonitor,
+    ParityMonitor,
+    TMRVoter,
+    row_parity_tags,
+)
+
+ROWS, COLS = 8, 8
+
+
+@pytest.fixture
+def model():
+    return FHPModel(ROWS, COLS, boundary="periodic", chirality="alternate")
+
+
+@pytest.fixture
+def state(rng):
+    return uniform_random_state(ROWS, COLS, 6, 0.4, rng)
+
+
+class TestRowParityTags:
+    def test_shape(self, state):
+        assert row_parity_tags(state).shape == (ROWS,)
+
+    def test_stable_for_same_state(self, state):
+        assert np.array_equal(row_parity_tags(state), row_parity_tags(state.copy()))
+
+    def test_any_single_flip_changes_its_row_tag(self, state):
+        tags = row_parity_tags(state)
+        for r in range(ROWS):
+            for c in range(COLS):
+                for ch in range(6):
+                    bad = state.copy()
+                    bad[r, c] ^= 1 << ch
+                    new = row_parity_tags(bad)
+                    assert new[r] != tags[r]
+                    mask = np.ones(ROWS, dtype=bool)
+                    mask[r] = False
+                    assert np.array_equal(new[mask], tags[mask])
+
+
+class TestParityMonitor:
+    def test_silent_before_tagging(self, state):
+        assert ParityMonitor().check(state, 0) == []
+
+    def test_clean_state_passes(self, state):
+        monitor = ParityMonitor()
+        monitor.tag(state)
+        assert monitor.check(state, 1) == []
+
+    def test_flip_detected_and_localized(self, state):
+        monitor = ParityMonitor()
+        monitor.tag(state)
+        bad = state.copy()
+        bad[5, 3] ^= 1 << 2
+        detections = monitor.check(bad, 1)
+        assert len(detections) == 1
+        assert detections[0].rows == (5,)
+        assert detections[0].monitor == "parity"
+
+
+class TestConservationMonitor:
+    def test_requires_periodic_boundary(self):
+        null_model = FHPModel(ROWS, COLS, boundary="null")
+        with pytest.raises(ValueError, match="periodic"):
+            ConservationMonitor(null_model)
+
+    def test_clean_evolution_never_flags(self, model, state):
+        monitor = ConservationMonitor(model)
+        monitor.arm(state)
+        auto = LatticeGasAutomaton(model, state)
+        for _ in range(6):
+            auto.step()
+            assert monitor.check(auto.state, auto.time) == []
+
+    @given(
+        r=st.integers(0, ROWS - 1),
+        c=st.integers(0, COLS - 1),
+        ch=st.integers(0, 5),
+        steps_before=st.integers(0, 3),
+    )
+    def test_any_single_flip_flagged_within_one_generation(
+        self, r, c, ch, steps_before
+    ):
+        """The mandated property: a single bit flip in any conserved
+        channel, at any site, at any point of the evolution, is flagged
+        within one generation — the flip changes total mass by exactly
+        ±1 and the microdynamics conserve mass thereafter, so the drift
+        can never re-mask itself."""
+        model = FHPModel(ROWS, COLS, boundary="periodic", chirality="alternate")
+        state = uniform_random_state(
+            ROWS, COLS, 6, 0.4, np.random.default_rng(99)
+        )
+        monitor = ConservationMonitor(model)
+        monitor.arm(state)
+        auto = LatticeGasAutomaton(model, state)
+        auto.run(steps_before)
+        auto.state[r, c] ^= np.uint8(1 << ch)
+        # Flagged immediately on the corrupted frame...
+        assert monitor.check(auto.state, auto.time)
+        # ...and still flagged one generation later (conservation means
+        # the corrupted mass count persists through the update).
+        auto.step()
+        assert monitor.check(auto.state, auto.time)
+
+    def test_exhaustive_single_flips_at_one_generation(self, model, state):
+        """Deterministic exhaustive sweep of the same property at t=1."""
+        monitor = ConservationMonitor(model)
+        monitor.arm(state)
+        auto = LatticeGasAutomaton(model, state)
+        auto.step()
+        base = auto.state.copy()
+        for r in range(ROWS):
+            for c in range(COLS):
+                for ch in range(6):
+                    bad = base.copy()
+                    bad[r, c] ^= 1 << ch
+                    assert monitor.check(bad, 1), (r, c, ch)
+
+
+class TestFusedMonitor:
+    def test_requires_periodic_boundary(self):
+        null_model = FHPModel(ROWS, COLS, boundary="null")
+        with pytest.raises(ValueError, match="periodic"):
+            FusedMonitor(null_model)
+
+    def test_rejects_bad_sweep_interval(self, model):
+        with pytest.raises(ValueError, match="sweep_interval"):
+            FusedMonitor(model, sweep_interval=0)
+
+    def test_clean_evolution_never_flags(self, model, state):
+        monitor = FusedMonitor(model, sweep_interval=2)
+        monitor.arm(state)
+        auto = LatticeGasAutomaton(model, state)
+        for _ in range(8):
+            auto.step()
+            assert monitor.observe(auto.state, auto.time) == []
+            assert monitor.check_at_rest(auto.state, auto.time) == []
+
+    def test_silent_before_arming(self, state):
+        monitor = FusedMonitor(
+            FHPModel(ROWS, COLS, boundary="periodic", chirality="alternate")
+        )
+        assert monitor.observe(state, 0) == []
+        assert monitor.check_at_rest(state, 0) == []
+
+    def test_exhaustive_single_flips_flagged(self, model, state):
+        """The one-generation guarantee survives the light sweep: every
+        single flip moves total mass, which the per-generation popcount
+        check compares exactly."""
+        monitor = FusedMonitor(model)
+        monitor.arm(state)
+        auto = LatticeGasAutomaton(model, state)
+        auto.step()
+        base = auto.state.copy()
+        for r in range(ROWS):
+            for c in range(COLS):
+                for ch in range(6):
+                    bad = base.copy()
+                    bad[r, c] ^= 1 << ch
+                    fresh = FusedMonitor(model)
+                    fresh.arm(state)
+                    detections = fresh.observe(bad, 1)
+                    assert detections, (r, c, ch)
+                    assert detections[0].monitor == "conservation"
+
+    def test_mass_preserving_substitution_caught_by_sweep(self, model):
+        """A particle moved between channels keeps mass but not
+        momentum; the periodic full sweep bounds the detection latency
+        to sweep_interval generations."""
+        state = np.zeros((ROWS, COLS), dtype=np.uint8)
+        state[2, 3] = 0b000001
+        monitor = FusedMonitor(model, sweep_interval=3)
+        monitor.arm(state)
+        bad = state.copy()
+        bad[2, 3] = 0b000010  # same popcount, different velocity
+        assert monitor.observe(bad, 1) == []  # light sweep: mass intact
+        assert monitor.observe(bad, 2) == []
+        detections = monitor.observe(bad, 3)  # full sweep generation
+        assert detections
+        assert "momentum" in detections[0].detail
+
+    def test_at_rest_flip_localized(self, model, state):
+        monitor = FusedMonitor(model)
+        monitor.arm(state)
+        bad = state.copy()
+        bad[4, 1] ^= 1 << 3
+        detections = monitor.check_at_rest(bad, 1)
+        assert len(detections) == 1
+        assert detections[0].monitor == "parity"
+        assert detections[0].rows == (4,)
+
+    def test_rearm_resets_baseline(self, model, state, rng):
+        monitor = FusedMonitor(model)
+        monitor.arm(state)
+        other = uniform_random_state(ROWS, COLS, 6, 0.2, rng)
+        assert monitor.observe(other, 1)  # different mass: flagged
+        monitor.rearm(other)
+        assert monitor.observe(other, 2) == []
+
+
+class TestTMRVoter:
+    def test_vote_is_bitwise_majority(self):
+        a = np.array([0b1100], dtype=np.uint8)
+        b = np.array([0b1010], dtype=np.uint8)
+        c = np.array([0b1001], dtype=np.uint8)
+        assert TMRVoter.vote(a, b, c)[0] == 0b1000
+
+    def test_outvotes_single_faulty_replica(self):
+        def faulty(values, r, c, t):
+            values[0] ^= 0b1
+            return values
+
+        voter = TMRVoter(faulty)
+        hook = voter.as_post_collide()
+        values = np.array([0b10, 0b11], dtype=np.uint8)
+        out = hook(values.copy(), np.zeros(2, int), np.arange(2), 3)
+        assert np.array_equal(out, values)
+        assert len(voter.detections) == 1
+        assert voter.detections[0].generation == 3
+
+    def test_clean_replicas_no_detection(self):
+        voter = TMRVoter(lambda values, r, c, t: values)
+        hook = voter.as_post_collide()
+        values = np.array([0b10], dtype=np.uint8)
+        assert np.array_equal(hook(values.copy(), np.zeros(1, int), np.zeros(1, int), 0), values)
+        assert voter.detections == []
+
+
+class TestBandwidthMonitor:
+    def test_above_floor_silent(self):
+        assert BandwidthMonitor(floor=0.9).check_transfer(0.95, 1) == []
+
+    def test_below_floor_flags(self):
+        detections = BandwidthMonitor(floor=0.9).check_transfer(0.5, 1)
+        assert len(detections) == 1
+        assert "50%" in detections[0].detail
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ValueError, match="floor"):
+            BandwidthMonitor(floor=0.0)

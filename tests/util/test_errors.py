@@ -1,0 +1,43 @@
+"""Tests for the repro exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    CheckpointError,
+    ConfigError,
+    FaultDetectedError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (ConfigError, FaultDetectedError, CheckpointError):
+            assert issubclass(cls, ReproError)
+
+    def test_config_error_is_also_value_error(self):
+        """Call sites that predate the hierarchy catch ValueError; the
+        dual inheritance keeps them working."""
+        assert issubclass(ConfigError, ValueError)
+        with pytest.raises(ValueError):
+            raise ConfigError("bad width")
+
+    def test_fault_detected_carries_detections(self):
+        exc = FaultDetectedError("boom", detections=("a", "b"))
+        assert exc.detections == ("a", "b")
+
+    def test_fault_detected_default_empty(self):
+        assert FaultDetectedError("boom").detections == ()
+
+    def test_repro_error_is_not_value_error(self):
+        assert not issubclass(ReproError, ValueError)
+
+
+class TestCliHandling:
+    def test_repro_error_becomes_exit_2_one_liner(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "--rows", "7"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro faults:")
+        assert "even" in err
