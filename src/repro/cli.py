@@ -159,7 +159,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     state = uniform_random_state(
         args.rows, args.cols, model.num_channels, args.density, rng
     )
-    auto = LatticeGasAutomaton(model, state.copy())
+    auto = LatticeGasAutomaton(model, state.copy(), backend=args.backend)
     mass0, p0 = auto.particle_count(), auto.momentum()
 
     if args.engine == "none":
@@ -177,12 +177,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 0
 
     engines = {
-        "serial": lambda: SerialPipelineEngine(model, pipeline_depth=args.depth),
+        "serial": lambda: SerialPipelineEngine(
+            model, pipeline_depth=args.depth, backend=args.backend
+        ),
         "wsa": lambda: WideSerialEngine(
-            model, lanes=args.lanes, pipeline_depth=args.depth
+            model, lanes=args.lanes, pipeline_depth=args.depth, backend=args.backend
         ),
         "spa": lambda: PartitionedEngine(
-            model, slice_width=args.slice_width, pipeline_depth=args.depth
+            model,
+            slice_width=args.slice_width,
+            pipeline_depth=args.depth,
+            backend=args.backend,
         ),
     }
     engine = engines[args.engine]()
@@ -471,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--depth", type=int, default=2, help="pipeline depth k")
     p.add_argument("--lanes", type=int, default=4, help="WSA lanes P")
     p.add_argument("--slice-width", type=int, default=8, help="SPA slice width W")
+    p.add_argument(
+        "--backend",
+        choices=("reference", "bitplane"),
+        default="reference",
+        help="stepping kernels: per-site reference or multi-spin coded bit-planes",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("bounds", help="evaluate the I/O bound")

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.engines.pe import PostCollideHook, make_rule
-from repro.engines.pipeline import PipelineStage
+from repro.engines.pipeline import PipelineStage, _make_engine_stepper
 from repro.engines.stats import EngineStats
 from repro.lgca.automaton import SiteModel
 from repro.util.validation import check_nonnegative, check_positive
@@ -97,6 +97,12 @@ class PartitionedEngine:
         the evolution is unchanged, but each pass takes
         ``⌈slices / healthy⌉`` times as long and the dead PEs drop out
         of the storage/PE accounting.
+    backend:
+        Kernel backend evolving the frames (``"reference"`` streams
+        through the PE stage; ``"bitplane"`` computes the identical
+        evolution with multi-spin coded kernels).  Stats and exchange
+        accounting are unchanged — they are data-independent properties
+        of the machine; fault hooks require ``"reference"``.
     """
 
     def __init__(
@@ -107,6 +113,7 @@ class PartitionedEngine:
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
         failed_slices: tuple[int, ...] = (),
+        backend: str = "reference",
     ):
         self.model = model
         self.slice_width = check_positive(slice_width, "slice_width", integer=True)
@@ -120,6 +127,8 @@ class PartitionedEngine:
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
         self.stage = PipelineStage(self.rule, post_collide=post_collide)
+        self.backend = backend
+        self._stepper = _make_engine_stepper(model, backend, post_collide)
         self._build_exchange_maps()
         self.failed_slices = tuple(sorted(set(failed_slices)))
         for s in self.failed_slices:
@@ -268,13 +277,20 @@ class PartitionedEngine:
         t = start_time
         while done < generations:
             span = min(self.pipeline_depth, generations - done)
-            for _ in range(span):
-                stream = self.stage.process(stream, t)
-                t += 1
+            if self._stepper is not None:
+                shape = (self.model.rows, self.model.cols)
+                stream = self._stepper.run(stream.reshape(shape), span, t).ravel()
+                t += span
+            else:
+                for _ in range(span):
+                    stream = self.stage.process(stream, t)
+                    t += 1
             ticks += self.ticks_per_pass(span)
             io_bits += 2 * d * n
             side_bits += span * per_pass_side
             done += span
+        if self._stepper is not None and generations > 0:
+            stream = stream.copy()  # detach from the stepper's internal buffer
         stats = EngineStats(
             name=self.name,
             site_updates=generations * n,

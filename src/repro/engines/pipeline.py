@@ -32,9 +32,33 @@ from repro.engines.pe import PostCollideHook, SiteUpdateRule, make_rule
 from repro.engines.shiftreg import ShiftRegister
 from repro.engines.stats import EngineStats
 from repro.lgca.automaton import SiteModel
+from repro.lgca.backends import KernelStepper, get_backend, make_stepper
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = ["PipelineStage", "SerialPipelineEngine"]
+
+
+def _make_engine_stepper(
+    model: SiteModel,
+    backend: str,
+    post_collide: PostCollideHook | None,
+) -> KernelStepper | None:
+    """Resolve an engine's frame-evolution backend.
+
+    ``None`` means "stream every site through the PE stage" (the
+    reference dataflow the engines exist to model).  Any other
+    registered backend evolves frames with its stepper instead — the
+    evolution is identical (the backends are bit-exact by contract and
+    by test), only wall-clock speed changes.  Fault-injection hooks
+    mutate values *inside* the stream, so they require the reference
+    dataflow.
+    """
+    get_backend(backend)  # uniform name validation and error message
+    if backend == "reference":
+        return None
+    if post_collide is not None:
+        raise ValueError("fault-injection hooks require backend='reference'")
+    return make_stepper(model, backend=backend)
 
 
 @dataclass
@@ -182,6 +206,14 @@ class SerialPipelineEngine:
     post_collide:
         Optional fault-injection hook applied at every PE output
         (see :class:`PipelineStage`).
+    backend:
+        Kernel backend evolving the frames (see
+        :mod:`repro.lgca.backends`).  ``"reference"`` streams every site
+        through the PE stage; ``"bitplane"`` computes the (identical)
+        evolution with the multi-spin coded kernels — much faster for
+        large frames.  Stats accounting is unchanged: it models the
+        *hardware*, which is the same machine either way.  Fault hooks
+        and tick-accurate simulation require the reference backend.
     """
 
     def __init__(
@@ -190,12 +222,15 @@ class SerialPipelineEngine:
         pipeline_depth: int = 1,
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
+        backend: str = "reference",
     ):
         self.model = model
         self.pipeline_depth = check_positive(pipeline_depth, "pipeline_depth", integer=True)
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
         self.stage = PipelineStage(self.rule, post_collide=post_collide)
+        self.backend = backend
+        self._stepper = _make_engine_stepper(model, backend, post_collide)
 
     @property
     def name(self) -> str:
@@ -226,6 +261,8 @@ class SerialPipelineEngine:
         Returns the final frame and the run's :class:`EngineStats`.
         """
         generations = check_nonnegative(generations, "generations", integer=True)
+        if tickwise and self._stepper is not None:
+            raise ValueError("tickwise simulation requires backend='reference'")
         stream = self._frame_to_stream(frame)
         n = self.num_sites
         d = self.model.bits_per_site
@@ -235,16 +272,24 @@ class SerialPipelineEngine:
         t = start_time
         while done < generations:
             span = min(self.pipeline_depth, generations - done)
-            for _ in range(span):
-                if tickwise:
-                    stream = self.stage.process_tickwise(stream, t)
-                else:
-                    stream = self.stage.process(stream, t)
-                t += 1
+            if self._stepper is not None:
+                stream = self._stepper.run(
+                    self._stream_to_frame(stream), span, t
+                ).ravel()
+                t += span
+            else:
+                for _ in range(span):
+                    if tickwise:
+                        stream = self.stage.process_tickwise(stream, t)
+                    else:
+                        stream = self.stage.process(stream, t)
+                    t += 1
             # One pass: n sites streamed through `span` stages back to back.
             ticks += n + span * self.stage.latency_ticks
             io_bits += 2 * d * n  # read every site once, write every site once
             done += span
+        if self._stepper is not None and generations > 0:
+            stream = stream.copy()  # detach from the stepper's internal buffer
         stats = EngineStats(
             name=self.name,
             site_updates=generations * n,

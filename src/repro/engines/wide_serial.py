@@ -22,7 +22,7 @@ import math
 import numpy as np
 
 from repro.engines.pe import PostCollideHook, make_rule
-from repro.engines.pipeline import PipelineStage
+from repro.engines.pipeline import PipelineStage, _make_engine_stepper
 from repro.engines.shiftreg import ShiftRegister
 from repro.engines.stats import EngineStats
 from repro.lgca.automaton import SiteModel
@@ -46,6 +46,11 @@ class WideSerialEngine:
         Major cycle rate.
     post_collide:
         Optional fault-injection hook applied at every PE output.
+    backend:
+        Kernel backend evolving the frames (``"reference"`` streams
+        through the PE stage; ``"bitplane"`` computes the identical
+        evolution with multi-spin coded kernels).  Stats are unchanged;
+        fault hooks and tickwise simulation require ``"reference"``.
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class WideSerialEngine:
         pipeline_depth: int = 1,
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
+        backend: str = "reference",
     ):
         self.model = model
         self.lanes = check_positive(lanes, "lanes", integer=True)
@@ -64,6 +70,8 @@ class WideSerialEngine:
         self.clock_hz = check_positive(clock_hz, "clock_hz")
         self.rule = make_rule(model)
         self.stage = PipelineStage(self.rule, post_collide=post_collide)
+        self.backend = backend
+        self._stepper = _make_engine_stepper(model, backend, post_collide)
 
     @property
     def name(self) -> str:
@@ -166,25 +174,34 @@ class WideSerialEngine:
     ) -> tuple[np.ndarray, EngineStats]:
         """Advance ``generations`` generations; returns frame and stats."""
         generations = check_nonnegative(generations, "generations", integer=True)
+        if tickwise and self._stepper is not None:
+            raise ValueError("tickwise simulation requires backend='reference'")
         frame = self.model.check_state(frame)
         stream = frame.ravel().copy()
         n = self.num_sites
         d = self.model.bits_per_site
+        shape = (self.model.rows, self.model.cols)
         ticks = 0
         io_bits = 0
         done = 0
         t = start_time
         while done < generations:
             span = min(self.pipeline_depth, generations - done)
-            for _ in range(span):
-                if tickwise:
-                    stream = self.process_stage_tickwise(stream, t)
-                else:
-                    stream = self.stage.process(stream, t)
-                t += 1
+            if self._stepper is not None:
+                stream = self._stepper.run(stream.reshape(shape), span, t).ravel()
+                t += span
+            else:
+                for _ in range(span):
+                    if tickwise:
+                        stream = self.process_stage_tickwise(stream, t)
+                    else:
+                        stream = self.stage.process(stream, t)
+                    t += 1
             ticks += self.ticks_per_pass(span)
             io_bits += 2 * d * n
             done += span
+        if self._stepper is not None and generations > 0:
+            stream = stream.copy()  # detach from the stepper's internal buffer
         stats = EngineStats(
             name=self.name,
             site_updates=generations * n,

@@ -15,6 +15,11 @@ paper builds its engines for:
   particle, which satisfy Navier–Stokes in the macroscopic limit.
 * :mod:`repro.lgca.automaton` — the reference synchronous driver every
   engine simulator is verified against, with obstacles and boundaries.
+* :mod:`repro.lgca.bitplane` — multi-spin coded kernels (64 sites per
+  ``uint64`` word) with collision logic compiled from the verified tables.
+* :mod:`repro.lgca.backends` — the kernel-backend registry through which
+  the automaton, the engine simulators, and the CLI select ``reference``
+  or ``bitplane`` stepping uniformly.
 * :mod:`repro.lgca.observables` — coarse-grained density/momentum fields
   and the Reynolds-number scaling helpers of reference [10].
 * :mod:`repro.lgca.flows` — initial conditions (uniform, shear, channel,
@@ -56,6 +61,15 @@ from repro.lgca.diagnostics import (
 )
 from repro.lgca.ndim import NDHPPModel, ndhpp_collision_table, ndhpp_velocities
 from repro.lgca.automaton import LatticeGasAutomaton, ObstacleMap
+from repro.lgca.backends import (
+    Backend,
+    KernelStepper,
+    available_backends,
+    get_backend,
+    make_stepper,
+    register_backend,
+)
+from repro.lgca.bitplane import BitplaneKernel, pack_state, unpack_state
 from repro.lgca.observables import (
     density_field,
     momentum_field,
@@ -100,6 +114,15 @@ __all__ = [
     "ndhpp_velocities",
     "LatticeGasAutomaton",
     "ObstacleMap",
+    "Backend",
+    "KernelStepper",
+    "available_backends",
+    "get_backend",
+    "make_stepper",
+    "register_backend",
+    "BitplaneKernel",
+    "pack_state",
+    "unpack_state",
     "density_field",
     "momentum_field",
     "total_mass",

@@ -21,6 +21,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.lgca.bits import bounce_back_table
 from repro.util.validation import check_nonnegative
 
 __all__ = ["LatticeGasAutomaton", "ObstacleMap", "bounce_back_table"]
@@ -50,32 +51,6 @@ class SiteModel(Protocol):
     def propagate(self, state: np.ndarray) -> np.ndarray: ...
 
 
-def bounce_back_table(num_channels: int) -> np.ndarray:
-    """Lookup table reversing every moving particle's velocity.
-
-    For 6/7-channel FHP, channel ``i`` maps to ``(i + 3) % 6``; for
-    4-channel HPP, to ``(i + 2) % 4``.  A rest particle (channel 6) is
-    unaffected.  The table conserves mass exactly.
-    """
-    if num_channels == 4:
-        opposite = [2, 3, 0, 1]
-    elif num_channels == 6:
-        opposite = [3, 4, 5, 0, 1, 2]
-    elif num_channels == 7:
-        opposite = [3, 4, 5, 0, 1, 2, 6]
-    else:
-        raise ValueError(f"no bounce-back rule for {num_channels} channels")
-    size = 1 << num_channels
-    table = np.zeros(size, dtype=np.uint16)
-    for state in range(size):
-        out = 0
-        for ch in range(num_channels):
-            if (state >> ch) & 1:
-                out |= 1 << opposite[ch]
-        table[state] = out
-    return table
-
-
 @dataclass(frozen=True)
 class ObstacleMap:
     """A boolean mask of solid (bounce-back) sites.
@@ -86,10 +61,14 @@ class ObstacleMap:
     mask: np.ndarray
 
     def __post_init__(self) -> None:
-        mask = np.asarray(self.mask, dtype=bool)
+        mask = np.array(self.mask, dtype=bool)
         if mask.ndim != 2:
             raise ValueError("obstacle mask must be 2-D")
+        mask.setflags(write=False)
         object.__setattr__(self, "mask", mask)
+        # Computed once: the automaton consults it on every step, and a
+        # frozen mask cannot change behind our back.
+        object.__setattr__(self, "_num_solid", int(mask.sum()))
 
     @classmethod
     def empty(cls, rows: int, cols: int) -> "ObstacleMap":
@@ -101,7 +80,7 @@ class ObstacleMap:
 
     @property
     def num_solid(self) -> int:
-        return int(self.mask.sum())
+        return int(getattr(self, "_num_solid"))
 
     def __or__(self, other: "ObstacleMap") -> "ObstacleMap":
         if self.shape != other.shape:
@@ -123,6 +102,11 @@ class LatticeGasAutomaton:
         Optional solid-site mask of the same shape.
     rng:
         Only consulted when the model's chirality policy is ``"random"``.
+    backend:
+        Kernel backend name from :mod:`repro.lgca.backends`
+        (``"reference"`` or ``"bitplane"``).  Both produce bit-identical
+        evolutions; ``"bitplane"`` packs 64 sites per machine word and is
+        much faster for :meth:`run` on large grids.
     """
 
     model: SiteModel
@@ -130,16 +114,21 @@ class LatticeGasAutomaton:
     obstacles: ObstacleMap | None = None
     rng: np.random.Generator | None = None
     time: int = 0
-    _bounce: np.ndarray = field(init=False, repr=False)
+    backend: str = "reference"
+    _stepper: object = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        from repro.lgca.backends import make_stepper
+
         self.state = self.model.check_state(self.state).copy()
         self.time = check_nonnegative(self.time, "time", integer=True)
         if self.obstacles is not None and self.obstacles.shape != self.state.shape:
             raise ValueError(
                 f"obstacle shape {self.obstacles.shape} != state shape {self.state.shape}"
             )
-        self._bounce = bounce_back_table(self.model.num_channels)
+        self._stepper = make_stepper(
+            self.model, obstacles=self.obstacles, backend=self.backend
+        )
 
     # -- observable shortcuts -------------------------------------------------
 
@@ -163,25 +152,36 @@ class LatticeGasAutomaton:
 
     # -- evolution ------------------------------------------------------------
 
-    def _collide_with_obstacles(self, state: np.ndarray) -> np.ndarray:
-        collided = self.model.collide(state, self.time, self.rng)
-        if self.obstacles is None or self.obstacles.num_solid == 0:
-            return collided
-        bounced = self._bounce[state]
-        return np.where(self.obstacles.mask, bounced, collided).astype(state.dtype)
-
     def step(self) -> np.ndarray:
-        """Advance one generation; returns the new state (also stored)."""
-        collided = self._collide_with_obstacles(self.state)
-        self.state = self.model.propagate(collided)
+        """Advance one generation; returns the new state (also stored).
+
+        Delegates to the selected backend's stepper; the returned array
+        is a fresh copy, so callers may hold on to successive states.
+        """
+        from repro.lgca.backends import KernelStepper
+
+        stepper = self._stepper
+        assert isinstance(stepper, KernelStepper)
+        self.state = stepper.step(self.state, self.time, self.rng).copy()
         self.time += 1
         return self.state
 
     def run(self, generations: int) -> np.ndarray:
-        """Advance ``generations`` steps; returns the final state."""
+        """Advance ``generations`` steps; returns the final state.
+
+        This is the fast path: the backend stepper advances all
+        generations with preallocated double buffers (zero allocation in
+        steady state) and the result is copied back once at the end.
+        """
+        from repro.lgca.backends import KernelStepper
+
         generations = check_nonnegative(generations, "generations", integer=True)
-        for _ in range(generations):
-            self.step()
+        if generations == 0:
+            return self.state
+        stepper = self._stepper
+        assert isinstance(stepper, KernelStepper)
+        self.state = stepper.run(self.state, generations, self.time, self.rng).copy()
+        self.time += generations
         return self.state
 
     def history(self, generations: int) -> np.ndarray:

@@ -25,9 +25,48 @@ __all__ = [
     "unpack_channels",
     "channel_bit",
     "has_particle",
+    "opposite_channels",
+    "bounce_back_table",
 ]
 
 _POPCOUNT_CACHE: dict[int, np.ndarray] = {}
+_BOUNCE_CACHE: dict[int, np.ndarray] = {}
+
+
+def opposite_channels(num_channels: int) -> tuple[int, ...]:
+    """Velocity-reversal channel map ``i -> opposite(i)``.
+
+    For 6/7-channel FHP, channel ``i`` maps to ``(i + 3) % 6``; for
+    4-channel HPP, to ``(i + 2) % 4``.  A rest particle (channel 6) maps
+    to itself.
+    """
+    if num_channels == 4:
+        return (2, 3, 0, 1)
+    if num_channels == 6:
+        return (3, 4, 5, 0, 1, 2)
+    if num_channels == 7:
+        return (3, 4, 5, 0, 1, 2, 6)
+    raise ValueError(f"no bounce-back rule for {num_channels} channels")
+
+
+def bounce_back_table(num_channels: int) -> np.ndarray:
+    """Lookup table reversing every moving particle's velocity.
+
+    The table conserves mass exactly.  Like :func:`popcount_table` it is
+    built vectorized (one shift/or pass per channel instead of a
+    pure-Python ``2^C`` loop) and cached read-only, since the automaton
+    and the bit-plane backend both index it in hot paths.
+    """
+    table = _BOUNCE_CACHE.get(num_channels)
+    if table is None:
+        opposite = opposite_channels(num_channels)
+        states = np.arange(1 << num_channels, dtype=np.uint16)
+        table = np.zeros(states.size, dtype=np.uint16)
+        for ch, opp in enumerate(opposite):
+            table |= ((states >> np.uint16(ch)) & np.uint16(1)) << np.uint16(opp)
+        table.setflags(write=False)
+        _BOUNCE_CACHE[num_channels] = table
+    return table
 
 
 def popcount_table(num_bits: int) -> np.ndarray:
@@ -81,13 +120,21 @@ def has_particle(state: int, direction: int) -> bool:
     return bool((int(state) >> direction) & 1)
 
 
-def pack_channels(channels: np.ndarray) -> np.ndarray:
+def pack_channels(
+    channels: np.ndarray, out: np.ndarray | None = None, check: bool = True
+) -> np.ndarray:
     """Pack per-channel boolean planes into an integer state field.
 
     Parameters
     ----------
     channels:
         Boolean/0-1 array of shape ``(num_channels, ...)``.
+    out:
+        Optional preallocated result array of the trailing shape (used by
+        the zero-allocation stepping paths).
+    check:
+        Validate that non-boolean planes only hold 0/1 values.  Kernels
+        whose planes are 0/1 by construction pass ``False``.
 
     Returns
     -------
@@ -103,26 +150,40 @@ def pack_channels(channels: np.ndarray) -> np.ndarray:
     if num_channels > 16:
         raise ValueError(f"{num_channels} channels exceed the 16-bit state limit")
     dtype = np.uint8 if num_channels <= 8 else np.uint16
-    out = np.zeros(channels.shape[1:], dtype=dtype)
+    if out is None:
+        out = np.zeros(channels.shape[1:], dtype=dtype)
+    else:
+        if out.shape != channels.shape[1:]:
+            raise ValueError(f"out has shape {out.shape}, expected {channels.shape[1:]}")
+        dtype = out.dtype.type
+        out[...] = 0
     for bit in range(num_channels):
         plane = channels[bit]
-        if plane.dtype != np.bool_:
+        if check and plane.dtype != np.bool_:
             bad = (plane != 0) & (plane != 1)
             if np.any(bad):
                 raise ValueError(f"channel {bit} has values outside {{0, 1}}")
-        out |= (plane.astype(dtype)) << dtype(bit)
+        out |= (plane.astype(dtype, copy=False)) << dtype(bit)
     return out
 
 
-def unpack_channels(states: np.ndarray, num_channels: int) -> np.ndarray:
+def unpack_channels(
+    states: np.ndarray, num_channels: int, out: np.ndarray | None = None
+) -> np.ndarray:
     """Inverse of :func:`pack_channels`: per-channel 0/1 planes.
 
     Returns an array of shape ``(num_channels,) + states.shape`` with
-    dtype uint8.
+    dtype uint8 (written into ``out`` when given).
     """
     num_channels = check_positive(num_channels, "num_channels", integer=True)
     states = np.asarray(states)
-    out = np.empty((num_channels,) + states.shape, dtype=np.uint8)
+    if out is None:
+        out = np.empty((num_channels,) + states.shape, dtype=np.uint8)
+    elif out.shape != (num_channels,) + states.shape:
+        raise ValueError(
+            f"out has shape {out.shape}, expected {(num_channels,) + states.shape}"
+        )
     for bit in range(num_channels):
-        out[bit] = (states >> np.uint8(bit)) & 1
+        np.right_shift(states, np.uint8(bit), out=out[bit], casting="unsafe")
+        out[bit] &= np.uint8(1)
     return out

@@ -152,6 +152,24 @@ class CollisionTable:
         velocities.setflags(write=False)
         object.__setattr__(self, "table", table)
         object.__setattr__(self, "velocities", velocities)
+        object.__setattr__(self, "_table_cache", {})
+
+    def _table_for(self, dtype: np.dtype) -> np.ndarray:
+        """The lookup table cast to ``dtype`` (cached, read-only).
+
+        Only cast when every table value fits the requested dtype;
+        otherwise return the canonical uint16 table.
+        """
+        cache: dict[np.dtype, np.ndarray] = getattr(self, "_table_cache")
+        cached = cache.get(dtype)
+        if cached is None:
+            if self.num_states - 1 <= int(np.iinfo(dtype).max):
+                cached = self.table.astype(dtype)
+                cached.setflags(write=False)
+            else:
+                cached = self.table
+            cache[dtype] = cached
+        return cached
 
     @property
     def num_channels(self) -> int:
@@ -161,12 +179,25 @@ class CollisionTable:
     def num_states(self) -> int:
         return int(self.table.size)
 
-    def __call__(self, states: np.ndarray | int) -> np.ndarray | int:
-        """Apply the collision rule to a state or field of states."""
+    def __call__(
+        self, states: np.ndarray | int, out: np.ndarray | None = None
+    ) -> np.ndarray | int:
+        """Apply the collision rule to a state or field of states.
+
+        The result preserves the input dtype (a ``uint8`` field stays
+        ``uint8`` — no ``.astype`` copy needed by callers), and ``out``
+        accepts a preallocated result buffer of the same shape and dtype
+        for zero-allocation stepping.  ``out`` must not alias ``states``.
+        """
         if np.isscalar(states):
             return int(self.table[int(states)])
         states = np.asarray(states)
-        return self.table[states]
+        if not np.issubdtype(states.dtype, np.integer):
+            return self.table[states]
+        table = self._table_for(states.dtype)
+        if out is None:
+            return table[states]
+        return np.take(table, states, out=out)
 
     def is_identity(self) -> bool:
         """Whether the table is a no-op (useful in tests)."""

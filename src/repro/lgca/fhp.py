@@ -283,39 +283,88 @@ class FHPModel:
 
     # -- dynamics -----------------------------------------------------------
 
+    def _chirality_mask(
+        self, t: int, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """Like :meth:`chirality_field`, but cached for the deterministic
+        policies so steady-state stepping does not allocate.  Callers must
+        not mutate the result."""
+        if self.chirality == "random":
+            return self.chirality_field(t, rng)
+        cache = getattr(self, "_chirality_cache", None)
+        if cache is None:
+            cache = {}
+            self._chirality_cache: dict[int, np.ndarray] = cache
+        key = t % 2 if self.chirality == "alternate" else 0
+        mask = cache.get(key)
+        if mask is None:
+            mask = self.chirality_field(t, rng)
+            mask.setflags(write=False)
+            cache[key] = mask
+        return mask
+
     def collide(
         self,
         state: np.ndarray,
         t: int = 0,
         rng: np.random.Generator | None = None,
+        *,
+        out: np.ndarray | None = None,
+        check: bool = True,
     ) -> np.ndarray:
-        """Apply FHP collisions with the configured chirality policy."""
-        state = self.check_state(state)
-        left_mask = self.chirality_field(t, rng)
-        out_left = self._left(state)
-        out_right = self._right(state)
-        return np.where(left_mask, out_left, out_right).astype(np.uint8)
+        """Apply FHP collisions with the configured chirality policy.
 
-    def propagate(self, state: np.ndarray) -> np.ndarray:
-        """Move every particle along its velocity on the hexagonal grid."""
-        state = self.check_state(state)
+        ``out`` (which must not alias ``state``) receives the result
+        without allocating; ``check=False`` skips input validation when
+        the caller has already validated.
+        """
+        if check:
+            state = self.check_state(state)
+        left_mask = self._chirality_mask(t, rng)
+        out_left = self._left(state, out=self._scratch("collide_left", state.dtype))
+        out_right = self._right(state, out=self._scratch("collide_right", state.dtype))
+        if out is None:
+            out = np.empty_like(state)
+        np.copyto(out, out_right)
+        np.copyto(out, out_left, where=left_mask)
+        return out
+
+    def propagate(
+        self,
+        state: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        check: bool = True,
+    ) -> np.ndarray:
+        """Move every particle along its velocity on the hexagonal grid.
+
+        ``out`` (not aliasing ``state``) receives the packed result;
+        channel-plane scratch is reused across calls.
+        """
+        if check:
+            state = self.check_state(state)
         nmov = 6
-        channels = unpack_channels(state, self.num_channels)
-        out = np.zeros_like(channels)
+        channels = unpack_channels(
+            state, self.num_channels, out=self._scratch("ch_in", np.uint8)
+        )
+        planes = self._scratch("ch_out", np.uint8)
         if self.rest_particles:
-            out[6] = channels[6]  # rest particles stay put
+            np.copyto(planes[6], channels[6])  # rest particles stay put
         for ch in range(nmov):
-            out[ch] = channels[ch].ravel()[self._src_flat[ch]].reshape(
-                self.rows, self.cols
+            np.take(
+                channels[ch].ravel(), self._src_flat_1d[ch], out=planes[ch].ravel()
             )
             if self.boundary != "periodic":
-                out[ch] &= self._dst_valid[ch]
+                planes[ch] &= self._dst_valid[ch]
         if self.boundary == "reflecting":
+            bounced = self._scratch("bounced", np.uint8)[0]
             for ch in range(nmov):
                 opposite = (ch + 3) % 6
-                bounced = channels[ch] & self._tgt_invalid[ch]
-                out[opposite] |= bounced
-        return pack_channels(out)
+                np.bitwise_and(channels[ch], self._tgt_invalid[ch], out=bounced)
+                planes[opposite] |= bounced
+        if out is None:
+            out = np.zeros_like(state)
+        return pack_channels(planes, out=out, check=False)
 
     def step(
         self,
@@ -323,8 +372,29 @@ class FHPModel:
         t: int = 0,
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
-        """One generation: collide (at time ``t``), then propagate."""
-        return self.propagate(self.collide(state, t, rng))
+        """One generation: collide (at time ``t``), then propagate
+        (validates input once, not per sub-kernel)."""
+        state = self.check_state(state)
+        return self.propagate(self.collide(state, t, rng, check=False), check=False)
+
+    def _scratch(self, key: str, dtype: np.dtype | type) -> np.ndarray:
+        """Lazily allocated per-model scratch buffers (keyed by use)."""
+        buffers = getattr(self, "_scratch_buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._scratch_buffers: dict[tuple[str, np.dtype], np.ndarray] = buffers
+        dt = np.dtype(dtype)
+        buf = buffers.get((key, dt))
+        if buf is None:
+            if key in ("ch_in", "ch_out"):
+                shape: tuple[int, ...] = (self.num_channels, self.rows, self.cols)
+            elif key == "bounced":
+                shape = (1, self.rows, self.cols)
+            else:
+                shape = (self.rows, self.cols)
+            buf = np.empty(shape, dtype=dt)
+            buffers[(key, dt)] = buf
+        return buf
 
     # -- propagation index maps ----------------------------------------------
 
@@ -379,3 +449,5 @@ class FHPModel:
             c_tgt = np.arange(cols)[None, :] + fwd_dc
             invalid = ~((r_tgt >= 0) & (r_tgt < rows) & (c_tgt >= 0) & (c_tgt < cols))
             self._tgt_invalid.append(invalid.astype(np.uint8))
+        # Flat gather indices for np.take(..., out=...) in propagate().
+        self._src_flat_1d = [f.ravel() for f in self._src_flat]

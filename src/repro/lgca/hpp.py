@@ -127,25 +127,48 @@ class HPPModel:
         state: np.ndarray,
         t: int = 0,
         rng: np.random.Generator | None = None,
+        *,
+        out: np.ndarray | None = None,
+        check: bool = True,
     ) -> np.ndarray:
         """Apply the collision table at every site.
 
         ``t`` and ``rng`` are accepted for interface parity with
         :class:`repro.lgca.fhp.FHPModel`; HPP is deterministic.
+        ``out`` (which must not alias ``state``) receives the result
+        without allocating; ``check=False`` skips input validation when
+        the caller has already validated (one ``step()`` validates once).
         """
-        state = self.check_state(state)
-        return self._table(state).astype(np.uint8)
+        if check:
+            state = self.check_state(state)
+        result = self._table(state, out=out)
+        assert isinstance(result, np.ndarray)
+        return result
 
-    def propagate(self, state: np.ndarray) -> np.ndarray:
-        """Move every particle one lattice unit along its velocity."""
-        state = self.check_state(state)
-        channels = unpack_channels(state, 4)
-        out = np.zeros_like(channels)
+    def propagate(
+        self,
+        state: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        check: bool = True,
+    ) -> np.ndarray:
+        """Move every particle one lattice unit along its velocity.
+
+        ``out`` (not aliasing ``state``) receives the packed result;
+        channel-plane scratch is reused across calls, so steady-state
+        stepping does not allocate.
+        """
+        if check:
+            state = self.check_state(state)
+        ch_in = unpack_channels(state, 4, out=self._scratch("ch_in"))
+        ch_out = self._scratch("ch_out")
         for bit, (dr, dc) in enumerate(HPP_OFFSETS):
-            out[bit] = _shift_plane(channels[bit], dr, dc, self.boundary)
+            _shift_plane_into(ch_in[bit], ch_out[bit], dr, dc, self.boundary)
         if self.boundary == "reflecting":
-            _reflect_edges_square(channels, out)
-        return pack_channels(out)
+            _reflect_edges_square(ch_in, ch_out)
+        if out is None:
+            out = np.zeros_like(state)
+        return pack_channels(ch_out, out=out, check=False)
 
     def step(
         self,
@@ -153,26 +176,53 @@ class HPPModel:
         t: int = 0,
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
-        """One generation: collide, then propagate."""
-        return self.propagate(self.collide(state, t, rng))
+        """One generation: collide, then propagate (validates input once)."""
+        state = self.check_state(state)
+        return self.propagate(self.collide(state, t, rng, check=False), check=False)
+
+    def _scratch(self, key: str) -> np.ndarray:
+        """Lazily allocated per-model channel-plane scratch buffers."""
+        buffers = getattr(self, "_scratch_buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._scratch_buffers: dict[str, np.ndarray] = buffers
+        buf = buffers.get(key)
+        if buf is None:
+            buf = np.empty((4, self.rows, self.cols), dtype=np.uint8)
+            buffers[key] = buf
+        return buf
 
 
-def _shift_plane(plane: np.ndarray, dr: int, dc: int, boundary: str) -> np.ndarray:
-    """Shift a 0/1 channel plane by (dr, dc) under the given boundary.
+def _shift_plane_into(
+    plane: np.ndarray, out: np.ndarray, dr: int, dc: int, boundary: str
+) -> None:
+    """Shift a 0/1 channel plane by (dr, dc) into ``out`` (no aliasing).
 
     For ``"reflecting"`` the plane is shifted with null semantics; the
-    caller then re-injects reversed particles at the walls.
+    caller then re-injects reversed particles at the walls.  Implemented
+    with slice assignment so no temporaries are allocated.
     """
-    if boundary == "periodic":
-        return np.roll(np.roll(plane, dr, axis=0), dc, axis=1)
-    out = np.zeros_like(plane)
+    if dr != 0 and dc != 0:
+        raise ValueError("only single-axis shifts are supported (HPP offsets)")
     rows, cols = plane.shape
+    periodic = boundary == "periodic"
+    if not periodic:
+        out[...] = 0
     src_r = slice(max(0, -dr), rows - max(0, dr))
     dst_r = slice(max(0, dr), rows - max(0, -dr))
     src_c = slice(max(0, -dc), cols - max(0, dc))
     dst_c = slice(max(0, dc), cols - max(0, -dc))
     out[dst_r, dst_c] = plane[src_r, src_c]
-    return out
+    if periodic:
+        # Wrap the rows/columns the block copy above left out.
+        if dr > 0:
+            out[:dr, dst_c] = plane[rows - dr :, src_c]
+        elif dr < 0:
+            out[dr:, dst_c] = plane[:-dr, src_c]
+        if dc > 0:
+            out[:, :dc] = plane[:, cols - dc :]
+        elif dc < 0:
+            out[:, dc:] = plane[:, :-dc]
 
 
 def _reflect_edges_square(channels_in: np.ndarray, channels_out: np.ndarray) -> None:

@@ -93,6 +93,47 @@ class TestSimulate:
     def test_saturated_model(self, capsys):
         assert main(["simulate", "--model", "fhp-sat", "--steps", "5"]) == 0
 
+    def test_bitplane_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--model",
+                    "fhp6",
+                    "--rows",
+                    "16",
+                    "--cols",
+                    "70",
+                    "--steps",
+                    "8",
+                    "--backend",
+                    "bitplane",
+                ]
+            )
+            == 0
+        )
+
+    def test_bitplane_backend_engine_bit_exact(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model",
+                "hpp",
+                "--rows",
+                "12",
+                "--cols",
+                "66",
+                "--steps",
+                "6",
+                "--engine",
+                "serial",
+                "--backend",
+                "bitplane",
+            ]
+        )
+        assert code == 0
+        assert "bit-exact" in capsys.readouterr().out
+
 
 class TestBounds:
     def test_ceiling(self, capsys):
