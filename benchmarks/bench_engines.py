@@ -1,23 +1,49 @@
 """E11 — engine functional equivalence and measured machine balance.
 
-Runs the three architectures (serial pipeline, WSA, SPA) on the same FHP
-gas, asserts bit-identical evolution, and prints the measured machine
-balance — updates/tick, bandwidth, PE utilization, storage — next to the
-analytic design-model predictions.
+Runs the registered architectures (serial pipeline, WSA, SPA, WSA-E) on
+the same FHP gas, asserts bit-identical evolution, and prints the
+measured machine balance — updates/tick, bandwidth, PE utilization,
+storage — next to the analytic design-model predictions.
+
+Engines are constructed exclusively through the machine registry
+(:mod:`repro.machines`); an engine class that is exported but not
+registered fails the sweep.  Run directly (no pytest needed) for the
+CI registry sweep::
+
+    python benchmarks/bench_engines.py --json BENCH_engines.json
+
+which runs every registered machine on a small HPP workload, checks the
+measured tick count against the spec's closed-form prediction, and
+writes a schema-versioned JSON report.
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 import pytest
 
-from repro.engines.partitioned import PartitionedEngine
-from repro.engines.pipeline import SerialPipelineEngine
-from repro.engines.wide_serial import WideSerialEngine
+from repro import machines
 from repro.lgca.automaton import LatticeGasAutomaton
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
 from repro.util.tables import Table
 
 ROWS, COLS, GENS = 32, 32, 8
+
+#: Schema tag of the --json report; bump on layout changes.
+SCHEMA = "repro/bench-engines/v1"
+
+#: Registry parameters used by the pytest benchmarks below.
+BENCH_PARAMS = {
+    "serial": {"pipeline_depth": 4},
+    "wsa": {"lanes": 4, "pipeline_depth": 4},
+    "spa": {"slice_width": 8, "pipeline_depth": 4},
+    "wsa-e": {"pipeline_depth": 4},
+}
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +58,7 @@ def workload():
 
 def test_serial_pipeline_engine(benchmark, report, workload):
     model, frame, expected = workload
-    engine = SerialPipelineEngine(model, pipeline_depth=4)
+    engine = machines.create("serial", model, **BENCH_PARAMS["serial"])
     out, stats = benchmark(engine.run, frame.copy(), GENS)
     assert np.array_equal(out, expected)
     _report_stats(report, "serial pipeline (k=4)", stats)
@@ -40,7 +66,7 @@ def test_serial_pipeline_engine(benchmark, report, workload):
 
 def test_wide_serial_engine(benchmark, report, workload):
     model, frame, expected = workload
-    engine = WideSerialEngine(model, lanes=4, pipeline_depth=4)
+    engine = machines.create("wsa", model, **BENCH_PARAMS["wsa"])
     out, stats = benchmark(engine.run, frame.copy(), GENS)
     assert np.array_equal(out, expected)
     _report_stats(report, "WSA (P=4, k=4)", stats)
@@ -48,7 +74,7 @@ def test_wide_serial_engine(benchmark, report, workload):
 
 def test_partitioned_engine(benchmark, report, workload):
     model, frame, expected = workload
-    engine = PartitionedEngine(model, slice_width=8, pipeline_depth=4)
+    engine = machines.create("spa", model, **BENCH_PARAMS["spa"])
     out, stats = benchmark(engine.run, frame.copy(), GENS)
     assert np.array_equal(out, expected)
     _report_stats(report, "SPA (W=8, k=4)", stats)
@@ -69,10 +95,8 @@ def _report_stats(report, name, stats):
 
 def test_extensible_engine(benchmark, report, workload):
     """WSA-E simulator: same evolution, off-chip delay accounting."""
-    from repro.engines.extensible import ExtensibleSerialEngine
-
     model, frame, expected = workload
-    engine = ExtensibleSerialEngine(model, pipeline_depth=4)
+    engine = machines.create("wsa-e", model, **BENCH_PARAMS["wsa-e"])
     out, stats = benchmark(engine.run, frame.copy(), GENS)
     assert np.array_equal(out, expected)
     table = Table("E11: WSA-E engine architecture accounting", ["quantity", "value"])
@@ -110,6 +134,11 @@ def test_ca_pipeline_engine(benchmark, report):
     report(table)
 
 
+def test_registry_covers_every_engine():
+    """Every exported streaming engine class must be registered."""
+    assert machines.unregistered_engines() == []
+
+
 def test_architecture_throughput_shootout(benchmark, report, workload):
     """The throughput-per-chip ordering the paper's section 6.3 predicts:
     SPA > WSA > serial, at matched pipeline depth."""
@@ -117,11 +146,12 @@ def test_architecture_throughput_shootout(benchmark, report, workload):
 
     def run_all():
         results = {}
-        for name, engine in (
-            ("serial", SerialPipelineEngine(model, pipeline_depth=4)),
-            ("WSA P=4", WideSerialEngine(model, lanes=4, pipeline_depth=4)),
-            ("SPA W=8", PartitionedEngine(model, slice_width=8, pipeline_depth=4)),
+        for name, machine in (
+            ("serial", "serial"),
+            ("WSA P=4", "wsa"),
+            ("SPA W=8", "spa"),
         ):
+            engine = machines.create(machine, model, **BENCH_PARAMS[machine])
             out, stats = engine.run(frame.copy(), GENS)
             assert np.array_equal(out, expected)
             results[name] = stats
@@ -147,3 +177,146 @@ def test_architecture_throughput_shootout(benchmark, report, workload):
         > results["WSA P=4"].updates_per_tick / 1.5
     )
     assert results["WSA P=4"].updates_per_tick > results["serial"].updates_per_tick
+
+
+# -- the registry sweep (CI's machine coverage gate) -------------------------
+
+
+def sweep_registry(
+    rows: int = 16,
+    cols: int = 16,
+    generations: int = 3,
+    pipeline_depth: int = 2,
+    density: float = 0.3,
+    seed: int = 11,
+) -> dict:
+    """Run every registered machine on one HPP workload.
+
+    Each machine is constructed through the registry, run for
+    ``generations``, checked bit-exact against the kernel reference, and
+    its measured tick count compared to the spec's closed-form
+    prediction.  A streaming engine class exported by
+    :mod:`repro.engines` but absent from the registry makes the sweep
+    fail — that is the CI gate an unregistered machine trips.
+    """
+    model = HPPModel(rows, cols, boundary="null")
+    rng = np.random.default_rng(seed)
+    frame = uniform_random_state(rows, cols, 4, density, rng)
+    reference = LatticeGasAutomaton(model, frame.copy())
+    reference.run(generations)
+    expected = reference.state
+
+    unregistered = machines.unregistered_engines()
+    results = []
+    for spec in machines.specs():
+        engine = spec.create(model, pipeline_depth=pipeline_depth)
+        start = time.perf_counter()
+        out, stats = engine.run(frame.copy(), generations)
+        elapsed = time.perf_counter() - start
+        predicted = spec.predicted_ticks(engine, generations)
+        results.append(
+            {
+                "machine": spec.name,
+                "engine": type(engine).__name__,
+                "bit_exact": bool(np.array_equal(out, expected)),
+                "ticks": stats.ticks,
+                "predicted_ticks": predicted,
+                "ticks_match": stats.ticks == predicted,
+                "site_updates": stats.site_updates,
+                "updates_per_tick": stats.updates_per_tick,
+                "num_pes": stats.num_pes,
+                "storage_sites": stats.storage_sites,
+                "seconds": elapsed,
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "rows": rows,
+            "cols": cols,
+            "generations": generations,
+            "pipeline_depth": pipeline_depth,
+            "density": density,
+            "seed": seed,
+        },
+        "unregistered_engines": unregistered,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep every registered machine and check ticks against "
+        "the design-model prediction."
+    )
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the schema-versioned report here")
+    parser.add_argument("--rows", type=int, default=16)
+    parser.add_argument("--cols", type=int, default=16)
+    parser.add_argument("--generations", type=int, default=3)
+    parser.add_argument("--depth", type=int, default=2,
+                        help="pipeline depth for every machine")
+    args = parser.parse_args(argv)
+
+    report = sweep_registry(
+        rows=args.rows,
+        cols=args.cols,
+        generations=args.generations,
+        pipeline_depth=args.depth,
+    )
+
+    table = Table(
+        "registry sweep: measured vs predicted machine balance",
+        ["machine", "engine", "bit-exact", "ticks", "predicted", "updates/tick"],
+    )
+    for rec in report["results"]:
+        table.add_row(
+            rec["machine"],
+            rec["engine"],
+            "yes" if rec["bit_exact"] else "NO",
+            rec["ticks"],
+            rec["predicted_ticks"],
+            f"{rec['updates_per_tick']:.3f}",
+        )
+    table.print()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    ok = True
+    if report["unregistered_engines"]:
+        print(
+            "registry sweep FAILED: unregistered engine classes: "
+            + ", ".join(report["unregistered_engines"]),
+            file=sys.stderr,
+        )
+        ok = False
+    for rec in report["results"]:
+        if not rec["bit_exact"]:
+            print(
+                f"registry sweep FAILED: {rec['machine']} diverged from the "
+                "kernel reference",
+                file=sys.stderr,
+            )
+            ok = False
+        if not rec["ticks_match"]:
+            print(
+                f"registry sweep FAILED: {rec['machine']} measured "
+                f"{rec['ticks']} ticks, design model predicts "
+                f"{rec['predicted_ticks']}",
+                file=sys.stderr,
+            )
+            ok = False
+    if ok:
+        print(
+            f"registry sweep OK: {len(report['results'])} machines bit-exact, "
+            "ticks match the design model"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

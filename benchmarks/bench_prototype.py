@@ -10,7 +10,7 @@ import numpy as np
 
 from repro.core.throughput import PrototypeThroughputModel
 from repro.engines.memory import HostInterface
-from repro.engines.stats import EngineStats
+from repro.engines.stats import EngineRunStats
 from repro.util.tables import Table, format_quantity, format_rate
 
 
@@ -49,7 +49,7 @@ def test_prototype_host_sweep(benchmark, report):
 def test_engine_stats_through_host_interface(benchmark, report):
     """The same derating computed from a simulated engine run's stats
     instead of the closed form — the two must agree."""
-    stats = EngineStats(
+    stats = EngineRunStats(
         name="wsa-prototype",
         site_updates=20_000_000,
         ticks=10_000_000,

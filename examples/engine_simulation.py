@@ -12,10 +12,8 @@ Run:  python examples/engine_simulation.py
 
 import numpy as np
 
+from repro import machines
 from repro.engines.memory import HostInterface
-from repro.engines.partitioned import PartitionedEngine
-from repro.engines.pipeline import SerialPipelineEngine
-from repro.engines.wide_serial import WideSerialEngine
 from repro.lgca.automaton import LatticeGasAutomaton
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import density_pulse_state
@@ -34,9 +32,9 @@ def main() -> None:
     print(f"Reference: {ROWS}x{COLS} FHP gas, {GENS} generations.\n")
 
     engines = [
-        SerialPipelineEngine(model, pipeline_depth=4),
-        WideSerialEngine(model, lanes=4, pipeline_depth=4),
-        PartitionedEngine(model, slice_width=12, pipeline_depth=4),
+        machines.create("serial", model, pipeline_depth=4),
+        machines.create("wsa", model, lanes=4, pipeline_depth=4),
+        machines.create("spa", model, slice_width=12, pipeline_depth=4),
     ]
 
     table = Table(
@@ -59,7 +57,7 @@ def main() -> None:
         )
     table.print()
 
-    spa = next(e for e in engines if isinstance(e, PartitionedEngine))
+    spa = next(e for e in engines if type(e) is machines.get("spa").engine_cls)
     print(
         "SPA side channels: worst-case "
         f"{spa.boundary_bits_per_site_update()} bits per edge-site update "

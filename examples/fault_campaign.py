@@ -18,7 +18,7 @@ Run:  python examples/fault_campaign.py
 
 import numpy as np
 
-from repro.engines.pipeline import SerialPipelineEngine
+from repro import machines
 from repro.lgca.automaton import LatticeGasAutomaton
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
@@ -62,7 +62,7 @@ def memory_flip_demo() -> None:
 def tmr_demo() -> None:
     model = FHPModel(ROWS, COLS, boundary="null", chirality="alternate")
     init = uniform_random_state(ROWS, COLS, 6, 0.3, np.random.default_rng(2))
-    golden, _ = SerialPipelineEngine(model).run(init, GENS)
+    golden, _ = machines.create("serial", model).run(init, GENS)
 
     injector = FaultInjector(
         [
@@ -72,7 +72,9 @@ def tmr_demo() -> None:
         ]
     )
     voter = TMRVoter(injector.post_collide_hook())
-    engine = SerialPipelineEngine(model, post_collide=voter.as_post_collide())
+    engine = machines.create(
+        "serial", model, post_collide=voter.as_post_collide()
+    )
     final, _ = engine.run(init, GENS)
     table = Table("2. Stuck PE output vs TMR voting", ["quantity", "value"])
     table.add_row("fault", "collision output bit 1 stuck at 0, generations 3-4")

@@ -12,9 +12,9 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from repro import machines
 from repro.core.spa import SPAModel
 from repro.core.wsa import WSAModel
-from repro.engines.wide_serial import WideSerialEngine
 from repro.lgca.automaton import LatticeGasAutomaton
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
@@ -63,7 +63,7 @@ def main() -> None:
     reference = LatticeGasAutomaton(engine_model, frame.copy())
     reference.run(8)
 
-    engine = WideSerialEngine(engine_model, lanes=4, pipeline_depth=4)
+    engine = machines.create("wsa", engine_model, lanes=4, pipeline_depth=4)
     result, stats = engine.run(frame, generations=8)
 
     assert np.array_equal(result, reference.state), "engine must match reference!"

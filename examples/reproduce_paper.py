@@ -161,9 +161,7 @@ def run_e10() -> None:
 
 
 def run_e11() -> None:
-    from repro.engines.partitioned import PartitionedEngine
-    from repro.engines.pipeline import SerialPipelineEngine
-    from repro.engines.wide_serial import WideSerialEngine
+    from repro import machines
     from repro.lgca.automaton import LatticeGasAutomaton
     from repro.lgca.fhp import FHPModel
     from repro.lgca.flows import uniform_random_state
@@ -175,15 +173,15 @@ def run_e11() -> None:
     ref.run(6)
     all_match = True
     for engine in (
-        SerialPipelineEngine(model, 3),
-        WideSerialEngine(model, lanes=4, pipeline_depth=3),
-        PartitionedEngine(model, slice_width=8, pipeline_depth=3),
+        machines.create("serial", model, pipeline_depth=3),
+        machines.create("wsa", model, lanes=4, pipeline_depth=3),
+        machines.create("spa", model, slice_width=8, pipeline_depth=3),
     ):
         out, _ = engine.run(frame.copy(), 6)
         all_match &= bool(np.array_equal(out, ref.state))
     check("E11", "all engines bit-identical to reference", "exact",
           "bit-exact" if all_match else "MISMATCH", all_match)
-    spa = PartitionedEngine(model, slice_width=8)
+    spa = machines.create("spa", model, slice_width=8)
     e_bits = spa.boundary_bits_per_site_update()
     check("E11", "slice-boundary bits E", "3", str(e_bits), e_bits == 3)
 

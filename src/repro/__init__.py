@@ -15,8 +15,13 @@ lgca
     Lattice-gas cellular automata: HPP, FHP-I, FHP-II, the reference
     automaton, observables, flows, and 1-D CAs.
 engines
-    Cycle-level simulators of the serial pipeline, wide-serial, and
-    Sternberg partitioned architectures, with bandwidth accounting.
+    Cycle-level simulators of the serial pipeline, wide-serial,
+    Sternberg partitioned, and extensible (WSA-E) architectures on a
+    shared streaming core, with bandwidth accounting.
+machines
+    The machine registry: each architecture's design model, simulator,
+    and capability flags behind one name (``machines.create``,
+    ``machines.specs``).
 pebbling
     Red-blue and parallel-red-blue pebble games, computation graphs,
     S-I/O-divisions, 2S-partitions, line-time machinery, constructive

@@ -33,6 +33,7 @@ __all__ = [
     "check_pebble_legality",
     "check_wsa_engine_formulas",
     "check_spa_engine_formulas",
+    "check_machine_registry",
     "check_design_algebra",
 ]
 
@@ -337,12 +338,12 @@ def check_wsa_engine_formulas(
     memory bits per tick; the measured values run below by pipeline
     fill only.
     """
-    from repro.engines.wide_serial import WideSerialEngine
+    from repro import machines
     from repro.lgca.fhp import FHPModel
     from repro.lgca.flows import uniform_random_state
 
     model = FHPModel(rows, cols, boundary="null")
-    engine = WideSerialEngine(model, lanes=lanes, pipeline_depth=depth)
+    engine = machines.create("wsa", model, lanes=lanes, pipeline_depth=depth)
     state = uniform_random_state(
         rows, cols, model.num_channels, 0.3, np.random.default_rng(7)
     )
@@ -372,12 +373,14 @@ def check_spa_engine_formulas(
     With ``L/W`` slices streaming in lock-step the closed forms are
     ``k·L/W`` updates per tick and ``2·D·L/W`` main-memory bits per tick.
     """
-    from repro.engines.partitioned import PartitionedEngine
+    from repro import machines
     from repro.lgca.fhp import FHPModel
     from repro.lgca.flows import uniform_random_state
 
     model = FHPModel(rows, cols, boundary="null")
-    engine = PartitionedEngine(model, slice_width=slice_width, pipeline_depth=depth)
+    engine = machines.create(
+        "spa", model, slice_width=slice_width, pipeline_depth=depth
+    )
     state = uniform_random_state(
         rows, cols, model.num_channels, 0.3, np.random.default_rng(7)
     )
@@ -397,6 +400,60 @@ def check_spa_engine_formulas(
             formula="2*D*L/W bits/tick",
         ),
     ]
+
+
+def check_machine_registry(
+    rows: int = 16, cols: int = 16, generations: int = 3
+) -> list[CheckResult]:
+    """Registry completeness plus simulator-vs-design-model cycle counts.
+
+    Three invariants per registered machine: the engine constructed
+    through the registry runs; its measured ``stats.ticks`` equals the
+    paired design model's closed-form prediction *exactly*; and its
+    measured updates per tick never exceed the architectural peak of
+    one update per PE per tick.  A fourth, global check asserts every
+    engine class exported by :mod:`repro.engines` is claimed by a spec
+    — a machine left out of the registry fails here (and in CI).
+    """
+    from repro import machines
+    from repro.lgca.flows import uniform_random_state
+    from repro.lgca.hpp import HPPModel
+
+    results = []
+    missing = machines.unregistered_engines()
+    results.append(
+        CheckResult(
+            "machines/registry-complete",
+            not missing,
+            "every exported engine class has a registered spec"
+            if not missing
+            else f"engines missing from the registry: {', '.join(missing)}",
+        )
+    )
+    state = uniform_random_state(rows, cols, 4, 0.3, np.random.default_rng(11))
+    for spec in machines.specs():
+        model = HPPModel(rows, cols, boundary="null")
+        engine = spec.create(model, pipeline_depth=2)
+        _, stats = engine.run(state, generations)
+        predicted = spec.predicted_ticks(engine, generations)
+        results.append(
+            CheckResult(
+                f"machines/{spec.name}/ticks",
+                stats.ticks == predicted,
+                f"measured {stats.ticks} ticks vs design model {predicted} "
+                f"for {generations} generations on {rows}x{cols}",
+            )
+        )
+        peak = spec.steady_updates_per_tick(engine)
+        results.append(
+            CheckResult(
+                f"machines/{spec.name}/throughput-bound",
+                stats.updates_per_tick <= peak + 1e-9,
+                f"measured {stats.updates_per_tick:.3f} updates/tick vs "
+                f"peak {peak:.3f} (one per PE per tick)",
+            )
+        )
+    return results
 
 
 def _compare_rate(

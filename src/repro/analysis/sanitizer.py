@@ -16,6 +16,7 @@ from repro.analysis.invariants import (
     check_design_algebra,
     check_fhp_tables,
     check_hpp_table,
+    check_machine_registry,
     check_ndim_tables,
     check_pebble_legality,
     check_spa_engine_formulas,
@@ -32,6 +33,7 @@ CHECK_GROUPS: dict[str, Callable[[], list[CheckResult]]] = {
     "pebble": check_pebble_legality,
     "wsa": check_wsa_engine_formulas,
     "spa": check_spa_engine_formulas,
+    "machines": check_machine_registry,
     "design": check_design_algebra,
 }
 

@@ -135,9 +135,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.engines.partitioned import PartitionedEngine
-    from repro.engines.pipeline import SerialPipelineEngine
-    from repro.engines.wide_serial import WideSerialEngine
+    from repro import machines
     from repro.lgca.automaton import LatticeGasAutomaton
     from repro.lgca.fhp import FHPModel
     from repro.lgca.flows import uniform_random_state
@@ -176,21 +174,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         table.print()
         return 0
 
-    engines = {
-        "serial": lambda: SerialPipelineEngine(
-            model, pipeline_depth=args.depth, backend=args.backend
-        ),
-        "wsa": lambda: WideSerialEngine(
-            model, lanes=args.lanes, pipeline_depth=args.depth, backend=args.backend
-        ),
-        "spa": lambda: PartitionedEngine(
-            model,
-            slice_width=args.slice_width,
-            pipeline_depth=args.depth,
-            backend=args.backend,
-        ),
+    machine_params: dict[str, dict[str, object]] = {
+        "wsa": {"lanes": args.lanes},
+        "spa": {"slice_width": args.slice_width},
     }
-    engine = engines[args.engine]()
+    engine = machines.create(
+        args.engine,
+        model,
+        pipeline_depth=args.depth,
+        backend=args.backend,
+        **machine_params.get(args.engine, {}),
+    )
     auto.run(args.steps)
     out, stats = engine.run(state, args.steps)
     match = bool(np.array_equal(out, auto.state))
@@ -252,6 +246,72 @@ def _cmd_machines(args: argparse.Namespace) -> int:
             f"{r['balance']:.0%}",
             f"{r['required_reuse']:.1f}",
         )
+    table.print()
+    return 0
+
+
+def _cmd_machines_list(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import machines
+    from repro.util.tables import Table
+
+    if args.json:
+        payload = {
+            "schema": machines.SCHEMA_NAME,
+            "version": machines.SCHEMA_VERSION,
+            "machines": [spec.describe() for spec in machines.specs()],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        "Registered machines",
+        ["name", "architecture", "engine", "backends", "tickwise", "section"],
+    )
+    for spec in machines.specs():
+        caps = spec.capabilities
+        table.add_row(
+            spec.name,
+            spec.title,
+            spec.engine_cls.__name__,
+            ",".join(caps.backends),
+            "yes" if caps.tickwise else "no",
+            spec.paper_section,
+        )
+    table.print()
+    return 0
+
+
+def _cmd_machines_describe(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import machines
+    from repro.util.tables import Table
+
+    spec = machines.get(args.name)
+    payload = spec.describe(lattice_size=args.lattice_size)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    table = Table(f"Machine: {spec.name}", ["quantity", "value"])
+    table.add_row("architecture", spec.title)
+    table.add_row("paper section", spec.paper_section)
+    table.add_row("engine", spec.engine_cls.__name__)
+    caps = spec.capabilities
+    table.add_row("backends", ", ".join(caps.backends))
+    table.add_row("fault hooks", "yes" if caps.fault_hooks else "no")
+    table.add_row("tickwise", "yes" if caps.tickwise else "no")
+    table.add_row("side channel", "yes" if caps.side_channel else "no")
+    table.add_row("degradable", "yes" if caps.degradable else "no")
+    table.add_row("parameters", ", ".join(spec.parameters))
+    design = payload["design"]
+    assert isinstance(design, dict)
+    for key in sorted(design):
+        value = design[key]
+        if isinstance(value, float):
+            table.add_row(f"design: {key}", f"{value:.6g}")
+        else:
+            table.add_row(f"design: {key}", str(value))
     table.print()
     return 0
 
@@ -471,7 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--boundary", choices=("periodic", "null", "reflecting"), default="periodic")
     p.add_argument(
-        "--engine", choices=("none", "serial", "wsa", "spa"), default="none"
+        "--engine",
+        choices=("none", "serial", "wsa", "spa", "wsa-e"),
+        default="none",
     )
     p.add_argument("--depth", type=int, default=2, help="pipeline depth k")
     p.add_argument("--lanes", type=int, default=4, help="WSA lanes P")
@@ -491,9 +553,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-rate", type=float, default=None)
     p.set_defaults(func=_cmd_bounds)
 
-    p = sub.add_parser("machines", help="the 1987 machine comparison")
+    p = sub.add_parser(
+        "machines",
+        help="the machine registry (and the 1987 machine comparison)",
+    )
     p.add_argument("--dimension", type=int, default=2)
     p.set_defaults(func=_cmd_machines)
+    msub = p.add_subparsers(dest="machines_command", required=False)
+    mp = msub.add_parser("list", help="list registered engine architectures")
+    mp.add_argument("--json", action="store_true", help="machine-readable output")
+    mp.set_defaults(func=_cmd_machines_list)
+    mp = msub.add_parser("describe", help="one machine's design model + capabilities")
+    mp.add_argument("name", help="registered machine name (see 'machines list')")
+    mp.add_argument("--json", action="store_true", help="machine-readable output")
+    mp.add_argument(
+        "--lattice-size",
+        type=int,
+        default=None,
+        help="evaluate the design model at this L (default: its natural point)",
+    )
+    mp.set_defaults(func=_cmd_machines_describe)
 
     p = sub.add_parser("regimes", help="which architecture wins where")
     p.add_argument(

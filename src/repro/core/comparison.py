@@ -164,20 +164,22 @@ def summarize_architectures(
     lattice_size: int | None = None,
     technology: ChipTechnology = PAPER_TECHNOLOGY,
 ) -> list[ArchitectureSummary]:
-    """All three architectures side by side (benchmark table rows)."""
-    optimal = compare_optimal_designs(technology)
-    size = lattice_size if lattice_size is not None else optimal.wsa.lattice_size
-    ext = compare_extensible(lattice_size=size, technology=technology)
-    wsa_e = ext.wsa_e
-    wsa_e_summary = ArchitectureSummary(
-        name="WSA-E",
-        pes_per_chip=wsa_e.pes_per_chip,
-        throughput_per_chip=technology.F,
-        bandwidth_bits_per_tick=wsa_e.main_memory_bandwidth_bits_per_tick,
-        storage_area_per_pe=wsa_e.storage_area_per_pe,
-        lattice_size=wsa_e.lattice_size,
-        access_pattern="strict raster scan",
-        extensible=True,
-        notes="delay line off-chip; 1 PE/chip by pin constraint",
+    """Comparison-table rows for every registered machine with one.
+
+    Enumerates the machine registry (``repro.machines``) and collects
+    each spec's summary row; machines without a section 6.3 row — the
+    plain serial pipeline is the P = 1 WSA — contribute nothing, so for
+    the built-in catalog this returns the paper's [WSA, SPA, WSA-E].
+    """
+    from repro import machines  # deferred: machines.catalog imports this module
+
+    size = (
+        lattice_size
+        if lattice_size is not None
+        else compare_optimal_designs(technology).wsa.lattice_size
     )
-    return [optimal.wsa_summary, optimal.spa_summary, wsa_e_summary]
+    return [
+        spec.summary(technology, size)
+        for spec in machines.specs()
+        if spec.summary is not None
+    ]

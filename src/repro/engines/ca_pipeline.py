@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engines.shiftreg import ShiftRegister
-from repro.engines.stats import EngineStats
+from repro.engines.stats import EngineRunStats
 from repro.lgca.wolfram import ElementaryCA, ParityCA
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -130,7 +130,7 @@ class CAPipelineEngine:
         tape: np.ndarray,
         generations: int,
         tickwise: bool = False,
-    ) -> tuple[np.ndarray, EngineStats]:
+    ) -> tuple[np.ndarray, EngineRunStats]:
         """Advance the tape ``generations`` steps; returns tape + stats."""
         generations = check_nonnegative(generations, "generations", integer=True)
         tape = np.asarray(tape).astype(np.uint8, copy=True)
@@ -147,7 +147,7 @@ class CAPipelineEngine:
             ticks += n + span * self.latency_ticks
             io_bits += 2 * n  # one bit in, one bit out per cell per pass
             done += span
-        stats = EngineStats(
+        stats = EngineRunStats(
             name=self.name,
             site_updates=generations * n,
             ticks=ticks,

@@ -8,21 +8,20 @@ registers reached through dedicated pins — which is why the pin budget
 allows exactly one lane (6D = 48 of 72 pins) and why the lattice size is
 no longer bounded by the chip area.
 
-The simulator reuses the verified stage computation and accounts the
-WSA-E-specific quantities: on-chip vs off-chip storage, pin usage split
-between the host stream and the delay break-outs, and the per-stage
-area at a given commercial-memory density.
+The simulator inherits the serial dataflow — including kernel backends,
+fault-injection hooks, and tick-accurate simulation — from
+:class:`~repro.engines.streaming_core.StreamingEngineCore` and accounts
+the WSA-E-specific quantities: on-chip vs off-chip storage, pin usage
+split between the host stream and the delay break-outs, and the
+per-stage area at a given commercial-memory density.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.engines.pe import PostCollideHook, make_rule
-from repro.engines.pipeline import PipelineStage
-from repro.engines.stats import EngineStats
+from repro.engines.pe import PostCollideHook
+from repro.engines.streaming_core import StreamingEngineCore
 from repro.lgca.automaton import SiteModel
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_positive
 
 __all__ = ["ExtensibleSerialEngine"]
 
@@ -30,7 +29,7 @@ __all__ = ["ExtensibleSerialEngine"]
 _ON_CHIP_WINDOW = 10
 
 
-class ExtensibleSerialEngine:
+class ExtensibleSerialEngine(StreamingEngineCore):
     """A k-stage WSA-E pipeline (one lane per stage, off-chip delay).
 
     Parameters
@@ -45,6 +44,11 @@ class ExtensibleSerialEngine:
         Major cycle rate.
     post_collide:
         Optional fault-injection hook applied at every PE output.
+    backend:
+        Kernel backend evolving the frames (``"reference"`` streams
+        through the PE stage; ``"bitplane"`` computes the identical
+        evolution with multi-spin coded kernels).  Stats are unchanged;
+        fault hooks and tickwise simulation require ``"reference"``.
     """
 
     def __init__(
@@ -54,27 +58,23 @@ class ExtensibleSerialEngine:
         commercial_density: float = 8.0,
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
+        backend: str = "reference",
     ):
-        self.model = model
-        self.pipeline_depth = check_positive(
-            pipeline_depth, "pipeline_depth", integer=True
-        )
         self.commercial_density = check_positive(
             commercial_density, "commercial_density"
         )
-        self.clock_hz = check_positive(clock_hz, "clock_hz")
-        self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule, post_collide=post_collide)
+        super().__init__(
+            model,
+            pipeline_depth=pipeline_depth,
+            clock_hz=clock_hz,
+            post_collide=post_collide,
+            backend=backend,
+        )
 
     @property
     def name(self) -> str:
         """Engine identifier used in stats and tables."""
         return f"wsa-e(k={self.pipeline_depth})"
-
-    @property
-    def num_sites(self) -> int:
-        """Total lattice sites streamed per pass."""
-        return self.model.rows * self.model.cols
 
     # -- WSA-E architecture accounting ---------------------------------------------
 
@@ -93,6 +93,11 @@ class ExtensibleSerialEngine:
         """Delay cells pushed out to commercial memory (2L)."""
         return self.delay_sites_per_stage - _ON_CHIP_WINDOW
 
+    @property
+    def storage_sites(self) -> int:
+        """Delay cells across all stages, on-chip window plus off-chip runs."""
+        return self.pipeline_depth * self.delay_sites_per_stage
+
     def pins_used(self, bits_per_site: int | None = None) -> int:
         """2D stream + 2 off-chip break-outs at 2D each = 6D."""
         d = bits_per_site if bits_per_site is not None else self.model.bits_per_site
@@ -103,41 +108,3 @@ class ExtensibleSerialEngine:
         off-chip delay at commercial density."""
         off_chip = self.off_chip_sites_per_stage * site_area / self.commercial_density
         return chip_area + off_chip
-
-    # -- evolution -----------------------------------------------------------------------
-
-    def run(
-        self,
-        frame: np.ndarray,
-        generations: int,
-        start_time: int = 0,
-    ) -> tuple[np.ndarray, EngineStats]:
-        """Advance ``generations`` steps; returns (final frame, stats)."""
-        generations = check_nonnegative(generations, "generations", integer=True)
-        frame = self.model.check_state(frame)
-        stream = frame.ravel().copy()
-        n = self.num_sites
-        d = self.model.bits_per_site
-        ticks = 0
-        io_bits = 0
-        done = 0
-        t = start_time
-        while done < generations:
-            span = min(self.pipeline_depth, generations - done)
-            for _ in range(span):
-                stream = self.stage.process(stream, t)
-                t += 1
-            ticks += n + span * self.stage.latency_ticks
-            io_bits += 2 * d * n
-            done += span
-        stats = EngineStats(
-            name=self.name,
-            site_updates=generations * n,
-            ticks=ticks,
-            io_bits_main=io_bits,
-            storage_sites=self.pipeline_depth * self.delay_sites_per_stage,
-            num_pes=self.pipeline_depth,
-            num_chips=self.pipeline_depth,
-            clock_hz=self.clock_hz,
-        )
-        return stream.reshape(self.model.rows, self.model.cols), stats

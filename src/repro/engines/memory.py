@@ -21,7 +21,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.engines.stats import EngineStats, ThroughputReport
+from repro.engines.stats import EngineRunStats, ThroughputReport
 from repro.util.validation import check_positive
 
 __all__ = ["MainMemory", "HostInterface"]
@@ -133,7 +133,7 @@ class HostInterface:
     def __post_init__(self) -> None:
         check_positive(self.bandwidth_bytes_per_second, "bandwidth_bytes_per_second")
 
-    def realized(self, stats: EngineStats) -> ThroughputReport:
+    def realized(self, stats: EngineRunStats) -> ThroughputReport:
         """Derate an engine run by this host's sustained bandwidth.
 
         The engine's compute time is ``stats.seconds``; moving its main-

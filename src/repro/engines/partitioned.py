@@ -8,7 +8,8 @@ communication channel between adjacent partitions" carrying E bits per
 site update in each direction.
 
 The engine computes the same evolution as the reference automaton
-(checked in E11); the SPA-specific accounting it adds is:
+(checked in E11); the SPA-specific accounting it adds on top of
+:class:`~repro.engines.streaming_core.StreamingEngineCore` is:
 
 * per-PE delay storage ``2W + 9`` instead of ``2L + 3``;
 * total ticks per pass ``rows · W`` instead of ``rows · L`` (the ×(L/W)
@@ -31,21 +32,22 @@ the other.  This simulator models the *dataflow and traffic* of that
 arrangement (frame-synchronous computation plus exact exchange-bit
 accounting) rather than the per-tick skew itself; the skew changes
 latency constants, not throughput, storage, or I/O — the quantities the
-paper's analysis (and our tests) measure.
+paper's analysis (and our tests) measure.  For the same reason the
+engine has no tick-accurate mode (``supports_tickwise`` is False).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
-from repro.engines.pe import PostCollideHook, make_rule
-from repro.engines.pipeline import PipelineStage, _make_engine_stepper
-from repro.engines.stats import EngineStats
+from repro.engines.pe import PostCollideHook
+from repro.engines.streaming_core import StreamingEngineCore
 from repro.lgca.automaton import SiteModel
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_positive
 
 __all__ = ["PartitionedEngine", "SliceExchangeRecord"]
 
@@ -75,7 +77,7 @@ class SliceExchangeRecord:
         return self.bits_leftward + self.bits_rightward
 
 
-class PartitionedEngine:
+class PartitionedEngine(StreamingEngineCore):
     """A slice-partitioned pipeline machine.
 
     Parameters
@@ -105,6 +107,9 @@ class PartitionedEngine:
         of the machine; fault hooks require ``"reference"``.
     """
 
+    #: the mutually skewed slice streams have no single-stream tick model
+    supports_tickwise: ClassVar[bool] = False
+
     def __init__(
         self,
         model: SiteModel,
@@ -115,20 +120,18 @@ class PartitionedEngine:
         failed_slices: tuple[int, ...] = (),
         backend: str = "reference",
     ):
-        self.model = model
         self.slice_width = check_positive(slice_width, "slice_width", integer=True)
         if self.slice_width > model.cols:
             raise ValueError(
                 f"slice_width={slice_width} exceeds lattice width {model.cols}"
             )
-        self.pipeline_depth = check_positive(
-            pipeline_depth, "pipeline_depth", integer=True
+        super().__init__(
+            model,
+            pipeline_depth=pipeline_depth,
+            clock_hz=clock_hz,
+            post_collide=post_collide,
+            backend=backend,
         )
-        self.clock_hz = check_positive(clock_hz, "clock_hz")
-        self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule, post_collide=post_collide)
-        self.backend = backend
-        self._stepper = _make_engine_stepper(model, backend, post_collide)
         self._build_exchange_maps()
         self.failed_slices = tuple(sorted(set(failed_slices)))
         for s in self.failed_slices:
@@ -155,11 +158,6 @@ class PartitionedEngine:
         return self.num_slices - len(self.failed_slices)
 
     @property
-    def num_sites(self) -> int:
-        """Total lattice sites per frame."""
-        return self.model.rows * self.model.cols
-
-    @property
     def num_slices(self) -> int:
         """Number of slices: ⌈cols / W⌉ (the last may be narrower)."""
         return math.ceil(self.model.cols / self.slice_width)
@@ -172,6 +170,23 @@ class PartitionedEngine:
     def storage_sites_per_pe(self) -> int:
         """The paper's 2W + 9 delay budget per processing element."""
         return 2 * self.slice_width + 9
+
+    @property
+    def storage_sites(self) -> int:
+        """Delay cells across all healthy slices and stages."""
+        return (
+            self.num_healthy_slices * self.pipeline_depth * self.storage_sites_per_pe
+        )
+
+    @property
+    def num_pes(self) -> int:
+        """One PE column per healthy slice per stage."""
+        return self.num_healthy_slices * self.pipeline_depth
+
+    @property
+    def num_chips(self) -> int:
+        """One chip per healthy slice per stage."""
+        return self.num_healthy_slices * self.pipeline_depth
 
     # -- exchange accounting ----------------------------------------------------
 
@@ -220,6 +235,10 @@ class PartitionedEngine:
             for b in range(self.num_slices - 1)
         ]
 
+    def side_bits_per_stage_pass(self) -> int:
+        """Total boundary-exchange bits one stage moves per frame pass."""
+        return sum(rec.total_bits for rec in self.exchange_per_stage_pass())
+
     def boundary_bits_per_site_update(self) -> int:
         """Measured E: worst-case side-channel bits one site update needs.
 
@@ -254,54 +273,3 @@ class PartitionedEngine:
         latency = widest + 1
         rounds = math.ceil(self.num_slices / self.num_healthy_slices)
         return rounds * stream_ticks + span * latency
-
-    # -- evolution --------------------------------------------------------------------
-
-    def run(
-        self,
-        frame: np.ndarray,
-        generations: int,
-        start_time: int = 0,
-    ) -> tuple[np.ndarray, EngineStats]:
-        """Advance ``generations`` generations; returns frame and stats."""
-        generations = check_nonnegative(generations, "generations", integer=True)
-        frame = self.model.check_state(frame)
-        stream = frame.ravel().copy()
-        n = self.num_sites
-        d = self.model.bits_per_site
-        ticks = 0
-        io_bits = 0
-        side_bits = 0
-        per_pass_side = sum(rec.total_bits for rec in self.exchange_per_stage_pass())
-        done = 0
-        t = start_time
-        while done < generations:
-            span = min(self.pipeline_depth, generations - done)
-            if self._stepper is not None:
-                shape = (self.model.rows, self.model.cols)
-                stream = self._stepper.run(stream.reshape(shape), span, t).ravel()
-                t += span
-            else:
-                for _ in range(span):
-                    stream = self.stage.process(stream, t)
-                    t += 1
-            ticks += self.ticks_per_pass(span)
-            io_bits += 2 * d * n
-            side_bits += span * per_pass_side
-            done += span
-        if self._stepper is not None and generations > 0:
-            stream = stream.copy()  # detach from the stepper's internal buffer
-        stats = EngineStats(
-            name=self.name,
-            site_updates=generations * n,
-            ticks=ticks,
-            io_bits_main=io_bits,
-            io_bits_side=side_bits,
-            storage_sites=self.num_healthy_slices
-            * self.pipeline_depth
-            * self.storage_sites_per_pe,
-            num_pes=self.num_healthy_slices * self.pipeline_depth,
-            num_chips=self.num_healthy_slices * self.pipeline_depth,
-            clock_hz=self.clock_hz,
-        )
-        return stream.reshape(self.model.rows, self.model.cols), stats

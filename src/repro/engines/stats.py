@@ -1,23 +1,31 @@
 """Cycle, I/O, and throughput accounting for engine runs.
 
-Every engine returns an :class:`EngineStats` alongside its result frame.
+Every engine returns an :class:`EngineRunStats` alongside its result
+frame (produced by the shared
+:class:`~repro.engines.streaming_core.StreamingEngineCore` run loop).
 The fields follow the paper's cost model: work is site updates, time is
 major clock ticks, communication is bits to/from main memory (and for
 the SPA, bits across slice boundaries), and silicon is shift-register
 sites plus PEs.
+
+``EngineStats`` is the dataclass's pre-registry name; importing it
+still works for one release (with a :class:`DeprecationWarning`) and
+yields the same class, so ``isinstance`` checks and equality against
+engine-produced stats behave identically.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.util.validation import check_nonnegative, check_positive
 
-__all__ = ["EngineStats", "ThroughputReport"]
+__all__ = ["EngineRunStats", "ThroughputReport"]
 
 
 @dataclass
-class EngineStats:
+class EngineRunStats:
     """Aggregate counters for one engine run.
 
     Attributes
@@ -103,11 +111,29 @@ class EngineStats:
         denom = self.num_pes * self.ticks
         return self.site_updates / denom if denom else 0.0
 
-    def merge(self, other: "EngineStats") -> "EngineStats":
+    def to_dict(self) -> dict[str, object]:
+        """Counters plus derived rates as a JSON-ready mapping."""
+        return {
+            "name": self.name,
+            "site_updates": self.site_updates,
+            "ticks": self.ticks,
+            "io_bits_main": self.io_bits_main,
+            "io_bits_side": self.io_bits_side,
+            "storage_sites": self.storage_sites,
+            "num_pes": self.num_pes,
+            "num_chips": self.num_chips,
+            "clock_hz": self.clock_hz,
+            "updates_per_tick": self.updates_per_tick,
+            "updates_per_second": self.updates_per_second,
+            "main_bandwidth_bits_per_tick": self.main_bandwidth_bits_per_tick,
+            "pe_utilization": self.pe_utilization,
+        }
+
+    def merge(self, other: "EngineRunStats") -> "EngineRunStats":
         """Accumulate a subsequent run (e.g. another pass) into a total."""
         if other.clock_hz != self.clock_hz:
             raise ValueError("cannot merge stats at different clock rates")
-        return EngineStats(
+        return EngineRunStats(
             name=self.name,
             site_updates=self.site_updates + other.site_updates,
             ticks=self.ticks + other.ticks,
@@ -118,6 +144,20 @@ class EngineStats:
             num_chips=max(self.num_chips, other.num_chips),
             clock_hz=self.clock_hz,
         )
+
+
+def __getattr__(name: str) -> type[EngineRunStats]:
+    """Deprecation shim: ``EngineStats`` resolves to :class:`EngineRunStats`."""
+    if name == "EngineStats":
+        warnings.warn(
+            "repro.engines.stats.EngineStats was renamed to EngineRunStats "
+            "in the machines-registry refactor; the old name will be removed "
+            "next release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return EngineRunStats
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

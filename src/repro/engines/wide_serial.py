@@ -12,7 +12,10 @@ main-memory bandwidth grow linearly in P — the trade the design model in
 Functionally a WSA stage computes exactly what the serial stage
 computes; the lane structure changes *timing and bandwidth*, which is
 what this engine accounts for (and the integration tests check the
-functional part against the reference automaton).
+functional part against the reference automaton).  The pass loop and
+all cross-cutting plumbing come from
+:class:`~repro.engines.streaming_core.StreamingEngineCore`; this module
+adds only the lane geometry and the lane-accurate tickwise stage.
 """
 
 from __future__ import annotations
@@ -21,17 +24,16 @@ import math
 
 import numpy as np
 
-from repro.engines.pe import PostCollideHook, make_rule
-from repro.engines.pipeline import PipelineStage, _make_engine_stepper
+from repro.engines.pe import PostCollideHook
 from repro.engines.shiftreg import ShiftRegister
-from repro.engines.stats import EngineStats
+from repro.engines.streaming_core import StreamingEngineCore
 from repro.lgca.automaton import SiteModel
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_positive
 
 __all__ = ["WideSerialEngine"]
 
 
-class WideSerialEngine:
+class WideSerialEngine(StreamingEngineCore):
     """A k-stage, P-lane wide-serial pipeline.
 
     Parameters
@@ -62,26 +64,19 @@ class WideSerialEngine:
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
     ):
-        self.model = model
         self.lanes = check_positive(lanes, "lanes", integer=True)
-        self.pipeline_depth = check_positive(
-            pipeline_depth, "pipeline_depth", integer=True
+        super().__init__(
+            model,
+            pipeline_depth=pipeline_depth,
+            clock_hz=clock_hz,
+            post_collide=post_collide,
+            backend=backend,
         )
-        self.clock_hz = check_positive(clock_hz, "clock_hz")
-        self.rule = make_rule(model)
-        self.stage = PipelineStage(self.rule, post_collide=post_collide)
-        self.backend = backend
-        self._stepper = _make_engine_stepper(model, backend, post_collide)
 
     @property
     def name(self) -> str:
         """Engine identifier used in stats and tables."""
         return f"wide-serial(P={self.lanes},k={self.pipeline_depth})"
-
-    @property
-    def num_sites(self) -> int:
-        """Total lattice sites per frame."""
-        return self.model.rows * self.model.cols
 
     @property
     def storage_sites_per_stage(self) -> int:
@@ -92,11 +87,29 @@ class WideSerialEngine:
         """
         return self.stage.storage_sites + 7 * (self.lanes - 1)
 
+    @property
+    def storage_sites(self) -> int:
+        """Total delay-line site values across all stages."""
+        return self.pipeline_depth * self.storage_sites_per_stage
+
+    @property
+    def num_pes(self) -> int:
+        """P lanes on each of the k stage chips."""
+        return self.pipeline_depth * self.lanes
+
     def ticks_per_pass(self, span: int) -> int:
         """Stream the frame through ``span`` stages at P sites per tick."""
         n_ticks_stream = math.ceil(self.num_sites / self.lanes)
         lane_latency = math.ceil(self.stage.latency_ticks / self.lanes)
         return n_ticks_stream + span * lane_latency
+
+    def _advance_stream(
+        self, stream: np.ndarray, generation: int, tickwise: bool
+    ) -> np.ndarray:
+        """One stage; the tickwise path is the lane-accurate simulation."""
+        if tickwise:
+            return self.process_stage_tickwise(stream, generation)
+        return self.stage.process(stream, generation)
 
     def process_stage_tickwise(
         self, stream: np.ndarray, generation: int
@@ -164,52 +177,3 @@ class WideSerialEngine:
                         value |= 1 << ch
                 out[s_out] = value
         return out
-
-    def run(
-        self,
-        frame: np.ndarray,
-        generations: int,
-        start_time: int = 0,
-        tickwise: bool = False,
-    ) -> tuple[np.ndarray, EngineStats]:
-        """Advance ``generations`` generations; returns frame and stats."""
-        generations = check_nonnegative(generations, "generations", integer=True)
-        if tickwise and self._stepper is not None:
-            raise ValueError("tickwise simulation requires backend='reference'")
-        frame = self.model.check_state(frame)
-        stream = frame.ravel().copy()
-        n = self.num_sites
-        d = self.model.bits_per_site
-        shape = (self.model.rows, self.model.cols)
-        ticks = 0
-        io_bits = 0
-        done = 0
-        t = start_time
-        while done < generations:
-            span = min(self.pipeline_depth, generations - done)
-            if self._stepper is not None:
-                stream = self._stepper.run(stream.reshape(shape), span, t).ravel()
-                t += span
-            else:
-                for _ in range(span):
-                    if tickwise:
-                        stream = self.process_stage_tickwise(stream, t)
-                    else:
-                        stream = self.stage.process(stream, t)
-                    t += 1
-            ticks += self.ticks_per_pass(span)
-            io_bits += 2 * d * n
-            done += span
-        if self._stepper is not None and generations > 0:
-            stream = stream.copy()  # detach from the stepper's internal buffer
-        stats = EngineStats(
-            name=self.name,
-            site_updates=generations * n,
-            ticks=ticks,
-            io_bits_main=io_bits,
-            storage_sites=self.pipeline_depth * self.storage_sites_per_stage,
-            num_pes=self.pipeline_depth * self.lanes,
-            num_chips=self.pipeline_depth,
-            clock_hz=self.clock_hz,
-        )
-        return stream.reshape(self.model.rows, self.model.cols), stats

@@ -1,0 +1,54 @@
+"""The machine registry: design models + engine simulators, unified.
+
+The paper's comparison methodology (sections 3–6.3) treats each
+architecture as one object with two faces — a closed-form design model
+and an operational machine.  This package mirrors that:
+
+* :mod:`repro.machines.spec` — :class:`MachineSpec` binds an engine
+  class, its design model, exact predicted cycle counts, and capability
+  flags; :class:`MachineCapabilities` is the flag set.
+* :mod:`repro.machines.registry` — the name-keyed registry:
+  :func:`get` / :func:`names` / :func:`specs` / :func:`create`, plus
+  the :func:`unregistered_engines` completeness check CI runs.
+* :mod:`repro.machines.catalog` — registers the paper's four machines:
+  ``serial``, ``wsa``, ``spa``, ``wsa-e``.
+
+Construct engines through the registry::
+
+    from repro import machines
+    engine = machines.create("wsa", model, lanes=4, pipeline_depth=2)
+    frame, stats = engine.run(state, 8)
+
+The CLI surfaces the same data as ``repro machines list`` and
+``repro machines describe <name> --json``.
+"""
+
+from repro.machines.spec import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    MachineCapabilities,
+    MachineSpec,
+)
+from repro.machines.registry import (
+    create,
+    get,
+    names,
+    register,
+    specs,
+    unregistered_engines,
+)
+from repro.machines import catalog  # noqa: F401  — registers the built-ins
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "MachineCapabilities",
+    "MachineSpec",
+    "register",
+    "get",
+    "names",
+    "specs",
+    "create",
+    "unregistered_engines",
+    "catalog",
+]

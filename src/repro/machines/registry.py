@@ -1,0 +1,92 @@
+"""The machine registry: every architecture, keyed by name.
+
+One flat, ordered mapping from machine name to
+:class:`~repro.machines.spec.MachineSpec`.  Everything that enumerates
+architectures — the CLI, the comparison tables, the sanitizer
+cross-checks, the fault campaign, the benchmarks — iterates
+:func:`specs` or calls :func:`create` instead of importing engine
+classes, so adding a machine means registering one spec, not editing
+six call sites.  :func:`unregistered_engines` is the completeness
+check CI runs: an engine subclass left out of the registry fails the
+bench-smoke sweep.
+"""
+
+from __future__ import annotations
+
+from repro.engines.streaming_core import StreamingEngineCore
+from repro.lgca.automaton import SiteModel
+from repro.machines.spec import MachineSpec
+from repro.util.errors import ConfigError
+
+__all__ = [
+    "register",
+    "get",
+    "names",
+    "specs",
+    "create",
+    "unregistered_engines",
+]
+
+_REGISTRY: dict[str, MachineSpec] = {}
+
+
+def register(spec: MachineSpec) -> MachineSpec:
+    """Add a machine to the registry; returns the spec for chaining."""
+    if spec.name in _REGISTRY:
+        raise ConfigError(f"machine {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def names() -> list[str]:
+    """Registered machine names, in registration order."""
+    return list(_REGISTRY)
+
+
+def specs() -> list[MachineSpec]:
+    """All registered specs, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get(name: str) -> MachineSpec:
+    """Look up one machine by name.
+
+    Raises :class:`~repro.util.errors.ConfigError` (→ CLI exit 2) for
+    unknown names, listing what is registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown machine {name!r}; registered machines: "
+            f"{', '.join(names())}"
+        ) from None
+
+
+def create(name: str, model: SiteModel, **params: object) -> StreamingEngineCore:
+    """Construct a machine's engine by registry name (the one-stop path)."""
+    return get(name).create(model, **params)
+
+
+def unregistered_engines() -> list[str]:
+    """Engine classes exported by :mod:`repro.engines` but not registered.
+
+    The completeness check: every concrete
+    :class:`~repro.engines.streaming_core.StreamingEngineCore` subclass
+    in the engines package's public surface must be claimed by exactly
+    one spec.  Returns the offenders' class names (empty = complete).
+    """
+    import repro.engines as engines_pkg
+
+    registered = {spec.engine_cls for spec in specs()}
+    missing = []
+    for attr in engines_pkg.__all__:
+        obj = getattr(engines_pkg, attr)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, StreamingEngineCore)
+            and obj is not StreamingEngineCore
+            and obj not in registered
+        ):
+            missing.append(obj.__name__)
+    return missing

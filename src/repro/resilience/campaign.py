@@ -32,7 +32,8 @@ import numpy as np
 
 from repro.engines.memory import MainMemory
 from repro.engines.pe import make_rule
-from repro.engines.pipeline import PipelineStage, SerialPipelineEngine
+from repro.engines.pipeline import PipelineStage
+from repro.machines import create as create_machine
 from repro.lgca.automaton import LatticeGasAutomaton
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
@@ -360,17 +361,19 @@ def _run_pe_trial(
     """PE faults go through the serial pipeline engine's collide hook."""
     model = _gas_model(config, "null")
     init = _initial_state(config)
-    golden, _ = SerialPipelineEngine(model).run(init, config.generations)
+    golden, _ = create_machine("serial", model).run(init, config.generations)
     injector = FaultInjector(trial.specs)
     hook = injector.post_collide_hook()
     detections: tuple[Detection, ...] = ()
     if monitored:
         voter = TMRVoter(hook)
-        engine = SerialPipelineEngine(model, post_collide=voter.as_post_collide())
+        engine = create_machine(
+            "serial", model, post_collide=voter.as_post_collide()
+        )
         final, _ = engine.run(init, config.generations)
         detections = tuple(voter.detections)
     else:
-        engine = SerialPipelineEngine(model, post_collide=hook)
+        engine = create_machine("serial", model, post_collide=hook)
         final, _ = engine.run(init, config.generations)
     matches = bool(np.array_equal(final, golden))
     return TrialResult(

@@ -62,6 +62,7 @@ class TestRunAll:
             "pebble",
             "wsa",
             "spa",
+            "machines",
             "design",
         ]
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.engines.extensible import ExtensibleSerialEngine
 from repro.engines.partitioned import PartitionedEngine
 from repro.engines.pipeline import SerialPipelineEngine
 from repro.engines.wide_serial import WideSerialEngine
@@ -22,6 +23,7 @@ def _engines(model, backend):
         SerialPipelineEngine(model, pipeline_depth=2, backend=backend),
         WideSerialEngine(model, lanes=3, pipeline_depth=2, backend=backend),
         PartitionedEngine(model, slice_width=8, pipeline_depth=2, backend=backend),
+        ExtensibleSerialEngine(model, pipeline_depth=2, backend=backend),
     ]
 
 
@@ -102,3 +104,60 @@ def test_unknown_backend_rejected_uniformly():
         WideSerialEngine(model, backend="gpu")
     with pytest.raises(ValueError, match="unknown backend"):
         PartitionedEngine(model, slice_width=8, backend="gpu")
+    with pytest.raises(ValueError, match="unknown backend"):
+        ExtensibleSerialEngine(model, backend="gpu")
+
+
+class TestExtensibleBackendSupport:
+    """WSA-E inherits backend, fault-hook, and tickwise support from the
+    shared streaming core — previously it only had the reference path."""
+
+    def test_bitplane_matches_reference(self):
+        model = FHPModel(10, 66, boundary="null")
+        state = _state(model)
+        out_ref, stats_ref = ExtensibleSerialEngine(model, pipeline_depth=2).run(
+            state, 5
+        )
+        out_fast, stats_fast = ExtensibleSerialEngine(
+            model, pipeline_depth=2, backend="bitplane"
+        ).run(state, 5)
+        np.testing.assert_array_equal(out_ref, out_fast)
+        assert stats_ref == stats_fast
+
+    def test_fault_hook_accepted_on_reference_backend(self):
+        model = HPPModel(8, 32, boundary="null")
+        calls = []
+
+        def hook(values, r, c, t):
+            calls.append(t)
+            return values
+
+        engine = ExtensibleSerialEngine(model, post_collide=hook)
+        out, _ = engine.run(_state(model), 3)
+        assert calls  # the hook actually ran
+        np.testing.assert_array_equal(
+            out, ExtensibleSerialEngine(model).run(_state(model), 3)[0]
+        )
+
+    def test_fault_hook_rejected_on_bitplane_backend(self):
+        model = HPPModel(8, 32, boundary="null")
+        with pytest.raises(ValueError, match="fault-injection"):
+            ExtensibleSerialEngine(
+                model, post_collide=lambda v, r, c, t: v, backend="bitplane"
+            )
+
+    def test_tickwise_matches_vectorized(self):
+        model = HPPModel(6, 24, boundary="null")
+        state = _state(model)
+        out_vec, _ = ExtensibleSerialEngine(model, pipeline_depth=2).run(state, 3)
+        out_tick, _ = ExtensibleSerialEngine(model, pipeline_depth=2).run(
+            state, 3, tickwise=True
+        )
+        np.testing.assert_array_equal(out_vec, out_tick)
+
+    def test_tickwise_rejected_on_bitplane_backend(self):
+        model = HPPModel(8, 32, boundary="null")
+        with pytest.raises(ValueError, match="tickwise"):
+            ExtensibleSerialEngine(model, backend="bitplane").run(
+                _state(model), 2, tickwise=True
+            )

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engines.memory import HostInterface, MainMemory
-from repro.engines.stats import EngineStats
+from repro.engines.stats import EngineRunStats
 
 
 class TestMainMemory:
@@ -60,7 +60,7 @@ class TestMainMemory:
 class TestHostInterface:
     def _stats(self, updates=20_000_000, ticks=10_000_000, io_bits=320_000_000):
         # A 2-PE chip at 10 MHz for 1 second: 20M updates, 40 MB traffic.
-        return EngineStats(
+        return EngineRunStats(
             name="proto",
             site_updates=updates,
             ticks=ticks,

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.engines.stats import EngineStats, ThroughputReport
+from repro.engines.stats import EngineRunStats, ThroughputReport
 
 
-def make_stats(**kw) -> EngineStats:
+def make_stats(**kw) -> EngineRunStats:
     defaults = dict(
         name="x",
         site_updates=1000,
@@ -18,7 +18,7 @@ def make_stats(**kw) -> EngineStats:
         clock_hz=10e6,
     )
     defaults.update(kw)
-    return EngineStats(**defaults)
+    return EngineRunStats(**defaults)
 
 
 class TestEngineStats:
@@ -68,6 +68,45 @@ class TestEngineStats:
     def test_validates_clock(self):
         with pytest.raises(ValueError):
             make_stats(clock_hz=0)
+
+    def test_to_dict_round_trips_counters(self):
+        d = make_stats().to_dict()
+        assert d["site_updates"] == 1000
+        assert d["ticks"] == 500
+        assert d["updates_per_tick"] == pytest.approx(2.0)
+
+
+class TestEngineStatsDeprecationShim:
+    """``EngineStats`` is the pre-registry name; it must keep working."""
+
+    def test_old_name_warns_and_resolves_to_the_same_class(self):
+        with pytest.deprecated_call(match="renamed to EngineRunStats"):
+            from repro.engines.stats import EngineStats
+        assert EngineStats is EngineRunStats
+
+    def test_package_level_alias_warns_too(self):
+        with pytest.deprecated_call(match="renamed to EngineRunStats"):
+            from repro.engines import EngineStats
+        assert EngineStats is EngineRunStats
+
+    def test_instances_via_old_name_are_engine_run_stats(self):
+        with pytest.deprecated_call():
+            from repro.engines.stats import EngineStats
+        assert isinstance(make_stats(), EngineStats)
+
+    def test_new_name_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            from repro.engines.stats import EngineRunStats as again
+        assert again is EngineRunStats
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.engines.stats as stats_mod
+
+        with pytest.raises(AttributeError):
+            stats_mod.EngineStatz
 
 
 class TestThroughputReport:

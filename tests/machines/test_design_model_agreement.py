@@ -1,0 +1,112 @@
+"""Property tests: the simulators honor their specs' design models.
+
+Every :class:`~repro.machines.spec.MachineSpec` carries two closed
+forms — ``predicted_ticks`` (the machine's major-cycle count) and
+``steady_updates_per_tick`` (the architectural peak, one update per PE
+per tick).  The measured run statistics must match the first exactly
+and never exceed the second, for every machine, over random lattice
+shapes, depths, and generation counts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import machines
+from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
+
+
+def _run(name, rows, cols, generations, depth, seed, **params):
+    model = HPPModel(rows, cols, boundary="null")
+    frame = uniform_random_state(rows, cols, 4, 0.3, np.random.default_rng(seed))
+    spec = machines.get(name)
+    engine = spec.create(model, pipeline_depth=depth, **params)
+    _, stats = engine.run(frame, generations)
+    return spec, engine, stats
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(4, 12),
+    cols=st.integers(4, 12),
+    generations=st.integers(1, 7),
+    depth=st.integers(1, 4),
+)
+def test_serial_measured_ticks_match_design_model(
+    seed, rows, cols, generations, depth
+):
+    spec, engine, stats = _run("serial", rows, cols, generations, depth, seed)
+    assert stats.ticks == spec.predicted_ticks(engine, generations)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(4, 12),
+    cols=st.integers(4, 12),
+    generations=st.integers(1, 7),
+    depth=st.integers(1, 4),
+    lanes=st.integers(1, 5),
+)
+def test_wsa_measured_ticks_match_design_model(
+    seed, rows, cols, generations, depth, lanes
+):
+    spec, engine, stats = _run(
+        "wsa", rows, cols, generations, depth, seed, lanes=lanes
+    )
+    assert stats.ticks == spec.predicted_ticks(engine, generations)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(4, 10),
+    cols=st.integers(4, 14),
+    generations=st.integers(1, 6),
+    depth=st.integers(1, 3),
+    slice_width=st.integers(2, 14),
+)
+def test_spa_measured_ticks_match_design_model(
+    seed, rows, cols, generations, depth, slice_width
+):
+    spec, engine, stats = _run(
+        "spa", rows, cols, generations, depth, seed,
+        slice_width=min(slice_width, cols),
+    )
+    assert stats.ticks == spec.predicted_ticks(engine, generations)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(4, 12),
+    cols=st.integers(4, 12),
+    generations=st.integers(1, 7),
+    depth=st.integers(1, 4),
+)
+def test_wsa_e_measured_ticks_match_design_model(
+    seed, rows, cols, generations, depth
+):
+    spec, engine, stats = _run("wsa-e", rows, cols, generations, depth, seed)
+    assert stats.ticks == spec.predicted_ticks(engine, generations)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.integers(4, 10),
+    cols=st.integers(8, 12),
+    generations=st.integers(1, 5),
+    depth=st.integers(1, 3),
+)
+def test_throughput_never_exceeds_architectural_peak(
+    seed, rows, cols, generations, depth
+):
+    """One update per PE per tick — uniform across every machine."""
+    for name in machines.names():
+        spec, engine, stats = _run(name, rows, cols, generations, depth, seed)
+        peak = spec.steady_updates_per_tick(engine)
+        assert stats.updates_per_tick <= peak + 1e-9
+        assert peak == engine.num_pes

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,7 +67,7 @@ class TestSimulate:
         drift = float(drift_line.split()[-1])
         assert drift < 1e-9
 
-    @pytest.mark.parametrize("engine", ["serial", "wsa", "spa"])
+    @pytest.mark.parametrize("engine", ["serial", "wsa", "spa", "wsa-e"])
     def test_engines_match(self, capsys, engine):
         code = main(
             [
@@ -158,6 +160,51 @@ class TestMachines:
         out = capsys.readouterr().out
         line = next(l for l in out.splitlines() if "prototype" in l)
         assert "1 Mupdates/s" in line and "5%" in line
+
+
+class TestMachinesRegistry:
+    def test_list_table(self, capsys):
+        assert main(["machines", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "wsa", "spa", "wsa-e"):
+            assert name in out
+        assert "PartitionedEngine" in out
+
+    def test_list_json_is_schema_versioned(self, capsys):
+        assert main(["machines", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-machine"
+        assert payload["version"] == 1
+        assert [m["name"] for m in payload["machines"]] == [
+            "serial",
+            "wsa",
+            "spa",
+            "wsa-e",
+        ]
+
+    def test_describe_table(self, capsys):
+        assert main(["machines", "describe", "wsa"]) == 0
+        out = capsys.readouterr().out
+        assert "WideSerialEngine" in out
+        assert "lanes" in out
+
+    def test_describe_json(self, capsys):
+        assert main(["machines", "describe", "spa", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-machine"
+        assert payload["name"] == "spa"
+        assert payload["capabilities"]["side_channel"] is True
+        assert payload["parameters"]["defaults"] == {"slice_width": 8}
+        assert "design" in payload
+
+    def test_describe_unknown_machine_exits_2(self, capsys):
+        assert main(["machines", "describe", "cray"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine 'cray'" in err
+
+    def test_legacy_bare_machines_still_works(self, capsys):
+        assert main(["machines"]) == 0
+        assert "CRAY X-MP/1" in capsys.readouterr().out
 
 
 class TestViscosity:
