@@ -1,0 +1,143 @@
+"""Schema-versioned lint baseline: burn down, never grow.
+
+``repro lint --strict`` fails on any finding *not* recorded in the
+committed baseline file (``.repro-lint-baseline.json`` by default) and
+also on any baseline entry that no longer matches a finding — stale
+entries mean debt was paid off, so the file must shrink to match.  The
+two failure directions together make the baseline a ratchet.
+
+Entries are matched on ``(path, rule)`` rather than exact line numbers,
+so unrelated edits that shift lines do not churn the file; one entry
+covers any number of findings of that rule in that file, which is why
+the acceptance bar is a *small* baseline, not a precise one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "baseline_from_diagnostics",
+    "load_baseline",
+    "save_baseline",
+]
+
+BASELINE_SCHEMA = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One accepted-debt record: ``rule`` findings allowed in ``path``."""
+
+    path: str
+    rule: str
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON payload for this entry."""
+        return {"path": self.path, "rule": self.rule}
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An accepted-findings set with ratchet queries.
+
+    Attributes
+    ----------
+    entries:
+        The accepted ``(path, rule)`` pairs, sorted.
+    """
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        """Whether ``diagnostic`` is accepted debt."""
+        return BaselineEntry(diagnostic.path, diagnostic.rule) in set(self.entries)
+
+    def fresh_findings(self, diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+        """Diagnostics not covered by any entry (the strict failures)."""
+        accepted = set(self.entries)
+        return [
+            d
+            for d in diagnostics
+            if BaselineEntry(d.path, d.rule) not in accepted
+        ]
+
+    def stale_entries(self, diagnostics: Iterable[Diagnostic]) -> list[BaselineEntry]:
+        """Entries matching no current finding (debt already paid off)."""
+        live = {BaselineEntry(d.path, d.rule) for d in diagnostics}
+        return [entry for entry in self.entries if entry not in live]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON payload (schema + version + sorted entries)."""
+        return {
+            "schema": BASELINE_SCHEMA,
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in sorted(set(self.entries))],
+        }
+
+
+def baseline_from_diagnostics(diagnostics: Iterable[Diagnostic]) -> Baseline:
+    """Collapse findings to a deduplicated ``(path, rule)`` baseline."""
+    entries = sorted({BaselineEntry(d.path, d.rule) for d in diagnostics})
+    return Baseline(entries=tuple(entries))
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Raises
+    ------
+    ValueError
+        on malformed JSON, a wrong ``schema`` marker, or an unknown
+        ``version`` — strict runs must not silently ignore debt records
+        they cannot interpret.
+    """
+    if not path.exists():
+        return Baseline()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} is missing the {BASELINE_SCHEMA!r} schema marker"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema version {version!r}; this tool "
+            f"reads version {BASELINE_VERSION} — regenerate with "
+            "'repro lint --write-baseline'"
+        )
+    raw = payload.get("entries", [])
+    if not isinstance(raw, list):
+        raise ValueError(f"baseline {path}: 'entries' must be a list")
+    entries = []
+    for item in raw:
+        if (
+            not isinstance(item, dict)
+            or not isinstance(item.get("path"), str)
+            or not isinstance(item.get("rule"), str)
+        ):
+            raise ValueError(
+                f"baseline {path}: each entry needs string 'path' and 'rule'"
+            )
+        entries.append(BaselineEntry(path=item["path"], rule=item["rule"]))
+    return Baseline(entries=tuple(sorted(set(entries))))
+
+
+def save_baseline(path: Path, baseline: Baseline) -> None:
+    """Write ``baseline`` to ``path`` (sorted, trailing newline)."""
+    path.write_text(
+        json.dumps(baseline.to_dict(), indent=2) + "\n", encoding="utf-8"
+    )

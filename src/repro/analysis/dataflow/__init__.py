@@ -1,0 +1,49 @@
+"""Whole-program dataflow layer under the lint rules.
+
+Three small pieces, composed by the ``RPR101``/``RPR102``/``RPR110``
+rule families:
+
+* :mod:`repro.analysis.dataflow.cfg` — statement-level intraprocedural
+  control-flow graphs over :mod:`ast`, with loop back edges, so rules
+  can reason about *paths*, not just syntax;
+* :mod:`repro.analysis.dataflow.reaching` — classic reaching-definitions
+  over those CFGs, distinguishing rebinding definitions (which kill)
+  from in-place mutations like ``buf[...] = x`` or ``np.copyto(buf, x)``
+  (which do not);
+* :mod:`repro.analysis.dataflow.project` — a project graph (modules,
+  imports, classes and resolved base classes, call edges within
+  ``repro.*``) that lets a rule checking one file see facts defined in
+  another, e.g. that a class three hops up the hierarchy derives from
+  ``StreamingEngineCore``.
+
+None of this executes repo code: everything is computed from parsed
+sources, so the linter stays safe to run on broken trees.
+"""
+
+from repro.analysis.dataflow.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.dataflow.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+)
+from repro.analysis.dataflow.reaching import (
+    Definition,
+    ReachingDefinitions,
+    stmt_defs,
+    stmt_uses,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "build_cfg",
+    "Definition",
+    "ReachingDefinitions",
+    "stmt_defs",
+    "stmt_uses",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+]

@@ -1,0 +1,167 @@
+"""Statement-level control-flow graphs over :mod:`ast`.
+
+One :class:`CFGNode` per *statement* (compound statements get a node for
+their header — the ``if``/``while`` test, the ``for`` iterator — and
+separate nodes for every statement in their bodies).  This granularity
+is deliberately fine: the rules built on top anchor diagnostics at
+statements, so blocks would only be re-split anyway, and the functions
+under analysis are small (kernel bodies, tick loops).
+
+Supported control flow: sequencing, ``if``/``elif``/``else``,
+``while``/``for`` (with back edges, ``break``, ``continue``, ``else``),
+``return``/``raise`` (edges to the synthetic exit), ``with``, and a
+conservative ``try`` model in which every statement of the ``try`` body
+may transfer to every handler.  Nested function and class definitions
+are opaque single nodes — their bodies belong to *their* CFGs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["CFG", "CFGNode", "build_cfg"]
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic entry/exit) in the graph.
+
+    Attributes
+    ----------
+    index:
+        Node id; stable within one :class:`CFG`.
+    stmt:
+        The statement this node represents, or ``None`` for the
+        synthetic entry and exit nodes.
+    succ, pred:
+        Successor / predecessor node ids.
+    """
+
+    index: int
+    stmt: ast.stmt | None
+    succ: set[int] = field(default_factory=set)
+    pred: set[int] = field(default_factory=set)
+
+
+@dataclass
+class CFG:
+    """A built control-flow graph.
+
+    Attributes
+    ----------
+    nodes:
+        All nodes, indexed by :attr:`CFGNode.index`.
+    entry, exit:
+        Ids of the synthetic entry and exit nodes.
+    """
+
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+
+    def node_of(self, stmt: ast.stmt) -> CFGNode:
+        """The node representing ``stmt`` (by object identity).
+
+        Raises
+        ------
+        KeyError
+            if ``stmt`` has no node in this graph.
+        """
+        for node in self.nodes:
+            if node.stmt is stmt:
+                return node
+        raise KeyError(f"statement at line {getattr(stmt, 'lineno', '?')} not in CFG")
+
+    def statement_nodes(self) -> list[CFGNode]:
+        """All non-synthetic nodes, in creation (roughly source) order."""
+        return [n for n in self.nodes if n.stmt is not None]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(None)
+        self.exit = self._new(None)
+        # (header id, list collecting the ids of `break` nodes)
+        self._loops: list[tuple[int, list[int]]] = []
+
+    def _new(self, stmt: ast.stmt | None) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succ.add(dst)
+        self.nodes[dst].pred.add(src)
+
+    def _connect(self, preds: set[int], dst: int) -> None:
+        for p in preds:
+            self._edge(p, dst)
+
+    def seq(self, stmts: Sequence[ast.stmt], preds: set[int]) -> set[int]:
+        """Thread ``stmts`` after ``preds``; return the fall-through set."""
+        for stmt in stmts:
+            preds = self.stmt(stmt, preds)
+        return preds
+
+    def stmt(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        node = self._new(stmt)
+        self._connect(preds, node)
+        if isinstance(stmt, ast.If):
+            then_out = self.seq(stmt.body, {node})
+            else_out = self.seq(stmt.orelse, {node}) if stmt.orelse else {node}
+            return then_out | else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: list[int] = []
+            self._loops.append((node, breaks))
+            body_out = self.seq(stmt.body, {node})
+            self._loops.pop()
+            for out in body_out:  # the back edge
+                self._edge(out, node)
+            exits: set[int] = {node}
+            if stmt.orelse:
+                exits = self.seq(stmt.orelse, exits)
+            return exits | set(breaks)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.seq(stmt.body, {node})
+        if isinstance(stmt, ast.Try):
+            first = len(self.nodes)
+            body_out = self.seq(stmt.body, {node})
+            body_nodes = set(range(first, len(self.nodes)))
+            # Conservative: an exception may leave any try-body statement.
+            handler_preds = {node} | body_nodes
+            outs = set(body_out)
+            for handler in stmt.handlers:
+                outs |= self.seq(handler.body, set(handler_preds))
+            if stmt.orelse:
+                outs |= self.seq(stmt.orelse, body_out)
+            if stmt.finalbody:
+                outs = self.seq(stmt.finalbody, outs)
+            return outs
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._edge(node, self.exit)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][1].append(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(node, self._loops[-1][0])
+            return set()
+        # Simple statements — and opaque nested defs/classes.
+        return {node}
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Build the CFG of a statement sequence (e.g. a function body).
+
+    Fall-through from the last statement is wired to the synthetic exit
+    node, so every execution path ends at :attr:`CFG.exit`.
+    """
+    builder = _Builder()
+    out = builder.seq(list(body), {builder.entry})
+    builder._connect(out, builder.exit)
+    return CFG(nodes=builder.nodes, entry=builder.entry, exit=builder.exit)

@@ -1,0 +1,462 @@
+"""The project graph: cross-file facts for the dataflow rules.
+
+Built once per lint run from the already-parsed module trees, the graph
+records what a single-file rule cannot see:
+
+* module identity — ``src/repro/lgca/bitplane.py`` *is* module
+  ``repro.lgca.bitplane``, so imports can be resolved to real modules;
+* per-module import tables (``from x import y as z`` → ``z: x.y``);
+* every class with its *resolved* base names and method set, so
+  ``derives_from`` can walk inheritance chains across files;
+* call edges within the project: bare calls resolved through the import
+  table and ``self.method()`` calls resolved within the class.
+
+The graph never imports or executes repo code — it is pure syntax — and
+it serializes to a schema-versioned JSON document keyed by per-file
+content digests, so CI can cache it between jobs and reuse every entry
+whose source is unchanged (:meth:`ProjectGraph.load_or_build`).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Iterable, Iterator
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "PROJECT_GRAPH_VERSION",
+    "module_name_for_path",
+]
+
+#: Schema version of the serialized graph (bump on format change).
+PROJECT_GRAPH_VERSION = 1
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Paths under a ``repro`` package directory map to real module names
+    (``src/repro/lgca/hpp.py`` → ``repro.lgca.hpp``); anything else
+    (fixtures, scripts) gets its stem as a standalone module name.
+    """
+    parts = PurePath(path).parts
+    if "repro" in parts:
+        sub = parts[parts.index("repro"):]
+        if sub[-1] == "__init__.py":
+            sub = sub[:-1]
+        else:
+            sub = sub[:-1] + (PurePath(sub[-1]).stem,)
+        return ".".join(sub)
+    return PurePath(path).stem
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method as the graph sees it."""
+
+    name: str
+    qualname: str  # "func" or "Class.method"
+    module: str
+    lineno: int
+    decorators: tuple[str, ...] = ()
+    calls: tuple[str, ...] = ()  # resolved callee qualnames (best effort)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON form (schema pinned by the project-graph version)."""
+        return {
+            "name": self.name,
+            "qualname": self.qualname,
+            "module": self.module,
+            "lineno": self.lineno,
+            "decorators": list(self.decorators),
+            "calls": list(self.calls),
+        }
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class with resolved base names and its method table."""
+
+    name: str
+    module: str
+    lineno: int
+    bases: tuple[str, ...] = ()  # resolved where possible, else as written
+    methods: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON form (schema pinned by the project-graph version)."""
+        return {
+            "name": self.name,
+            "module": self.module,
+            "lineno": self.lineno,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the graph knows about one module."""
+
+    name: str
+    path: str
+    digest: str
+    imports: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON form (schema pinned by the project-graph version)."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "digest": self.digest,
+            "imports": dict(sorted(self.imports.items())),
+            "classes": {k: c.to_dict() for k, c in sorted(self.classes.items())},
+            "functions": {k: f.to_dict() for k, f in sorted(self.functions.items())},
+        }
+
+
+def source_digest(source: str) -> str:
+    """Content digest used for cache validation."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Best-effort callee names: bare calls and ``self.method()`` calls."""
+
+    def __init__(self) -> None:
+        self.bare: list[str] = []
+        self.self_methods: list[str] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self.bare.append(func.id)
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            self.self_methods.append(func.attr)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs own their calls
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+    visit_Lambda = visit_FunctionDef  # type: ignore[assignment]
+
+
+class ProjectGraph:
+    """Modules, classes, functions, and edges — queryable by any rule."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        self.modules = modules
+        self._by_path = {m.path: m.name for m in modules.values()}
+        self._classes_by_name: dict[str, list[ClassInfo]] = {}
+        for mod in modules.values():
+            for cls in mod.classes.values():
+                self._classes_by_name.setdefault(cls.name, []).append(cls)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls, items: Iterable[tuple[str, str, ast.Module]]
+    ) -> "ProjectGraph":
+        """Build from ``(path, source, tree)`` triples (one per file)."""
+        modules: dict[str, ModuleInfo] = {}
+        for path, source, tree in items:
+            info = _build_module(path, source, tree)
+            modules[info.name] = info
+        graph = cls(modules)
+        graph._resolve_edges()
+        return graph
+
+    def _resolve_edges(self) -> None:
+        """Second pass: resolve base names and call targets across modules."""
+        for mod in self.modules.values():
+            local_defs = set(mod.classes) | set(mod.functions)
+            resolved_classes: dict[str, ClassInfo] = {}
+            for cname, cinfo in mod.classes.items():
+                bases = tuple(
+                    self._resolve_name(base, mod, local_defs) for base in cinfo.bases
+                )
+                resolved_classes[cname] = ClassInfo(
+                    name=cinfo.name,
+                    module=cinfo.module,
+                    lineno=cinfo.lineno,
+                    bases=bases,
+                    methods=cinfo.methods,
+                )
+            mod.classes = resolved_classes
+            resolved_fns: dict[str, FunctionInfo] = {}
+            for fname, finfo in mod.functions.items():
+                calls = tuple(
+                    self._resolve_name(c, mod, local_defs) for c in finfo.calls
+                )
+                resolved_fns[fname] = FunctionInfo(
+                    name=finfo.name,
+                    qualname=finfo.qualname,
+                    module=finfo.module,
+                    lineno=finfo.lineno,
+                    decorators=finfo.decorators,
+                    calls=calls,
+                )
+            mod.functions = resolved_fns
+
+    def _resolve_name(self, name: str, mod: ModuleInfo, local_defs: set[str]) -> str:
+        head = name.split(".", 1)[0]
+        if head in local_defs:
+            return f"{mod.name}.{name}"
+        if head in mod.imports:
+            target = mod.imports[head]
+            rest = name[len(head):]
+            return f"{target}{rest}"
+        return name
+
+    # -- queries ----------------------------------------------------------------
+
+    def module_for_path(self, path: str) -> ModuleInfo | None:
+        """The module built from ``path``, if any."""
+        name = self._by_path.get(str(path))
+        return self.modules.get(name) if name else None
+
+    def classes_named(self, name: str) -> tuple[ClassInfo, ...]:
+        """Every class in the project with this bare name."""
+        return tuple(self._classes_by_name.get(name, ()))
+
+    def resolve_class(self, dotted: str) -> ClassInfo | None:
+        """Look a class up by resolved dotted name, or bare name if unique."""
+        module, _, cname = dotted.rpartition(".")
+        if module and module in self.modules:
+            return self.modules[module].classes.get(cname)
+        candidates = self.classes_named(dotted.split(".")[-1])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def derives_from(self, cls: ClassInfo, root: str) -> bool:
+        """Whether ``cls`` transitively derives from a class named ``root``.
+
+        ``root`` is matched against the *last component* of each resolved
+        base name, so both ``StreamingEngineCore`` and
+        ``repro.engines.streaming_core.StreamingEngineCore`` match.
+        """
+        seen: set[str] = set()
+        work = list(cls.bases)
+        while work:
+            base = work.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            if base.split(".")[-1] == root:
+                return True
+            parent = self.resolve_class(base)
+            if parent is not None:
+                work.extend(parent.bases)
+        return False
+
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        """Every class in every module."""
+        for mod in self.modules.values():
+            yield from mod.classes.values()
+
+    # -- serialization / caching ------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Schema-versioned JSON form, stable across runs."""
+        return {
+            "schema": "repro-lint-project",
+            "version": PROJECT_GRAPH_VERSION,
+            "modules": {
+                name: mod.to_dict() for name, mod in sorted(self.modules.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "ProjectGraph":
+        """Rebuild a graph from :meth:`to_dict` output.
+
+        Raises
+        ------
+        ValueError
+            on a payload with the wrong schema marker or version.
+        """
+        if payload.get("schema") != "repro-lint-project":
+            raise ValueError("not a repro-lint-project document")
+        if payload.get("version") != PROJECT_GRAPH_VERSION:
+            raise ValueError(
+                f"unsupported project-graph version {payload.get('version')!r} "
+                f"(expected {PROJECT_GRAPH_VERSION})"
+            )
+        modules: dict[str, ModuleInfo] = {}
+        raw_modules = payload.get("modules")
+        if not isinstance(raw_modules, dict):
+            raise ValueError("project-graph document has no modules table")
+        for name, raw in raw_modules.items():
+            classes = {
+                cname: ClassInfo(
+                    name=c["name"],
+                    module=c["module"],
+                    lineno=c["lineno"],
+                    bases=tuple(c["bases"]),
+                    methods=tuple(c["methods"]),
+                )
+                for cname, c in raw["classes"].items()
+            }
+            functions = {
+                fname: FunctionInfo(
+                    name=f["name"],
+                    qualname=f["qualname"],
+                    module=f["module"],
+                    lineno=f["lineno"],
+                    decorators=tuple(f["decorators"]),
+                    calls=tuple(f["calls"]),
+                )
+                for fname, f in raw["functions"].items()
+            }
+            modules[name] = ModuleInfo(
+                name=raw["name"],
+                path=raw["path"],
+                digest=raw["digest"],
+                imports=dict(raw["imports"]),
+                classes=classes,
+                functions=functions,
+            )
+        return cls(modules)
+
+    @classmethod
+    def load_or_build(
+        cls,
+        cache_path: str | Path | None,
+        items: list[tuple[str, str, ast.Module]],
+    ) -> "ProjectGraph":
+        """Build the graph, reusing a cache file when every digest matches.
+
+        A stale or unreadable cache is ignored (and rewritten), never an
+        error: the cache is an optimization, not a source of truth.
+        """
+        if cache_path is None:
+            return cls.from_sources(items)
+        cache = Path(cache_path)
+        want = {
+            module_name_for_path(path): source_digest(source)
+            for path, source, _ in items
+        }
+        if cache.is_file():
+            try:
+                payload = json.loads(cache.read_text(encoding="utf-8"))
+                graph = cls.from_dict(payload)
+                have = {m.name: m.digest for m in graph.modules.values()}
+                if have == want:
+                    return graph
+            except (ValueError, KeyError, TypeError, OSError):
+                pass
+        graph = cls.from_sources(items)
+        try:
+            cache.write_text(
+                json.dumps(graph.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            pass
+        return graph
+
+
+def _build_module(path: str, source: str, tree: ast.Module) -> ModuleInfo:
+    info = ModuleInfo(
+        name=module_name_for_path(path),
+        path=str(path),
+        digest=source_digest(source),
+        imports=_collect_imports(tree),
+    )
+
+    def build_function(node: ast.FunctionDef, qualname: str) -> FunctionInfo:
+        collector = _CallCollector()
+        for stmt in node.body:
+            collector.visit(stmt)
+        class_prefix = qualname.rsplit(".", 1)[0] if "." in qualname else None
+        calls = list(collector.bare)
+        if class_prefix is not None:
+            calls += [f"{class_prefix}.{m}" for m in collector.self_methods]
+        return FunctionInfo(
+            name=node.name,
+            qualname=qualname,
+            module=info.name,
+            lineno=node.lineno,
+            decorators=tuple(
+                d for d in map(_decorator_name, node.decorator_list) if d
+            ),
+            calls=tuple(calls),
+        )
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(node, ast.FunctionDef):
+                info.functions[node.name] = build_function(node, node.name)
+        elif isinstance(node, ast.ClassDef):
+            methods: list[str] = []
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    qualname = f"{node.name}.{item.name}"
+                    info.functions[qualname] = build_function(item, qualname)
+                    methods.append(item.name)
+            bases = tuple(
+                b for b in map(_base_name, node.bases) if b is not None
+            )
+            info.classes[node.name] = ClassInfo(
+                name=node.name,
+                module=info.name,
+                lineno=node.lineno,
+                bases=bases,
+                methods=tuple(methods),
+            )
+    return info
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            return ".".join(reversed(parts))
+    if isinstance(node, ast.Subscript):  # Generic[...] bases
+        return _base_name(node.value)
+    return None

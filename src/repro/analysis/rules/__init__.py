@@ -9,11 +9,13 @@ from __future__ import annotations
 
 from repro.analysis.rules.annotations import PublicAPIAnnotationRule
 from repro.analysis.rules.base import ModuleUnderCheck, Rule
+from repro.analysis.rules.bufferhazard import BufferHazardRule
 from repro.analysis.rules.defaults import MutableDefaultRule
 from repro.analysis.rules.dtypes import ExplicitDtypeRule
 from repro.analysis.rules.excepts import BareExceptRule
 from repro.analysis.rules.exports import DunderAllRule
 from repro.analysis.rules.floats import FloatEqualityRule
+from repro.analysis.rules.hotpath import HotPathAllocationRule, HotPathPurityRule
 
 __all__ = [
     "Rule",
@@ -24,11 +26,16 @@ __all__ = [
     "ExplicitDtypeRule",
     "BareExceptRule",
     "DunderAllRule",
+    "HotPathAllocationRule",
+    "HotPathPurityRule",
+    "BufferHazardRule",
     "ALL_RULES",
     "get_rules",
 ]
 
-#: One instance of every rule, in id order.
+#: One instance of every rule, in id order.  Ids are unique and sorted
+#: but intentionally non-contiguous: the 1xx block holds the dataflow
+#: rule families (101/102 hot-path discipline, 110 buffer hazards).
 ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     FloatEqualityRule(),
@@ -36,6 +43,9 @@ ALL_RULES: tuple[Rule, ...] = (
     ExplicitDtypeRule(),
     BareExceptRule(),
     DunderAllRule(),
+    HotPathAllocationRule(),
+    HotPathPurityRule(),
+    BufferHazardRule(),
 )
 
 

@@ -13,9 +13,12 @@ import ast
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import PurePath
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.dataflow.project import ProjectGraph
 
 __all__ = ["ModuleUnderCheck", "Rule"]
 
@@ -32,11 +35,16 @@ class ModuleUnderCheck:
         Raw file text.
     tree:
         The parsed :class:`ast.Module`.
+    project:
+        The cross-file :class:`~repro.analysis.dataflow.project.ProjectGraph`
+        when the engine linted a whole path set, else ``None`` — rules
+        using it must degrade gracefully to single-file facts.
     """
 
     path: str
     source: str
     tree: ast.Module
+    project: "ProjectGraph | None" = None
 
     @property
     def path_parts(self) -> tuple[str, ...]:
@@ -64,12 +72,16 @@ class Rule(ABC):
     scopes:
         Directory names the rule is restricted to, or ``None`` for all
         files.
+    explanation:
+        Long-form rationale shown by ``repro lint --explain <id>``;
+        empty means the title is all there is to say.
     """
 
     id: str = "RPR000"
     title: str = "unnamed rule"
     severity: Severity = Severity.ERROR
     scopes: tuple[str, ...] | None = None
+    explanation: str = ""
 
     def applies_to(self, module: ModuleUnderCheck) -> bool:
         """Whether this rule should run on ``module`` (scope check)."""

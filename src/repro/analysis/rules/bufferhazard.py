@@ -1,0 +1,221 @@
+"""RPR110 — double-buffer hazard detection for streaming engines.
+
+The streaming engines are built around Kugelmass–Squier–Steiglitz's
+observation that a lattice update must read generation *t* while writing
+generation *t+1*: every engine therefore keeps a front/back buffer pair
+and swaps bindings between ticks (``src, dst = dst, src``).  Mutating an
+array *and* reading the same array elsewhere in the same tick body
+silently computes with half-updated state — the classic in-place
+propagation bug, invisible to tests on symmetric initial conditions.
+
+The rule runs on classes that stream: anything deriving (transitively,
+resolved through the cross-file project graph when available) from
+``StreamingEngineCore``, plus the registered stepper/engine classes in
+:data:`ENGINE_CLASS_NAMES`.  For every loop inside such a class's
+methods it builds the loop's CFG — whose back edge makes "written on a
+previous iteration" visible — and reports any array that has an
+in-place *mutation* (``buf[...] = x``, ``out=buf``, ``np.copyto(buf, …)``)
+reaching a *read* of the same name at a different statement.
+
+Rebinding swaps are binds and kill mutate definitions, so correctly
+double-buffered loops are clean.  Augmented element-wise updates
+(``acc[...] |= x``) read and write by construction and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow.cfg import build_cfg
+from repro.analysis.dataflow.reaching import (
+    ReachingDefinitions,
+    dotted_name,
+    stmt_uses,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["BufferHazardRule", "ENGINE_CLASS_NAMES"]
+
+#: Streaming classes checked even without a resolvable base chain —
+#: the machine-registry engines and the lgca steppers.
+ENGINE_CLASS_NAMES = frozenset(
+    {
+        "StreamingEngineCore",
+        "SerialPipelineEngine",
+        "WideSerialEngine",
+        "PartitionedEngine",
+        "ExtensibleSerialEngine",
+        "ReferenceStepper",
+        "BitplaneStepper",
+    }
+)
+
+_ROOT_CLASS = "StreamingEngineCore"
+
+
+def _is_pure_rebind(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` only shuffles name bindings (e.g. the swap).
+
+    ``src, dst = dst, src`` mentions the arrays but never touches their
+    elements — it must not count as a *read* of mutated storage.
+    """
+    if not isinstance(stmt, ast.Assign):
+        return False
+    for node in ast.walk(stmt):
+        if not isinstance(
+            node,
+            (ast.Assign, ast.Name, ast.Tuple, ast.List, ast.Starred, ast.expr_context),
+        ):
+            return False
+    return True
+
+
+def _subscript_store_bases(stmt: ast.stmt) -> set[str]:
+    """Base names of subscript store targets (``x`` of ``x[...] = ...``)."""
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        out: set[str] = set()
+        for target in targets:
+            elts = (
+                target.elts
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target]
+            )
+            for elt in elts:
+                if isinstance(elt, ast.Subscript):
+                    name = dotted_name(elt.value)
+                    if name is not None:
+                        out.add(name)
+        return out
+    return set()
+
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in cls.bases:
+        node: ast.expr = base
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+class BufferHazardRule(Rule):
+    """RPR110: no same-tick read of an array mutated in the tick body."""
+
+    id = "RPR110"
+    title = "streaming buffers must not be read and written in one tick"
+    explanation = (
+        "Streaming engines implement the paper's update discipline: read "
+        "generation t, write generation t+1, swap. A loop body that both "
+        "mutates an array in place (buf[...] = x, np.ufunc(..., out=buf), "
+        "np.copyto(buf, ...)) and reads the same array at another "
+        "statement computes with half-updated state — results depend on "
+        "site visit order and the bug hides on symmetric initial "
+        "conditions. The rule applies to classes deriving from "
+        "StreamingEngineCore (resolved transitively through the project "
+        "graph) and to the registered engine/stepper classes; it runs "
+        "reaching definitions over each loop body, back edge included, so "
+        "writes from the previous iteration count. Rebinding the names "
+        "(src, dst = dst, src) kills the in-place definitions, so proper "
+        "double buffering passes; in-place accumulations (buf |= x) are "
+        "exempt. Route the write into the back buffer and swap bindings "
+        "between ticks, or copy explicitly outside the loop."
+    )
+
+    def _class_is_engine(self, module: ModuleUnderCheck, cls: ast.ClassDef) -> bool:
+        bases = _base_names(cls)
+        if cls.name in ENGINE_CLASS_NAMES or bases & ENGINE_CLASS_NAMES:
+            return True
+        if module.project is not None:
+            resolved = module.project.resolve_class(cls.name)
+            if resolved is not None and module.project.derives_from(
+                resolved, _ROOT_CLASS
+            ):
+                return True
+        return False
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Flag read-after-in-place-write hazards in engine tick loops."""
+        for cls in module.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._class_is_engine(module, cls):
+                continue
+            for item in cls.body:
+                if isinstance(item, ast.FunctionDef):
+                    yield from self._check_method(module, cls, item)
+
+    def _outer_loops(
+        self, fn: ast.FunctionDef
+    ) -> Iterator[ast.For | ast.AsyncFor | ast.While]:
+        """Outermost loops of ``fn`` — each is one tick-iteration scope."""
+        stack: list[ast.stmt] = list(fn.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                yield stmt
+            elif isinstance(stmt, (ast.If, ast.With, ast.AsyncWith, ast.Try)):
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.stmt):
+                        stack.append(child)
+                    elif isinstance(child, ast.excepthandler):
+                        stack.extend(child.body)
+
+    def _check_method(
+        self, module: ModuleUnderCheck, cls: ast.ClassDef, fn: ast.FunctionDef
+    ) -> Iterator[Diagnostic]:
+        for loop in self._outer_loops(fn):
+            cfg = build_cfg([loop])
+            rd = ReachingDefinitions(cfg)
+            reported: set[tuple[str, int]] = set()
+            for node in cfg.statement_nodes():
+                stmt = node.stmt
+                assert stmt is not None
+                uses = stmt_uses(stmt)
+                if not uses or _is_pure_rebind(stmt):
+                    continue
+                # Same-statement hazard: a subscript store whose RHS (or
+                # index) reads the array being stored into — the classic
+                # in-place propagation bug.  Explicit in-place calls
+                # (out=x reading x) are deliberate and exempt.
+                for name in _subscript_store_bases(stmt):
+                    if name not in uses:
+                        continue
+                    key = (name, getattr(stmt, "lineno", 0))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.diagnostic(
+                        module,
+                        stmt,
+                        f"{cls.name}.{fn.name} stores into {name!r} while "
+                        "reading it in the same statement inside a tick "
+                        "loop; the update sees half-new state — write a "
+                        "back buffer and swap bindings instead",
+                    )
+                for d in rd.reaching_in(node.index):
+                    if d.kind != "mutate" or d.node == node.index:
+                        continue
+                    if d.name not in uses:
+                        continue
+                    def_stmt = rd.def_stmt(d)
+                    def_line = getattr(def_stmt, "lineno", "?")
+                    key = (d.name, getattr(stmt, "lineno", 0))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    yield self.diagnostic(
+                        module,
+                        stmt,
+                        f"{cls.name}.{fn.name} reads {d.name!r} at line "
+                        f"{getattr(stmt, 'lineno', '?')} after mutating it in "
+                        f"place at line {def_line} within the same tick body; "
+                        "double-buffer the update (write the back buffer and "
+                        "swap bindings) instead",
+                    )

@@ -1,0 +1,645 @@
+"""RPR101/RPR102 — streaming hot paths must not allocate or do I/O.
+
+The bit-plane backend's measured 9–14× speedup (``BENCH_kernels.json``)
+holds only while ``step_into`` and the other per-generation kernels run
+allocation-free at streaming rate; one hidden ``np.zeros`` per call and
+the benchmark silently degrades into a memory-allocator test.  Margolus'
+CAM-8 and the AVX/CUDA CA literature both identify exactly this memory
+discipline as the determinant of lattice-update throughput — so it is
+checked by machine, not convention.
+
+A function is *hot* when it is decorated ``@hot_path``
+(:mod:`repro.util.hotpath`) or its qualified name appears in
+:data:`repro.util.hotpath.HOT_PATH_REGISTRY` (so deleting a decorator
+cannot silence the check).  For every hot function the rules check:
+
+``RPR101`` (allocation)
+    no allocating numpy constructor (``np.zeros``/``empty``/``copy``/
+    ``concatenate``/...), no ``out=``-capable ufunc called *without*
+    ``out=``, no ``.astype()``/``.copy()`` on an array, and no binary
+    operator whose operand is array-typed (every ``a & b`` on arrays
+    allocates a temporary) — array-typedness is inferred by reaching
+    definitions over the function's CFG.  Calls to same-module helpers
+    are checked through interprocedural summaries: a hot function that
+    calls an allocating helper is flagged at the call site.
+    Escape hatch: ``# repro: alloc-ok`` on the offending line marks a
+    deliberate setup-region or cold-branch allocation.
+
+``RPR102`` (purity)
+    no ``print``/logging calls, no attribute writes to non-``self``
+    objects, and no growth of persistent ``self.*`` containers
+    (``append``/``extend``/``update``/...) — also propagated through
+    same-module call summaries.
+
+Setup code (``__init__``/``__post_init__``/``__new__``) is never treated
+as hot, even if listed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.dataflow.cfg import CFG, build_cfg
+from repro.analysis.dataflow.reaching import (
+    Definition,
+    ReachingDefinitions,
+    dotted_name,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+from repro.util.hotpath import HOT_PATH_REGISTRY
+
+__all__ = ["HotPathAllocationRule", "HotPathPurityRule"]
+
+#: numpy callables that always return a freshly allocated array.
+_ALLOC_FUNCS = {
+    "zeros", "ones", "empty", "full",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+    "array", "copy", "concatenate", "stack", "vstack", "hstack", "dstack",
+    "column_stack", "arange", "linspace", "tile", "repeat", "meshgrid",
+    "packbits", "unpackbits", "where", "unique", "sort", "argsort",
+    "nonzero", "bincount",
+}
+
+#: numpy callables that allocate *unless* routed through ``out=``.
+_OUT_CAPABLE = {
+    "take", "add", "subtract", "multiply", "divide", "floor_divide",
+    "mod", "power", "matmul", "clip",
+    "bitwise_and", "bitwise_or", "bitwise_xor", "bitwise_not", "invert",
+    "left_shift", "right_shift", "logical_and", "logical_or", "logical_not",
+    "minimum", "maximum", "abs", "absolute", "negative", "sqrt",
+}
+
+#: array methods that return a freshly allocated copy.
+_METHOD_ALLOCS = {"astype", "copy", "flatten"}
+
+#: container methods that grow persistent state.
+_GROWTH_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "appendleft", "extendleft",
+}
+
+_LOG_METHODS = {"debug", "info", "warning", "error", "critical", "exception", "log"}
+
+#: functions never treated as hot, whatever the registry says.
+_SETUP_NAMES = {"__init__", "__post_init__", "__new__"}
+
+_ALLOC_OK_RE = re.compile(r"#\s*repro:\s*alloc-ok")
+
+
+def _is_np(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id in ("np", "numpy")
+
+
+def _has_out_kwarg(call: ast.Call) -> bool:
+    return any(kw.arg == "out" for kw in call.keywords)
+
+
+@dataclass
+class _Flag:
+    """One potential finding inside a function body."""
+
+    node: ast.AST
+    message: str
+
+
+@dataclass
+class _Fn:
+    """Per-function analysis record."""
+
+    node: ast.FunctionDef
+    qualname: str
+    class_name: str | None
+    hot: bool
+    allocs: list[_Flag] = field(default_factory=list)
+    impure: list[_Flag] = field(default_factory=list)
+    local_calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+
+
+def _alloc_ok_lines(source: str) -> set[int]:
+    lines: set[int] = set()
+    for i, line in enumerate(source.splitlines(), start=1):
+        if _ALLOC_OK_RE.search(line):
+            lines.add(i)
+    return lines
+
+
+def _node_is_alloc_ok(node: ast.AST, ok_lines: set[int]) -> bool:
+    start = getattr(node, "lineno", 0)
+    end = getattr(node, "end_lineno", start) or start
+    return any(line in ok_lines for line in range(start, end + 1))
+
+
+def _bind_target_names(target: ast.expr) -> Iterator[str]:
+    """Names *rebound* by an assignment target.
+
+    Subscript/attribute targets mutate existing storage — they bind no
+    new name, and their index expressions are reads, not targets.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bind_target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bind_target_names(target.value)
+
+
+class _ArrayEnv:
+    """Flow-insensitive array-typedness used to seed the dataflow pass."""
+
+    def __init__(self, fn: ast.FunctionDef, class_arrays: set[str]):
+        self.class_arrays = class_arrays
+        self.params: set[str] = set()
+        args = fn.args
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            ann = a.annotation
+            text = ast.unparse(ann) if ann is not None else ""
+            if "ndarray" in text or "NDArray" in text:
+                self.params.add(a.arg)
+        self.names: set[str] = set(self.params)
+        changed = True
+        while changed:
+            changed = False
+            for stmt in ast.walk(fn):
+                if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    continue
+                value = stmt.value
+                if value is None or not self.arrayish(value):
+                    continue
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                )
+                for target in targets:
+                    for name in _bind_target_names(target):
+                        if name not in self.names:
+                            self.names.add(name)
+                            changed = True
+
+    def arrayish(self, expr: ast.expr) -> bool:
+        """Whether ``expr`` recognizably produces/propagates an array."""
+        if isinstance(expr, ast.Name):
+            return expr.id in self.names
+        if isinstance(expr, ast.Attribute):
+            name = dotted_name(expr)
+            return name in self.class_arrays if name else False
+        if isinstance(expr, ast.Subscript):
+            return self.arrayish(expr.value)
+        if isinstance(expr, ast.BinOp):
+            return self.arrayish(expr.left) or self.arrayish(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self.arrayish(expr.operand)
+        if isinstance(expr, ast.IfExp):
+            return self.arrayish(expr.body) or self.arrayish(expr.orelse)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if _is_np(func.value):
+                    return True
+                if func.attr in (
+                    _METHOD_ALLOCS | {"ravel", "reshape", "view", "transpose", "take"}
+                ):
+                    return self.arrayish(func.value)
+        return False
+
+
+class _ModuleHotAnalysis:
+    """Everything RPR101/RPR102 need to know about one module."""
+
+    def __init__(self, module: ModuleUnderCheck):
+        self.module = module
+        self.ok_lines = _alloc_ok_lines(module.source)
+        self.functions: dict[str, _Fn] = {}
+        self.class_arrays: dict[str, set[str]] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                self._add_function(node, node.name, None)
+            elif isinstance(node, ast.ClassDef):
+                arrays = self._collect_class_arrays(node)
+                self.class_arrays[node.name] = arrays
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        self._add_function(
+                            item, f"{node.name}.{item.name}", node.name
+                        )
+        self._summarize()
+
+    # -- indexing ---------------------------------------------------------------
+
+    def _collect_class_arrays(self, cls: ast.ClassDef) -> set[str]:
+        """``self.X`` attributes assigned from numpy expressions anywhere."""
+        arrays: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            produces = isinstance(value, ast.Call) and (
+                isinstance(value.func, ast.Attribute) and _is_np(value.func.value)
+            )
+            if not produces:
+                continue
+            for target in node.targets:
+                name = dotted_name(target)
+                if name and name.startswith("self."):
+                    arrays.add(name)
+        return arrays
+
+    def _is_hot(self, fn: ast.FunctionDef, qualname: str) -> bool:
+        if fn.name in _SETUP_NAMES:
+            return False
+        for dec in fn.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name == "hot_path":
+                return True
+        return qualname in HOT_PATH_REGISTRY
+
+    def _add_function(
+        self, fn: ast.FunctionDef, qualname: str, class_name: str | None
+    ) -> None:
+        rec = _Fn(
+            node=fn,
+            qualname=qualname,
+            class_name=class_name,
+            hot=self._is_hot(fn, qualname),
+        )
+        env = _ArrayEnv(fn, self.class_arrays.get(class_name or "", set()))
+        for stmt in fn.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._scan_call(rec, node, class_name)
+                elif isinstance(node, ast.BinOp):
+                    self._scan_binop(rec, node, env)
+                elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    self._scan_assignment(rec, node)
+        self.functions[qualname] = rec
+
+    def _scan_call(
+        self, rec: _Fn, node: ast.Call, class_name: str | None
+    ) -> None:
+        func = node.func
+        ok = _node_is_alloc_ok(node, self.ok_lines)
+        if isinstance(func, ast.Attribute) and _is_np(func.value):
+            if not ok and func.attr in _ALLOC_FUNCS:
+                rec.allocs.append(
+                    _Flag(node, f"np.{func.attr} allocates a new array every call")
+                )
+            elif not ok and func.attr in _OUT_CAPABLE and not _has_out_kwarg(node):
+                rec.allocs.append(
+                    _Flag(
+                        node,
+                        f"np.{func.attr} without out= allocates its result; "
+                        "route it into a preallocated buffer",
+                    )
+                )
+            return
+        if isinstance(func, ast.Name):
+            if func.id == "print":
+                rec.impure.append(_Flag(node, "calls print()"))
+            rec.local_calls.append((func.id, node))
+            return
+        if isinstance(func, ast.Attribute):
+            base = dotted_name(func.value)
+            if (
+                func.attr in _LOG_METHODS
+                and base is not None
+                and "log" in base.lower()
+            ):
+                rec.impure.append(_Flag(node, f"calls {base}.{func.attr}()"))
+            if (
+                func.attr in _GROWTH_METHODS
+                and base is not None
+                and base.startswith("self.")
+            ):
+                rec.impure.append(
+                    _Flag(
+                        node,
+                        f"grows persistent container {base} with .{func.attr}()",
+                    )
+                )
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and class_name is not None
+            ):
+                rec.local_calls.append((f"{class_name}.{func.attr}", node))
+
+    def _scan_binop(self, rec: _Fn, node: ast.BinOp, env: _ArrayEnv) -> None:
+        # Flow-insensitive screen for the summaries; hot functions get a
+        # second, reaching-definitions-checked pass in check_alloc().
+        if _node_is_alloc_ok(node, self.ok_lines):
+            return
+        for side in (node.left, node.right):
+            name = _operand_name(side)
+            if name is not None and (
+                name in env.names or name in env.class_arrays
+            ):
+                rec.allocs.append(
+                    _Flag(
+                        node,
+                        f"binary operator on array {name!r} allocates a "
+                        "temporary; use an in-place or out= form",
+                    )
+                )
+                return
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Call) and env.arrayish(side):
+                method = side.func
+                if (
+                    isinstance(method, ast.Attribute)
+                    and method.attr in _METHOD_ALLOCS
+                ):
+                    return  # already flagged as a method allocation
+        return
+
+    def _scan_assignment(
+        self, rec: _Fn, node: ast.Assign | ast.AugAssign | ast.AnnAssign
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                continue  # self.x = ... is the object's own state
+            base = dotted_name(target.value)
+            rec.impure.append(
+                _Flag(
+                    target,
+                    f"writes attribute {target.attr!r} of non-self object "
+                    f"{base or '<expr>'!r}",
+                )
+            )
+
+    # -- interprocedural summaries ----------------------------------------------
+
+    def _summarize(self) -> None:
+        # Method allocations (.astype/.copy) contribute to summaries too.
+        for rec in self.functions.values():
+            env = _ArrayEnv(
+                rec.node, self.class_arrays.get(rec.class_name or "", set())
+            )
+            for stmt in rec.node.body:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _METHOD_ALLOCS
+                        and env.arrayish(node.func.value)
+                        and not _node_is_alloc_ok(node, self.ok_lines)
+                    ):
+                        rec.allocs.append(
+                            _Flag(
+                                node,
+                                f".{node.func.attr}() allocates a copy of "
+                                f"{_operand_name(node.func.value) or 'an array'!r}",
+                            )
+                        )
+        self.alloc_reason: dict[str, str] = {}
+        self.impure_reason: dict[str, str] = {}
+        for qual, rec in self.functions.items():
+            if rec.allocs:
+                flag = rec.allocs[0]
+                self.alloc_reason[qual] = (
+                    f"{flag.message} (line {getattr(flag.node, 'lineno', '?')})"
+                )
+            if rec.impure:
+                flag = rec.impure[0]
+                self.impure_reason[qual] = (
+                    f"{flag.message} (line {getattr(flag.node, 'lineno', '?')})"
+                )
+        changed = True
+        while changed:
+            changed = False
+            for qual, rec in self.functions.items():
+                for callee, call in rec.local_calls:
+                    if callee not in self.functions or callee == qual:
+                        continue
+                    if _node_is_alloc_ok(call, self.ok_lines):
+                        continue
+                    if callee in self.alloc_reason and qual not in self.alloc_reason:
+                        self.alloc_reason[qual] = f"calls {callee.split('.')[-1]}()"
+                        changed = True
+                    if (
+                        callee in self.impure_reason
+                        and qual not in self.impure_reason
+                    ):
+                        self.impure_reason[qual] = f"calls {callee.split('.')[-1]}()"
+                        changed = True
+
+    # -- per-rule finding enumeration -------------------------------------------
+
+    def hot_functions(self) -> Iterator[_Fn]:
+        """Records for every hot function in the module."""
+        for rec in self.functions.values():
+            if rec.hot:
+                yield rec
+
+    def summary_call_flags(self, rec: _Fn, reasons: dict[str, str]) -> Iterator[_Flag]:
+        """Call-site flags for hot calls into flagged same-module helpers."""
+        for callee, call in rec.local_calls:
+            target = self.functions.get(callee)
+            if target is None or callee == rec.qualname:
+                continue
+            if _node_is_alloc_ok(call, self.ok_lines):
+                continue
+            if target.hot:
+                continue  # the callee is checked in its own right
+            if callee in reasons:
+                yield _Flag(
+                    call,
+                    f"calls {callee!r}, which is not hot-path safe: "
+                    f"{reasons[callee]}",
+                )
+
+
+def _operand_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    return dotted_name(expr)
+
+
+def _function_cfg(fn: ast.FunctionDef) -> tuple[CFG, list[str]]:
+    args = fn.args
+    params = [
+        a.arg
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return build_cfg(fn.body), params
+
+
+class HotPathAllocationRule(Rule):
+    """RPR101: hot paths may not allocate arrays per call."""
+
+    id = "RPR101"
+    title = "no allocation in streaming hot paths"
+    explanation = (
+        "Functions marked @hot_path (or registered in "
+        "repro.util.hotpath.HOT_PATH_REGISTRY) form the per-generation "
+        "streaming kernels whose throughput the paper's R metric measures. "
+        "Any per-call allocation — np.zeros/np.empty/np.copy/np.concatenate, "
+        "an out=-capable ufunc without out=, .astype()/.copy() on an array, "
+        "or a binary operator on array-typed operands (which always builds a "
+        "temporary) — turns the kernel into an allocator benchmark and "
+        "invalidates BENCH_kernels.json. Array-typedness is inferred with "
+        "reaching definitions over the function's control-flow graph, and "
+        "calls into same-module helpers are checked through interprocedural "
+        "summaries. Deliberate setup-region allocations are exempted with a "
+        "'# repro: alloc-ok' comment on the offending line."
+    )
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Flag per-call allocations inside hot functions."""
+        analysis = _ModuleHotAnalysis(module)
+        for rec in analysis.hot_functions():
+            flagged: set[tuple[int, int]] = set()
+            for flag in rec.allocs:
+                key = (
+                    getattr(flag.node, "lineno", 0),
+                    getattr(flag.node, "col_offset", 0),
+                )
+                if key in flagged:
+                    continue
+                flagged.add(key)
+                yield self.diagnostic(
+                    module,
+                    flag.node,
+                    f"hot path {rec.qualname!r} {_reword(flag.message)}",
+                )
+            yield from self._dataflow_binops(module, analysis, rec, flagged)
+            for flag in analysis.summary_call_flags(rec, analysis.alloc_reason):
+                yield self.diagnostic(
+                    module,
+                    flag.node,
+                    f"hot path {rec.qualname!r} {flag.message}",
+                )
+
+    def _dataflow_binops(
+        self,
+        module: ModuleUnderCheck,
+        analysis: _ModuleHotAnalysis,
+        rec: _Fn,
+        flagged: set[tuple[int, int]],
+    ) -> Iterator[Diagnostic]:
+        """Reaching-definitions pass: array temporaries the flat screen missed.
+
+        A name is array-typed *at a use* when an array-producing
+        definition reaches it — this catches e.g. a name that is an int
+        on one path and an array on the rearmost loop path.
+        """
+        env = _ArrayEnv(
+            rec.node, analysis.class_arrays.get(rec.class_name or "", set())
+        )
+        cfg, params = _function_cfg(rec.node)
+        rd = ReachingDefinitions(cfg, params)
+        array_defs = {
+            d for d in rd.definitions() if _def_is_array(d, rd, env)
+        }
+        for node in cfg.statement_nodes():
+            stmt = node.stmt
+            assert stmt is not None
+            reaching = rd.reaching_in(node.index)
+            for expr in ast.walk(stmt):
+                if not isinstance(expr, ast.BinOp):
+                    continue
+                if _node_is_alloc_ok(expr, analysis.ok_lines):
+                    continue
+                key = (expr.lineno, expr.col_offset)
+                if key in flagged:
+                    continue
+                for side in (expr.left, expr.right):
+                    name = _operand_name(side)
+                    if name is None:
+                        continue
+                    if name in env.class_arrays:
+                        reached = True
+                    else:
+                        reached = any(
+                            d.name == name and d in array_defs for d in reaching
+                        )
+                    if reached:
+                        flagged.add(key)
+                        yield self.diagnostic(
+                            module,
+                            expr,
+                            f"hot path {rec.qualname!r} applies a binary "
+                            f"operator to array {name!r}, allocating a "
+                            "temporary; use an in-place or out= form",
+                        )
+                        break
+
+
+def _def_is_array(
+    d: Definition, rd: ReachingDefinitions, env: _ArrayEnv
+) -> bool:
+    if d.kind == "param":
+        return d.name in env.params
+    stmt = rd.def_stmt(d)
+    if stmt is None:
+        return False
+    if d.kind == "mutate":
+        # out=/copyto targets and subscript stores hold arrays by construction.
+        return True
+    if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        value = stmt.value
+        return value is not None and env.arrayish(value)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return env.arrayish(stmt.iter)
+    return False
+
+
+def _reword(message: str) -> str:
+    """Make the stored flag message read as a predicate of the hot path."""
+    if message.startswith(("np.", "binary", ".")):
+        verb = "allocates:" if not message.startswith("binary") else ""
+        return f"{verb} {message}".strip()
+    return message
+
+
+class HotPathPurityRule(Rule):
+    """RPR102: hot paths may not do I/O or grow persistent state."""
+
+    id = "RPR102"
+    title = "no I/O or persistent-state growth in hot paths"
+    explanation = (
+        "Hot streaming kernels run once per lattice generation; a print(), "
+        "a logging call, an attribute write to a foreign object, or an "
+        "append/update on persistent self.* containers inside one turns a "
+        "fixed-cost kernel into one with unbounded side effects (GIL-held "
+        "I/O stalls, containers that grow with simulated time, action at a "
+        "distance on shared objects). Writes to the object's own attributes "
+        "and to preallocated buffers are allowed; growth methods "
+        "(append/extend/add/update/...) on self.* and writes through other "
+        "objects are not. Same-module helpers are checked via call "
+        "summaries, and '# repro: noqa[RPR102]' suppresses a finding on "
+        "one line."
+    )
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Flag I/O and persistent-state growth inside hot functions."""
+        analysis = _ModuleHotAnalysis(module)
+        for rec in analysis.hot_functions():
+            for flag in rec.impure:
+                yield self.diagnostic(
+                    module,
+                    flag.node,
+                    f"hot path {rec.qualname!r} {flag.message}",
+                )
+            for flag in analysis.summary_call_flags(rec, analysis.impure_reason):
+                yield self.diagnostic(
+                    module,
+                    flag.node,
+                    f"hot path {rec.qualname!r} {flag.message}",
+                )

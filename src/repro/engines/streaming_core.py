@@ -35,6 +35,7 @@ from repro.engines.shiftreg import ShiftRegister
 from repro.engines.stats import EngineRunStats
 from repro.lgca.automaton import SiteModel
 from repro.lgca.backends import KernelStepper, get_backend, make_stepper
+from repro.util.hotpath import hot_path
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = ["PipelineStage", "StreamingEngineCore"]
@@ -86,6 +87,10 @@ class PipelineStage:
         n = rows * cols
         self._r = (np.arange(n) // cols).astype(np.int64)
         self._c = (np.arange(n) % cols).astype(np.int64)
+        # Working storage for the allocation-free vectorized stage;
+        # (re)allocated lazily when the stream geometry/dtype is first seen.
+        self._buf_key: tuple[int, np.dtype, np.dtype] | None = None
+        self._out_sel = 0
 
     @property
     def latency_ticks(self) -> int:
@@ -110,16 +115,57 @@ class PipelineStage:
             collided = np.asarray(self.post_collide(collided, r, c, generation))
         return collided
 
+    def _stream_buffers(
+        self, stream: np.ndarray, collided: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Working storage for :meth:`process`: (out, gather, bits).
+
+        Setup region: buffers are allocated only when the stream
+        geometry or dtype changes, never in steady-state stepping.  The
+        two ``out`` buffers alternate between calls so chained stages
+        (``stream = stage.process(stream, t)``) never write the array
+        they are reading.
+        """
+        n = stream.size
+        key = (n, stream.dtype, collided.dtype)
+        if self._buf_key != key:
+            self._out_pair = (  # repro: alloc-ok
+                np.empty(n, dtype=stream.dtype),  # repro: alloc-ok
+                np.empty(n, dtype=stream.dtype),  # repro: alloc-ok
+            )
+            self._gather = np.empty(n, dtype=collided.dtype)  # repro: alloc-ok
+            self._bits = np.empty(n, dtype=stream.dtype)  # repro: alloc-ok
+            self._valid_i = self._valid.astype(stream.dtype)  # repro: alloc-ok
+            self._buf_key = key
+            self._out_sel = 0
+        out = self._out_pair[self._out_sel]
+        self._out_sel = 1 - self._out_sel
+        return out, self._gather, self._bits
+
+    @hot_path
     def process(self, stream: np.ndarray, generation: int) -> np.ndarray:
-        """Vectorized stage: one whole frame stream -> next generation."""
+        """Vectorized stage: one whole frame stream -> next generation.
+
+        Allocation-free in steady state: the result is a view of an
+        internal double buffer, valid until the next-but-one call —
+        callers that retain it must copy.
+        """
         stream = self._check_stream(stream)
         collided = self.collide_sites(stream, self._r, self._c, generation)
-        out = np.zeros_like(stream)
+        out, gather, bits = self._stream_buffers(stream, collided)
+        dtype = stream.dtype
+        out.fill(0)
         for ch in range(self._stencil.num_moving_channels):
-            bit = (collided[self._src[ch]] >> ch) & 1
-            out |= (bit & self._valid[ch]).astype(stream.dtype) << stream.dtype.type(ch)
+            np.take(collided, self._src[ch], out=gather)
+            np.right_shift(gather, gather.dtype.type(ch), out=gather)
+            np.copyto(bits, gather, casting="unsafe")
+            np.bitwise_and(bits, self._valid_i[ch], out=bits)
+            np.left_shift(bits, dtype.type(ch), out=bits)
+            np.bitwise_or(out, bits, out=out)
         for ch in self._stencil.self_channels:
-            out |= collided & stream.dtype.type(1 << ch)
+            np.copyto(bits, collided, casting="unsafe")
+            np.bitwise_and(bits, dtype.type(1 << ch), out=bits)
+            np.bitwise_or(out, bits, out=out)
         return out
 
     def process_tickwise(
@@ -294,12 +340,14 @@ class StreamingEngineCore:
 
     # -- evolution ---------------------------------------------------------------
 
+    @hot_path
     def _advance_stream(
         self, stream: np.ndarray, generation: int, tickwise: bool
     ) -> np.ndarray:
         """Transform the site stream through one stage (one generation)."""
         if tickwise:
-            return self.stage.process_tickwise(stream, generation)
+            # Tick-accurate diagnostic path, not a streaming rate model.
+            return self.stage.process_tickwise(stream, generation)  # repro: alloc-ok
         return self.stage.process(stream, generation)
 
     def run(
@@ -345,8 +393,9 @@ class StreamingEngineCore:
             io_bits += 2 * d * n  # read every site once, write every site once
             side_bits += span * per_pass_side
             done += span
-        if self._stepper is not None and generations > 0:
-            stream = stream.copy()  # detach from the stepper's internal buffer
+        if generations > 0:
+            # Detach from the stepper's (or the stage's) internal buffer.
+            stream = stream.copy()
         stats = EngineRunStats(
             name=self.name,
             site_updates=generations * n,

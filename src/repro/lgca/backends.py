@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.lgca.bitplane import BitplaneKernel
 from repro.lgca.bits import bounce_back_table
+from repro.util.hotpath import hot_path
 
 __all__ = [
     "KernelStepper",
@@ -125,6 +126,7 @@ class ReferenceStepper:
         else:
             self._solid = None
 
+    @hot_path
     def _advance(
         self,
         state: np.ndarray,
@@ -140,6 +142,7 @@ class ReferenceStepper:
             np.copyto(collided, self._bounced, where=self._solid)
         return self.model.propagate(collided, out=out, check=False)  # type: ignore[attr-defined]
 
+    @hot_path
     def step(
         self,
         state: np.ndarray,
@@ -149,6 +152,7 @@ class ReferenceStepper:
         state = self.model.check_state(state)  # type: ignore[attr-defined]
         return self._advance(state, self._buffers[0], t, rng)
 
+    @hot_path
     def run(
         self,
         state: np.ndarray,
@@ -181,6 +185,7 @@ class BitplaneStepper:
         self._planes = (self.kernel.alloc_planes(), self.kernel.alloc_planes())
         self._field = np.empty((model.rows, model.cols), dtype=np.uint8)  # type: ignore[attr-defined]
 
+    @hot_path
     def step(
         self,
         state: np.ndarray,
@@ -189,6 +194,7 @@ class BitplaneStepper:
     ) -> np.ndarray:
         return self.run(state, 1, t, rng)
 
+    @hot_path
     def run(
         self,
         state: np.ndarray,

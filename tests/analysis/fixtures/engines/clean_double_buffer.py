@@ -1,0 +1,25 @@
+"""Seeded RPR110-clean fixture: the double-buffer swap discipline.
+
+The back buffer is written, the front buffer is read, and the bindings
+swap between ticks — the rebinding kills the in-place definitions, so
+reaching definitions prove no read ever sees half-updated state.
+"""
+
+import numpy as np
+
+from repro.engines.streaming_core import StreamingEngineCore
+
+__all__ = ["SwapEngine"]
+
+
+class SwapEngine(StreamingEngineCore):
+    def run_ticks(self, front: np.ndarray, back: np.ndarray, steps: int) -> np.ndarray:
+        for _ in range(steps):
+            back[1:-1] = front[:-2] | front[2:]
+            front, back = back, front
+        return front
+
+    def accumulate(self, cells: np.ndarray, steps: int) -> np.ndarray:
+        for _ in range(steps):
+            cells[1:-1] |= cells[:-2]  # in-place accumulation is exempt
+        return cells

@@ -1,0 +1,41 @@
+"""Seeded RPR101 fixture: a hot-path kernel that secretly allocates.
+
+Every pattern here must be flagged: the direct ``np.zeros``, the
+out=-less ufunc, the ``.astype`` copy, the array binary operator, and —
+the sneaky one — the allocation hidden two calls deep in a same-module
+helper.
+"""
+
+import numpy as np
+
+from repro.util.hotpath import hot_path
+
+__all__ = ["HiddenAllocKernel"]
+
+
+def _make_scratch(n: int) -> np.ndarray:
+    """The hidden allocation: looks like plumbing, allocates every call."""
+    return np.zeros(n, dtype=np.uint64)
+
+
+def _prepare(field: np.ndarray) -> np.ndarray:
+    """One more hop: hot callers must be flagged through the chain."""
+    scratch = _make_scratch(field.size)
+    return scratch
+
+
+class HiddenAllocKernel:
+    def __init__(self, n: int) -> None:
+        self._buf = np.zeros(n, dtype=np.uint64)
+
+    @hot_path
+    def step_into(self, src: np.ndarray, dst: np.ndarray) -> None:
+        tmp = np.zeros(src.size, dtype=np.uint64)  # direct constructor
+        shifted = np.left_shift(src, 1)  # ufunc without out=
+        masked = src & dst  # array binary operator
+        widened = src.astype(np.uint64)  # copying conversion
+        helper = _prepare(src)  # allocation hidden in the call chain
+        np.bitwise_or(tmp, shifted, out=dst)
+        np.bitwise_or(dst, masked, out=dst)
+        np.bitwise_or(dst, widened, out=dst)
+        np.bitwise_or(dst, helper, out=dst)

@@ -1,0 +1,28 @@
+"""Seeded RPR102 fixture: I/O and persistent-state growth in a hot path."""
+
+import logging
+
+import numpy as np
+
+from repro.util.hotpath import hot_path
+
+__all__ = ["ChattyKernel"]
+
+logger = logging.getLogger(__name__)
+
+
+class ChattyKernel:
+    def __init__(self) -> None:
+        self.history: list[int] = []
+
+    def _note(self, t: int) -> None:
+        logger.info("step %d", t)  # impure helper a hot path must not call
+
+    @hot_path
+    def step_into(self, src: np.ndarray, dst: np.ndarray, t: int) -> None:
+        print("stepping", t)  # I/O in a hot path
+        logger.debug("t=%d", t)  # logging in a hot path
+        self.history.append(t)  # persistent container growth
+        dst.flags.writeable = True  # attribute write through another object
+        self._note(t)  # impurity via the call chain
+        np.copyto(dst, src)

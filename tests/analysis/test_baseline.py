@@ -1,0 +1,183 @@
+"""Tests for the lint baseline ratchet and the ``--strict`` CLI mode."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    BASELINE_VERSION,
+    Baseline,
+    BaselineEntry,
+    baseline_from_diagnostics,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.cli import main
+
+
+def diag(path="src/x.py", line=3, rule="RPR101"):
+    return Diagnostic(
+        path=path,
+        line=line,
+        col=0,
+        rule=rule,
+        severity=Severity.ERROR,
+        message="m",
+    )
+
+
+class TestBaselineModel:
+    def test_covers_by_path_and_rule(self):
+        base = Baseline(entries=(BaselineEntry("src/x.py", "RPR101"),))
+        assert base.covers(diag())
+        assert not base.covers(diag(rule="RPR102"))
+        assert not base.covers(diag(path="src/y.py"))
+
+    def test_fresh_findings(self):
+        base = Baseline(entries=(BaselineEntry("src/x.py", "RPR101"),))
+        fresh = base.fresh_findings([diag(), diag(rule="RPR110")])
+        assert [d.rule for d in fresh] == ["RPR110"]
+
+    def test_stale_entries(self):
+        base = Baseline(
+            entries=(
+                BaselineEntry("src/x.py", "RPR101"),
+                BaselineEntry("src/gone.py", "RPR102"),
+            )
+        )
+        stale = base.stale_entries([diag()])
+        assert stale == [BaselineEntry("src/gone.py", "RPR102")]
+
+    def test_from_diagnostics_dedupes(self):
+        base = baseline_from_diagnostics([diag(line=3), diag(line=9)])
+        assert len(base.entries) == 1
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        base = baseline_from_diagnostics([diag()])
+        save_baseline(path, base)
+        loaded = load_baseline(path)
+        assert loaded.entries == base.entries
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert payload["version"] == BASELINE_VERSION
+
+    def test_missing_file_is_empty(self, tmp_path):
+        base = load_baseline(tmp_path / "nope.json")
+        assert base.entries == ()
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "version": BASELINE_VERSION + 1,
+                    "entries": [],
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "other", "version": 1}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{broken")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+CLEAN = "X = 1\n"
+# A buffer hazard RPR110 will flag (engine class + in-place tick update).
+DIRTY = (
+    "class SerialPipelineEngine:\n"
+    "    def run(self, front, steps):\n"
+    "        for _ in range(steps):\n"
+    "            front[1:-1] = front[:-2]\n"
+)
+
+
+class TestStrictCLI:
+    def lint(self, *argv):
+        return main(["lint", *argv])
+
+    def test_strict_clean_tree_passes(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, Baseline(entries=()))
+        code = self.lint("--strict", "--baseline", str(baseline), str(tmp_path))
+        assert code == 0
+
+    def test_strict_fails_on_fresh_finding(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, Baseline(entries=()))
+        code = self.lint("--strict", "--baseline", str(baseline), str(tmp_path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "not in baseline" in err
+
+    def test_strict_baselined_finding_passes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            baseline, Baseline(entries=(BaselineEntry(str(bad), "RPR110"),))
+        )
+        code = self.lint("--strict", "--baseline", str(baseline), str(tmp_path))
+        assert code == 0
+
+    def test_strict_fails_on_stale_entry(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            baseline,
+            Baseline(entries=(BaselineEntry("src/gone.py", "RPR110"),)),
+        )
+        code = self.lint("--strict", "--baseline", str(baseline), str(tmp_path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken")
+        code = self.lint("--strict", "--baseline", str(baseline), str(tmp_path))
+        assert code == 2
+
+    def test_write_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        code = self.lint(
+            "--write-baseline", "--baseline", str(baseline), str(tmp_path)
+        )
+        assert code == 0
+        loaded = load_baseline(baseline)
+        assert BaselineEntry(str(bad), "RPR110") in loaded.entries
+        # and the written baseline makes a subsequent strict run pass
+        assert (
+            self.lint("--strict", "--baseline", str(baseline), str(tmp_path))
+            == 0
+        )
+
+    def test_repo_baseline_is_empty_and_strict_passes_on_src(self, capsys):
+        # The committed ratchet: the tree is clean, the baseline empty.
+        from pathlib import Path
+
+        repo_baseline = Path(".repro-lint-baseline.json")
+        assert repo_baseline.is_file()
+        payload = json.loads(repo_baseline.read_text())
+        assert payload["entries"] == []
+        assert self.lint("--strict", "src") == 0

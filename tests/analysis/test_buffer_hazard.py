@@ -1,0 +1,163 @@
+"""Tests for RPR110 — the streaming buffer-hazard checker."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.dataflow.project import ProjectGraph
+from repro.analysis.engine import LintEngine, lint_paths
+from repro.analysis.rules.base import ModuleUnderCheck
+from repro.analysis.rules.bufferhazard import BufferHazardRule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "engines"
+
+
+def findings(source: str, project: ProjectGraph | None = None):
+    tree = ast.parse(source)
+    module = ModuleUnderCheck(
+        path="snippet.py", source=source, tree=tree, project=project
+    )
+    return list(BufferHazardRule().check(module))
+
+
+class TestFixtures:
+    def test_bad_fixture_flags_both_hazard_shapes(self):
+        report = lint_paths(
+            [FIXTURES / "bad_buffer_hazard.py"], select=["RPR110"]
+        )
+        lines = sorted(d.line for d in report.diagnostics)
+        # line 20: the same-statement in-place update; 25-27: the split
+        # form where reads follow in-place writes across statements
+        assert lines == [20, 25, 26, 27]
+        assert all(d.rule == "RPR110" for d in report.diagnostics)
+
+    def test_clean_double_buffer_passes(self):
+        report = lint_paths(
+            [FIXTURES / "clean_double_buffer.py"], select=["RPR110"]
+        )
+        assert report.diagnostics == ()
+
+
+ENGINE = "class E(StreamingEngineCore):\n"
+
+
+class TestHazardShapes:
+    def test_same_statement_store_and_read(self):
+        src = ENGINE + (
+            "    def run(self, front, steps):\n"
+            "        for _ in range(steps):\n"
+            "            front[1:-1] = front[:-2]\n"
+        )
+        assert len(findings(src)) == 1
+
+    def test_swap_discipline_is_clean(self):
+        src = ENGINE + (
+            "    def run(self, front, back, steps):\n"
+            "        for _ in range(steps):\n"
+            "            back[1:-1] = front[:-2]\n"
+            "            front, back = back, front\n"
+        )
+        assert findings(src) == []
+
+    def test_missing_swap_flags_via_back_edge(self):
+        # without the swap, last iteration's write reaches this
+        # iteration's read — only the loop back edge reveals it
+        src = ENGINE + (
+            "    def run(self, front, back, steps):\n"
+            "        for _ in range(steps):\n"
+            "            back[1:-1] = front[:-2]\n"
+            "            front[0] = back[0]\n"
+        )
+        found = findings(src)
+        # line 4 reads `front`, mutated at line 5 on the previous
+        # iteration — visible only through the loop back edge — and
+        # line 5 reads `back`, mutated at line 4 in the same pass.
+        assert sorted(d.line for d in found) == [4, 5]
+
+    def test_aug_accumulation_exempt(self):
+        src = ENGINE + (
+            "    def run(self, cells, steps):\n"
+            "        for _ in range(steps):\n"
+            "            cells[1:-1] |= cells[:-2]\n"
+        )
+        assert findings(src) == []
+
+    def test_out_kwarg_mutation_then_read(self):
+        src = ENGINE + (
+            "    def run(self, buf, scratch, steps):\n"
+            "        import numpy as np\n"
+            "        for _ in range(steps):\n"
+            "            np.left_shift(buf, 1, out=buf)\n"
+            "            total = buf.sum()\n"
+            "            scratch[0] = total + buf[0]\n"
+        )
+        found = findings(src)
+        assert found  # buf read after in-place write in the same tick
+
+    def test_non_engine_class_not_checked(self):
+        src = (
+            "class NotAnEngine:\n"
+            "    def run(self, front, steps):\n"
+            "        for _ in range(steps):\n"
+            "            front[1:-1] = front[:-2]\n"
+        )
+        assert findings(src) == []
+
+
+class TestProjectGraphResolution:
+    def test_transitive_base_found_through_graph(self):
+        core = "class StreamingEngineCore:\n    pass\n"
+        mid = (
+            "from repro.engines.streaming_core import StreamingEngineCore\n"
+            "class MidEngine(StreamingEngineCore):\n    pass\n"
+        )
+        leaf = (
+            "from repro.engines.mid import MidEngine\n"
+            "class LeafEngine(MidEngine):\n"
+            "    def run(self, front, steps):\n"
+            "        for _ in range(steps):\n"
+            "            front[1:-1] = front[:-2]\n"
+        )
+        files = {
+            "src/repro/engines/streaming_core.py": core,
+            "src/repro/engines/mid.py": mid,
+            "src/repro/engines/leaf.py": leaf,
+        }
+        graph = ProjectGraph.from_sources(
+            [(p, s, ast.parse(s)) for p, s in files.items()]
+        )
+        # LeafEngine's direct base is MidEngine — only the project
+        # graph knows MidEngine derives from StreamingEngineCore
+        assert len(findings(leaf, project=graph)) == 1
+
+    def test_without_graph_indirect_base_unseen(self):
+        leaf = (
+            "class LeafEngine(MidEngine):\n"
+            "    def run(self, front, steps):\n"
+            "        for _ in range(steps):\n"
+            "            front[1:-1] = front[:-2]\n"
+        )
+        assert findings(leaf, project=None) == []
+
+
+class TestEngineIntegration:
+    def test_lint_paths_supplies_project_graph(self, tmp_path):
+        # Two files: the base chain lives in a different file than the
+        # offending engine — lint_paths must connect them.
+        (tmp_path / "streaming_core.py").write_text(
+            "class StreamingEngineCore:\n    pass\n"
+        )
+        (tmp_path / "mid.py").write_text(
+            "from streaming_core import StreamingEngineCore\n"
+            "class MidEngine(StreamingEngineCore):\n    pass\n"
+        )
+        (tmp_path / "leaf.py").write_text(
+            "from mid import MidEngine\n"
+            "class LeafEngine(MidEngine):\n"
+            "    def run(self, front, steps):\n"
+            "        for _ in range(steps):\n"
+            "            front[1:-1] = front[:-2]\n"
+        )
+        engine = LintEngine(rules=[BufferHazardRule()])
+        report = engine.lint_paths([tmp_path])
+        assert [d.rule for d in report.diagnostics] == ["RPR110"]
+        assert report.diagnostics[0].path.endswith("leaf.py")

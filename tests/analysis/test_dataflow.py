@@ -1,0 +1,179 @@
+"""Tests for the CFG and reaching-definitions framework.
+
+These pin the *semantics* the rules rely on: loop back edges exist,
+``break``/``continue`` route correctly, binds kill and mutations don't,
+and the double-buffer swap kills in-place definitions.
+"""
+
+import ast
+
+from repro.analysis.dataflow import (
+    ReachingDefinitions,
+    build_cfg,
+    stmt_defs,
+    stmt_uses,
+)
+
+
+def cfg_of(src: str):
+    tree = ast.parse(src)
+    return build_cfg(tree.body), tree
+
+
+def rd_of(src: str, params=()):
+    cfg, tree = cfg_of(src)
+    return ReachingDefinitions(cfg, params), cfg, tree
+
+
+class TestCFG:
+    def test_straight_line(self):
+        cfg, _ = cfg_of("a = 1\nb = 2\nc = 3\n")
+        stmts = cfg.statement_nodes()
+        assert len(stmts) == 3
+        assert stmts[0].succ == {stmts[1].index}
+        assert stmts[1].succ == {stmts[2].index}
+        assert cfg.exit in stmts[2].succ
+
+    def test_if_branches_rejoin(self):
+        cfg, tree = cfg_of("if c:\n    a = 1\nelse:\n    a = 2\nb = a\n")
+        join = cfg.node_of(tree.body[1])
+        assert len(join.pred) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg, tree = cfg_of("if c:\n    a = 1\nb = 2\n")
+        join = cfg.node_of(tree.body[1])
+        header = cfg.node_of(tree.body[0])
+        assert header.index in join.pred  # the test-false path
+
+    def test_loop_has_back_edge(self):
+        cfg, tree = cfg_of("for i in xs:\n    a = i\n")
+        header = cfg.node_of(tree.body[0])
+        body = cfg.node_of(tree.body[0].body[0])
+        assert header.index in body.succ  # back edge
+        assert body.index in header.succ
+
+    def test_break_exits_loop(self):
+        src = "while c:\n    if d:\n        break\n    a = 1\nb = 2\n"
+        cfg, tree = cfg_of(src)
+        brk = cfg.node_of(tree.body[0].body[0].body[0])
+        after = cfg.node_of(tree.body[1])
+        assert after.index in brk.succ
+        header = cfg.node_of(tree.body[0])
+        assert header.index not in brk.succ
+
+    def test_continue_targets_header(self):
+        src = "while c:\n    if d:\n        continue\n    a = 1\n"
+        cfg, tree = cfg_of(src)
+        cont = cfg.node_of(tree.body[0].body[0].body[0])
+        header = cfg.node_of(tree.body[0])
+        assert cont.succ == {header.index}
+
+    def test_return_goes_to_exit(self):
+        cfg, tree = cfg_of("def f():\n    return 1\n")
+        inner = build_cfg(tree.body[0].body)
+        ret = inner.node_of(tree.body[0].body[0])
+        assert ret.succ == {inner.exit}
+
+    def test_try_handler_reachable_from_body(self):
+        src = "try:\n    a = 1\n    b = 2\nexcept ValueError:\n    c = 3\n"
+        cfg, tree = cfg_of(src)
+        handler = cfg.node_of(tree.body[0].handlers[0].body[0])
+        body_a = cfg.node_of(tree.body[0].body[0])
+        body_b = cfg.node_of(tree.body[0].body[1])
+        assert body_a.index in handler.pred
+        assert body_b.index in handler.pred
+
+
+class TestDefsAndUses:
+    def defs(self, src):
+        return stmt_defs(ast.parse(src).body[0])
+
+    def uses(self, src):
+        return stmt_uses(ast.parse(src).body[0])
+
+    def test_simple_bind(self):
+        assert self.defs("x = 1") == [("x", "bind")]
+
+    def test_tuple_unpack_binds_each(self):
+        assert set(self.defs("a, b = b, a")) == {("a", "bind"), ("b", "bind")}
+
+    def test_subscript_store_is_mutate(self):
+        assert self.defs("x[0] = 1") == [("x", "mutate")]
+
+    def test_self_attribute_subscript_is_mutate(self):
+        assert self.defs("self.buf[...] = v") == [("self.buf", "mutate")]
+
+    def test_out_kwarg_is_mutate(self):
+        assert ("dst", "mutate") in self.defs("np.add(a, b, out=dst)")
+
+    def test_copyto_first_arg_is_mutate(self):
+        assert ("dst", "mutate") in self.defs("np.copyto(dst, src)")
+
+    def test_augassign_is_aug(self):
+        assert self.defs("x[0] |= 1") == [("x", "aug")]
+
+    def test_store_target_base_not_a_use(self):
+        assert "x" not in self.uses("x[0] = y")
+        assert "y" in self.uses("x[0] = y")
+
+    def test_subscript_index_is_a_use(self):
+        assert "i" in self.uses("x[i] = 1")
+
+    def test_out_kwarg_not_a_use(self):
+        uses = self.uses("np.add(a, b, out=dst)")
+        assert "dst" not in uses
+        assert {"a", "b"} <= uses
+
+
+class TestReachingDefinitions:
+    def test_bind_kills_previous(self):
+        rd, cfg, tree = rd_of("x = 1\nx = 2\ny = x\n")
+        node = cfg.node_of(tree.body[2])
+        reaching = [d for d in rd.reaching_in(node.index) if d.name == "x"]
+        assert len(reaching) == 1
+        assert rd.def_stmt(reaching[0]) is tree.body[1]
+
+    def test_mutate_does_not_kill(self):
+        rd, cfg, tree = rd_of("x = mk()\nx[0] = 1\ny = x\n")
+        node = cfg.node_of(tree.body[2])
+        kinds = {d.kind for d in rd.reaching_in(node.index) if d.name == "x"}
+        assert kinds == {"bind", "mutate"}
+
+    def test_loop_mutation_reaches_top_of_body(self):
+        src = "while c:\n    y = x[0]\n    x[0] = y\n"
+        rd, cfg, tree = rd_of(src)
+        read = cfg.node_of(tree.body[0].body[0])
+        mutates = [
+            d
+            for d in rd.reaching_in(read.index)
+            if d.name == "x" and d.kind == "mutate"
+        ]
+        assert mutates  # via the back edge
+
+    def test_swap_kills_mutations(self):
+        src = (
+            "while c:\n"
+            "    dst[...] = f(src)\n"
+            "    src, dst = dst, src\n"
+        )
+        rd, cfg, tree = rd_of(src, params=["src", "dst"])
+        write = cfg.node_of(tree.body[0].body[0])
+        mutates = [
+            d
+            for d in rd.reaching_in(write.index)
+            if d.kind == "mutate"
+        ]
+        assert mutates == []  # the swap's binds killed them
+
+    def test_params_reach_entry_statements(self):
+        rd, cfg, tree = rd_of("y = x\n", params=["x"])
+        node = cfg.node_of(tree.body[0])
+        kinds = {d.kind for d in rd.reaching_in(node.index) if d.name == "x"}
+        assert kinds == {"param"}
+
+    def test_branch_merges_both_defs(self):
+        src = "if c:\n    x = 1\nelse:\n    x = 2\ny = x\n"
+        rd, cfg, tree = rd_of(src)
+        node = cfg.node_of(tree.body[1])
+        defs = [d for d in rd.reaching_in(node.index) if d.name == "x"]
+        assert len(defs) == 2

@@ -1,0 +1,152 @@
+"""Tests for RPR101 (hot-path allocation) and RPR102 (hot-path purity)."""
+
+from pathlib import Path
+
+from repro.analysis.engine import LintEngine, lint_paths
+from repro.analysis.rules.hotpath import HotPathAllocationRule, HotPathPurityRule
+
+FIXTURES = Path(__file__).parent / "fixtures" / "hotpath"
+
+
+def findings(source: str, rule_cls):
+    engine = LintEngine(rules=[rule_cls()])
+    return engine.lint_source(source, "snippet.py")
+
+
+HOT_PREFIX = "import numpy as np\nfrom repro.util.hotpath import hot_path\n"
+
+
+class TestAllocationFixtures:
+    def test_bad_fixture_flags_every_pattern(self):
+        report = lint_paths(
+            [FIXTURES / "bad_hot_alloc.py"], select=["RPR101"]
+        )
+        lines = sorted(d.line for d in report.diagnostics)
+        # direct zeros, out=-less ufunc, array binop, astype, hidden
+        # allocation two calls deep — one finding per offending line
+        assert lines == [33, 34, 35, 36, 37]
+        assert all(d.rule == "RPR101" for d in report.diagnostics)
+
+    def test_interprocedural_message_names_the_chain(self):
+        report = lint_paths(
+            [FIXTURES / "bad_hot_alloc.py"], select=["RPR101"]
+        )
+        chained = [d for d in report.diagnostics if d.line == 37]
+        assert len(chained) == 1
+        assert "_prepare" in chained[0].message
+
+    def test_clean_fixture_passes(self):
+        report = lint_paths([FIXTURES / "clean_hot.py"], select=["RPR101"])
+        assert report.diagnostics == ()
+
+
+class TestAllocationSnippets:
+    def test_unmarked_function_not_checked(self):
+        src = HOT_PREFIX + (
+            "def cold(n):\n"
+            "    return np.zeros(n)\n"
+        )
+        assert findings(src, HotPathAllocationRule) == []
+
+    def test_registry_hotness_without_decorator(self):
+        # PipelineStage.process is hot by architecture (HOT_PATH_REGISTRY)
+        src = "import numpy as np\n" + (
+            "class PipelineStage:\n"
+            "    def process(self, stream):\n"
+            "        return np.zeros(stream.size)\n"
+        )
+        found = findings(src, HotPathAllocationRule)
+        assert len(found) == 1
+        assert "np.zeros" in found[0].message
+
+    def test_setup_methods_never_hot(self):
+        src = "import numpy as np\n" + (
+            "class PipelineStage:\n"
+            "    def __init__(self, n):\n"
+            "        self._buf = np.zeros(n)\n"
+            "    def process(self, stream):\n"
+            "        return stream\n"
+        )
+        assert findings(src, HotPathAllocationRule) == []
+
+    def test_alloc_ok_escape_hatch(self):
+        src = HOT_PREFIX + (
+            "@hot_path\n"
+            "def lazy_init(n):\n"
+            "    buf = np.zeros(n)  # repro: alloc-ok\n"
+            "    return buf\n"
+        )
+        assert findings(src, HotPathAllocationRule) == []
+
+    def test_out_ufunc_is_clean(self):
+        src = HOT_PREFIX + (
+            "@hot_path\n"
+            "def step(src, dst):\n"
+            "    np.bitwise_or(src, src, out=dst)\n"
+        )
+        assert findings(src, HotPathAllocationRule) == []
+
+    def test_binop_on_scalars_is_clean(self):
+        src = HOT_PREFIX + (
+            "@hot_path\n"
+            "def step(n: int, k: int):\n"
+            "    return n + k\n"
+        )
+        assert findings(src, HotPathAllocationRule) == []
+
+    def test_binop_flagged_only_when_array_def_reaches(self):
+        # `v` is an int on one path, an array on the other — the
+        # dataflow pass flags the use because an array def reaches it.
+        src = HOT_PREFIX + (
+            "@hot_path\n"
+            "def step(src: np.ndarray, flag):\n"
+            "    if flag:\n"
+            "        v = src\n"
+            "    else:\n"
+            "        v = 0\n"
+            "    return v & v\n"
+        )
+        found = findings(src, HotPathAllocationRule)
+        assert len(found) == 1
+
+    def test_rebind_to_scalar_kills_arrayness(self):
+        src = HOT_PREFIX + (
+            "@hot_path\n"
+            "def step(src: np.ndarray):\n"
+            "    v = int(src.sum())\n"
+            "    v = 0\n"
+            "    return v + 1\n"
+        )
+        assert findings(src, HotPathAllocationRule) == []
+
+
+class TestPurity:
+    def test_bad_fixture_flags_every_pattern(self):
+        report = lint_paths(
+            [FIXTURES / "bad_hot_purity.py"], select=["RPR102"]
+        )
+        lines = sorted(d.line for d in report.diagnostics)
+        # print, logger call, container growth, foreign attribute
+        # write, and the impure same-module helper
+        assert lines == [23, 24, 25, 26, 27]
+        assert all(d.rule == "RPR102" for d in report.diagnostics)
+
+    def test_self_attribute_write_allowed(self):
+        src = HOT_PREFIX + (
+            "class K:\n"
+            "    @hot_path\n"
+            "    def step(self):\n"
+            "        self._tick += 1\n"
+        )
+        assert findings(src, HotPathPurityRule) == []
+
+    def test_print_in_cold_function_allowed(self):
+        src = "def report():\n    print('fine')\n"
+        assert findings(src, HotPathPurityRule) == []
+
+
+class TestExplanations:
+    def test_rules_carry_explanations(self):
+        for rule_cls in (HotPathAllocationRule, HotPathPurityRule):
+            rule = rule_cls()
+            assert len(rule.explanation) > 100

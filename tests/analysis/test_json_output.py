@@ -26,12 +26,17 @@ class TestJsonSchema:
             "summary",
             "diagnostics",
         }
-        assert payload["version"] == 1
+        assert payload["version"] == 2
 
     def test_clean_file_exits_zero(self, capsys):
         code, payload = lint_json(capsys, str(FIXTURES / "core" / "clean.py"))
         assert code == 0
-        assert payload["summary"] == {"errors": 0, "warnings": 0, "total": 0}
+        assert payload["summary"] == {
+            "errors": 0,
+            "warnings": 0,
+            "suppressed": 0,
+            "total": 0,
+        }
         assert payload["diagnostics"] == []
 
     def test_diagnostic_record_shape(self, capsys):

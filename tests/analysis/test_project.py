@@ -1,0 +1,150 @@
+"""Tests for the cross-file project graph and its digest-keyed cache."""
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.dataflow.project import (
+    PROJECT_GRAPH_VERSION,
+    ProjectGraph,
+    module_name_for_path,
+    source_digest,
+)
+
+
+def graph_from(files: dict[str, str]) -> ProjectGraph:
+    return ProjectGraph.from_sources(
+        [(path, src, ast.parse(src)) for path, src in files.items()]
+    )
+
+
+CORE = "class StreamingEngineCore:\n    def run(self):\n        pass\n"
+MID = (
+    "from repro.engines.streaming_core import StreamingEngineCore\n"
+    "class MidEngine(StreamingEngineCore):\n    pass\n"
+)
+LEAF = (
+    "from repro.engines.mid import MidEngine\n"
+    "class LeafEngine(MidEngine):\n    pass\n"
+)
+
+THREE_HOPS = {
+    "src/repro/engines/streaming_core.py": CORE,
+    "src/repro/engines/mid.py": MID,
+    "src/repro/engines/leaf.py": LEAF,
+}
+
+
+class TestModuleNaming:
+    def test_repro_package_paths(self):
+        assert (
+            module_name_for_path("src/repro/lgca/hpp.py") == "repro.lgca.hpp"
+        )
+
+    def test_package_init(self):
+        assert module_name_for_path("src/repro/lgca/__init__.py") == "repro.lgca"
+
+    def test_non_package_path_uses_stem(self):
+        assert module_name_for_path("tests/fixtures/thing.py") == "thing"
+
+
+class TestGraphFacts:
+    def test_imports_resolved(self):
+        graph = graph_from(THREE_HOPS)
+        mid = graph.modules["repro.engines.mid"]
+        assert (
+            mid.imports["StreamingEngineCore"]
+            == "repro.engines.streaming_core.StreamingEngineCore"
+        )
+
+    def test_bases_resolved_across_files(self):
+        graph = graph_from(THREE_HOPS)
+        leaf = graph.modules["repro.engines.leaf"].classes["LeafEngine"]
+        assert leaf.bases == ("repro.engines.mid.MidEngine",)
+
+    def test_transitive_derives_from(self):
+        graph = graph_from(THREE_HOPS)
+        leaf = graph.modules["repro.engines.leaf"].classes["LeafEngine"]
+        assert graph.derives_from(leaf, "StreamingEngineCore")
+        assert not graph.derives_from(leaf, "SomethingElse")
+
+    def test_resolve_class_by_bare_name(self):
+        graph = graph_from(THREE_HOPS)
+        cls = graph.resolve_class("LeafEngine")
+        assert cls is not None
+        assert cls.module == "repro.engines.leaf"
+
+    def test_self_method_call_edges(self):
+        src = (
+            "class K:\n"
+            "    def outer(self):\n"
+            "        self.inner()\n"
+            "        helper()\n"
+            "    def inner(self):\n"
+            "        pass\n"
+            "def helper():\n"
+            "    pass\n"
+        )
+        graph = graph_from({"src/repro/k.py": src})
+        outer = graph.modules["repro.k"].functions["K.outer"]
+        assert "repro.k.K.inner" in outer.calls
+        assert "repro.k.helper" in outer.calls
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        graph = graph_from(THREE_HOPS)
+        clone = ProjectGraph.from_dict(graph.to_dict())
+        assert clone.to_dict() == graph.to_dict()
+        leaf = clone.modules["repro.engines.leaf"].classes["LeafEngine"]
+        assert clone.derives_from(leaf, "StreamingEngineCore")
+
+    def test_unknown_version_rejected(self):
+        payload = graph_from(THREE_HOPS).to_dict()
+        payload["version"] = PROJECT_GRAPH_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ProjectGraph.from_dict(payload)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="repro-lint-project"):
+            ProjectGraph.from_dict({"schema": "something-else", "version": 1})
+
+
+class TestCache:
+    def items(self, files):
+        return [(path, src, ast.parse(src)) for path, src in files.items()]
+
+    def test_cache_written_and_reused(self, tmp_path):
+        cache = tmp_path / "graph.json"
+        items = self.items(THREE_HOPS)
+        first = ProjectGraph.load_or_build(cache, items)
+        assert cache.is_file()
+        payload = json.loads(cache.read_text())
+        assert payload["schema"] == "repro-lint-project"
+        second = ProjectGraph.load_or_build(cache, items)
+        assert second.to_dict() == first.to_dict()
+
+    def test_stale_digest_rebuilds(self, tmp_path):
+        cache = tmp_path / "graph.json"
+        ProjectGraph.load_or_build(cache, self.items(THREE_HOPS))
+        changed = dict(THREE_HOPS)
+        changed["src/repro/engines/leaf.py"] = LEAF + "\nX = 1\n"
+        graph = ProjectGraph.load_or_build(cache, self.items(changed))
+        leaf_mod = graph.modules["repro.engines.leaf"]
+        assert leaf_mod.digest == source_digest(changed["src/repro/engines/leaf.py"])
+        # and the cache file was refreshed to match
+        payload = json.loads(cache.read_text())
+        assert (
+            payload["modules"]["repro.engines.leaf"]["digest"] == leaf_mod.digest
+        )
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        cache = tmp_path / "graph.json"
+        cache.write_text("{not json")
+        graph = ProjectGraph.load_or_build(cache, self.items(THREE_HOPS))
+        assert "repro.engines.leaf" in graph.modules
+
+    def test_no_cache_path_builds_directly(self):
+        graph = ProjectGraph.load_or_build(None, self.items(THREE_HOPS))
+        assert "repro.engines.mid" in graph.modules

@@ -280,6 +280,58 @@ class TestLint:
         assert main(["lint", "--select", "RPR999", "src/repro"]) == 2
         assert "RPR999" in capsys.readouterr().err
 
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "RPR110"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("RPR110:")
+        assert "double" in out  # the double-buffer discipline
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--explain", "RPR999"]) == 2
+        err = capsys.readouterr().err
+        assert "RPR999" in err
+        assert "RPR110" in err  # the valid ids are listed
+
+    def test_github_format(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", "--format", "github", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert f"::error file={bad},line=1," in out
+        assert "title=RPR001::" in out
+
+    def test_github_format_clean_tree_prints_nothing(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        assert main(["lint", "--format", "github", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_noqa_suppresses_and_is_counted(self, capsys, tmp_path):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):  # repro: noqa[RPR001]\n    return x\n")
+        assert main(["lint", "--format", "json", str(bad)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["errors"] == 0
+        assert payload["summary"]["suppressed"] == 1
+
+    def test_noqa_other_rule_does_not_suppress(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):  # repro: noqa[RPR005]\n    return x\n")
+        assert main(["lint", str(bad)]) == 1
+
+    def test_project_cache_round_trip(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "ok.py").write_text("X = 1\n")
+        cache = tmp_path / "graph.json"
+        args = ["lint", "--project-cache", str(cache), str(tmp_path / "ok.py")]
+        assert main(args) == 0
+        assert cache.is_file()
+        payload = json.loads(cache.read_text())
+        assert payload["schema"] == "repro-lint-project"
+        assert main(args) == 0  # second run reuses the cache
+
 
 class TestSanitize:
     def test_all_checks_pass(self, capsys):
