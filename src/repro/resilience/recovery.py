@@ -42,36 +42,18 @@ from repro.resilience.monitors import (
     ParityMonitor,
 )
 from repro.engines.memory import MainMemory
+from repro.util.backoff import BackoffPolicy
 from repro.util.errors import CheckpointError, FaultDetectedError
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_nonnegative
 
 __all__ = [
-    "BackoffPolicy",
+    "BackoffPolicy",  # re-exported; the class lives in repro.util.backoff
     "RunReport",
     "ResilientAutomatonRunner",
     "TransportReport",
     "ReliableRowTransport",
     "assemble_raw",
 ]
-
-
-@dataclass(frozen=True)
-class BackoffPolicy:
-    """Bounded retry with exponential backoff (virtual time units)."""
-
-    max_retries: int = 3
-    base_delay: float = 1.0
-    multiplier: float = 2.0
-
-    def __post_init__(self) -> None:
-        check_positive(self.max_retries, "max_retries", integer=True)
-        check_positive(self.base_delay, "base_delay")
-        check_positive(self.multiplier, "multiplier")
-
-    def delay(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based)."""
-        check_nonnegative(attempt, "attempt", integer=True)
-        return self.base_delay * self.multiplier**attempt
 
 
 @dataclass

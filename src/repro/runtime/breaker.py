@@ -1,0 +1,175 @@
+"""Per-backend circuit breaker for the supervised runtime.
+
+A worker crash while running a kernel backend is evidence against that
+*backend*, not just that worker: a miscompiled plane-algebra kernel or a
+backend-specific numerical bug will kill every worker that touches it,
+restart after restart.  The breaker watches consecutive failures
+attributed to a primary backend and, once a threshold trips, routes all
+subsequent worker (re)spawns to a fallback backend — the verified
+``reference`` kernels — so the run completes (bit-identically, since
+backends are equivalence-tested) instead of burning the restart budget.
+
+Standard three-state protocol:
+
+* **closed** — primary backend in use; consecutive failures counted.
+* **open** — fallback in use; after ``cooldown_seconds`` the next spawn
+  is allowed to probe the primary again (**half-open**).
+* **half-open** — exactly one probe worker runs the primary; durable
+  progress (a checkpoint) closes the breaker, another failure re-opens
+  it and restarts the cooldown.
+
+The breaker takes its clock as a callable so tests drive it virtually.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["BreakerTransition", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One state change of a breaker, for the supervision report."""
+
+    backend: str
+    state: str
+    generation: int
+    reason: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "backend": self.backend,
+            "state": self.state,
+            "generation": self.generation,
+            "reason": self.reason,
+        }
+
+
+class CircuitBreaker:
+    """Trip a failing primary backend over to a fallback, then probe back.
+
+    Parameters
+    ----------
+    backend:
+        The primary backend this breaker guards.
+    fallback:
+        Backend selected while the breaker is open.  When it equals
+        ``backend`` the breaker is inert (there is nowhere to fall
+        back to) and always selects the primary.
+    failure_threshold:
+        Consecutive primary-backend failures that open the breaker.
+    cooldown_seconds:
+        Open time before a half-open probe is allowed.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        fallback: str,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.backend = backend
+        self.fallback = fallback
+        self.failure_threshold = check_positive(
+            failure_threshold, "failure_threshold", integer=True
+        )
+        self.cooldown_seconds = check_nonnegative(
+            cooldown_seconds, "cooldown_seconds"
+        )
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.transitions: list[BreakerTransition] = []
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+
+    def _transition(self, state: str, generation: int, reason: str) -> None:
+        self.state = state
+        self.transitions.append(
+            BreakerTransition(
+                backend=self.backend,
+                state=state,
+                generation=generation,
+                reason=reason,
+            )
+        )
+
+    def select_backend(self, generation: int) -> str:
+        """The backend a worker spawning now should run.
+
+        Called at every worker (re)spawn.  While open, the cooldown is
+        checked here: once elapsed, the breaker goes half-open and this
+        spawn becomes the probe.
+        """
+        if self.backend == self.fallback or self.state == "closed":
+            return self.backend
+        if self.state == "open":
+            if self._clock() - self._opened_at >= self.cooldown_seconds:
+                self._transition(
+                    "half-open",
+                    generation,
+                    f"cooldown of {self.cooldown_seconds:g}s elapsed; probing",
+                )
+                self._probe_outstanding = True
+                return self.backend
+            return self.fallback
+        # half-open: one probe at a time
+        if self._probe_outstanding:
+            return self.fallback
+        self._probe_outstanding = True
+        return self.backend
+
+    def record_failure(self, backend: str, generation: int) -> None:
+        """Attribute one worker failure to ``backend``.
+
+        Failures on the fallback never count against the primary.
+        """
+        if backend != self.backend or self.backend == self.fallback:
+            return
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            self._probe_outstanding = False
+            self._opened_at = self._clock()
+            self._transition("open", generation, "probe failed")
+        elif (
+            self.state == "closed"
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition(
+                "open",
+                generation,
+                f"{self.consecutive_failures} consecutive failures "
+                f"on {self.backend!r}",
+            )
+
+    def record_success(self, backend: str, generation: int) -> None:
+        """Note durable progress (a checkpoint) by a worker on ``backend``."""
+        if backend != self.backend:
+            return
+        self.consecutive_failures = 0
+        if self.state == "half-open":
+            self._probe_outstanding = False
+            self._transition("closed", generation, "probe made durable progress")
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable summary for the supervision report."""
+        return {
+            "backend": self.backend,
+            "fallback": self.fallback,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": [t.to_dict() for t in self.transitions],
+        }

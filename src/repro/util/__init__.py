@@ -7,6 +7,7 @@ renders the fixed-width rows the benchmark harness prints so every bench
 produces paper-style output through one code path.
 """
 
+from repro.util.backoff import BackoffPolicy
 from repro.util.errors import (
     ReproError,
     ConfigError,
@@ -21,10 +22,12 @@ from repro.util.validation import (
     check_probability,
 )
 from repro.util.tables import Table, format_quantity, format_rate
+from repro.util.timeout import WallClockTimeout, wall_clock_limit
 from repro.util.render import shade_map, speed_map, spacetime_diagram
 from repro.util.hotpath import HOT_PATH_REGISTRY, hot_path, is_hot_path
 
 __all__ = [
+    "BackoffPolicy",
     "HOT_PATH_REGISTRY",
     "hot_path",
     "is_hot_path",
@@ -38,8 +41,10 @@ __all__ = [
     "check_integer",
     "check_probability",
     "Table",
+    "WallClockTimeout",
     "format_quantity",
     "format_rate",
+    "wall_clock_limit",
     "shade_map",
     "speed_map",
     "spacetime_diagram",

@@ -1,0 +1,99 @@
+"""Shared capped-exponential-backoff-with-jitter retry policy.
+
+Promoted out of :mod:`repro.resilience.recovery` so both recovery layers
+use one policy object:
+
+* the **in-process** layer (rollback-and-replay, row retransmission)
+  spends the delays as *virtual time units* recorded in its reports;
+* the **process supervisor** (:mod:`repro.runtime`) spends them as real
+  wall-clock seconds between worker restarts, with jitter so a fleet of
+  restarting workers does not stampede the host in lock-step.
+
+Delays grow geometrically from ``base_delay`` by ``multiplier`` per
+attempt, are capped at ``max_delay`` (when set), and are then spread by
+``±jitter`` (a fraction of the capped delay) drawn from the caller's
+RNG — the policy itself holds no state, so a seeded
+``numpy.random.Generator`` reproduces the exact delay sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded retry with capped exponential backoff and optional jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Attempts allowed before the caller gives up.
+    base_delay:
+        Delay before attempt 0 (virtual units or seconds — the caller's
+        choice).
+    multiplier:
+        Geometric growth factor per attempt (must be >= 1 so delays
+        never shrink).
+    max_delay:
+        Cap applied to every delay; ``None`` leaves growth unbounded.
+    jitter:
+        Fraction in ``[0, 1)``: each delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]`` (then re-capped at
+        ``max_delay``).  Requires an RNG at :meth:`delay` time; with no
+        RNG the undithered delay is returned.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: float | None = None
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_retries, "max_retries", integer=True)
+        check_positive(self.base_delay, "base_delay")
+        check_positive(self.multiplier, "multiplier")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier={self.multiplier} must be >= 1 (delays never shrink)"
+            )
+        if self.max_delay is not None:
+            check_positive(self.max_delay, "max_delay")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter={self.jitter} must be in [0, 1)")
+
+    def base(self, attempt: int) -> float:
+        """The undithered (capped) delay before retry ``attempt`` (0-based)."""
+        check_nonnegative(attempt, "attempt", integer=True)
+        delay = self.base_delay * self.multiplier**attempt
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    def delay(
+        self, attempt: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Backoff before retry ``attempt``, jittered when an RNG is given.
+
+        The jittered delay stays within ``base(attempt) * (1 ± jitter)``
+        and never exceeds ``max_delay``.
+        """
+        delay = self.base(attempt)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            if self.max_delay is not None:
+                delay = min(delay, self.max_delay)
+        return delay
+
+    def schedule(
+        self, rng: np.random.Generator | None = None
+    ) -> tuple[float, ...]:
+        """All ``max_retries`` delays in order (one RNG draw per attempt)."""
+        return tuple(self.delay(a, rng) for a in range(self.max_retries))

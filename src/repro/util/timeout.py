@@ -1,0 +1,67 @@
+"""Wall-clock execution guards.
+
+:func:`wall_clock_limit` bounds a block of code by real elapsed time
+using ``SIGALRM`` (``setitimer``), raising :class:`WallClockTimeout`
+when the budget expires.  Signals interrupt the interpreter between
+bytecodes, so the guard catches stalls in Python-level control flow
+(infinite retry loops, sleeps, blocked reads) — the failure modes a
+campaign or sweep runner needs protection from — while one long
+uninterruptible C call can overrun its budget until it returns.
+
+The guard degrades to a no-op where ``SIGALRM`` cannot be armed (not the
+main thread, or a platform without it); callers can check the yielded
+flag when they need to know whether the guard is live.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from types import FrameType
+
+from repro.util.errors import ReproError
+
+__all__ = ["WallClockTimeout", "wall_clock_limit"]
+
+
+class WallClockTimeout(ReproError):
+    """A guarded block exceeded its wall-clock budget."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"wall-clock limit of {seconds:g}s exceeded")
+        self.seconds = seconds
+
+
+def _can_arm() -> bool:
+    """Whether a SIGALRM timer can be installed from this thread."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def wall_clock_limit(seconds: float | None) -> Iterator[bool]:
+    """Bound the enclosed block to ``seconds`` of wall-clock time.
+
+    Yields ``True`` when the guard is armed, ``False`` when it degraded
+    to a no-op (``seconds`` falsy, off the main thread, or no SIGALRM).
+    Raises :class:`WallClockTimeout` from inside the block on expiry;
+    the previous handler and any pending itimer are always restored.
+    """
+    if not seconds or not _can_arm():
+        yield False
+        return
+
+    def _expired(signum: int, frame: FrameType | None) -> None:
+        raise WallClockTimeout(seconds)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -89,7 +89,7 @@ class TestAcceptanceCriteria:
 class TestReportShape:
     def test_versioned_schema(self, monitored_report):
         assert monitored_report["schema"] == "repro-fault-campaign"
-        assert monitored_report["version"] == 1
+        assert monitored_report["version"] == 2
 
     def test_summary_buckets_complete(self, monitored_report):
         assert set(monitored_report["summary"]) == set(OUTCOMES)
@@ -109,6 +109,41 @@ class TestReportShape:
         text = render_report(monitored_report)
         assert "silent-data-corruption=0" in text
         assert "monitors=on" in text
+
+
+class TestTrialTimeout:
+    """Satellite: the campaign's wall-clock guard per trial."""
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigError, match="trial_timeout_seconds"):
+            CampaignConfig(trial_timeout_seconds=0.0)
+
+    def test_stalled_trial_is_classified_aborted(self, monkeypatch):
+        import time
+
+        from repro.resilience import campaign as mod
+
+        def hang_forever(config, trial, monitored):
+            time.sleep(60.0)
+            raise AssertionError("the timeout guard never fired")
+
+        monkeypatch.setitem(mod._RUNNERS, "memory", hang_forever)
+        config = CampaignConfig(trial_timeout_seconds=0.2)
+        trial = next(
+            t
+            for t in build_trials(config)
+            if t.specs[0].location == "memory"
+        )
+        result = mod.run_trial(config, trial)
+        assert result.outcome == "aborted"
+        assert result.aborted
+        # The note records the configured limit, not the elapsed time,
+        # so reports stay byte-reproducible.
+        assert "0.2s" in result.notes
+
+    def test_aborted_bucket_in_summary(self, monitored_report):
+        assert "aborted" in monitored_report["summary"]
+        assert monitored_report["summary"]["aborted"] == 0
 
 
 class TestFaultsCli:

@@ -78,6 +78,77 @@ class TestCheckpointStore:
             store.latest()
 
 
+class TestDurableStore:
+    """Satellite: crash-safe durable writes (temp + fsync + atomic rename)."""
+
+    def test_save_persists_and_fresh_store_restores(self, tmp_path):
+        store = CheckpointStore(directory=tmp_path)
+        store.save(4, np.arange(16, dtype=np.uint8).reshape(4, 4))
+        # A restarted process = a brand-new store over the same directory.
+        fresh = CheckpointStore(directory=tmp_path)
+        cp = fresh.latest()
+        assert cp.generation == 4
+        assert np.array_equal(cp.state, np.arange(16, dtype=np.uint8).reshape(4, 4))
+
+    def test_no_temp_residue_after_save(self, tmp_path):
+        store = CheckpointStore(directory=tmp_path)
+        store.save(0, np.zeros((2, 2), dtype=np.uint8))
+        store.save(8, np.ones((2, 2), dtype=np.uint8))
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_prunes_to_keep_newest(self, tmp_path):
+        store = CheckpointStore(keep=2, directory=tmp_path)
+        for g in range(5):
+            store.save(g, np.full((2, 2), g, dtype=np.uint8))
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt-000000000003.npz", "ckpt-000000000004.npz"]
+
+    def test_torn_newest_falls_back_to_older(self, tmp_path):
+        store = CheckpointStore(keep=3, directory=tmp_path)
+        store.save(0, np.zeros((2, 2), dtype=np.uint8))
+        store.save(8, np.ones((2, 2), dtype=np.uint8))
+        # Simulate a crash mid-write of the newest file: truncate it.
+        newest = sorted(tmp_path.iterdir())[-1]
+        newest.write_bytes(newest.read_bytes()[:20])
+        cp = CheckpointStore.load_latest(tmp_path)
+        assert cp.generation == 0
+
+    def test_leftover_temp_files_are_ignored(self, tmp_path):
+        store = CheckpointStore(directory=tmp_path)
+        store.save(2, np.ones((2, 2), dtype=np.uint8))
+        (tmp_path / ".tmp-ckpt-000000000009.npz.123").write_bytes(b"garbage")
+        assert CheckpointStore.load_latest(tmp_path).generation == 2
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no restorable checkpoint"):
+            CheckpointStore.load_latest(tmp_path)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint directory"):
+            CheckpointStore.load_latest(tmp_path / "never-made")
+
+    def test_rng_state_round_trips_through_disk(self, tmp_path):
+        rng = np.random.default_rng(11)
+        rng.random(7)  # advance off the seed state
+        store = CheckpointStore(directory=tmp_path)
+        store.save(3, np.zeros((2, 2), dtype=np.uint8), rng)
+        cp = CheckpointStore.load_latest(tmp_path)
+        restored = np.random.default_rng(0)
+        store.restore_rng(cp, restored)
+        assert restored.random() == np.random.default_rng(11).random(8)[-1]
+
+    def test_durable_files_round_trip_parity_tags(self, tmp_path):
+        state = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        CheckpointStore(directory=tmp_path).save(0, state)
+        cp = CheckpointStore.load_latest(tmp_path)
+        cp.verify()
+        # A flipped bit on disk must be caught by the stored tags.
+        cp.state[2, 1] ^= 1
+        with pytest.raises(CheckpointError):
+            cp.verify()
+
+
 class TestRestartBitIdentical:
     @pytest.mark.parametrize("chirality", ["alternate", "random"])
     def test_restart_matches_uninterrupted_run(self, chirality):

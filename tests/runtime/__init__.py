@@ -1,0 +1,1 @@
+"""Tests for the supervised multi-process runtime."""

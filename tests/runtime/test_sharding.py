@@ -1,0 +1,160 @@
+"""Tests for row-slab sharding: geometry invariants and bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.lgca.automaton import LatticeGasAutomaton, ObstacleMap
+from repro.runtime.modelspec import ModelSpec
+from repro.runtime.sharding import BOUNDARY_ROWS, Shard, ShardRunner, plan_shards
+from repro.util.errors import ConfigError
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize("rows,workers", [(16, 1), (16, 2), (17, 3), (24, 4), (9, 2)])
+    def test_slabs_tile_the_lattice(self, rows, workers):
+        shards = plan_shards(rows, workers)
+        assert shards[0].row_start == 0
+        assert shards[-1].row_stop == rows
+        for a, b in zip(shards, shards[1:]):
+            assert a.row_stop == b.row_start
+
+    @pytest.mark.parametrize("rows,workers", [(16, 2), (17, 3), (23, 5), (64, 7)])
+    def test_local_frames_start_even_and_are_even_tall(self, rows, workers):
+        for shard in plan_shards(rows, workers):
+            # Even global start row: local row parity == global row parity,
+            # which the hexagonal propagation offsets key on.
+            assert (shard.row_start - shard.halo_top) % 2 == 0
+            # Even height: a periodic FHP sub-model must be constructible.
+            assert shard.local_rows % 2 == 0
+            assert 1 <= shard.halo_top <= BOUNDARY_ROWS
+            assert 1 <= shard.halo_bottom <= BOUNDARY_ROWS
+
+    def test_rejects_too_many_workers(self):
+        with pytest.raises(ConfigError, match="at least"):
+            plan_shards(6, 4)
+
+    def test_local_row_indices_wrap(self):
+        shard = plan_shards(16, 2)[1]  # bottom slab wraps past the edge
+        idx = shard.local_row_indices(16)
+        assert len(idx) == shard.local_rows
+        assert idx[shard.halo_top] == shard.row_start
+        assert idx[-1] == (shard.row_stop + shard.halo_bottom - 1) % 16
+
+
+def _evolve_sharded(spec, init, generations, workers, backend, obstacles=None):
+    """In-process sharded evolution via ShardRunner + manual halo routing."""
+    shards = plan_shards(spec.rows, workers)
+    runners = []
+    for shard in shards:
+        mask = (
+            None
+            if obstacles is None
+            else obstacles[shard.local_row_indices(spec.rows)]
+        )
+        runners.append(
+            ShardRunner(
+                spec.build(rows=shard.local_rows),
+                shard,
+                init[shard.row_start : shard.row_stop].copy(),
+                backend=backend,
+                obstacles_mask=mask,
+            )
+        )
+    periodic = spec.boundary == "periodic"
+    n = len(runners)
+    for _ in range(generations):
+        rows = [r.boundary_rows() for r in runners]
+        for i, runner in enumerate(runners):
+            above = rows[i - 1][1] if (i > 0 or periodic) else None
+            below = rows[(i + 1) % n][0] if (i < n - 1 or periodic) else None
+            runner.set_halos(above, below)
+            runner.step()
+    return np.concatenate([r.interior for r in runners], axis=0)
+
+
+class TestShardRunnerBitIdentity:
+    @pytest.mark.parametrize("kind", ["hpp", "fhp6", "fhp7"])
+    @pytest.mark.parametrize("boundary", ["periodic", "null"])
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_whole_lattice_run(self, kind, boundary, workers):
+        spec = ModelSpec(kind=kind, rows=18, cols=13, boundary=boundary)
+        init = spec.initial_state(0.35, 5)
+        auto = LatticeGasAutomaton(spec.build(), init.copy())
+        auto.run(9)
+        sharded = _evolve_sharded(spec, init, 9, workers, "reference")
+        assert np.array_equal(sharded, auto.state)
+
+    def test_bitplane_backend_matches(self):
+        spec = ModelSpec(kind="fhp6", rows=16, cols=16)
+        init = spec.initial_state(0.3, 2)
+        auto = LatticeGasAutomaton(spec.build(), init.copy(), backend="bitplane")
+        auto.run(8)
+        sharded = _evolve_sharded(spec, init, 8, 2, "bitplane")
+        assert np.array_equal(sharded, auto.state)
+
+    def test_obstacles_match(self):
+        spec = ModelSpec(kind="fhp6", rows=16, cols=16)
+        init = spec.initial_state(0.3, 3)
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[7:9, 4:12] = True  # a bar crossing the shard boundary
+        init[mask] = 0
+        auto = LatticeGasAutomaton(
+            spec.build(), init.copy(), obstacles=ObstacleMap(mask)
+        )
+        auto.run(8)
+        sharded = _evolve_sharded(spec, init, 8, 2, "reference", obstacles=mask)
+        assert np.array_equal(sharded, auto.state)
+
+
+class TestShardRunnerValidation:
+    def test_rejects_wrong_local_model_shape(self):
+        spec = ModelSpec(kind="fhp6", rows=16, cols=16)
+        shard = plan_shards(16, 2)[0]
+        with pytest.raises(ConfigError, match="rows"):
+            ShardRunner(
+                spec.build(),  # full-lattice model, not the local frame
+                shard,
+                np.zeros((shard.slab_rows, 16), dtype=np.uint8),
+            )
+
+    def test_rejects_wrong_slab_shape(self):
+        spec = ModelSpec(kind="fhp6", rows=16, cols=16)
+        shard = plan_shards(16, 2)[0]
+        with pytest.raises(ConfigError, match="slab"):
+            ShardRunner(
+                spec.build(rows=shard.local_rows),
+                shard,
+                np.zeros((3, 16), dtype=np.uint8),
+            )
+
+    def test_boundary_rows_are_copies(self):
+        spec = ModelSpec(kind="fhp6", rows=16, cols=16)
+        shard = plan_shards(16, 2)[0]
+        runner = ShardRunner(
+            spec.build(rows=shard.local_rows),
+            shard,
+            spec.initial_state(0.3, 1)[shard.row_start : shard.row_stop],
+        )
+        top, _ = runner.boundary_rows()
+        top[:] = 0xFF
+        assert not np.array_equal(runner.interior[:BOUNDARY_ROWS], top)
+
+
+class TestModelSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            ModelSpec(kind="fhp9", rows=8, cols=8)
+
+    def test_fails_fast_on_bad_geometry(self):
+        # Periodic FHP needs even rows; the spec builds once to fail fast.
+        with pytest.raises(Exception):
+            ModelSpec(kind="fhp6", rows=9, cols=8, boundary="periodic")
+
+    def test_channels(self):
+        assert ModelSpec(kind="hpp", rows=8, cols=8).num_channels == 4
+        assert ModelSpec(kind="fhp6", rows=8, cols=8).num_channels == 6
+        assert ModelSpec(kind="fhp7", rows=8, cols=8).num_channels == 7
+
+    def test_initial_state_is_seeded(self):
+        spec = ModelSpec(kind="fhp6", rows=8, cols=8)
+        assert np.array_equal(spec.initial_state(0.3, 9), spec.initial_state(0.3, 9))

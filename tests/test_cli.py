@@ -365,6 +365,66 @@ class TestSanitize:
         assert "warp-drive" in capsys.readouterr().err
 
 
+class TestRun:
+    def test_direct_run(self, capsys):
+        assert main(["run", "--rows", "16", "--cols", "16", "--generations", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Direct run" in out
+        assert "final particles" in out
+
+    def test_supervised_run_with_kill_is_bit_identical(self, capsys):
+        import json
+
+        args = [
+            "run",
+            "--supervised",
+            "--rows", "16",
+            "--cols", "16",
+            "--generations", "8",
+            "--workers", "2",
+            "--checkpoint-interval", "4",
+            "--restart-delay", "0.05",
+            "--induce", "kill:0@5",
+            "--verify",
+            "--json",
+        ]
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcome"] == "complete"
+        assert payload["num_restarts"] == 1
+        assert payload["bit_identical"] is True
+
+    def test_bad_induce_spec_is_usage_error(self, capsys):
+        args = ["run", "--supervised", "--induce", "meteor:0@5"]
+        assert main(args) == 2
+        assert "meteor" in capsys.readouterr().err
+
+    def test_bad_induce_generation_is_usage_error(self, capsys):
+        args = ["run", "--supervised", "--induce", "kill:0@notanumber"]
+        assert main(args) == 2
+
+    def test_degraded_run_exits_3(self, capsys):
+        args = [
+            "run",
+            "--supervised",
+            "--rows", "16",
+            "--cols", "16",
+            "--generations", "8",
+            "--checkpoint-interval", "4",
+            "--restart-delay", "0.05",
+            "--max-worker-restarts", "1",
+            "--induce", "kill:1@5:lives=99",
+            "--allow-degraded",
+            "--json",
+        ]
+        assert main(args) == 3
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcome"] == "degraded"
+        assert payload["degraded_shards"]
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc:

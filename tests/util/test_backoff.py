@@ -1,0 +1,105 @@
+"""Property tests for the shared capped-backoff-with-jitter policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.backoff import BackoffPolicy
+
+policies = st.builds(
+    BackoffPolicy,
+    max_retries=st.integers(min_value=1, max_value=8),
+    base_delay=st.floats(min_value=1e-3, max_value=10.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.one_of(st.none(), st.floats(min_value=1e-3, max_value=100.0)),
+    jitter=st.floats(min_value=0.0, max_value=0.99),
+)
+
+
+class TestValidation:
+    def test_rejects_zero_retries(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_retries=0)
+
+    def test_rejects_shrinking_multiplier(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            BackoffPolicy(multiplier=0.5)
+
+    def test_rejects_jitter_of_one(self):
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=1.0)
+
+    def test_rejects_negative_max_delay(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            BackoffPolicy(max_delay=-1.0)
+
+    def test_recovery_reexport_is_same_class(self):
+        # The class was promoted to repro.util; the old import path must
+        # keep working for the in-process recovery layer.
+        from repro.resilience.recovery import BackoffPolicy as Legacy
+
+        assert Legacy is BackoffPolicy
+
+
+class TestUndithered:
+    @given(policies)
+    def test_delays_non_decreasing(self, policy):
+        schedule = [policy.base(a) for a in range(policy.max_retries)]
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    @given(policies)
+    def test_capped_at_max_delay(self, policy):
+        for attempt in range(policy.max_retries):
+            delay = policy.base(attempt)
+            assert delay > 0
+            if policy.max_delay is not None:
+                assert delay <= policy.max_delay
+
+    @given(policies)
+    def test_no_rng_means_no_jitter(self, policy):
+        assert policy.schedule() == tuple(
+            policy.base(a) for a in range(policy.max_retries)
+        )
+
+    def test_exact_geometric_growth(self):
+        policy = BackoffPolicy(max_retries=4, base_delay=1.0, multiplier=2.0)
+        assert policy.schedule() == (1.0, 2.0, 4.0, 8.0)
+
+    def test_cap_flattens_the_tail(self):
+        policy = BackoffPolicy(
+            max_retries=5, base_delay=1.0, multiplier=2.0, max_delay=3.0
+        )
+        assert policy.schedule() == (1.0, 2.0, 3.0, 3.0, 3.0)
+
+
+class TestJitter:
+    @given(policies, st.integers(min_value=0, max_value=2**31))
+    def test_jitter_within_bounds(self, policy, seed):
+        rng = np.random.default_rng(seed)
+        for attempt in range(policy.max_retries):
+            base = policy.base(attempt)
+            delay = policy.delay(attempt, rng)
+            low = base * (1.0 - policy.jitter)
+            high = base * (1.0 + policy.jitter)
+            if policy.max_delay is not None:
+                high = min(high, policy.max_delay)
+            assert low * (1 - 1e-12) <= delay <= high * (1 + 1e-12)
+
+    @given(policies, st.integers(min_value=0, max_value=2**31))
+    def test_seeded_jitter_reproducible(self, policy, seed):
+        first = policy.schedule(np.random.default_rng(seed))
+        second = policy.schedule(np.random.default_rng(seed))
+        assert first == second
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_jitter_never_exceeds_cap(self, seed):
+        policy = BackoffPolicy(
+            max_retries=6,
+            base_delay=1.0,
+            multiplier=3.0,
+            max_delay=2.0,
+            jitter=0.5,
+        )
+        rng = np.random.default_rng(seed)
+        assert all(d <= 2.0 for d in policy.schedule(rng))

@@ -1,0 +1,44 @@
+"""Tests for the SIGALRM wall-clock guard."""
+
+import time
+
+import pytest
+
+from repro.util.timeout import WallClockTimeout, wall_clock_limit
+
+
+class TestWallClockLimit:
+    def test_fast_body_passes_through(self):
+        with wall_clock_limit(5.0):
+            value = 1 + 1
+        assert value == 2
+
+    def test_none_disables_the_guard(self):
+        with wall_clock_limit(None) as armed:
+            assert armed is False
+
+    def test_slow_body_raises(self):
+        with pytest.raises(WallClockTimeout) as excinfo:
+            with wall_clock_limit(0.1) as armed:
+                if not armed:  # platform without SIGALRM: nothing to test
+                    pytest.skip("wall-clock guard cannot arm here")
+                time.sleep(5.0)
+        assert excinfo.value.seconds == 0.1
+
+    def test_timer_is_disarmed_after_exit(self):
+        with wall_clock_limit(0.2) as armed:
+            pass
+        if armed:
+            time.sleep(0.3)  # would raise if the timer were still live
+
+    def test_inner_guard_fires_inside_outer(self):
+        with wall_clock_limit(30.0):
+            with pytest.raises(WallClockTimeout):
+                with wall_clock_limit(0.1) as armed:
+                    if not armed:
+                        pytest.skip("wall-clock guard cannot arm here")
+                    time.sleep(5.0)
+
+    def test_zero_seconds_means_unlimited(self):
+        with wall_clock_limit(0.0) as armed:
+            assert armed is False
