@@ -35,7 +35,9 @@ from repro.util.tables import Table, format_rate
 SIZE = 256
 
 #: Schema tag of the --json report; bump on layout changes.
-SCHEMA = "repro/bench-kernels/v1"
+#: v2: per-worker-count rows for the "parallel" backend ("workers" key),
+#: with parallel-efficiency and vs-bitplane speedup annotations.
+SCHEMA = "repro/bench-kernels/v2"
 
 
 @pytest.fixture(scope="module")
@@ -142,18 +144,20 @@ def measure_backend(
     repeats: int,
     density: float = 0.3,
     seed: int = 0,
+    workers: int | None = None,
 ) -> dict:
-    """Measure R for one (model, size, backend) cell.
+    """Measure R for one (model, size, backend[, workers]) cell.
 
-    Runs one untimed warmup pass (buffer allocation, table compilation),
-    then ``repeats`` timed passes of ``generations`` steps each, and
-    quotes R from the *best* pass — the standard way to estimate the
-    kernel's intrinsic rate under scheduler noise.
+    Runs one untimed warmup pass (buffer allocation, table compilation,
+    thread-pool spin-up), then ``repeats`` timed passes of
+    ``generations`` steps each, and quotes R from the *best* pass — the
+    standard way to estimate the kernel's intrinsic rate under
+    scheduler noise.
     """
     model = _make_model(model_name, size, size)
     rng = np.random.default_rng(seed)
     state = uniform_random_state(size, size, model.num_channels, density, rng)
-    stepper = make_stepper(model, backend=backend)
+    stepper = make_stepper(model, backend=backend, workers=workers)
     stepper.run(state, generations)  # warmup, untimed
     best = float("inf")
     for _ in range(repeats):
@@ -161,7 +165,7 @@ def measure_backend(
         stepper.run(state, generations)
         best = min(best, time.perf_counter() - start)
     updates = generations * size * size
-    return {
+    rec = {
         "model": model_name,
         "rows": size,
         "cols": size,
@@ -172,6 +176,9 @@ def measure_backend(
         "site_updates": updates,
         "updates_per_second": updates / best,
     }
+    if workers is not None:
+        rec["workers"] = workers
+    return rec
 
 
 def run_matrix(
@@ -180,13 +187,31 @@ def run_matrix(
     backends: list[str],
     generations: int,
     repeats: int,
+    workers_sweep: list[int] | None = None,
 ) -> dict:
-    """The full measurement matrix plus per-cell speedup annotations."""
+    """The full measurement matrix plus per-cell speedup annotations.
+
+    ``workers_sweep`` expands the ``"parallel"`` backend into one row
+    per worker count; those rows carry thread-scaling annotations:
+    ``parallel_efficiency`` (R(w) / (w · R(1)), the fraction of ideal
+    linear scaling retained) and ``speedup_vs_bitplane`` (the overhead
+    or win against the single-slab kernel the tiles are built from).
+    """
     results = []
     for model_name in models:
         for size in sizes:
             by_backend = {}
+            parallel_rows = []
             for backend in backends:
+                if backend == "parallel" and workers_sweep:
+                    for w in workers_sweep:
+                        rec = measure_backend(
+                            model_name, size, backend, generations, repeats,
+                            workers=w,
+                        )
+                        parallel_rows.append(rec)
+                        results.append(rec)
+                    continue
                 rec = measure_backend(model_name, size, backend, generations, repeats)
                 by_backend[backend] = rec
                 results.append(rec)
@@ -194,6 +219,17 @@ def run_matrix(
                 ref = by_backend["reference"]["updates_per_second"]
                 fast = by_backend["bitplane"]["updates_per_second"]
                 by_backend["bitplane"]["speedup_vs_reference"] = fast / ref
+            one = next((r for r in parallel_rows if r["workers"] == 1), None)
+            for rec in parallel_rows:
+                if one is not None and rec["workers"] >= 1:
+                    rec["parallel_efficiency"] = rec["updates_per_second"] / (
+                        rec["workers"] * one["updates_per_second"]
+                    )
+                if "bitplane" in by_backend:
+                    rec["speedup_vs_bitplane"] = (
+                        rec["updates_per_second"]
+                        / by_backend["bitplane"]["updates_per_second"]
+                    )
     return {
         "schema": SCHEMA,
         "quantity": "R, site updates per second (paper's throughput measure)",
@@ -203,6 +239,7 @@ def run_matrix(
             "backends": backends,
             "generations": generations,
             "repeats": repeats,
+            "workers": workers_sweep,
         },
         "results": results,
     }
@@ -224,25 +261,48 @@ def main(argv: list[str] | None = None) -> int:
                         help="steps per timed pass")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed passes per cell (best is quoted)")
+    parser.add_argument("--workers", default=None, metavar="N,M,...",
+                        help="comma-separated worker counts: sweep the "
+                        "'parallel' backend once per count")
     parser.add_argument("--assert-speedup", type=float, default=None, metavar="FACTOR",
                         help="exit 1 unless bitplane beats reference by FACTOR "
                         "in every measured cell")
+    parser.add_argument("--assert-parallel-ratio", type=float, default=None,
+                        metavar="FACTOR",
+                        help="exit 1 unless every multi-worker parallel cell "
+                        "reaches FACTOR x the bitplane R at the same size "
+                        "(the no-regression thread-overhead gate)")
     args = parser.parse_args(argv)
 
     sizes = [int(s) for s in args.sizes.split(",") if s]
     models = [m.strip() for m in args.models.split(",") if m.strip()]
     backends = [b.strip() for b in args.backends.split(",") if b.strip()]
-    report = run_matrix(sizes, models, backends, args.generations, args.repeats)
+    workers_sweep = (
+        [int(w) for w in args.workers.split(",") if w] if args.workers else None
+    )
+    if workers_sweep and "parallel" not in backends:
+        backends.append("parallel")
+    report = run_matrix(
+        sizes, models, backends, args.generations, args.repeats, workers_sweep
+    )
 
-    table = Table("R: site updates per second by backend", ["model", "grid", "backend", "R", "speedup"])
+    table = Table(
+        "R: site updates per second by backend",
+        ["model", "grid", "backend", "R", "speedup", "efficiency"],
+    )
     for rec in report["results"]:
-        speedup = rec.get("speedup_vs_reference")
+        backend = rec["backend"]
+        if "workers" in rec:
+            backend = f"{backend}@{rec['workers']}"
+        speedup = rec.get("speedup_vs_reference", rec.get("speedup_vs_bitplane"))
+        efficiency = rec.get("parallel_efficiency")
         table.add_row(
             rec["model"],
             f"{rec['rows']}x{rec['cols']}",
-            rec["backend"],
+            backend,
             format_rate(rec["updates_per_second"]),
-            f"{speedup:.1f}x" if speedup is not None else "-",
+            f"{speedup:.2f}x" if speedup is not None else "-",
+            f"{efficiency:.2f}" if efficiency is not None else "-",
         )
     table.print()
 
@@ -272,6 +332,37 @@ def main(argv: list[str] | None = None) -> int:
                 )
             return 1
         print(f"assert-speedup OK: every cell >= {args.assert_speedup}x")
+
+    if args.assert_parallel_ratio is not None:
+        checked = [
+            rec for rec in report["results"]
+            if rec.get("workers", 0) > 1 and "speedup_vs_bitplane" in rec
+        ]
+        if not checked:
+            print(
+                "assert-parallel-ratio: no multi-worker (parallel, bitplane) "
+                "pairs measured",
+                file=sys.stderr,
+            )
+            return 1
+        failed = [
+            rec for rec in checked
+            if rec["speedup_vs_bitplane"] < args.assert_parallel_ratio
+        ]
+        if failed:
+            for rec in failed:
+                print(
+                    f"assert-parallel-ratio FAILED: {rec['model']} "
+                    f"{rec['rows']}x{rec['cols']} parallel@{rec['workers']} is "
+                    f"only {rec['speedup_vs_bitplane']:.2f}x bitplane "
+                    f"(< {args.assert_parallel_ratio}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"assert-parallel-ratio OK: every multi-worker cell >= "
+            f"{args.assert_parallel_ratio}x bitplane"
+        )
     return 0
 
 

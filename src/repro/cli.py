@@ -163,7 +163,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     state = uniform_random_state(
         args.rows, args.cols, model.num_channels, args.density, rng
     )
-    auto = LatticeGasAutomaton(model, state.copy(), backend=args.backend)
+    auto = LatticeGasAutomaton(
+        model, state.copy(), backend=args.backend, workers=args.workers
+    )
     mass0, p0 = auto.particle_count(), auto.momentum()
 
     if args.engine == "none":
@@ -189,6 +191,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         model,
         pipeline_depth=args.depth,
         backend=args.backend,
+        workers=args.workers,
         **machine_params.get(args.engine, {}),
     )
     auto.run(args.steps)
@@ -541,12 +544,23 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.lgca.backends import check_backend_options
     from repro.resilience.campaign import (
         CampaignConfig,
         render_report,
         report_json,
         run_campaign,
     )
+    from repro.util.errors import ConfigError
+
+    # Same option validation as every other layer, so `--workers` with a
+    # non-parallel backend fails with the registry's uniform message.
+    check_backend_options(args.backend, {"workers": args.workers})
+    if args.backend != "reference":
+        raise ConfigError(
+            "the fault-injection campaign mutates values inside the site "
+            "stream and requires backend='reference'"
+        )
 
     config = CampaignConfig(
         seed=args.seed,
@@ -618,17 +632,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         boundary=args.boundary,
     )
 
-    def run_direct() -> np.ndarray:
+    def run_direct(workers: int | str | None = None) -> np.ndarray:
         auto = LatticeGasAutomaton(
             spec.build(),
             spec.initial_state(args.density, args.seed),
             backend=args.backend,
+            workers=workers,
         )
         auto.run(args.generations)
         return auto.state.copy()
 
     if not args.supervised:
-        state = run_direct()
+        state = run_direct(args.workers)
         table = Table("Direct run", ["quantity", "value"])
         table.add_row("model", args.model)
         table.add_row("grid", f"{args.rows} x {args.cols} ({args.boundary})")
@@ -638,10 +653,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.print()
         return 0
 
+    from repro.util.errors import ConfigError
+
+    workers_arg = "2" if args.workers is None else str(args.workers)
+    if not workers_arg.isdigit():
+        raise ConfigError(
+            f"supervised runs take an integer --workers process count; "
+            f"got {workers_arg!r}"
+        )
+    num_workers = int(workers_arg)
     config = SupervisorConfig(
         spec=spec,
         generations=args.generations,
-        num_workers=args.workers,
+        num_workers=num_workers,
         backend=args.backend,
         fallback_backend=args.fallback_backend,
         density=args.density,
@@ -680,7 +704,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     table.add_row("model", args.model)
     table.add_row("grid", f"{args.rows} x {args.cols} ({args.boundary})")
     table.add_row("generations", f"{report.generations_completed}/{report.generations}")
-    table.add_row("workers", args.workers)
+    table.add_row("workers", num_workers)
     table.add_row("backend", f"{args.backend} (fallback: {args.fallback_backend})")
     table.add_row("outcome", report.outcome)
     table.add_row("reason", report.reason)
@@ -751,9 +775,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slice-width", type=int, default=8, help="SPA slice width W")
     p.add_argument(
         "--backend",
-        choices=("reference", "bitplane"),
+        choices=("reference", "bitplane", "parallel"),
         default="reference",
-        help="stepping kernels: per-site reference or multi-spin coded bit-planes",
+        help="stepping kernels: per-site reference, multi-spin coded "
+        "bit-planes, or thread-tiled bit-planes",
+    )
+    p.add_argument(
+        "--workers",
+        default=None,
+        help="worker threads for --backend parallel: a positive integer "
+        "or 'auto' (rejected by other backends)",
     )
     p.set_defaults(func=_cmd_simulate)
 
@@ -866,6 +897,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sanitize)
 
     p = sub.add_parser("faults", help="run the fault-injection campaign")
+    p.add_argument(
+        "--backend",
+        choices=("reference", "bitplane", "parallel"),
+        default="reference",
+        help="stepping kernels (the campaign's stream hooks require "
+        "'reference'; others are rejected with the uniform error)",
+    )
+    p.add_argument(
+        "--workers",
+        default=None,
+        help="worker threads ('parallel' backend only; validated like "
+        "every other command)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--rows", type=int, default=16)
     p.add_argument("--cols", type=int, default=16)
@@ -909,13 +953,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="boundary condition (supervision shards rows bit-identically "
         "for these two only)",
     )
-    p.add_argument("--backend", choices=("reference", "bitplane"), default="reference")
+    p.add_argument(
+        "--backend",
+        choices=("reference", "bitplane", "parallel"),
+        default="reference",
+        help="stepping kernels ('parallel' is thread-tiled; direct runs only)",
+    )
     p.add_argument(
         "--supervised",
         action="store_true",
         help="shard across worker processes under the supervisor",
     )
-    p.add_argument("--workers", type=int, default=2, help="worker processes")
+    p.add_argument(
+        "--workers",
+        default=None,
+        help="supervised: worker process count (integer, default 2); "
+        "direct with --backend parallel: thread count or 'auto'",
+    )
     p.add_argument(
         "--fallback-backend",
         choices=("reference", "bitplane"),

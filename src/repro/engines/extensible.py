@@ -59,6 +59,7 @@ class ExtensibleSerialEngine(StreamingEngineCore):
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
+        workers: int | str | None = None,
     ):
         self.commercial_density = check_positive(
             commercial_density, "commercial_density"
@@ -69,6 +70,7 @@ class ExtensibleSerialEngine(StreamingEngineCore):
             clock_hz=clock_hz,
             post_collide=post_collide,
             backend=backend,
+            workers=workers,
         )
 
     @property

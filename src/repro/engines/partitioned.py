@@ -119,6 +119,7 @@ class PartitionedEngine(StreamingEngineCore):
         post_collide: PostCollideHook | None = None,
         failed_slices: tuple[int, ...] = (),
         backend: str = "reference",
+        workers: int | str | None = None,
     ):
         self.slice_width = check_positive(slice_width, "slice_width", integer=True)
         if self.slice_width > model.cols:
@@ -131,6 +132,7 @@ class PartitionedEngine(StreamingEngineCore):
             clock_hz=clock_hz,
             post_collide=post_collide,
             backend=backend,
+            workers=workers,
         )
         self._build_exchange_maps()
         self.failed_slices = tuple(sorted(set(failed_slices)))

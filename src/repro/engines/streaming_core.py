@@ -34,7 +34,12 @@ from repro.engines.pe import PostCollideHook, SiteUpdateRule, make_rule
 from repro.engines.shiftreg import ShiftRegister
 from repro.engines.stats import EngineRunStats
 from repro.lgca.automaton import SiteModel
-from repro.lgca.backends import KernelStepper, get_backend, make_stepper
+from repro.lgca.backends import (
+    KernelStepper,
+    check_backend_options,
+    get_backend,
+    make_stepper,
+)
 from repro.util.hotpath import hot_path
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -45,6 +50,7 @@ def _make_engine_stepper(
     model: SiteModel,
     backend: str,
     post_collide: PostCollideHook | None,
+    workers: int | str | None = None,
 ) -> KernelStepper | None:
     """Resolve an engine's frame-evolution backend.
 
@@ -54,14 +60,17 @@ def _make_engine_stepper(
     evolution is identical (the backends are bit-exact by contract and
     by test), only wall-clock speed changes.  Fault-injection hooks
     mutate values *inside* the stream, so they require the reference
-    dataflow.
+    dataflow.  ``workers`` is validated against the backend's declared
+    options (only ``"parallel"`` accepts it) *before* the reference
+    early-return, so every engine rejects stray options uniformly.
     """
-    get_backend(backend)  # uniform name validation and error message
+    chosen = get_backend(backend)  # uniform name validation and error message
+    options = check_backend_options(chosen, {"workers": workers})
     if backend == "reference":
         return None
     if post_collide is not None:
         raise ValueError("fault-injection hooks require backend='reference'")
-    return make_stepper(model, backend=backend)
+    return make_stepper(model, backend=backend, **options)
 
 
 @dataclass
@@ -282,6 +291,11 @@ class StreamingEngineCore:
         large frames.  Stats accounting is unchanged: it models the
         *hardware*, which is the same machine either way.  Fault hooks
         and tick-accurate simulation require the reference backend.
+    workers:
+        Worker count for backends that accept it (``"parallel"``): a
+        positive int or ``"auto"``.  ``None`` means "not requested";
+        setting it with a backend that does not declare the option
+        raises :class:`~repro.util.errors.ConfigError`.
     """
 
     #: whether :meth:`run` accepts ``tickwise=True`` on the reference backend
@@ -294,6 +308,7 @@ class StreamingEngineCore:
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
+        workers: int | str | None = None,
     ):
         self.model = model
         self.pipeline_depth = check_positive(pipeline_depth, "pipeline_depth", integer=True)
@@ -301,7 +316,8 @@ class StreamingEngineCore:
         self.rule = make_rule(model)
         self.stage = PipelineStage(self.rule, post_collide=post_collide)
         self.backend = backend
-        self._stepper = _make_engine_stepper(model, backend, post_collide)
+        self.workers = workers
+        self._stepper = _make_engine_stepper(model, backend, post_collide, workers)
 
     # -- identity and geometry hooks --------------------------------------------
 

@@ -64,6 +64,7 @@ class WideSerialEngine(StreamingEngineCore):
         clock_hz: float = 10e6,
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
+        workers: int | str | None = None,
     ):
         self.lanes = check_positive(lanes, "lanes", integer=True)
         super().__init__(
@@ -72,6 +73,7 @@ class WideSerialEngine(StreamingEngineCore):
             clock_hz=clock_hz,
             post_collide=post_collide,
             backend=backend,
+            workers=workers,
         )
 
     @property

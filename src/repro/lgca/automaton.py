@@ -104,9 +104,16 @@ class LatticeGasAutomaton:
         Only consulted when the model's chirality policy is ``"random"``.
     backend:
         Kernel backend name from :mod:`repro.lgca.backends`
-        (``"reference"`` or ``"bitplane"``).  Both produce bit-identical
-        evolutions; ``"bitplane"`` packs 64 sites per machine word and is
-        much faster for :meth:`run` on large grids.
+        (``"reference"``, ``"bitplane"``, or ``"parallel"``).  All
+        produce bit-identical evolutions; ``"bitplane"`` packs 64 sites
+        per machine word and is much faster for :meth:`run` on large
+        grids, and ``"parallel"`` tiles those kernels over a thread
+        pool.
+    workers:
+        Per-backend worker count (``"parallel"`` only): a positive int
+        or ``"auto"``.  ``None`` means "not requested"; setting it with
+        a backend that does not accept it raises
+        :class:`~repro.util.errors.ConfigError`.
     """
 
     model: SiteModel
@@ -115,6 +122,7 @@ class LatticeGasAutomaton:
     rng: np.random.Generator | None = None
     time: int = 0
     backend: str = "reference"
+    workers: int | str | None = None
     _stepper: object = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -127,7 +135,10 @@ class LatticeGasAutomaton:
                 f"obstacle shape {self.obstacles.shape} != state shape {self.state.shape}"
             )
         self._stepper = make_stepper(
-            self.model, obstacles=self.obstacles, backend=self.backend
+            self.model,
+            obstacles=self.obstacles,
+            backend=self.backend,
+            workers=self.workers,
         )
 
     # -- observable shortcuts -------------------------------------------------

@@ -1,6 +1,6 @@
 """Kernel backend registry: uniform selection of LGCA stepping engines.
 
-Two backends ship with the repo:
+Three backends ship with the repo:
 
 ``"reference"``
     The verified per-site kernels (:mod:`repro.lgca.hpp`,
@@ -12,8 +12,13 @@ Two backends ship with the repo:
     per *bit* of a ``uint64`` word, collision as boolean plane algebra
     compiled from the same verified tables.  Bit-identical to the
     reference (enforced by the property tests) and much faster.
+``"parallel"``
+    Row-slab tiles of the bit-plane kernels on a persistent thread pool
+    (:mod:`repro.lgca.parallel`), with direct-write halo exchange.
+    Bit-identical to ``"bitplane"`` at every worker count; takes the
+    ``workers`` option (a positive int or ``"auto"``).
 
-Both are exposed through the same :class:`KernelStepper` interface —
+All are exposed through the same :class:`KernelStepper` interface —
 stateless functional kernels over site-state fields — so
 :class:`repro.lgca.automaton.LatticeGasAutomaton`, the engine simulators
 in :mod:`repro.engines`, and the CLI select a backend by name without
@@ -26,12 +31,13 @@ next call — callers that retain states must copy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.lgca.bitplane import BitplaneKernel
 from repro.lgca.bits import bounce_back_table
+from repro.util.errors import ConfigError
 from repro.util.hotpath import hot_path
 
 __all__ = [
@@ -42,6 +48,7 @@ __all__ = [
     "register_backend",
     "get_backend",
     "available_backends",
+    "check_backend_options",
     "make_stepper",
     "DEFAULT_BACKEND",
 ]
@@ -91,12 +98,20 @@ class Backend:
     description:
         One line for ``--help`` output and docs.
     factory:
-        ``factory(model, obstacles)`` returning a :class:`KernelStepper`.
+        ``factory(model, obstacles, **options)`` returning a
+        :class:`KernelStepper`.
+    options:
+        Keyword options the factory accepts beyond model and obstacles
+        (e.g. ``("workers",)`` for ``"parallel"``).  Callers are
+        validated against this tuple by :func:`check_backend_options`,
+        so every layer rejects unsupported options with the same
+        :class:`~repro.util.errors.ConfigError`.
     """
 
     name: str
     description: str
-    factory: Callable[[object, object], KernelStepper]
+    factory: Callable[..., KernelStepper]
+    options: tuple[str, ...] = ()
 
 
 class ReferenceStepper:
@@ -125,6 +140,23 @@ class ReferenceStepper:
             self._bounced = np.empty((rows, cols), dtype=np.uint8)
         else:
             self._solid = None
+        self._out_sel = 0
+
+    def _next_buffer(self, state: np.ndarray) -> np.ndarray:
+        """The write target for the next generation, never ``state`` itself.
+
+        The same ping-pong idiom as ``PipelineStage.process``: the two
+        preallocated buffers alternate between calls, so chained steps
+        (``s = stepper.step(stepper.step(s))`` or ``step`` then ``run``)
+        never collide into the array they are reading.  Returned states
+        are views of this pair, valid until the next-but-one call —
+        callers that retain them must copy.
+        """
+        sel = self._out_sel
+        if self._buffers[sel] is state:
+            sel = 1 - sel
+        self._out_sel = 1 - sel
+        return self._buffers[sel]
 
     @hot_path
     def _advance(
@@ -150,7 +182,7 @@ class ReferenceStepper:
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
         state = self.model.check_state(state)  # type: ignore[attr-defined]
-        return self._advance(state, self._buffers[0], t, rng)
+        return self._advance(state, self._next_buffer(state), t, rng)
 
     @hot_path
     def run(
@@ -163,10 +195,7 @@ class ReferenceStepper:
         state = self.model.check_state(state)  # type: ignore[attr-defined]
         cur: np.ndarray = state
         for i in range(generations):
-            # Never write into the caller's array: generation 0 targets
-            # buffer 0, and the buffers alternate from there.
-            out = self._buffers[i % 2]
-            cur = self._advance(cur, out, t0 + i, rng)
+            cur = self._advance(cur, self._next_buffer(cur), t0 + i, rng)
         return cur
 
 
@@ -217,9 +246,20 @@ _REGISTRY: dict[str, Backend] = {}
 
 
 def register_backend(backend: Backend) -> Backend:
-    """Add a backend to the registry (name must be unused); returns it."""
+    """Add a backend to the registry (name must be unused); returns it.
+
+    Raises
+    ------
+    ConfigError
+        When the name is already registered — silently replacing a
+        backend would let a stale import swap the semantics everything
+        else was validated against.
+    """
     if backend.name in _REGISTRY:
-        raise ValueError(f"backend {backend.name!r} is already registered")
+        raise ConfigError(
+            f"backend {backend.name!r} is already registered; "
+            f"registered backends: {', '.join(sorted(_REGISTRY))}"
+        )
     _REGISTRY[backend.name] = backend
     return backend
 
@@ -228,7 +268,7 @@ def get_backend(name: str) -> Backend:
     """Look up a backend by name, with a helpful error listing the choices."""
     backend = _REGISTRY.get(name)
     if backend is None:
-        raise ValueError(
+        raise ConfigError(
             f"unknown backend {name!r}; available: {', '.join(sorted(_REGISTRY))}"
         )
     return backend
@@ -239,13 +279,53 @@ def available_backends() -> tuple[Backend, ...]:
     return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
 
 
+def check_backend_options(
+    backend: Backend | str, options: Mapping[str, object]
+) -> dict[str, object]:
+    """Validate per-backend options; returns the ones that are actually set.
+
+    ``None`` values mean "not requested" and are dropped, so callers can
+    plumb a uniform keyword set (e.g. ``workers=None``) through every
+    layer.  Any *set* option the backend does not declare raises the
+    same :class:`~repro.util.errors.ConfigError` everywhere.
+    """
+    if isinstance(backend, str):
+        backend = get_backend(backend)
+    given = {key: value for key, value in options.items() if value is not None}
+    unknown = sorted(set(given) - set(backend.options))
+    if unknown:
+        accepted = ", ".join(backend.options) if backend.options else "none"
+        raise ConfigError(
+            f"backend {backend.name!r} does not accept option(s) "
+            f"{', '.join(unknown)}; accepted: {accepted}"
+        )
+    return given
+
+
 def make_stepper(
     model: object,
     obstacles: object = None,
     backend: str = DEFAULT_BACKEND,
+    **options: object,
 ) -> KernelStepper:
-    """Build a stepper for ``model`` (and optional obstacles) by backend name."""
-    return get_backend(backend).factory(model, obstacles)
+    """Build a stepper for ``model`` (and optional obstacles) by backend name.
+
+    Extra keywords are per-backend options (``workers`` for
+    ``"parallel"``); unset (``None``) options are ignored and options a
+    backend does not declare raise
+    :class:`~repro.util.errors.ConfigError`.
+    """
+    chosen = get_backend(backend)
+    return chosen.factory(model, obstacles, **check_backend_options(chosen, options))
+
+
+def _parallel_factory(
+    model: object, obstacles: object = None, workers: object = "auto"
+) -> KernelStepper:
+    """Build a :class:`~repro.lgca.parallel.ParallelStepper` (lazy import)."""
+    from repro.lgca.parallel import ParallelStepper
+
+    return ParallelStepper(model, obstacles, workers=workers)  # type: ignore[arg-type]
 
 
 register_backend(
@@ -260,5 +340,13 @@ register_backend(
         name="bitplane",
         description="multi-spin coded kernels: 64 sites per word, boolean-algebra collision",
         factory=BitplaneStepper,
+    )
+)
+register_backend(
+    Backend(
+        name="parallel",
+        description="bit-plane kernels tiled over row slabs on a persistent thread pool",
+        factory=_parallel_factory,
+        options=("workers",),
     )
 )

@@ -253,7 +253,7 @@ SERIAL = register(
         paper_section="3",
         engine_cls=SerialPipelineEngine,
         capabilities=MachineCapabilities(),
-        parameters=("pipeline_depth", "clock_hz", "post_collide", "backend"),
+        parameters=("pipeline_depth", "clock_hz", "post_collide", "backend", "workers"),
         design_summary=_serial_design,
         predicted_ticks=_serial_predicted_ticks,
         steady_updates_per_tick=_peak_updates_per_tick,
@@ -273,6 +273,7 @@ WSA = register(
             "clock_hz",
             "post_collide",
             "backend",
+            "workers",
         ),
         design_summary=_wsa_design,
         predicted_ticks=_wsa_predicted_ticks,
@@ -298,6 +299,7 @@ SPA = register(
             "post_collide",
             "failed_slices",
             "backend",
+            "workers",
         ),
         default_params={"slice_width": 8},
         design_summary=_spa_design,
@@ -321,6 +323,7 @@ WSA_E = register(
             "clock_hz",
             "post_collide",
             "backend",
+            "workers",
         ),
         design_summary=_wsa_e_design,
         predicted_ticks=_serial_predicted_ticks,

@@ -19,6 +19,7 @@ from repro.lgca.backends import (
     KernelStepper,
     ReferenceStepper,
     available_backends,
+    check_backend_options,
     get_backend,
     make_stepper,
     register_backend,
@@ -26,6 +27,7 @@ from repro.lgca.backends import (
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
 from repro.lgca.hpp import HPPModel
+from repro.util.errors import ConfigError
 
 GENERATIONS = 8  # enough for propagation to wrap small lattices
 
@@ -33,25 +35,28 @@ GENERATIONS = 8  # enough for propagation to wrap small lattices
 class TestRegistry:
     def test_builtin_backends_registered(self):
         names = [b.name for b in available_backends()]
-        assert names == ["bitplane", "reference"]
+        assert names == ["bitplane", "parallel", "reference"]
 
     def test_get_backend(self):
         assert get_backend("reference").factory is ReferenceStepper
         assert get_backend("bitplane").factory is BitplaneStepper
+        assert get_backend("parallel").options == ("workers",)
 
-    def test_unknown_backend_lists_choices(self):
-        with pytest.raises(ValueError, match="bitplane.*reference"):
+    def test_unknown_backend_lists_choices_sorted(self):
+        with pytest.raises(ConfigError, match="bitplane, parallel, reference"):
             get_backend("vectorized")
 
     def test_duplicate_registration_rejected(self):
-        with pytest.raises(ValueError, match="already registered"):
+        with pytest.raises(ConfigError, match="already registered") as exc:
             register_backend(
                 Backend(name="reference", description="dup", factory=ReferenceStepper)
             )
+        # the error names the existing choices, sorted
+        assert "bitplane, parallel, reference" in str(exc.value)
 
     def test_make_stepper_satisfies_protocol(self):
         model = HPPModel(4, 4)
-        for name in ("reference", "bitplane"):
+        for name in ("reference", "bitplane", "parallel"):
             assert isinstance(make_stepper(model, backend=name), KernelStepper)
 
     def test_automaton_rejects_unknown_backend(self):
@@ -59,6 +64,17 @@ class TestRegistry:
         state = np.zeros((4, 4), dtype=np.uint8)
         with pytest.raises(ValueError, match="unknown backend"):
             LatticeGasAutomaton(model, state, backend="nope")
+
+    def test_unknown_option_rejected_uniformly(self):
+        for name in ("reference", "bitplane"):
+            with pytest.raises(ConfigError, match="does not accept option"):
+                check_backend_options(name, {"workers": 2})
+        with pytest.raises(ConfigError, match="does not accept option"):
+            make_stepper(HPPModel(4, 4), backend="bitplane", workers=2)
+
+    def test_none_options_are_ignored(self):
+        assert check_backend_options("reference", {"workers": None}) == {}
+        assert check_backend_options("parallel", {"workers": 2}) == {"workers": 2}
 
 
 def _trajectories_equal(model, state, *, obstacles=None, seed=None):
@@ -192,6 +208,33 @@ class TestStepperContracts:
                 stepped = stepper.step(stepped, t).copy()
             ran = make_stepper(model, backend=backend).run(state, 5)
             np.testing.assert_array_equal(ran, stepped, err_msg=backend)
+
+    def test_reference_step_never_returns_its_input_buffer(self):
+        """The ping-pong pair must never collide output into the input.
+
+        Chained calls feed the previous return (a view of one internal
+        buffer) straight back in; ``_next_buffer`` must then select the
+        *other* buffer, or the stage would read rows it already
+        overwrote.
+        """
+        model = HPPModel(6, 6)
+        stepper = make_stepper(model)
+        out = stepper.step(_state(0, 6, 6, 4), 0)
+        for t in range(1, 6):
+            nxt = stepper.step(out, t)
+            assert nxt is not out
+            assert not np.shares_memory(nxt, out)
+            out = nxt
+
+    def test_reference_chained_steps_match_fresh_stepper(self):
+        model = FHPModel(6, 20)
+        state = _state(7, 6, 20, 6)
+        chained = make_stepper(model)
+        cur = state
+        for t in range(6):
+            cur = chained.step(cur, t)  # no defensive copies
+        expected = make_stepper(model).run(state, 6)
+        np.testing.assert_array_equal(cur, expected)
 
     def test_automaton_time_advances_once_per_run(self):
         model = HPPModel(6, 6)

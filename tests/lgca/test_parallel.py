@@ -1,0 +1,247 @@
+"""Parallel-backend equivalence: thread-tiled stepping is bit-identical.
+
+The load-bearing guarantee of ``backend="parallel"`` is that tiling the
+lattice into row slabs on a thread pool changes *nothing* about the
+evolution: for every model, boundary, chirality policy, obstacle map,
+and worker count, the trajectory must be bit-identical to the
+single-slab ``"bitplane"`` backend (and therefore, by the equivalence
+suite in ``test_backends``, to the reference kernels).  The hypothesis
+properties here drive exactly that comparison, including the awkward
+geometries — odd slab splits, ``rows < workers``, lattices too short to
+split at all.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lgca.automaton import ObstacleMap
+from repro.lgca.backends import BitplaneStepper, make_stepper
+from repro.lgca.fhp import FHPModel
+from repro.lgca.flows import uniform_random_state
+from repro.lgca.hpp import HPPModel
+from repro.lgca.parallel import (
+    MIN_AUTO_SLAB_ROWS,
+    ParallelStepper,
+    resolve_workers,
+)
+from repro.util.errors import ConfigError
+
+GENERATIONS = 6  # enough for halo artifacts to reach slab interiors if wrong
+
+
+def _state(seed, rows, cols, channels, density=0.35):
+    return uniform_random_state(
+        rows, cols, channels, density, np.random.default_rng(seed)
+    )
+
+
+def _assert_matches_bitplane(model, state, *, workers, obstacles=None, seed=None):
+    """Run and step both backends side by side; require bit-identity."""
+
+    def rng():
+        return np.random.default_rng(seed) if seed is not None else None
+
+    serial = make_stepper(model, obstacles=obstacles, backend="bitplane")
+    tiled = make_stepper(
+        model, obstacles=obstacles, backend="parallel", workers=workers
+    )
+    np.testing.assert_array_equal(
+        serial.run(state.copy(), GENERATIONS, 0, rng()),
+        tiled.run(state.copy(), GENERATIONS, 0, rng()),
+        err_msg=f"run() diverged at workers={workers}",
+    )
+    # step-by-step (re-pack each generation) must agree too
+    serial_rng, tiled_rng = rng(), rng()
+    a, b = state.copy(), state.copy()
+    for t in range(GENERATIONS):
+        a = serial.step(a, t, serial_rng).copy()
+        b = tiled.step(b, t, tiled_rng).copy()
+        np.testing.assert_array_equal(
+            a, b, err_msg=f"step() diverged at t={t}, workers={workers}"
+        )
+
+
+worker_strategy = st.sampled_from([1, 2, 3, 5, 100])  # 100 > rows: clamps
+boundary_strategy = st.sampled_from(["periodic", "null", "reflecting"])
+
+
+class TestParallelEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.sampled_from([4, 7, 11, 16]),
+        cols=st.sampled_from([17, 63, 65, 130]),
+        boundary=boundary_strategy,
+        workers=worker_strategy,
+    )
+    def test_hpp(self, seed, rows, cols, boundary, workers):
+        model = HPPModel(rows, cols, boundary=boundary)
+        _assert_matches_bitplane(
+            model, _state(seed, rows, cols, 4), workers=workers
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.sampled_from([4, 6, 10, 12]),
+        boundary=boundary_strategy,
+        chirality=st.sampled_from(["alternate", "left", "right"]),
+        rest=st.booleans(),
+        workers=worker_strategy,
+    )
+    def test_fhp_deterministic_chirality(
+        self, seed, rows, boundary, chirality, rest, workers
+    ):
+        model = FHPModel(
+            rows, 67, boundary=boundary, chirality=chirality, rest_particles=rest
+        )
+        _assert_matches_bitplane(
+            model, _state(seed, rows, 67, model.num_channels), workers=workers
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rng_seed=st.integers(0, 2**31 - 1),
+        boundary=boundary_strategy,
+        workers=worker_strategy,
+    )
+    def test_fhp_random_chirality(self, seed, rng_seed, boundary, workers):
+        """The coordinator must consume the caller's RNG stream exactly
+        as the serial kernel does — one whole-lattice draw per tick."""
+        model = FHPModel(8, 70, boundary=boundary, chirality="random")
+        _assert_matches_bitplane(
+            model, _state(seed, 8, 70, 6), workers=workers, seed=rng_seed
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        obstacle_seed=st.integers(0, 2**31 - 1),
+        boundary=boundary_strategy,
+        workers=worker_strategy,
+    )
+    def test_obstacles(self, seed, obstacle_seed, boundary, workers):
+        rows, cols = 10, 67
+        mask = np.random.default_rng(obstacle_seed).random((rows, cols)) < 0.15
+        model = HPPModel(rows, cols, boundary=boundary)
+        _assert_matches_bitplane(
+            model,
+            _state(seed, rows, cols, 4),
+            workers=workers,
+            obstacles=ObstacleMap(mask),
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), workers=st.sampled_from([2, 3]))
+    def test_fhp_saturated_with_obstacles(self, seed, workers):
+        rows, cols = 8, 64
+        mask = np.random.default_rng(seed + 1).random((rows, cols)) < 0.15
+        model = FHPModel(rows, cols, rest_particles=True, saturated=True)
+        _assert_matches_bitplane(
+            model,
+            _state(seed, rows, cols, 7),
+            workers=workers,
+            obstacles=ObstacleMap(mask),
+        )
+
+    def test_odd_slab_split(self):
+        """13 rows / 3 workers: 5 + 4 + 4, uneven and odd-sized slabs."""
+        model = HPPModel(13, 40, boundary="null")
+        _assert_matches_bitplane(model, _state(0, 13, 40, 4), workers=3)
+
+    def test_determinism_across_worker_counts(self):
+        """Same seed, different worker counts: identical trajectories."""
+        model = FHPModel(12, 50, chirality="random")
+        state = _state(9, 12, 50, 6)
+        outputs = []
+        for workers in (1, 2, 3, 4, 6):
+            stepper = make_stepper(model, backend="parallel", workers=workers)
+            rng = np.random.default_rng(1234)
+            outputs.append(stepper.run(state.copy(), GENERATIONS, 0, rng).copy())
+        for other in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], other)
+
+
+class TestWorkerResolution:
+    def test_auto_degrades_to_one_for_small_lattices(self):
+        assert resolve_workers("auto", MIN_AUTO_SLAB_ROWS - 1) == 1
+        assert resolve_workers(None, 16) == 1
+
+    def test_auto_is_cpu_bounded(self):
+        import os
+
+        rows = MIN_AUTO_SLAB_ROWS * 64
+        assert resolve_workers("auto", rows) <= (os.cpu_count() or 1)
+
+    def test_explicit_count_clamped_to_lattice(self):
+        # every slab must keep BOUNDARY_ROWS rows: 7 rows -> at most 3 slabs
+        assert resolve_workers(100, 7) == 3
+        assert resolve_workers(2, 7) == 2
+
+    def test_digit_strings_accepted(self):
+        assert resolve_workers("3", 32) == 3
+
+    def test_rejects_bad_values(self):
+        for bad in (0, -1, True, 2.5, "two", ""):
+            with pytest.raises(ConfigError, match="workers"):
+                resolve_workers(bad, 32)
+
+    def test_single_worker_is_plain_bitplane(self):
+        """workers=1 must carry zero pool overhead: it IS the bitplane
+        stepper, not a one-tile pool."""
+        stepper = ParallelStepper(HPPModel(16, 32), workers=1)
+        assert isinstance(stepper._single, BitplaneStepper)
+        assert stepper._pool is None
+
+    def test_close_is_idempotent_and_kills_run(self):
+        stepper = ParallelStepper(HPPModel(16, 32), workers=2)
+        state = _state(0, 16, 32, 4)
+        stepper.run(state, 1)
+        stepper.close()
+        stepper.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            stepper.run(state, 1)
+
+    def test_rejects_unknown_model_type(self):
+        class Fake:
+            rows, cols = 16, 16
+
+        with pytest.raises(ConfigError, match="no parallel kernel"):
+            ParallelStepper(Fake(), workers=2)
+
+
+class TestParallelContracts:
+    def test_run_does_not_mutate_input(self):
+        model = HPPModel(12, 40)
+        state = _state(0, 12, 40, 4)
+        before = state.copy()
+        make_stepper(model, backend="parallel", workers=3).run(state, 5)
+        np.testing.assert_array_equal(state, before)
+
+    def test_run_equals_repeated_step(self):
+        model = FHPModel(12, 40)
+        state = _state(3, 12, 40, 6)
+        stepper = make_stepper(model, backend="parallel", workers=3)
+        stepped = state
+        for t in range(5):
+            stepped = stepper.step(stepped, t).copy()
+        ran = make_stepper(model, backend="parallel", workers=3).run(state, 5)
+        np.testing.assert_array_equal(ran, stepped)
+
+    def test_zero_generations_is_identity(self):
+        model = HPPModel(12, 40)
+        state = _state(1, 12, 40, 4)
+        stepper = make_stepper(model, backend="parallel", workers=3)
+        np.testing.assert_array_equal(stepper.run(state, 0), state)
+
+    def test_mass_conserved_periodic(self):
+        from repro.lgca.observables import total_mass
+
+        model = FHPModel(16, 65)
+        state = _state(5, 16, 65, 6)
+        mass0 = total_mass(state, 6)
+        out = make_stepper(model, backend="parallel", workers=4).run(state, 20)
+        assert total_mass(out, 6) == mass0
