@@ -20,7 +20,6 @@ writes a schema-versioned JSON report.
 import argparse
 import json
 import sys
-import time
 
 import numpy as np
 import pytest
@@ -30,6 +29,7 @@ from repro.lgca.automaton import LatticeGasAutomaton
 from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
 from repro.lgca.hpp import HPPModel
+from repro.telemetry import PERF_COUNTER
 from repro.util.tables import Table
 
 ROWS, COLS, GENS = 32, 32, 8
@@ -210,9 +210,9 @@ def sweep_registry(
     results = []
     for spec in machines.specs():
         engine = spec.create(model, pipeline_depth=pipeline_depth)
-        start = time.perf_counter()
+        start = PERF_COUNTER()
         out, stats = engine.run(frame.copy(), generations)
-        elapsed = time.perf_counter() - start
+        elapsed = PERF_COUNTER() - start
         predicted = spec.predicted_ticks(engine, generations)
         results.append(
             {

@@ -20,7 +20,6 @@ reference.
 import argparse
 import json
 import sys
-import time
 
 import numpy as np
 import pytest
@@ -30,6 +29,7 @@ from repro.lgca.fhp import FHPModel
 from repro.lgca.flows import uniform_random_state
 from repro.lgca.hpp import HPPModel
 from repro.lgca.ndim import NDHPPModel
+from repro.telemetry import PERF_COUNTER, InMemoryRecorder, TelemetryReport
 from repro.util.tables import Table, format_rate
 
 SIZE = 256
@@ -136,6 +136,14 @@ def _make_model(name: str, rows: int, cols: int):
     raise ValueError(f"unknown model {name!r}")
 
 
+def _cell_timer_name(
+    model_name: str, size: int, backend: str, workers: int | None
+) -> str:
+    """Telemetry timer name for one measurement cell."""
+    suffix = f".w{workers}" if workers is not None else ""
+    return f"bench.kernels.{model_name}.{size}.{backend}{suffix}.pass_seconds"
+
+
 def measure_backend(
     model_name: str,
     size: int,
@@ -145,6 +153,7 @@ def measure_backend(
     density: float = 0.3,
     seed: int = 0,
     workers: int | None = None,
+    recorder: InMemoryRecorder | None = None,
 ) -> dict:
     """Measure R for one (model, size, backend[, workers]) cell.
 
@@ -152,18 +161,25 @@ def measure_backend(
     thread-pool spin-up), then ``repeats`` timed passes of
     ``generations`` steps each, and quotes R from the *best* pass — the
     standard way to estimate the kernel's intrinsic rate under
-    scheduler noise.
+    scheduler noise.  Timing goes through a bench-owned telemetry timer
+    (one per cell, ``perf_counter`` clock); R is read back from the
+    timer's recorded minimum.  The stepper itself stays on the default
+    ``NullRecorder`` so kernel-side instrumentation cannot perturb the
+    measurement.
     """
     model = _make_model(model_name, size, size)
     rng = np.random.default_rng(seed)
     state = uniform_random_state(size, size, model.num_channels, density, rng)
     stepper = make_stepper(model, backend=backend, workers=workers)
     stepper.run(state, generations)  # warmup, untimed
-    best = float("inf")
+    rec = recorder if recorder is not None else InMemoryRecorder(clock=PERF_COUNTER)
+    clk = rec.clock
+    timer = rec.timer(_cell_timer_name(model_name, size, backend, workers))
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = clk()
         stepper.run(state, generations)
-        best = min(best, time.perf_counter() - start)
+        timer.record(clk() - start)
+    best = timer.min
     updates = generations * size * size
     rec = {
         "model": model_name,
@@ -188,6 +204,7 @@ def run_matrix(
     generations: int,
     repeats: int,
     workers_sweep: list[int] | None = None,
+    recorder: InMemoryRecorder | None = None,
 ) -> dict:
     """The full measurement matrix plus per-cell speedup annotations.
 
@@ -207,12 +224,15 @@ def run_matrix(
                     for w in workers_sweep:
                         rec = measure_backend(
                             model_name, size, backend, generations, repeats,
-                            workers=w,
+                            workers=w, recorder=recorder,
                         )
                         parallel_rows.append(rec)
                         results.append(rec)
                     continue
-                rec = measure_backend(model_name, size, backend, generations, repeats)
+                rec = measure_backend(
+                    model_name, size, backend, generations, repeats,
+                    recorder=recorder,
+                )
                 by_backend[backend] = rec
                 results.append(rec)
             if "reference" in by_backend and "bitplane" in by_backend:
@@ -264,6 +284,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", default=None, metavar="N,M,...",
                         help="comma-separated worker counts: sweep the "
                         "'parallel' backend once per count")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="write the bench-owned telemetry report "
+                        "(per-cell pass timers) here")
     parser.add_argument("--assert-speedup", type=float, default=None, metavar="FACTOR",
                         help="exit 1 unless bitplane beats reference by FACTOR "
                         "in every measured cell")
@@ -282,8 +305,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     if workers_sweep and "parallel" not in backends:
         backends.append("parallel")
+    recorder = InMemoryRecorder(clock=PERF_COUNTER)
     report = run_matrix(
-        sizes, models, backends, args.generations, args.repeats, workers_sweep
+        sizes, models, backends, args.generations, args.repeats, workers_sweep,
+        recorder=recorder,
     )
 
     table = Table(
@@ -311,6 +336,20 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json}")
+
+    if args.telemetry:
+        TelemetryReport.from_recorder(
+            recorder,
+            meta={
+                "command": "bench_kernels",
+                "sizes": args.sizes,
+                "models": args.models,
+                "backends": ",".join(backends),
+                "generations": args.generations,
+                "repeats": args.repeats,
+            },
+        ).write_json(args.telemetry)
+        print(f"wrote {args.telemetry}")
 
     if args.assert_speedup is not None:
         failed = [

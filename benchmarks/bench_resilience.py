@@ -16,8 +16,6 @@ machine — the bare run alone fluctuates by tens of percent between
 invocations, which would drown the quantity being measured.
 """
 
-import time
-
 import numpy as np
 import pytest
 
@@ -30,6 +28,7 @@ from repro.resilience.monitors import (
     FusedMonitor,
     ParityMonitor,
 )
+from repro.telemetry import PERF_COUNTER
 from repro.util.tables import Table
 
 ROWS, COLS, GENS = 128, 128, 32
@@ -51,11 +50,11 @@ def _fused_ratio() -> tuple[float, float, float]:
     monitor.arm(auto.state)
     t_step = t_mon = 0.0
     for _ in range(GENS):
-        start = time.perf_counter()
+        start = PERF_COUNTER()
         auto.step()
-        mid = time.perf_counter()
+        mid = PERF_COUNTER()
         detections = monitor.observe(auto.state, auto.time)
-        end = time.perf_counter()
+        end = PERF_COUNTER()
         assert not detections
         t_step += mid - start
         t_mon += end - mid
@@ -71,14 +70,14 @@ def _two_pass_ratio() -> tuple[float, float, float]:
     parity.tag(auto.state)
     t_step = t_mon = 0.0
     for _ in range(GENS):
-        start = time.perf_counter()
+        start = PERF_COUNTER()
         assert not parity.check(auto.state, auto.time)
-        mid1 = time.perf_counter()
+        mid1 = PERF_COUNTER()
         auto.step()
-        mid2 = time.perf_counter()
+        mid2 = PERF_COUNTER()
         assert not conservation.check(auto.state, auto.time)
         parity.tag(auto.state)
-        end = time.perf_counter()
+        end = PERF_COUNTER()
         t_step += mid2 - mid1
         t_mon += (mid1 - start) + (end - mid2)
     return t_mon / t_step, t_step / GENS * 1e6, t_mon / GENS * 1e6
@@ -108,9 +107,9 @@ def test_monitor_overhead_under_10_percent(report):
 
 @pytest.mark.parametrize("monitors", [True, False])
 def test_campaign_wall_time(report, monitors):
-    start = time.perf_counter()
+    start = PERF_COUNTER()
     rep = run_campaign(CampaignConfig(monitors=monitors))
-    elapsed = time.perf_counter() - start
+    elapsed = PERF_COUNTER() - start
     summary = rep["summary"]
     table = Table(
         f"Campaign cost (monitors={'on' if monitors else 'off'})",

@@ -22,12 +22,12 @@ not a parallelism dividend foregone.
 import argparse
 import json
 import sys
-import time
 
 import numpy as np
 
 from repro.lgca.automaton import LatticeGasAutomaton
 from repro.runtime import ModelSpec, SupervisorConfig, supervised_run
+from repro.telemetry import PERF_COUNTER, InMemoryRecorder, TelemetryReport
 from repro.util.tables import Table, format_rate
 
 #: Schema tag of the --json report; bump on layout changes.
@@ -41,19 +41,29 @@ def run_pair(
     workers: int,
     backend: str,
     seed: int,
+    recorder: InMemoryRecorder | None = None,
 ) -> dict[str, object]:
-    """Time one direct and one supervised run of the same evolution."""
+    """Time one direct and one supervised run of the same evolution.
+
+    Both arms are timed through bench-owned telemetry timers
+    (``bench.supervisor.direct_seconds`` /
+    ``bench.supervisor.supervised_seconds``); the supervised arm also
+    feeds its lifecycle events into the same recorder.
+    """
     spec = ModelSpec(kind="fhp6", rows=rows, cols=cols, boundary="periodic")
     updates = rows * cols * generations
+    rec = recorder if recorder is not None else InMemoryRecorder(clock=PERF_COUNTER)
+    clk = rec.clock
 
     # Both arms start from the same prebuilt state; each arm's timing
     # covers its own model construction (the workers build local models,
     # the direct arm builds the full one) plus the evolution itself.
     init = spec.initial_state(0.3, seed)
-    t0 = time.perf_counter()
+    t0 = clk()
     auto = LatticeGasAutomaton(spec.build(), init.copy(), backend=backend)
     auto.run(generations)
-    direct_s = time.perf_counter() - t0
+    direct_s = clk() - t0
+    rec.timer("bench.supervisor.direct_seconds").record(direct_s)
     golden = auto.state.copy()
 
     config = SupervisorConfig(
@@ -68,9 +78,10 @@ def run_pair(
         checkpoint_interval=generations + 1,
         watchdog_timeout=120.0,
     )
-    t0 = time.perf_counter()
-    state, report = supervised_run(config)
-    supervised_s = time.perf_counter() - t0
+    t0 = clk()
+    state, report = supervised_run(config, recorder=rec)
+    supervised_s = clk() - t0
+    rec.timer("bench.supervisor.supervised_seconds").record(supervised_s)
 
     overhead = (supervised_s - direct_s) / direct_s * 100.0
     return {
@@ -115,15 +126,23 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if the best-of-repeats overhead exceeds PCT percent",
     )
     parser.add_argument("--json", default=None, metavar="PATH")
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write the bench-owned telemetry report (arm timers plus "
+        "supervisor lifecycle events) here",
+    )
     args = parser.parse_args(argv)
 
     # Warm up interpreter, kernels, and the process machinery off the clock.
     run_pair(64, 64, 4, args.workers, args.backend, args.seed)
 
+    recorder = InMemoryRecorder(clock=PERF_COUNTER)
     results = [
         run_pair(
             args.rows, args.cols, args.generations, args.workers,
-            args.backend, args.seed,
+            args.backend, args.seed, recorder=recorder,
         )
         for _ in range(args.repeats)
     ]
@@ -162,6 +181,21 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
+
+    if args.telemetry:
+        TelemetryReport.from_recorder(
+            recorder,
+            meta={
+                "command": "bench_supervisor",
+                "rows": args.rows,
+                "cols": args.cols,
+                "generations": args.generations,
+                "workers": args.workers,
+                "backend": args.backend,
+                "repeats": args.repeats,
+            },
+        ).write_json(args.telemetry)
+        print(f"wrote {args.telemetry}")
 
     if not best["bit_identical"]:
         print("FAIL: supervised output is not bit-identical", file=sys.stderr)

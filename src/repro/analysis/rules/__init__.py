@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.rules.annotations import PublicAPIAnnotationRule
 from repro.analysis.rules.base import ModuleUnderCheck, Rule
 from repro.analysis.rules.bufferhazard import BufferHazardRule
+from repro.analysis.rules.clocks import RawClockRule
 from repro.analysis.rules.defaults import MutableDefaultRule
 from repro.analysis.rules.dtypes import ExplicitDtypeRule
 from repro.analysis.rules.excepts import BareExceptRule
@@ -28,6 +29,7 @@ __all__ = [
     "DunderAllRule",
     "HotPathAllocationRule",
     "HotPathPurityRule",
+    "RawClockRule",
     "BufferHazardRule",
     "ALL_RULES",
     "get_rules",
@@ -35,7 +37,8 @@ __all__ = [
 
 #: One instance of every rule, in id order.  Ids are unique and sorted
 #: but intentionally non-contiguous: the 1xx block holds the dataflow
-#: rule families (101/102 hot-path discipline, 110 buffer hazards).
+#: rule families (101/102 hot-path discipline, 103 clock discipline,
+#: 110 buffer hazards).
 ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     FloatEqualityRule(),
@@ -45,6 +48,7 @@ ALL_RULES: tuple[Rule, ...] = (
     DunderAllRule(),
     HotPathAllocationRule(),
     HotPathPurityRule(),
+    RawClockRule(),
     BufferHazardRule(),
 )
 

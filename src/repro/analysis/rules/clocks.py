@@ -1,0 +1,108 @@
+"""RPR103 — raw stdlib clocks belong to :mod:`repro.telemetry`.
+
+Timing in this codebase flows through the telemetry spine: components
+take an injectable ``Clock`` (``repro.telemetry.MONOTONIC`` /
+``PERF_COUNTER``) so tests can drive time virtually (``StepClock``) and
+every measurement lands in one recorder.  A stray ``time.monotonic()``
+or ``time.perf_counter()`` re-opens the door to unfakeable clocks and
+scattered ad-hoc timing, so this rule flags any reference to them —
+calls *or* bare references (a default argument ``clock=time.monotonic``
+is just as unfakeable) — anywhere outside ``repro/telemetry`` itself.
+
+``time.sleep`` is deliberately out of scope: it changes the world
+rather than reading it, and the supervisor's poll loop legitimately
+sleeps.  Escape hatch: ``# repro: clock-ok`` on the offending line, for
+the rare spot that must read a raw clock (e.g. bootstrapping the
+telemetry module's own defaults).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.rules.base import ModuleUnderCheck, Rule
+
+__all__ = ["RawClockRule"]
+
+#: ``time`` attributes that read a high-resolution clock.
+_CLOCK_ATTRS = {
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+}
+
+_CLOCK_OK_RE = re.compile(r"#\s*repro:\s*clock-ok")
+
+
+def _clock_ok_lines(source: str) -> set[int]:
+    lines: set[int] = set()
+    for i, line in enumerate(source.splitlines(), start=1):
+        if _CLOCK_OK_RE.search(line):
+            lines.add(i)
+    return lines
+
+
+def _time_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the ``time`` module (``import time as _t``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+class RawClockRule(Rule):
+    """RPR103: raw ``time.monotonic``/``perf_counter`` outside telemetry."""
+
+    id = "RPR103"
+    title = "raw stdlib clock outside repro.telemetry"
+    explanation = (
+        "Monotonic and perf-counter clocks must come from repro.telemetry "
+        "(MONOTONIC, PERF_COUNTER, or a recorder's .clock) so components "
+        "stay testable with a fake StepClock and all timing flows through "
+        "one instrumentation spine.  The rule flags calls and bare "
+        "references to time.monotonic / time.perf_counter (and their _ns "
+        "variants), plus importing those names from the time module.  "
+        "time.sleep is allowed.  Silence a deliberate raw read with a "
+        "'# repro: clock-ok' comment on the offending line."
+    )
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Diagnostic]:
+        """Yield one finding per raw-clock reference outside telemetry."""
+        if "telemetry" in module.path_parts:
+            return
+        ok_lines = _clock_ok_lines(module.source)
+        aliases = _time_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module != "time" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in _CLOCK_ATTRS and node.lineno not in ok_lines:
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            f"import of time.{alias.name}: take a "
+                            "repro.telemetry Clock (MONOTONIC/PERF_COUNTER) "
+                            "instead",
+                        )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    node.attr in _CLOCK_ATTRS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in aliases
+                    and node.lineno not in ok_lines
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"raw {node.value.id}.{node.attr}: take a "
+                        "repro.telemetry Clock (MONOTONIC/PERF_COUNTER) "
+                        "instead",
+                    )

@@ -216,12 +216,14 @@ class _ModuleHotAnalysis:
         self.ok_lines = _alloc_ok_lines(module.source)
         self.functions: dict[str, _Fn] = {}
         self.class_arrays: dict[str, set[str]] = {}
+        self.class_counters: dict[str, set[str]] = {}
         for node in module.tree.body:
             if isinstance(node, ast.FunctionDef):
                 self._add_function(node, node.name, None)
             elif isinstance(node, ast.ClassDef):
                 arrays = self._collect_class_arrays(node)
                 self.class_arrays[node.name] = arrays
+                self.class_counters[node.name] = self._collect_class_counters(node)
                 for item in node.body:
                     if isinstance(item, ast.FunctionDef):
                         self._add_function(
@@ -248,6 +250,32 @@ class _ModuleHotAnalysis:
                 if name and name.startswith("self."):
                     arrays.add(name)
         return arrays
+
+    def _collect_class_counters(self, cls: ast.ClassDef) -> set[str]:
+        """``self.X`` attributes bound to telemetry counter handles.
+
+        A pre-bound ``recorder.counter(...)`` handle is a scalar
+        accumulator (``Counter.add`` increments an int), not a growing
+        container, so its ``.add()`` is hot-path safe and exempt from
+        the growth-method check.
+        """
+        handles: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            produces = (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "counter"
+            )
+            if not produces:
+                continue
+            for target in node.targets:
+                name = dotted_name(target)
+                if name and name.startswith("self."):
+                    handles.add(name)
+        return handles
 
     def _is_hot(self, fn: ast.FunctionDef, qualname: str) -> bool:
         if fn.name in _SETUP_NAMES:
@@ -319,6 +347,7 @@ class _ModuleHotAnalysis:
                 func.attr in _GROWTH_METHODS
                 and base is not None
                 and base.startswith("self.")
+                and base not in self.class_counters.get(class_name or "", set())
             ):
                 rec.impure.append(
                     _Flag(

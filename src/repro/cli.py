@@ -30,6 +30,10 @@ run
     supervisor, with distinct exit codes: 0 complete, 3 degraded
     (shards dropped), 1 failed or (with ``--verify``) not bit-identical
     to the unsupervised run.
+telemetry
+    Inspect telemetry reports written by ``simulate``/``run``/``faults``
+    ``--telemetry PATH`` (``summarize`` prints a digest of counters,
+    timers, spans, and events).
 
 Every command prints the same fixed-width tables the benchmark harness
 writes, so CLI output can be diffed against ``benchmarks/out/``.
@@ -58,6 +62,38 @@ def _technology_from_args(args: argparse.Namespace):
         pe_area=args.pe_area,
         boundary_bits=args.boundary_bits,
         clock_hz=args.clock_mhz * 1e6,
+    )
+
+
+def _telemetry_recorder(args: argparse.Namespace):
+    """An :class:`InMemoryRecorder` when ``--telemetry`` was given, else None."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    from repro.telemetry import InMemoryRecorder
+
+    return InMemoryRecorder()
+
+
+def _write_telemetry(args: argparse.Namespace, recorder, **meta: object) -> None:
+    """Snapshot ``recorder`` to the ``--telemetry`` path (no-op when off)."""
+    if recorder is None:
+        return
+    from repro.telemetry import TelemetryReport
+
+    report = TelemetryReport.from_recorder(
+        recorder, meta={"command": args.command, **meta}
+    )
+    report.write_json(args.telemetry)
+    print(f"telemetry: wrote {args.telemetry}", file=sys.stderr)
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="record counters/timers/spans/events and write a "
+        "schema-versioned telemetry report (JSON) to PATH",
     )
 
 
@@ -163,8 +199,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     state = uniform_random_state(
         args.rows, args.cols, model.num_channels, args.density, rng
     )
+    recorder = _telemetry_recorder(args)
+    # With an engine selected the automaton is only the bit-exactness
+    # reference, so the recorder attaches to the engine run instead.
     auto = LatticeGasAutomaton(
-        model, state.copy(), backend=args.backend, workers=args.workers
+        model,
+        state.copy(),
+        backend=args.backend,
+        workers=args.workers,
+        recorder=recorder if args.engine == "none" else None,
     )
     mass0, p0 = auto.particle_count(), auto.momentum()
 
@@ -180,6 +223,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{np.abs(auto.momentum() - p0).max():.2e}",
         )
         table.print()
+        _write_telemetry(
+            args,
+            recorder,
+            model=args.model,
+            rows=args.rows,
+            cols=args.cols,
+            steps=args.steps,
+            backend=args.backend,
+            engine="none",
+        )
         return 0
 
     machine_params: dict[str, dict[str, object]] = {
@@ -192,6 +245,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         pipeline_depth=args.depth,
         backend=args.backend,
         workers=args.workers,
+        recorder=recorder,
         **machine_params.get(args.engine, {}),
     )
     auto.run(args.steps)
@@ -207,6 +261,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "memory bits/tick", f"{stats.main_bandwidth_bits_per_tick:.1f}"
     )
     table.print()
+    _write_telemetry(
+        args,
+        recorder,
+        model=args.model,
+        rows=args.rows,
+        cols=args.cols,
+        steps=args.steps,
+        backend=args.backend,
+        engine=args.engine,
+    )
     return 0 if match else 1
 
 
@@ -571,11 +635,21 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         monitors=not args.no_monitors,
         trial_timeout_seconds=args.trial_timeout,
     )
-    report = run_campaign(config)
+    recorder = _telemetry_recorder(args)
+    report = run_campaign(config, recorder=recorder)
     if args.format == "json":
         print(report_json(report), end="")
     else:
         print(render_report(report), end="")
+    _write_telemetry(
+        args,
+        recorder,
+        seed=args.seed,
+        rows=args.rows,
+        cols=args.cols,
+        generations=args.generations,
+        monitors=config.monitors,
+    )
     sdc = report["summary"]["silent-data-corruption"]
     return 1 if (config.monitors and sdc) else 0
 
@@ -632,18 +706,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         boundary=args.boundary,
     )
 
-    def run_direct(workers: int | str | None = None) -> np.ndarray:
+    recorder = _telemetry_recorder(args)
+
+    def run_direct(workers: int | str | None = None, rec=None) -> np.ndarray:
         auto = LatticeGasAutomaton(
             spec.build(),
             spec.initial_state(args.density, args.seed),
             backend=args.backend,
             workers=workers,
+            recorder=rec,
         )
         auto.run(args.generations)
         return auto.state.copy()
 
     if not args.supervised:
-        state = run_direct(args.workers)
+        state = run_direct(args.workers, recorder)
         table = Table("Direct run", ["quantity", "value"])
         table.add_row("model", args.model)
         table.add_row("grid", f"{args.rows} x {args.cols} ({args.boundary})")
@@ -651,6 +728,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row("backend", args.backend)
         table.add_row("final particles", int(np.unpackbits(state).sum()))
         table.print()
+        _write_telemetry(
+            args,
+            recorder,
+            model=args.model,
+            rows=args.rows,
+            cols=args.cols,
+            generations=args.generations,
+            backend=args.backend,
+            supervised=False,
+        )
         return 0
 
     from repro.util.errors import ConfigError
@@ -687,13 +774,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         allow_degraded=args.allow_degraded,
         induced=tuple(_parse_induce(t) for t in (args.induce or [])),
     )
-    state, report = supervised_run(config)
+    state, report = supervised_run(config, recorder=recorder)
     exit_code = report.exit_code
     bit_identical: bool | None = None
     if args.verify and state is not None and report.outcome == "complete":
         bit_identical = bool(np.array_equal(state, run_direct()))
         if not bit_identical:
             exit_code = 1
+    _write_telemetry(
+        args,
+        recorder,
+        model=args.model,
+        rows=args.rows,
+        cols=args.cols,
+        generations=args.generations,
+        backend=args.backend,
+        supervised=True,
+        outcome=report.outcome,
+    )
     if args.format == "json":
         payload = report.to_dict()
         payload["bit_identical"] = bit_identical
@@ -733,6 +831,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"on {event.backend!r}: {event.reason}"
         )
     return exit_code
+
+
+def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    from repro.telemetry import TelemetryReport
+
+    report = TelemetryReport.load(args.path)
+    for line in report.summary_lines():
+        print(line)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -786,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for --backend parallel: a positive integer "
         "or 'auto' (rejected by other backends)",
     )
+    _add_telemetry_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("bounds", help="evaluate the I/O bound")
@@ -934,6 +1042,7 @@ def build_parser() -> argparse.ArgumentParser:
         const="json",
         help="shorthand for --format json",
     )
+    _add_telemetry_arg(p)
     p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser(
@@ -1041,7 +1150,17 @@ def build_parser() -> argparse.ArgumentParser:
         const="json",
         help="shorthand for --format json",
     )
+    _add_telemetry_arg(p)
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("telemetry", help="inspect telemetry reports")
+    tsub = p.add_subparsers(dest="telemetry_command", required=True)
+    tp = tsub.add_parser(
+        "summarize",
+        help="print a digest of a telemetry report written by --telemetry",
+    )
+    tp.add_argument("path", help="telemetry report JSON file")
+    tp.set_defaults(func=_cmd_telemetry_summarize)
 
     return parser
 

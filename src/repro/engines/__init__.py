@@ -30,8 +30,6 @@ pairs each engine with its closed-form design model; new code should
 construct engines through it rather than importing classes from here.
 """
 
-import warnings
-
 from repro.engines.pe import SiteUpdateRule, StreamStencil
 from repro.engines.shiftreg import ShiftRegister, WindowOverrunError
 from repro.engines.streaming_core import StreamingEngineCore
@@ -64,17 +62,3 @@ __all__ = [
     "EngineRunStats",
     "ThroughputReport",
 ]
-
-
-def __getattr__(name: str) -> type[EngineRunStats]:
-    """Deprecation shim: ``EngineStats`` resolves to :class:`EngineRunStats`."""
-    if name == "EngineStats":
-        warnings.warn(
-            "repro.engines.EngineStats was renamed to EngineRunStats in the "
-            "machines-registry refactor; the old name will be removed next "
-            "release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return EngineRunStats
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

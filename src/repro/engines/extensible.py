@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.engines.pe import PostCollideHook
 from repro.engines.streaming_core import StreamingEngineCore
 from repro.lgca.automaton import SiteModel
+from repro.telemetry import Recorder
 from repro.util.validation import check_positive
 
 __all__ = ["ExtensibleSerialEngine"]
@@ -60,6 +61,7 @@ class ExtensibleSerialEngine(StreamingEngineCore):
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
         workers: int | str | None = None,
+        recorder: "Recorder | None" = None,
     ):
         self.commercial_density = check_positive(
             commercial_density, "commercial_density"
@@ -71,6 +73,7 @@ class ExtensibleSerialEngine(StreamingEngineCore):
             post_collide=post_collide,
             backend=backend,
             workers=workers,
+            recorder=recorder,
         )
 
     @property

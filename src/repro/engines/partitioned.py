@@ -47,6 +47,7 @@ import numpy as np
 from repro.engines.pe import PostCollideHook
 from repro.engines.streaming_core import StreamingEngineCore
 from repro.lgca.automaton import SiteModel
+from repro.telemetry import Recorder
 from repro.util.validation import check_positive
 
 __all__ = ["PartitionedEngine", "SliceExchangeRecord"]
@@ -120,6 +121,7 @@ class PartitionedEngine(StreamingEngineCore):
         failed_slices: tuple[int, ...] = (),
         backend: str = "reference",
         workers: int | str | None = None,
+        recorder: "Recorder | None" = None,
     ):
         self.slice_width = check_positive(slice_width, "slice_width", integer=True)
         if self.slice_width > model.cols:
@@ -133,6 +135,7 @@ class PartitionedEngine(StreamingEngineCore):
             post_collide=post_collide,
             backend=backend,
             workers=workers,
+            recorder=recorder,
         )
         self._build_exchange_maps()
         self.failed_slices = tuple(sorted(set(failed_slices)))

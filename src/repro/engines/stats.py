@@ -7,16 +7,10 @@ The fields follow the paper's cost model: work is site updates, time is
 major clock ticks, communication is bits to/from main memory (and for
 the SPA, bits across slice boundaries), and silicon is shift-register
 sites plus PEs.
-
-``EngineStats`` is the dataclass's pre-registry name; importing it
-still works for one release (with a :class:`DeprecationWarning`) and
-yields the same class, so ``isinstance`` checks and equality against
-engine-produced stats behave identically.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.util.validation import check_nonnegative, check_positive
@@ -144,20 +138,6 @@ class EngineRunStats:
             num_chips=max(self.num_chips, other.num_chips),
             clock_hz=self.clock_hz,
         )
-
-
-def __getattr__(name: str) -> type[EngineRunStats]:
-    """Deprecation shim: ``EngineStats`` resolves to :class:`EngineRunStats`."""
-    if name == "EngineStats":
-        warnings.warn(
-            "repro.engines.stats.EngineStats was renamed to EngineRunStats "
-            "in the machines-registry refactor; the old name will be removed "
-            "next release",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return EngineRunStats
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)

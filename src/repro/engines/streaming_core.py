@@ -40,6 +40,7 @@ from repro.lgca.backends import (
     get_backend,
     make_stepper,
 )
+from repro.telemetry import NULL_RECORDER, Recorder
 from repro.util.hotpath import hot_path
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -51,6 +52,7 @@ def _make_engine_stepper(
     backend: str,
     post_collide: PostCollideHook | None,
     workers: int | str | None = None,
+    recorder: Recorder | None = None,
 ) -> KernelStepper | None:
     """Resolve an engine's frame-evolution backend.
 
@@ -70,7 +72,7 @@ def _make_engine_stepper(
         return None
     if post_collide is not None:
         raise ValueError("fault-injection hooks require backend='reference'")
-    return make_stepper(model, backend=backend, **options)
+    return make_stepper(model, backend=backend, recorder=recorder, **options)
 
 
 @dataclass
@@ -296,6 +298,14 @@ class StreamingEngineCore:
         positive int or ``"auto"``.  ``None`` means "not requested";
         setting it with a backend that does not declare the option
         raises :class:`~repro.util.errors.ConfigError`.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`.  :meth:`run` emits
+        run/pass spans and keeps its accounting on recorder counters
+        (``engine.ticks``, ``engine.io_bits_main``, …), and the kernel
+        stepper (non-reference backends) reports its per-generation
+        timings through the same recorder.  The default
+        :data:`~repro.telemetry.NULL_RECORDER` makes all of this free;
+        the evolution is bit-identical either way.
     """
 
     #: whether :meth:`run` accepts ``tickwise=True`` on the reference backend
@@ -309,6 +319,7 @@ class StreamingEngineCore:
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
         workers: int | str | None = None,
+        recorder: Recorder | None = None,
     ):
         self.model = model
         self.pipeline_depth = check_positive(pipeline_depth, "pipeline_depth", integer=True)
@@ -317,7 +328,10 @@ class StreamingEngineCore:
         self.stage = PipelineStage(self.rule, post_collide=post_collide)
         self.backend = backend
         self.workers = workers
-        self._stepper = _make_engine_stepper(model, backend, post_collide, workers)
+        self.recorder: Recorder = recorder if recorder is not None else NULL_RECORDER
+        self._stepper = _make_engine_stepper(
+            model, backend, post_collide, workers, recorder
+        )
 
     # -- identity and geometry hooks --------------------------------------------
 
@@ -376,7 +390,11 @@ class StreamingEngineCore:
         """Advance ``generations`` (multiple passes if > ``pipeline_depth``).
 
         Returns the final frame and the run's
-        :class:`~repro.engines.stats.EngineRunStats`.
+        :class:`~repro.engines.stats.EngineRunStats`.  All accounting
+        lives on the recorder's ``engine.*`` counters — the stats are
+        the counter deltas over this run, so a collecting recorder sees
+        exactly the numbers the stats report (cumulatively, across
+        runs), and the null recorder costs a few integer adds.
         """
         generations = check_nonnegative(generations, "generations", integer=True)
         if tickwise and not self.supports_tickwise:
@@ -391,33 +409,42 @@ class StreamingEngineCore:
         d = self.model.bits_per_site
         shape = (self.model.rows, self.model.cols)
         per_pass_side = self.side_bits_per_stage_pass()
-        ticks = 0
-        io_bits = 0
-        side_bits = 0
+        rec = self.recorder
+        ticks_c = rec.counter("engine.ticks")
+        updates_c = rec.counter("engine.site_updates")
+        io_c = rec.counter("engine.io_bits_main")
+        side_c = rec.counter("engine.io_bits_side")
+        passes_c = rec.counter("engine.passes")
+        ticks0, updates0 = ticks_c.value, updates_c.value
+        io0, side0 = io_c.value, side_c.value
         done = 0
         t = start_time
-        while done < generations:
-            span = min(self.pipeline_depth, generations - done)
-            if self._stepper is not None:
-                stream = self._stepper.run(stream.reshape(shape), span, t).ravel()
-                t += span
-            else:
-                for _ in range(span):
-                    stream = self._advance_stream(stream, t, tickwise)
-                    t += 1
-            ticks += self.ticks_per_pass(span)
-            io_bits += 2 * d * n  # read every site once, write every site once
-            side_bits += span * per_pass_side
-            done += span
+        with rec.span("engine.run", generation=start_time):
+            while done < generations:
+                span = min(self.pipeline_depth, generations - done)
+                with rec.span("engine.pass", tick=ticks_c.value - ticks0, generation=t):
+                    if self._stepper is not None:
+                        stream = self._stepper.run(stream.reshape(shape), span, t).ravel()
+                        t += span
+                    else:
+                        for _ in range(span):
+                            stream = self._advance_stream(stream, t, tickwise)
+                            t += 1
+                ticks_c.add(self.ticks_per_pass(span))
+                io_c.add(2 * d * n)  # read every site once, write every site once
+                side_c.add(span * per_pass_side)
+                updates_c.add(span * n)
+                passes_c.add(1)
+                done += span
         if generations > 0:
             # Detach from the stepper's (or the stage's) internal buffer.
             stream = stream.copy()
         stats = EngineRunStats(
             name=self.name,
-            site_updates=generations * n,
-            ticks=ticks,
-            io_bits_main=io_bits,
-            io_bits_side=side_bits,
+            site_updates=updates_c.value - updates0,
+            ticks=ticks_c.value - ticks0,
+            io_bits_main=io_c.value - io0,
+            io_bits_side=side_c.value - side0,
             storage_sites=self.storage_sites,
             num_pes=self.num_pes,
             num_chips=self.num_chips,

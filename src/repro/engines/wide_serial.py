@@ -28,6 +28,7 @@ from repro.engines.pe import PostCollideHook
 from repro.engines.shiftreg import ShiftRegister
 from repro.engines.streaming_core import StreamingEngineCore
 from repro.lgca.automaton import SiteModel
+from repro.telemetry import Recorder
 from repro.util.hotpath import hot_path
 from repro.util.validation import check_positive
 
@@ -65,6 +66,7 @@ class WideSerialEngine(StreamingEngineCore):
         post_collide: PostCollideHook | None = None,
         backend: str = "reference",
         workers: int | str | None = None,
+        recorder: "Recorder | None" = None,
     ):
         self.lanes = check_positive(lanes, "lanes", integer=True)
         super().__init__(
@@ -74,6 +76,7 @@ class WideSerialEngine(StreamingEngineCore):
             post_collide=post_collide,
             backend=backend,
             workers=workers,
+            recorder=recorder,
         )
 
     @property

@@ -114,6 +114,12 @@ class LatticeGasAutomaton:
         or ``"auto"``.  ``None`` means "not requested"; setting it with
         a backend that does not accept it raises
         :class:`~repro.util.errors.ConfigError`.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder` forwarded to the
+        backend stepper, which reports per-generation kernel (and, for
+        ``"parallel"``, halo-exchange) timings through it.  Recording
+        never changes the evolution — trajectories are bit-identical
+        with any recorder (property-tested).
     """
 
     model: SiteModel
@@ -123,6 +129,7 @@ class LatticeGasAutomaton:
     time: int = 0
     backend: str = "reference"
     workers: int | str | None = None
+    recorder: object = None
     _stepper: object = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -139,6 +146,7 @@ class LatticeGasAutomaton:
             obstacles=self.obstacles,
             backend=self.backend,
             workers=self.workers,
+            recorder=self.recorder,  # type: ignore[arg-type]
         )
 
     # -- observable shortcuts -------------------------------------------------

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.lgca.bitplane import BitplaneKernel
 from repro.lgca.bits import bounce_back_table
+from repro.telemetry import NULL_RECORDER, Recorder
 from repro.util.errors import ConfigError
 from repro.util.hotpath import hot_path
 
@@ -122,9 +123,20 @@ class ReferenceStepper:
     *pre-collision* state, then propagate), restructured around two
     preallocated state buffers so steady-state stepping does not
     allocate.
+
+    ``recorder`` (optional) receives per-generation kernel timings on
+    the ``kernel.reference.tick_seconds`` timer and a generation count;
+    handles and the clock are pre-bound here so the hot loop stays
+    allocation-free, and the default :data:`~repro.telemetry.NULL_RECORDER`
+    makes recording a no-op.
     """
 
-    def __init__(self, model: object, obstacles: object = None):
+    def __init__(
+        self,
+        model: object,
+        obstacles: object = None,
+        recorder: Recorder | None = None,
+    ):
         self.model = model
         rows, cols = model.rows, model.cols  # type: ignore[attr-defined]
         self._buffers = (
@@ -141,6 +153,10 @@ class ReferenceStepper:
         else:
             self._solid = None
         self._out_sel = 0
+        rec = recorder if recorder is not None else NULL_RECORDER
+        self._clk = rec.clock
+        self._tick_timer = rec.timer("kernel.reference.tick_seconds")
+        self._generations = rec.counter("kernel.reference.generations")
 
     def _next_buffer(self, state: np.ndarray) -> np.ndarray:
         """The write target for the next generation, never ``state`` itself.
@@ -167,12 +183,17 @@ class ReferenceStepper:
         rng: np.random.Generator | None,
     ) -> np.ndarray:
         """One pre-validated generation from ``state`` into ``out``."""
+        clk = self._clk
+        t_start = clk()
         collided = self._collided
         self.model.collide(state, t, rng, out=collided, check=False)  # type: ignore[attr-defined]
         if self._solid is not None:
             np.take(self._bounce, state, out=self._bounced)
             np.copyto(collided, self._bounced, where=self._solid)
-        return self.model.propagate(collided, out=out, check=False)  # type: ignore[attr-defined]
+        result = self.model.propagate(collided, out=out, check=False)  # type: ignore[attr-defined]
+        self._tick_timer.record(clk() - t_start)
+        self._generations.add(1)
+        return result
 
     @hot_path
     def step(
@@ -206,13 +227,26 @@ class BitplaneStepper:
     advances all generations as word-level plane operations on two
     preallocated plane buffers, and unpacks once — that is the fast path
     the benchmarks measure.
+
+    ``recorder`` (optional) receives per-generation kernel timings on
+    the ``kernel.bitplane.tick_seconds`` timer through pre-bound
+    handles; the default null recorder makes recording a no-op.
     """
 
-    def __init__(self, model: object, obstacles: object = None):
+    def __init__(
+        self,
+        model: object,
+        obstacles: object = None,
+        recorder: Recorder | None = None,
+    ):
         self.model = model
         self.kernel = BitplaneKernel(model, obstacles)  # type: ignore[arg-type]
         self._planes = (self.kernel.alloc_planes(), self.kernel.alloc_planes())
         self._field = np.empty((model.rows, model.cols), dtype=np.uint8)  # type: ignore[attr-defined]
+        rec = recorder if recorder is not None else NULL_RECORDER
+        self._clk = rec.clock
+        self._tick_timer = rec.timer("kernel.bitplane.tick_seconds")
+        self._generations = rec.counter("kernel.bitplane.generations")
 
     @hot_path
     def step(
@@ -234,11 +268,16 @@ class BitplaneStepper:
         state = self.model.check_state(state)  # type: ignore[attr-defined]
         if generations == 0:
             return state
+        clk = self._clk
+        tick_timer = self._tick_timer
         src, dst = self._planes
         src[...] = self.kernel.pack(state)
         for i in range(generations):
+            t_start = clk()
             self.kernel.step_into(src, dst, t0 + i, rng)
+            tick_timer.record(clk() - t_start)
             src, dst = dst, src
+        self._generations.add(generations)
         return self.kernel.unpack(src, out=self._field)
 
 
@@ -306,6 +345,7 @@ def make_stepper(
     model: object,
     obstacles: object = None,
     backend: str = DEFAULT_BACKEND,
+    recorder: Recorder | None = None,
     **options: object,
 ) -> KernelStepper:
     """Build a stepper for ``model`` (and optional obstacles) by backend name.
@@ -313,19 +353,29 @@ def make_stepper(
     Extra keywords are per-backend options (``workers`` for
     ``"parallel"``); unset (``None``) options are ignored and options a
     backend does not declare raise
-    :class:`~repro.util.errors.ConfigError`.
+    :class:`~repro.util.errors.ConfigError`.  ``recorder`` is a
+    *universal* keyword, not a backend option: every shipped stepper
+    accepts it and reports kernel/halo timings through it (it is only
+    forwarded when set, so third-party factories without the parameter
+    keep working under the default null recorder).
     """
     chosen = get_backend(backend)
-    return chosen.factory(model, obstacles, **check_backend_options(chosen, options))
+    given = check_backend_options(chosen, options)
+    if recorder is not None:
+        given["recorder"] = recorder
+    return chosen.factory(model, obstacles, **given)
 
 
 def _parallel_factory(
-    model: object, obstacles: object = None, workers: object = "auto"
+    model: object,
+    obstacles: object = None,
+    workers: object = "auto",
+    recorder: Recorder | None = None,
 ) -> KernelStepper:
     """Build a :class:`~repro.lgca.parallel.ParallelStepper` (lazy import)."""
     from repro.lgca.parallel import ParallelStepper
 
-    return ParallelStepper(model, obstacles, workers=workers)  # type: ignore[arg-type]
+    return ParallelStepper(model, obstacles, workers=workers, recorder=recorder)  # type: ignore[arg-type]
 
 
 register_backend(

@@ -51,6 +51,7 @@ from repro.lattice.slabs import BOUNDARY_ROWS, Shard, plan_shards
 from repro.lgca.bitplane import BitplaneKernel, num_words, pack_plane, pack_state, unpack_state
 from repro.lgca.fhp import FHPModel
 from repro.lgca.hpp import HPPModel
+from repro.telemetry import NULL_RECORDER, Recorder
 from repro.util.errors import ConfigError
 from repro.util.hotpath import hot_path
 
@@ -143,6 +144,8 @@ class _SlabTile:
         "row_indices",
         "chir_left",
         "chir_right",
+        "halo_timer",
+        "step_timer",
     )
 
     def __init__(self, shard: Shard, kernel: BitplaneKernel):
@@ -155,6 +158,12 @@ class _SlabTile:
         self.row_indices: np.ndarray | None = None
         self.chir_left: np.ndarray | None = None
         self.chir_right: np.ndarray | None = None
+        # Pre-bound per-tile telemetry handles (set by the coordinator).
+        # Each tile is advanced by exactly one pool task per generation
+        # and the futures join orders generations, so writes to a tile's
+        # own timers never race.
+        self.halo_timer = None
+        self.step_timer = None
 
     def swap(self) -> None:
         """Ping-pong the plane buffers (coordinator only, at the barrier)."""
@@ -182,6 +191,13 @@ class ParallelStepper:
         Tile/thread count: a positive int, ``"auto"`` (the default;
         host- and lattice-aware), or ``None`` (same as ``"auto"``).
         Clamped so every slab stays tall enough for halo exchange.
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`.  The coordinator
+        records whole-lattice generation times on
+        ``kernel.parallel.tick_seconds``; each tile records its halo
+        refresh and kernel step on its own pre-bound
+        ``kernel.parallel.{halo,step}.tileNN_seconds`` timers (distinct
+        handles per tile, so worker threads never share a timer).
     """
 
     def __init__(
@@ -189,6 +205,7 @@ class ParallelStepper:
         model: object,
         obstacles: object = None,
         workers: int | str | None = AUTO_WORKERS,
+        recorder: Recorder | None = None,
     ):
         if not isinstance(model, (HPPModel, FHPModel)):
             raise ConfigError(
@@ -200,12 +217,16 @@ class ParallelStepper:
         self.workers = resolve_workers(workers, rows)
         self._single = None
         self._pool: ThreadPoolExecutor | None = None
+        rec = recorder if recorder is not None else NULL_RECORDER
+        self._clk = rec.clock
+        self._tick_timer = rec.timer("kernel.parallel.tick_seconds")
+        self._generations = rec.counter("kernel.parallel.generations")
         if self.workers == 1:
             # Single slab: the plain bitplane stepper IS the semantics;
             # skip the pool (and its per-generation submit/join cost).
             from repro.lgca.backends import BitplaneStepper
 
-            self._single = BitplaneStepper(model, obstacles)
+            self._single = BitplaneStepper(model, obstacles, recorder=recorder)
             self.num_channels: int = self._single.kernel.num_channels
             self.shards: tuple[Shard, ...] = ()
             return
@@ -227,11 +248,13 @@ class ParallelStepper:
 
         words = num_words(cols)
         self._tiles: list[_SlabTile] = []
-        for shard in self.shards:
+        for i, shard in enumerate(self.shards):
             local = _local_model(model, shard.local_rows)
             indices = shard.local_row_indices(rows)
             local_mask = None if mask is None else mask[indices]
             tile = _SlabTile(shard, BitplaneKernel(local, local_mask))
+            tile.halo_timer = rec.timer(f"kernel.parallel.halo.tile{i:02d}_seconds")
+            tile.step_timer = rec.timer(f"kernel.parallel.step.tile{i:02d}_seconds")
             if self._random_chirality:
                 tile.row_indices = indices
                 tile.chir_left = np.empty((shard.local_rows, words), dtype=np.uint64)
@@ -270,6 +293,8 @@ class ParallelStepper:
         rows and ``dst`` planes only — row ranges other concurrent tasks
         never write, so the phase needs no locks.
         """
+        clk = self._clk
+        t_start = clk()
         shard = tile.shard
         if tile.above is not None:
             above = tile.above.shard
@@ -286,7 +311,10 @@ class ParallelStepper:
         if self._random_chirality:
             np.take(self._chir_left_g, tile.row_indices, axis=0, out=tile.chir_left)
             np.take(self._chir_right_g, tile.row_indices, axis=0, out=tile.chir_right)
+        t_mid = clk()
+        tile.halo_timer.record(t_mid - t_start)
         tile.kernel.step_into(tile.src, tile.dst, t, None)
+        tile.step_timer.record(clk() - t_mid)
 
     @hot_path
     def step(
@@ -321,8 +349,11 @@ class ParallelStepper:
                 :, shard.row_start : shard.row_stop, :
             ]
         submit = self._pool.submit
+        clk = self._clk
+        tick_timer = self._tick_timer
         for i in range(generations):
             t = t0 + i
+            t_start = clk()
             if self._random_chirality:
                 # One whole-lattice draw per generation — the exact RNG
                 # stream the serial bitplane kernel consumes.
@@ -334,6 +365,8 @@ class ParallelStepper:
                 future.result()  # the barrier; re-raises worker errors
             for tile in tiles:
                 tile.swap()
+            tick_timer.record(clk() - t_start)
+        self._generations.add(generations)
         for tile in tiles:
             shard = tile.shard
             gplanes[:, shard.row_start : shard.row_stop, :] = tile.src[

@@ -253,7 +253,14 @@ SERIAL = register(
         paper_section="3",
         engine_cls=SerialPipelineEngine,
         capabilities=MachineCapabilities(),
-        parameters=("pipeline_depth", "clock_hz", "post_collide", "backend", "workers"),
+        parameters=(
+            "pipeline_depth",
+            "clock_hz",
+            "post_collide",
+            "backend",
+            "workers",
+            "recorder",
+        ),
         design_summary=_serial_design,
         predicted_ticks=_serial_predicted_ticks,
         steady_updates_per_tick=_peak_updates_per_tick,
@@ -274,6 +281,7 @@ WSA = register(
             "post_collide",
             "backend",
             "workers",
+            "recorder",
         ),
         design_summary=_wsa_design,
         predicted_ticks=_wsa_predicted_ticks,
@@ -300,6 +308,7 @@ SPA = register(
             "failed_slices",
             "backend",
             "workers",
+            "recorder",
         ),
         default_params={"slice_width": 8},
         design_summary=_spa_design,
@@ -324,6 +333,7 @@ WSA_E = register(
             "post_collide",
             "backend",
             "workers",
+            "recorder",
         ),
         design_summary=_wsa_e_design,
         predicted_ticks=_serial_predicted_ticks,

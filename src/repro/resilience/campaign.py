@@ -45,6 +45,7 @@ from repro.resilience.recovery import (
     ResilientAutomatonRunner,
     assemble_raw,
 )
+from repro.telemetry import NULL_RECORDER, Recorder
 from repro.util.errors import ConfigError, FaultDetectedError
 from repro.util.tables import Table
 from repro.util.timeout import WallClockTimeout, wall_clock_limit
@@ -560,17 +561,46 @@ def run_trial(config: CampaignConfig, trial: Trial) -> TrialResult:
         )
 
 
-def run_campaign(config: CampaignConfig | None = None) -> dict[str, object]:
+def run_campaign(
+    config: CampaignConfig | None = None,
+    recorder: Recorder | None = None,
+) -> dict[str, object]:
     """Run the full sweep; returns the versioned report dict.
 
     The report is deterministic for a given config — serialize with
     ``json.dumps(report, sort_keys=True)`` for a byte-stable artifact.
+    When a ``recorder`` is supplied, per-trial wall time, outcome
+    counters, and one ``faults.trial`` event per trial are attached to
+    it as a side channel; the report itself is built purely from the
+    trial results, so telemetry never perturbs its bytes.
     """
     config = config or CampaignConfig()
-    results = [run_trial(config, trial) for trial in build_trials(config)]
+    rec = recorder if recorder is not None else NULL_RECORDER
+    clk = rec.clock
+    trial_timer = rec.timer("faults.trial_seconds")
+    trials_c = rec.counter("faults.trials")
+    detections_c = rec.counter("faults.detections")
+    results: list[TrialResult] = []
+    for trial in build_trials(config):
+        t_start = clk()
+        result = run_trial(config, trial)
+        trial_timer.record(clk() - t_start)
+        trials_c.add(1)
+        detections_c.add(len(result.detections))
+        rec.event(
+            "faults.trial",
+            trial=trial.name,
+            profile=trial.profile,
+            outcome=result.outcome,
+            landed=result.landed,
+            detections=len(result.detections),
+            corrections=result.corrections,
+        )
+        results.append(result)
     summary = {outcome: 0 for outcome in OUTCOMES}
     for result in results:
         summary[result.outcome] += 1
+        rec.counter(f"faults.outcome.{result.outcome}").add(1)
     return {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.lgca.automaton import SiteModel
+from repro.telemetry import NULL_RECORDER, Recorder
 
 __all__ = [
     "Detection",
@@ -222,6 +223,13 @@ class FusedMonitor:
 
     Emitted detections reuse the ``"parity"`` / ``"conservation"``
     monitor names, so downstream classification is unchanged.
+
+    ``recorder`` (optional) measures the monitor itself: per-generation
+    check cost on the ``resilience.monitor.observe_seconds`` timer,
+    light/full sweep counters, and one ``resilience.detection`` event
+    per finding — the overhead numbers in ``docs/OBSERVABILITY.md``
+    come from these.  Detections are returned exactly as before either
+    way.
     """
 
     def __init__(
@@ -229,6 +237,7 @@ class FusedMonitor:
         model: SiteModel,
         momentum_atol: float = 1e-6,
         sweep_interval: int = 4,
+        recorder: Recorder | None = None,
     ):
         if sweep_interval < 1:
             raise ValueError(f"sweep_interval={sweep_interval} must be >= 1")
@@ -240,6 +249,13 @@ class FusedMonitor:
         self._mass: int | None = None
         self._tags: np.ndarray | None = None
         self._since_sweep = 0
+        rec = recorder if recorder is not None else NULL_RECORDER
+        self._recorder = rec
+        self._clk = rec.clock
+        self._observe_timer = rec.timer("resilience.monitor.observe_seconds")
+        self._light_sweeps = rec.counter("resilience.monitor.light_sweeps")
+        self._full_sweeps = rec.counter("resilience.monitor.full_sweeps")
+        self._detections_c = rec.counter("resilience.monitor.detections")
 
     def arm(self, state: np.ndarray) -> None:
         """Record invariants and tags of the initial (trusted) state."""
@@ -260,12 +276,15 @@ class FusedMonitor:
         """
         if self._mass is None:
             return []
+        t_start = self._clk()
         detections: list[Detection] = []
         self._since_sweep += 1
         if self._since_sweep >= self.sweep_interval:
             self._since_sweep = 0
+            self._full_sweeps.add(1)
             detections.extend(self._full.check(state, generation))
         else:
+            self._light_sweeps.add(1)
             mass = int(_popcount(np.asarray(state)).sum(dtype=np.int64))
             if mass != self._mass:
                 detections.append(
@@ -277,6 +296,16 @@ class FusedMonitor:
                     )
                 )
         self._tags = row_parity_tags(state)
+        self._observe_timer.record(self._clk() - t_start)
+        if detections:
+            self._detections_c.add(len(detections))
+            for d in detections:
+                self._recorder.event(
+                    "resilience.detection",
+                    monitor=d.monitor,
+                    generation=d.generation,
+                    detail=d.detail,
+                )
         return detections
 
     def check_at_rest(

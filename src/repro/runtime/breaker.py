@@ -23,10 +23,9 @@ The breaker takes its clock as a callable so tests drive it virtually.
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.telemetry import MONOTONIC, Clock
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = ["BreakerTransition", "CircuitBreaker"]
@@ -76,7 +75,7 @@ class CircuitBreaker:
         fallback: str,
         failure_threshold: int = 3,
         cooldown_seconds: float = 30.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Clock = MONOTONIC,
     ):
         self.backend = backend
         self.fallback = fallback

@@ -33,7 +33,13 @@ single evolution:
   exhausted.
 
 Everything observable lands in a schema-versioned
-:class:`SupervisionReport`.
+:class:`SupervisionReport`.  All timekeeping goes through one
+injectable :class:`~repro.telemetry.Clock` shared with the breaker
+(defaulting to the telemetry spine's monotonic clock), so the
+watchdog/deadline tests drive virtual time instead of sleeping, and
+worker lifecycle events (spawn, restart, watchdog kill, drop, breaker
+transitions) are emitted to an optional
+:class:`~repro.telemetry.Recorder` alongside the report.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.modelspec import ModelSpec
 from repro.runtime.sharding import Shard, plan_shards
 from repro.runtime.worker import InducedFault, WorkerConfig, worker_main
+from repro.telemetry import MONOTONIC, NULL_RECORDER, Clock, Recorder
 from repro.util.backoff import BackoffPolicy
 from repro.util.errors import CheckpointError, ConfigError
 from repro.util.validation import check_nonnegative, check_positive
@@ -299,11 +306,27 @@ class _Abort(Exception):
 
 
 class _Supervision:
-    """One supervised run's event loop and bookkeeping."""
+    """One supervised run's event loop and bookkeeping.
 
-    def __init__(self, config: SupervisorConfig):
+    ``clock`` is the single monotonic time source for the watchdog,
+    restart backoff, the deadline, wall-time accounting, *and* the
+    circuit breaker — inject a :class:`~repro.telemetry.StepClock` and
+    every timeout in the run trips on virtual time.  ``recorder``
+    receives lifecycle events and heartbeat/restart counters; the
+    default null recorder makes that free.
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig,
+        clock: Clock = MONOTONIC,
+        recorder: Recorder | None = None,
+    ):
         self.config = config
         self.spec = config.spec
+        self.clock = clock
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._heartbeats = self.recorder.counter("supervisor.heartbeats")
         self.shards = plan_shards(self.spec.rows, config.num_workers)
         method = config.start_method or (
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
@@ -315,6 +338,7 @@ class _Supervision:
             fallback=config.fallback_backend,
             failure_threshold=config.breaker_threshold,
             cooldown_seconds=config.breaker_cooldown,
+            clock=clock,
         )
         init = (
             config.initial_state
@@ -346,7 +370,7 @@ class _Supervision:
             config.checkpoint_dir
             or tempfile.mkdtemp(prefix="repro-supervised-")
         )
-        self.started = _time.monotonic()
+        self.started = self.clock()
 
     # -- spawning ------------------------------------------------------
 
@@ -394,8 +418,15 @@ class _Supervision:
         h.proc = proc
         h.conn = parent
         h.status = "starting"
-        h.okay_since = _time.monotonic()
+        h.okay_since = self.clock()
         h.error = None
+        self.recorder.event(
+            "supervisor.spawn",
+            worker=h.index,
+            incarnation=h.incarnation,
+            backend=h.backend,
+            generation=self.barrier,
+        )
 
     def _kill(self, h: _Handle) -> None:
         if h.conn is not None:
@@ -431,7 +462,7 @@ class _Supervision:
             return
         delay = policy.delay(h.failures - 1, self.rng)
         h.status = "restart-pending"
-        h.restart_at = _time.monotonic() + delay
+        h.restart_at = self.clock() + delay
         self.restarts.append(
             RestartEvent(
                 worker=h.index,
@@ -443,12 +474,27 @@ class _Supervision:
             )
         )
         self.total_restarts += 1
+        self.recorder.event(
+            "supervisor.restart",
+            worker=h.index,
+            incarnation=h.incarnation + 1,
+            generation=self.barrier,
+            reason=reason,
+            delay=delay,
+            backend=h.backend,
+        )
 
     def _drop(self, h: _Handle, reason: str) -> None:
         """Give up on a shard: freeze its boundary rows, note degradation."""
         h.status = "dropped"
         generation, state = self._checkpointed_slab(h)
         h.final_state = state
+        self.recorder.event(
+            "supervisor.drop",
+            worker=h.index,
+            generation=generation,
+            reason=reason,
+        )
         self.degraded.append(
             {
                 "worker": h.index,
@@ -509,7 +555,7 @@ class _Supervision:
                 above, below = self._halo_for(h.index, g)
                 try:
                     h.conn.send(("halo", g, above, below))
-                    h.okay_since = _time.monotonic()
+                    h.okay_since = self.clock()
                 except OSError:
                     self._fail(h, "pipe closed while sending halo")
             self.barrier = g + 1
@@ -520,7 +566,8 @@ class _Supervision:
 
     def _on_message(self, h: _Handle, msg: tuple) -> None:
         kind = msg[0]
-        h.okay_since = _time.monotonic()
+        h.okay_since = self.clock()
+        self._heartbeats.add(1)
         if kind == "ready":
             _incarnation, restored = msg[1], msg[2]
             oldest = min(self.boundaries, default=self.barrier)
@@ -589,6 +636,11 @@ class _Supervision:
                 and now - h.okay_since > self.config.watchdog_timeout
             ):
                 self.watchdog_kills += 1
+                self.recorder.event(
+                    "supervisor.watchdog_kill",
+                    worker=h.index,
+                    generation=self.barrier,
+                )
                 self._fail(
                     h,
                     f"watchdog: silent for more than "
@@ -602,7 +654,7 @@ class _Supervision:
         for h in self.handles:
             self._spawn(h, first=True)
         while True:
-            now = _time.monotonic()
+            now = self.clock()
             self._check_timeouts(now)
             for h in self.handles:
                 if h.status == "restart-pending" and now >= h.restart_at:
@@ -677,8 +729,8 @@ class _Supervision:
             return None
         try:
             h.conn.send(("collect",))
-            deadline = _time.monotonic() + self.config.watchdog_timeout
-            while _time.monotonic() < deadline:
+            deadline = self.clock() + self.config.watchdog_timeout
+            while self.clock() < deadline:
                 if not h.conn.poll(timeout=self.config.poll_interval):
                     continue
                 msg = h.conn.recv()
@@ -722,6 +774,22 @@ class _Supervision:
             outcome, reason = abort.outcome, abort.reason
         finally:
             self._shutdown()
+        for t in self.breaker.transitions:
+            self.recorder.event(
+                "supervisor.breaker_transition",
+                backend=t.backend,
+                state=t.state,
+                generation=t.generation,
+                reason=t.reason,
+            )
+        self.recorder.event(
+            "supervisor.outcome",
+            outcome=outcome,
+            reason=reason,
+            generations_completed=self.barrier,
+            restarts=len(self.restarts),
+            watchdog_kills=self.watchdog_kills,
+        )
         report = SupervisionReport(
             outcome=outcome,
             reason=reason,
@@ -739,13 +807,15 @@ class _Supervision:
                 else None
             ),
             degraded_shards=self.degraded,
-            wall_time_seconds=_time.monotonic() - self.started,
+            wall_time_seconds=self.clock() - self.started,
         )
         return state, report
 
 
 def supervised_run(
     config: SupervisorConfig,
+    clock: Clock = MONOTONIC,
+    recorder: Recorder | None = None,
 ) -> tuple[np.ndarray | None, SupervisionReport]:
     """Run a sharded lattice evolution under supervision.
 
@@ -754,5 +824,12 @@ def supervised_run(
     permanently is bit-identical to an unsupervised
     :class:`~repro.lgca.automaton.LatticeGasAutomaton` evolution of the
     same spec, seed, and generation count.
+
+    ``clock`` is the run's only monotonic time source (watchdog,
+    backoff, deadline, breaker, wall time) — the same injectable the
+    breaker has always taken — so tests pass a
+    :class:`~repro.telemetry.StepClock` and drive every timeout on
+    virtual time.  ``recorder`` collects worker lifecycle events and
+    heartbeat counters; ``None`` means the zero-overhead null recorder.
     """
-    return _Supervision(config).run()
+    return _Supervision(config, clock=clock, recorder=recorder).run()

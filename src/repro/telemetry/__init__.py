@@ -1,0 +1,54 @@
+"""The instrumentation spine: one measurement path for every subsystem.
+
+Engines, kernel backends, the supervised runtime, the resilience layer,
+the benchmarks, and the CLI all report through the same
+:class:`~repro.telemetry.core.Recorder` protocol; recording defaults to
+the zero-overhead :data:`~repro.telemetry.core.NULL_RECORDER` and is
+switched on by passing an
+:class:`~repro.telemetry.core.InMemoryRecorder`, whose contents land in
+a schema-versioned :class:`~repro.telemetry.report.TelemetryReport`.
+
+See ``docs/OBSERVABILITY.md`` for the event model and report schema.
+"""
+
+from repro.telemetry.core import (
+    MONOTONIC,
+    NULL_RECORDER,
+    PERF_COUNTER,
+    Clock,
+    Counter,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+    StepClock,
+    Timer,
+)
+from repro.telemetry.report import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    TelemetryError,
+    TelemetryReport,
+    check_report,
+    validate_report,
+)
+
+__all__ = [
+    "Clock",
+    "MONOTONIC",
+    "PERF_COUNTER",
+    "StepClock",
+    "Counter",
+    "Timer",
+    "SpanRecord",
+    "Recorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "NULL_RECORDER",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "TelemetryError",
+    "TelemetryReport",
+    "check_report",
+    "validate_report",
+]

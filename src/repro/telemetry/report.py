@@ -1,0 +1,257 @@
+"""Schema-versioned telemetry reports: the JSON sink and its validator.
+
+A :class:`TelemetryReport` wraps an
+:class:`~repro.telemetry.core.InMemoryRecorder` snapshot with schema
+identity and free-form metadata, so every producer (`repro simulate
+--telemetry`, `repro run --telemetry`, `repro faults --telemetry`, the
+benchmark scripts) and every consumer (`repro telemetry summarize`, the
+CI telemetry-smoke job, the bench assertions) agree on one layout:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-telemetry",
+      "schema_version": 1,
+      "meta": {"command": "simulate", "...": "..."},
+      "counters": {"engine.ticks": 1234},
+      "timers": {"kernel.bitplane.tick": {"count": 16, "...": "..."}},
+      "spans": [{"name": "engine.run", "parent": -1, "...": "..."}],
+      "events": [{"name": "supervisor.restart", "time": 0.5}]
+    }
+
+``validate_report`` returns a list of problems instead of raising so CI
+can print all of them; :func:`check_report` is the raising form used by
+loaders.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.telemetry.core import InMemoryRecorder
+from repro.util.errors import ReproError
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "TelemetryError",
+    "TelemetryReport",
+    "validate_report",
+    "check_report",
+]
+
+#: Telemetry report schema identity.
+SCHEMA_NAME = "repro-telemetry"
+#: Bump when the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Keys every timer mapping must carry.
+_TIMER_KEYS = (
+    "count",
+    "total_seconds",
+    "min_seconds",
+    "max_seconds",
+    "mean_seconds",
+    "buckets",
+)
+
+#: Keys every span mapping must carry.
+_SPAN_KEYS = ("name", "index", "parent", "depth", "start", "seconds")
+
+
+class TelemetryError(ReproError):
+    """A telemetry report is malformed or fails schema validation."""
+
+
+@dataclass
+class TelemetryReport:
+    """One run's telemetry: counters, timers, spans, events, metadata."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, dict] = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: InMemoryRecorder,
+        meta: Mapping[str, object] | None = None,
+    ) -> "TelemetryReport":
+        """Snapshot a recorder into a report (metadata merged in)."""
+        snap = recorder.snapshot()
+        return cls(
+            counters=dict(snap["counters"]),  # type: ignore[arg-type]
+            timers=dict(snap["timers"]),  # type: ignore[arg-type]
+            spans=list(snap["spans"]),  # type: ignore[arg-type]
+            events=list(snap["events"]),  # type: ignore[arg-type]
+            meta=dict(meta or {}),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (schema-versioned)."""
+        return {
+            "schema": SCHEMA_NAME,
+            "schema_version": SCHEMA_VERSION,
+            "meta": self.meta,
+            "counters": self.counters,
+            "timers": self.timers,
+            "spans": self.spans,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TelemetryReport":
+        """Parse and validate a report payload (raises :class:`TelemetryError`)."""
+        check_report(payload)
+        return cls(
+            counters=dict(payload["counters"]),  # type: ignore[arg-type]
+            timers=dict(payload["timers"]),  # type: ignore[arg-type]
+            spans=list(payload["spans"]),  # type: ignore[arg-type]
+            events=list(payload["events"]),  # type: ignore[arg-type]
+            meta=dict(payload.get("meta", {})),  # type: ignore[arg-type]
+        )
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the report to ``path`` (stable key order, trailing newline)."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TelemetryReport":
+        """Load and validate a report written by :meth:`write_json`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TelemetryError(f"cannot read telemetry report {path}: {exc}") from exc
+        return cls.from_dict(payload)
+
+    # -- summarizing ---------------------------------------------------
+
+    def total_seconds(self, timer_prefix: str) -> float:
+        """Sum of ``total_seconds`` over timers whose name has the prefix."""
+        return sum(
+            float(t["total_seconds"])
+            for name, t in self.timers.items()
+            if name.startswith(timer_prefix)
+        )
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable digest for ``repro telemetry summarize``."""
+        lines = [f"telemetry report (schema {SCHEMA_NAME} v{SCHEMA_VERSION})"]
+        if self.meta:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+            lines.append(f"  meta: {pairs}")
+        if self.counters:
+            lines.append("  counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"    {name} = {value}")
+        if self.timers:
+            lines.append("  timers:")
+            for name, t in sorted(self.timers.items()):
+                lines.append(
+                    f"    {name}: n={t['count']} total={t['total_seconds']:.6f}s "
+                    f"mean={t['mean_seconds']:.6f}s "
+                    f"min={t['min_seconds']:.6f}s max={t['max_seconds']:.6f}s"
+                )
+        if self.spans:
+            lines.append(f"  spans: {len(self.spans)}")
+            roots = [s for s in self.spans if s.get("parent", -1) == -1]
+            for root in roots:
+                lines.append(
+                    f"    {root['name']}: {float(root['seconds']):.6f}s "
+                    f"({self._child_count(int(root['index']))} nested)"
+                )
+        if self.events:
+            lines.append(f"  events: {len(self.events)}")
+            by_name: dict[str, int] = {}
+            for e in self.events:
+                by_name[str(e.get("name"))] = by_name.get(str(e.get("name")), 0) + 1
+            for name, n in sorted(by_name.items()):
+                lines.append(f"    {name} x{n}")
+        return lines
+
+    def _child_count(self, root_index: int) -> int:
+        children = {root_index}
+        # spans are appended in creation order, so parents precede children
+        for s in self.spans:
+            if int(s.get("parent", -1)) in children:
+                children.add(int(s["index"]))
+        return len(children) - 1
+
+
+def validate_report(payload: object) -> list[str]:
+    """All schema problems with ``payload`` (empty list = valid v1 report)."""
+    problems: list[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"report must be a mapping, got {type(payload).__name__}"]
+    if payload.get("schema") != SCHEMA_NAME:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA_NAME!r}"
+        )
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {payload.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    counters = payload.get("counters")
+    if not isinstance(counters, Mapping):
+        problems.append("counters must be a mapping of name -> int")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(f"counter {name!r} must be a non-negative int")
+    timers = payload.get("timers")
+    if not isinstance(timers, Mapping):
+        problems.append("timers must be a mapping of name -> histogram")
+    else:
+        for name, t in timers.items():
+            if not isinstance(t, Mapping):
+                problems.append(f"timer {name!r} must be a mapping")
+                continue
+            missing = [k for k in _TIMER_KEYS if k not in t]
+            if missing:
+                problems.append(f"timer {name!r} missing key(s): {', '.join(missing)}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        problems.append("spans must be a list")
+    else:
+        for i, s in enumerate(spans):
+            if not isinstance(s, Mapping):
+                problems.append(f"span [{i}] must be a mapping")
+                continue
+            missing = [k for k in _SPAN_KEYS if k not in s]
+            if missing:
+                problems.append(f"span [{i}] missing key(s): {', '.join(missing)}")
+                continue
+            parent = s["parent"]
+            if not isinstance(parent, int) or not (-1 <= parent < i):
+                problems.append(
+                    f"span [{i}] parent {parent!r} must be -1 or the index "
+                    f"of an earlier span"
+                )
+    events = payload.get("events")
+    if not isinstance(events, list):
+        problems.append("events must be a list")
+    else:
+        for i, e in enumerate(events):
+            if not isinstance(e, Mapping) or "name" not in e:
+                problems.append(f"event [{i}] must be a mapping with a 'name'")
+    meta = payload.get("meta", {})
+    if not isinstance(meta, Mapping):
+        problems.append("meta must be a mapping")
+    return problems
+
+
+def check_report(payload: object) -> None:
+    """Raise :class:`TelemetryError` listing every schema problem."""
+    problems = validate_report(payload)
+    if problems:
+        raise TelemetryError(
+            "invalid telemetry report: " + "; ".join(problems)
+        )

@@ -76,23 +76,20 @@ class TestEngineStats:
         assert d["updates_per_tick"] == pytest.approx(2.0)
 
 
-class TestEngineStatsDeprecationShim:
-    """``EngineStats`` is the pre-registry name; it must keep working."""
+class TestEngineStatsShimRemoved:
+    """The deprecated ``EngineStats`` alias is gone (renamed two releases ago)."""
 
-    def test_old_name_warns_and_resolves_to_the_same_class(self):
-        with pytest.deprecated_call(match="renamed to EngineRunStats"):
-            from repro.engines.stats import EngineStats
-        assert EngineStats is EngineRunStats
+    def test_module_attribute_is_gone(self):
+        import repro.engines.stats as stats_mod
 
-    def test_package_level_alias_warns_too(self):
-        with pytest.deprecated_call(match="renamed to EngineRunStats"):
-            from repro.engines import EngineStats
-        assert EngineStats is EngineRunStats
+        with pytest.raises(AttributeError):
+            stats_mod.EngineStats
 
-    def test_instances_via_old_name_are_engine_run_stats(self):
-        with pytest.deprecated_call():
-            from repro.engines.stats import EngineStats
-        assert isinstance(make_stats(), EngineStats)
+    def test_package_attribute_is_gone(self):
+        import repro.engines as engines_mod
+
+        with pytest.raises(AttributeError):
+            engines_mod.EngineStats
 
     def test_new_name_does_not_warn(self):
         import warnings

@@ -18,6 +18,7 @@ from repro.runtime import (
     SupervisorConfig,
     supervised_run,
 )
+from repro.telemetry import StepClock
 from repro.util.backoff import BackoffPolicy
 from repro.util.errors import ConfigError
 
@@ -121,21 +122,30 @@ class TestCheckpointRestart:
         assert np.array_equal(state, golden)
 
     def test_stalled_worker_is_watchdogged_and_restarted(self, spec, golden):
+        """The watchdog trips on *virtual* time: a StepClock advances a
+        fixed step per supervisor clock read, so the 60-second stall is
+        detected after ~400 event-loop wakeups instead of a real-time
+        wait.  The timeout is generous in fake seconds so worker
+        startup (which also reads the clock) can never false-trip it."""
+        clock = StepClock(step=0.05)
         state, report = supervised_run(
             config(
                 spec,
-                watchdog_timeout=1.0,
+                watchdog_timeout=20.0,
+                poll_interval=0.005,
                 induced=(
                     InducedFault(
                         worker=1, generation=6, kind="stall", seconds=60.0
                     ),
                 ),
-            )
+            ),
+            clock=clock,
         )
         assert report.outcome == "complete"
         assert report.watchdog_kills == 1
         assert any("watchdog" in r.reason for r in report.restarts)
         assert np.array_equal(state, golden)
+        assert clock.reads > 0  # the supervisor really used the fake clock
 
     def test_restart_delays_follow_backoff(self, spec):
         _, report = supervised_run(
@@ -236,12 +246,16 @@ class TestDegradation:
         assert state is None
 
     def test_deadline_fails_the_run(self, spec):
+        """A StepClock makes the deadline trip after a handful of clock
+        reads — no real-time budget is burned waiting for it."""
+        clock = StepClock(step=1.0)
         state, report = supervised_run(
-            config(spec, deadline_seconds=0.001)
+            config(spec, deadline_seconds=5.0), clock=clock
         )
         assert report.outcome == "failed"
         assert "deadline" in report.reason
         assert state is None
+        assert clock.reads > 0
 
 
 class TestConfigValidation:

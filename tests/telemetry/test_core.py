@@ -1,0 +1,223 @@
+"""Unit tests for the telemetry core: clocks, counters, timers, recorders."""
+
+import pytest
+
+from repro.telemetry import (
+    MONOTONIC,
+    NULL_RECORDER,
+    PERF_COUNTER,
+    Counter,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    StepClock,
+    Timer,
+)
+from repro.telemetry.core import NUM_TIMER_BUCKETS
+
+
+class TestStepClock:
+    def test_starts_at_start_and_advances_per_read(self):
+        clock = StepClock(start=10.0, step=0.5)
+        assert clock() == 10.0
+        assert clock() == 10.5
+        assert clock() == 11.0
+
+    def test_counts_reads(self):
+        clock = StepClock(step=1.0)
+        for _ in range(5):
+            clock()
+        assert clock.reads == 5
+
+    def test_advance_jumps_without_counting_a_read(self):
+        clock = StepClock(step=1.0)
+        clock.advance(100.0)
+        assert clock.reads == 0
+        assert clock() == 100.0
+
+    def test_zero_step_is_frozen_time(self):
+        clock = StepClock(start=3.0)
+        assert clock() == clock() == 3.0
+
+    def test_real_clocks_are_callable_floats(self):
+        assert isinstance(MONOTONIC(), float)
+        assert isinstance(PERF_COUNTER(), float)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add_defaults_to_one(self):
+        c = Counter("x")
+        c.add()
+        c.add()
+        assert c.value == 2
+
+    def test_add_n(self):
+        c = Counter("x")
+        c.add(5)
+        c.add(37)
+        assert c.value == 42
+
+    def test_to_dict(self):
+        c = Counter("engine.ticks")
+        c.add(3)
+        assert c.to_dict() == {"name": "engine.ticks", "value": 3}
+
+
+class TestTimer:
+    def test_scalar_accumulators(self):
+        t = Timer("x")
+        for s in (0.5, 0.25, 1.0):
+            t.record(s)
+        assert t.count == 3
+        assert t.total == pytest.approx(1.75)
+        assert t.min == pytest.approx(0.25)
+        assert t.max == pytest.approx(1.0)
+        assert t.mean == pytest.approx(1.75 / 3)
+
+    def test_empty_timer_mean_is_zero(self):
+        assert Timer("x").mean == 0.0
+
+    def test_empty_timer_to_dict_min_is_zero(self):
+        d = Timer("x").to_dict()
+        assert d["count"] == 0
+        assert d["min_seconds"] == 0.0
+        assert d["buckets"] == {}
+
+    def test_buckets_sum_to_count(self):
+        t = Timer("x")
+        for s in (1e-9, 1e-6, 1e-3, 1.0, 200.0):
+            t.record(s)
+        assert sum(t.buckets) == t.count == 5
+
+    def test_huge_duration_lands_in_last_bucket(self):
+        t = Timer("x")
+        t.record(1e6)  # ~11 days; way past the ~134 s top bucket
+        assert t.buckets[NUM_TIMER_BUCKETS - 1] == 1
+
+    def test_to_dict_materializes_only_nonempty_buckets(self):
+        t = Timer("x")
+        t.record(1e-6)
+        d = t.to_dict()
+        assert len(d["buckets"]) == 1
+        [(le_ns, n)] = d["buckets"].items()
+        assert n == 1
+        assert int(le_ns) >= 1_000  # upper bound covers the 1 µs sample
+
+
+class TestNullRecorder:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(NULL_RECORDER, Recorder)
+
+    def test_clock_is_constant_zero(self):
+        assert NULL_RECORDER.clock() == 0.0
+        assert NULL_RECORDER.clock() == 0.0
+
+    def test_counters_are_fresh_and_functional(self):
+        a = NULL_RECORDER.counter("x")
+        b = NULL_RECORDER.counter("x")
+        assert a is not b  # unregistered handles
+        a.add(3)
+        assert a.value == 3  # derived statistics still work
+        assert b.value == 0
+
+    def test_timer_is_a_shared_noop(self):
+        t = NULL_RECORDER.timer("x")
+        assert t is NULL_RECORDER.timer("y")
+        t.record(5.0)
+        assert t.count == 0
+
+    def test_span_is_a_noop_context_manager(self):
+        with NULL_RECORDER.span("x", tick=1, generation=2):
+            pass  # nothing recorded, nothing raised
+
+    def test_event_is_discarded(self):
+        NULL_RECORDER.event("x", detail="ignored")
+
+    def test_not_enabled(self):
+        assert NullRecorder.enabled is False
+        assert InMemoryRecorder.enabled is True
+
+
+class TestInMemoryRecorder:
+    def test_satisfies_the_protocol(self):
+        assert isinstance(InMemoryRecorder(), Recorder)
+
+    def test_counters_register_by_name(self):
+        rec = InMemoryRecorder()
+        assert rec.counter("x") is rec.counter("x")
+        rec.counter("x").add(2)
+        assert rec.snapshot()["counters"] == {"x": 2}
+
+    def test_timers_register_by_name(self):
+        rec = InMemoryRecorder()
+        assert rec.timer("x") is rec.timer("x")
+        rec.timer("x").record(0.5)
+        assert rec.snapshot()["timers"]["x"]["count"] == 1
+
+    def test_clock_is_injectable(self):
+        clock = StepClock(step=1.0)
+        rec = InMemoryRecorder(clock=clock)
+        with rec.span("x"):
+            pass
+        assert clock.reads == 2  # span start + span end
+        assert rec.spans[0].seconds == pytest.approx(1.0)
+
+    def test_span_nesting_tracks_parent_and_depth(self):
+        rec = InMemoryRecorder(clock=StepClock(step=1.0))
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("sibling"):
+                pass
+        outer, inner, sibling = rec.spans
+        assert (outer.parent, outer.depth) == (-1, 0)
+        assert (inner.parent, inner.depth) == (outer.index, 1)
+        assert (sibling.parent, sibling.depth) == (outer.index, 1)
+        assert list(rec.open_spans()) == []
+
+    def test_span_attribution_round_trips(self):
+        rec = InMemoryRecorder(clock=StepClock(step=1.0))
+        with rec.span("x", tick=7, generation=3):
+            pass
+        d = rec.spans[0].to_dict()
+        assert d["tick"] == 7
+        assert d["generation"] == 3
+
+    def test_open_span_has_zero_seconds(self):
+        rec = InMemoryRecorder(clock=StepClock(step=1.0))
+        cm = rec.span("x")
+        cm.__enter__()
+        assert rec.spans[0].seconds == 0.0
+        assert list(rec.open_spans()) == [rec.spans[0]]
+        cm.__exit__(None, None, None)
+
+    def test_leaked_inner_span_does_not_corrupt_the_stack(self):
+        rec = InMemoryRecorder(clock=StepClock(step=1.0))
+        outer = rec.span("outer")
+        inner = rec.span("inner")
+        outer.__exit__(None, None, None)  # out of order: outer closed first
+        inner.__exit__(None, None, None)
+        assert list(rec.open_spans()) == []
+        assert all(s.end is not None for s in rec.spans)
+
+    def test_events_carry_name_time_and_fields(self):
+        rec = InMemoryRecorder(clock=StepClock(start=5.0))
+        rec.event("supervisor.restart", worker=1, reason="died")
+        [event] = rec.events
+        assert event["name"] == "supervisor.restart"
+        assert event["time"] == 5.0
+        assert event["worker"] == 1
+        assert event["reason"] == "died"
+
+    def test_snapshot_shape(self):
+        snap = InMemoryRecorder().snapshot()
+        assert sorted(snap) == ["counters", "events", "spans", "timers"]
+
+    def test_snapshot_sorts_names(self):
+        rec = InMemoryRecorder()
+        rec.counter("b").add(1)
+        rec.counter("a").add(1)
+        assert list(rec.snapshot()["counters"]) == ["a", "b"]

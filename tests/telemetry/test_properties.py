@@ -1,0 +1,108 @@
+"""Property tests: span-tree invariants, attribution, histogram sums.
+
+The span tree is the part of the telemetry spine with real structural
+invariants (parent indices point backwards, depths chain, intervals
+nest), so those are checked over random nesting programs rather than a
+handful of hand-written shapes.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import InMemoryRecorder, StepClock, validate_report
+from repro.telemetry.report import TelemetryReport
+
+#: A random nesting program: a tree of span names (each node opens a
+#: span, children run inside it, then it closes).
+span_trees = st.recursive(
+    st.tuples(st.sampled_from(["run", "pass", "tick", "halo"]), st.just([])),
+    lambda children: st.tuples(
+        st.sampled_from(["run", "pass", "tick", "halo"]),
+        st.lists(children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+attributions = st.one_of(st.none(), st.integers(min_value=0, max_value=10**6))
+
+
+def execute(rec, tree, tick=None, generation=None):
+    name, children = tree
+    with rec.span(name, tick=tick, generation=generation):
+        for child in children:
+            execute(rec, child, tick=tick, generation=generation)
+
+
+@given(forest=st.lists(span_trees, max_size=4))
+def test_span_tree_invariants(forest):
+    rec = InMemoryRecorder(clock=StepClock(step=1.0))
+    for tree in forest:
+        execute(rec, tree)
+
+    assert list(rec.open_spans()) == []
+    for span in rec.spans:
+        # Parents precede children and depths chain through the parent.
+        assert -1 <= span.parent < span.index
+        if span.parent == -1:
+            assert span.depth == 0
+        else:
+            parent = rec.spans[span.parent]
+            assert span.depth == parent.depth + 1
+            # Child intervals nest strictly inside the parent's interval
+            # (strict because the StepClock advances on every read).
+            assert parent.start < span.start
+            assert span.end is not None and parent.end is not None
+            assert span.end < parent.end
+
+    # Sibling/descendant intervals never interleave: spans are entered in
+    # index order, so starts are strictly increasing under a StepClock.
+    starts = [s.start for s in rec.spans]
+    assert starts == sorted(starts)
+    assert len(set(starts)) == len(starts)
+
+
+@given(forest=st.lists(span_trees, max_size=3))
+def test_span_snapshot_always_validates(forest):
+    rec = InMemoryRecorder(clock=StepClock(step=1.0))
+    for tree in forest:
+        execute(rec, tree)
+    payload = TelemetryReport.from_recorder(rec).to_dict()
+    assert validate_report(payload) == []
+
+
+@given(tree=span_trees, tick=attributions, generation=attributions)
+def test_attribution_is_preserved_verbatim(tree, tick, generation):
+    rec = InMemoryRecorder(clock=StepClock(step=1.0))
+    execute(rec, tree, tick=tick, generation=generation)
+    for span in rec.spans:
+        assert span.tick == tick
+        assert span.generation == generation
+        d = span.to_dict()
+        assert d["tick"] == tick and d["generation"] == generation
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1
+    )
+)
+def test_timer_histogram_matches_scalar_accumulators(values):
+    rec = InMemoryRecorder(clock=StepClock())
+    timer = rec.timer("t")
+    for v in values:
+        timer.record(v)
+    assert timer.count == len(values)
+    assert timer.min == min(values)
+    assert timer.max == max(values)
+    assert abs(timer.total - sum(values)) <= 1e-9 * max(1.0, sum(values))
+    assert sum(timer.buckets) == len(values)
+    d = timer.to_dict()
+    assert sum(d["buckets"].values()) == len(values)
+
+
+@given(increments=st.lists(st.integers(min_value=0, max_value=10**9)))
+def test_counter_is_the_sum_of_increments(increments):
+    rec = InMemoryRecorder(clock=StepClock())
+    for n in increments:
+        rec.counter("c").add(n)
+    assert rec.counter("c").value == sum(increments)
