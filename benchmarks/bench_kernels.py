@@ -20,6 +20,7 @@ reference.
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -286,7 +287,8 @@ def main(argv: list[str] | None = None) -> int:
                         "'parallel' backend once per count")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="write the bench-owned telemetry report "
-                        "(per-cell pass timers) here")
+                        "(per-cell pass timers) here; defaults to the "
+                        "--json path with a .telemetry.json suffix")
     parser.add_argument("--assert-speedup", type=float, default=None, metavar="FACTOR",
                         help="exit 1 unless bitplane beats reference by FACTOR "
                         "in every measured cell")
@@ -337,7 +339,12 @@ def main(argv: list[str] | None = None) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
 
-    if args.telemetry:
+    # Telemetry rides along with every JSON report: same stem, sibling
+    # .telemetry.json, so the differ always has a perf companion file.
+    telemetry_path = args.telemetry
+    if telemetry_path is None and args.json:
+        telemetry_path = str(Path(args.json).with_suffix("")) + ".telemetry.json"
+    if telemetry_path:
         TelemetryReport.from_recorder(
             recorder,
             meta={
@@ -348,8 +355,8 @@ def main(argv: list[str] | None = None) -> int:
                 "generations": args.generations,
                 "repeats": args.repeats,
             },
-        ).write_json(args.telemetry)
-        print(f"wrote {args.telemetry}")
+        ).write_json(telemetry_path)
+        print(f"wrote {telemetry_path}")
 
     if args.assert_speedup is not None:
         failed = [

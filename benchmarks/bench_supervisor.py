@@ -22,6 +22,7 @@ not a parallelism dividend foregone.
 import argparse
 import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -131,7 +132,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="write the bench-owned telemetry report (arm timers plus "
-        "supervisor lifecycle events) here",
+        "supervisor lifecycle events) here; defaults to the --json path "
+        "with a .telemetry.json suffix",
     )
     args = parser.parse_args(argv)
 
@@ -182,7 +184,12 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
 
-    if args.telemetry:
+    # Telemetry rides along with every JSON report: same stem, sibling
+    # .telemetry.json, so the differ always has a perf companion file.
+    telemetry_path = args.telemetry
+    if telemetry_path is None and args.json:
+        telemetry_path = str(Path(args.json).with_suffix("")) + ".telemetry.json"
+    if telemetry_path:
         TelemetryReport.from_recorder(
             recorder,
             meta={
@@ -194,8 +201,8 @@ def main(argv: list[str] | None = None) -> int:
                 "backend": args.backend,
                 "repeats": args.repeats,
             },
-        ).write_json(args.telemetry)
-        print(f"wrote {args.telemetry}")
+        ).write_json(telemetry_path)
+        print(f"wrote {telemetry_path}")
 
     if not best["bit_identical"]:
         print("FAIL: supervised output is not bit-identical", file=sys.stderr)

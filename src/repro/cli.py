@@ -32,8 +32,11 @@ run
     to the unsupervised run.
 telemetry
     Inspect telemetry reports written by ``simulate``/``run``/``faults``
-    ``--telemetry PATH`` (``summarize`` prints a digest of counters,
-    timers, spans, and events).
+    ``--telemetry PATH``: ``summarize`` prints a digest of counters,
+    timers, spans, and events (``--json`` for a machine-readable one),
+    ``trace`` exports Chrome trace-event JSON for chrome://tracing or
+    Perfetto, and ``diff`` compares two telemetry/bench reports and
+    exits nonzero on perf regressions past a threshold.
 
 Every command prints the same fixed-width tables the benchmark harness
 writes, so CLI output can be diffed against ``benchmarks/out/``.
@@ -74,15 +77,26 @@ def _telemetry_recorder(args: argparse.Namespace):
     return InMemoryRecorder()
 
 
-def _write_telemetry(args: argparse.Namespace, recorder, **meta: object) -> None:
-    """Snapshot ``recorder`` to the ``--telemetry`` path (no-op when off)."""
+def _write_telemetry(
+    args: argparse.Namespace, recorder, report=None, **meta: object
+) -> None:
+    """Snapshot ``recorder`` to the ``--telemetry`` path (no-op when off).
+
+    When ``report`` is given (a pre-merged multi-process
+    :class:`TelemetryReport` from the supervisor), it is stamped with the
+    command metadata and written as-is instead of snapshotting the
+    coordinator recorder alone.
+    """
     if recorder is None:
         return
     from repro.telemetry import TelemetryReport
 
-    report = TelemetryReport.from_recorder(
-        recorder, meta={"command": args.command, **meta}
-    )
+    if report is None:
+        report = TelemetryReport.from_recorder(
+            recorder, meta={"command": args.command, **meta}
+        )
+    else:
+        report.meta.update({"command": args.command, **meta})
     report.write_json(args.telemetry)
     print(f"telemetry: wrote {args.telemetry}", file=sys.stderr)
 
@@ -781,9 +795,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         bit_identical = bool(np.array_equal(state, run_direct()))
         if not bit_identical:
             exit_code = 1
+    # The supervisor hands back a merged multi-process report (worker
+    # spools + coordinator, clock-aligned); fall back to the coordinator
+    # snapshot if the merge was unavailable.
     _write_telemetry(
         args,
         recorder,
+        report=report.telemetry,
         model=args.model,
         rows=args.rows,
         cols=args.cols,
@@ -834,11 +852,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    import json
+
     from repro.telemetry import TelemetryReport
 
     report = TelemetryReport.load(args.path)
+    if args.json:
+        print(json.dumps(report.summary_json(), indent=2, sort_keys=True))
+        return 0
     for line in report.summary_lines():
         print(line)
+    return 0
+
+
+def _cmd_telemetry_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.telemetry import TelemetryReport, write_trace
+
+    out = args.output
+    if out is None:
+        out = str(Path(args.path).with_suffix("")) + ".trace.json"
+    report = TelemetryReport.load(args.path)
+    count = write_trace(report, out)
+    print(f"trace: wrote {count} event(s) to {out}")
+    return 0
+
+
+def _cmd_telemetry_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_payloads, format_deltas
+    from repro.telemetry.diff import extract_metrics, load_payload
+
+    base = load_payload(args.base)
+    head = load_payload(args.head)
+    deltas = diff_payloads(base, head, min_seconds=args.min_seconds)
+    _, base_metrics = extract_metrics(base, args.min_seconds)
+    _, head_metrics = extract_metrics(head, args.min_seconds)
+    threshold = args.fail_on_regression
+    print(f"telemetry diff: {args.base} -> {args.head}")
+    for line in format_deltas(
+        deltas,
+        threshold,
+        base_only=sorted(set(base_metrics) - set(head_metrics)),
+        head_only=sorted(set(head_metrics) - set(base_metrics)),
+    ):
+        print(line)
+    if any(d.regression(threshold) for d in deltas):
+        return 1
     return 0
 
 
@@ -1160,7 +1220,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a digest of a telemetry report written by --telemetry",
     )
     tp.add_argument("path", help="telemetry report JSON file")
+    tp.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable digest (timer aggregates, span roots, "
+        "event/process summaries) instead of text",
+    )
     tp.set_defaults(func=_cmd_telemetry_summarize)
+    tp = tsub.add_parser(
+        "trace",
+        help="export a report to Chrome trace-event JSON "
+        "(load in chrome://tracing or ui.perfetto.dev)",
+    )
+    tp.add_argument("path", help="telemetry report JSON file")
+    tp.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="trace output path (default: INPUT stem + .trace.json)",
+    )
+    tp.set_defaults(func=_cmd_telemetry_trace)
+    tp = tsub.add_parser(
+        "diff",
+        help="compare two telemetry/bench reports; exit 1 on perf "
+        "regressions past the threshold",
+    )
+    tp.add_argument("base", help="baseline report JSON (telemetry or BENCH)")
+    tp.add_argument("head", help="candidate report JSON (same schema family)")
+    tp.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="regression threshold in percent (default: 10)",
+    )
+    tp.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="timers with a mean below S never gate (filters scheduler "
+        "noise on micro-timers; default 0: everything gates)",
+    )
+    tp.set_defaults(func=_cmd_telemetry_diff)
 
     return parser
 

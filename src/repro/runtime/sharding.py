@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.lattice.slabs import BOUNDARY_ROWS, Shard, plan_shards
 from repro.lgca.backends import make_stepper
+from repro.telemetry import NULL_RECORDER, Recorder
 from repro.util.errors import ConfigError
 
 __all__ = ["BOUNDARY_ROWS", "Shard", "ShardRunner", "plan_shards"]
@@ -57,6 +58,11 @@ class ShardRunner:
         from the global mask with :meth:`Shard.local_row_indices`.
     time:
         Generation the initial slab belongs to.
+    recorder:
+        Optional telemetry recorder; the runner pre-binds
+        ``shard.halo_seconds`` / ``shard.step_seconds`` timers and a
+        ``shard.generations`` counter, and forwards the recorder to the
+        kernel stepper for ``kernel.<backend>.*`` attribution.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class ShardRunner:
         backend: str = "reference",
         obstacles_mask: np.ndarray | None = None,
         time: int = 0,
+        recorder: Recorder | None = None,
     ):
         rows: int = model.rows  # type: ignore[attr-defined]
         cols: int = model.cols  # type: ignore[attr-defined]
@@ -87,9 +94,18 @@ class ShardRunner:
         from repro.lgca.automaton import ObstacleMap
 
         obstacles = None if obstacles_mask is None else ObstacleMap(obstacles_mask)
-        self._stepper = make_stepper(model, obstacles=obstacles, backend=backend)
+        rec = recorder if recorder is not None else NULL_RECORDER
+        self._stepper = make_stepper(
+            model, obstacles=obstacles, backend=backend, recorder=recorder
+        )
         self._local = np.zeros((shard.local_rows, cols), dtype=np.uint8)
         self._local[shard.interior] = initial_slab
+        # Pre-bound handles (see OBSERVABILITY.md): free under the null
+        # recorder, allocation-free per generation under a real one.
+        self._clock = rec.clock
+        self._halo_timer = rec.timer("shard.halo_seconds")
+        self._step_timer = rec.timer("shard.step_seconds")
+        self._generations = rec.counter("shard.generations")
 
     @property
     def interior(self) -> np.ndarray:
@@ -120,6 +136,7 @@ class ShardRunner:
         shard below.  ``None`` zero-fills the halo — the null-boundary
         lattice edge, where nothing flows in.
         """
+        start = self._clock()
         shard = self.shard
         if above_bottom is None:
             self._local[: shard.halo_top] = 0
@@ -132,8 +149,12 @@ class ShardRunner:
             self._local[bottom] = 0
         else:
             self._local[bottom] = below_top[: shard.halo_bottom]
+        self._halo_timer.record(self._clock() - start)
 
     def step(self) -> None:
         """Advance the local frame one generation (halos must be fresh)."""
+        start = self._clock()
         self._local = self._stepper.step(self._local, self.time).copy()
         self.time += 1
+        self._step_timer.record(self._clock() - start)
+        self._generations.add(1)

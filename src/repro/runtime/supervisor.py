@@ -60,7 +60,21 @@ from repro.runtime.breaker import CircuitBreaker
 from repro.runtime.modelspec import ModelSpec
 from repro.runtime.sharding import Shard, plan_shards
 from repro.runtime.worker import InducedFault, WorkerConfig, worker_main
-from repro.telemetry import MONOTONIC, NULL_RECORDER, Clock, Recorder
+from repro.telemetry import (
+    MONOTONIC,
+    NULL_RECORDER,
+    Clock,
+    InMemoryRecorder,
+    Recorder,
+    TelemetryReport,
+)
+from repro.telemetry.merge import (
+    ProcessTelemetry,
+    coordinator_process,
+    load_worker_spools,
+    merge_processes,
+)
+from repro.telemetry.spool import worker_spool_path
 from repro.util.backoff import BackoffPolicy
 from repro.util.errors import CheckpointError, ConfigError
 from repro.util.validation import check_nonnegative, check_positive
@@ -229,7 +243,15 @@ class RestartEvent:
 
 @dataclass
 class SupervisionReport:
-    """Everything observable about one supervised run."""
+    """Everything observable about one supervised run.
+
+    ``telemetry`` is the merged multi-process
+    :class:`~repro.telemetry.TelemetryReport` (schema v2, one entry per
+    coordinator/worker-incarnation) when the run was given a collecting
+    recorder; it travels alongside the report object — ``to_dict`` keeps
+    the v1 supervised-run schema unchanged, the CLI writes the telemetry
+    to its own ``--telemetry`` file.
+    """
 
     outcome: str  # "complete" | "degraded" | "failed"
     reason: str
@@ -244,6 +266,7 @@ class SupervisionReport:
     breaker: dict[str, object] | None
     degraded_shards: list[dict[str, int]]
     wall_time_seconds: float
+    telemetry: TelemetryReport | None = None
 
     @property
     def exit_code(self) -> int:
@@ -370,6 +393,15 @@ class _Supervision:
             config.checkpoint_dir
             or tempfile.mkdtemp(prefix="repro-supervised-")
         )
+        # Per-worker telemetry spools live beside the checkpoints (same
+        # lifetime, same durability story); workers get a spool path only
+        # when the run is actually collecting.
+        self.telemetry_on = isinstance(self.recorder, InMemoryRecorder)
+        self.spool_dir = self.ckpt_root / "telemetry"
+        # (worker, incarnation) -> coordinator-minus-worker clock offset,
+        # measured at the ready handshake on the recorder's clock.
+        self.clock_offsets: dict[tuple[int, int], float] = {}
+        self._worker_telemetry: list[ProcessTelemetry] = []
         self.started = self.clock()
 
     # -- spawning ------------------------------------------------------
@@ -405,6 +437,11 @@ class _Supervision:
             ),
             obstacles_mask=self._local_obstacles(shard),
             induced=self.config.induced,
+            spool_path=(
+                str(worker_spool_path(self.spool_dir, h.index, h.incarnation))
+                if self.telemetry_on
+                else None
+            ),
         )
         parent, child = self.ctx.Pipe(duplex=True)
         proc = self.ctx.Process(
@@ -570,6 +607,14 @@ class _Supervision:
         self._heartbeats.add(1)
         if kind == "ready":
             _incarnation, restored = msg[1], msg[2]
+            if self.telemetry_on and len(msg) > 3 and msg[3] is not None:
+                # Handshake clock alignment: the worker read its clock
+                # just before sending, we read ours (the recorder's —
+                # the telemetry timeline) on receipt, so the offset is
+                # late by at most the message latency.
+                self.clock_offsets[(h.index, h.incarnation)] = (
+                    self.recorder.clock() - float(msg[3])
+                )
             oldest = min(self.boundaries, default=self.barrier)
             if restored < self.barrier and restored < oldest:
                 self._fail(
@@ -743,6 +788,46 @@ class _Supervision:
             return None
         return None
 
+    # -- telemetry -----------------------------------------------------
+
+    def _harvest_worker_telemetry(self) -> None:
+        """Read every worker spool before the checkpoint root vanishes.
+
+        Runs in the ``finally`` path ahead of :meth:`_shutdown` (which
+        may rmtree an owned temp root).  Spools are already durable —
+        each worker fsyncs its final snapshot before sending ``done``,
+        and a killed worker's last-checkpoint snapshot is on disk — so
+        this is a plain read, not a join.
+        """
+        if not self.telemetry_on:
+            return
+        try:
+            self._worker_telemetry = load_worker_spools(
+                self.spool_dir, self.clock_offsets
+            )
+        except Exception:  # noqa: BLE001 - telemetry must never fail a run
+            self._worker_telemetry = []
+
+    def _merged_telemetry(self, outcome: str, reason: str) -> TelemetryReport | None:
+        """The schema-v2 multi-process report: coordinator + every life."""
+        try:
+            processes = [coordinator_process(self.recorder)]  # type: ignore[arg-type]
+            processes.extend(self._worker_telemetry)
+            return merge_processes(
+                processes,
+                meta={
+                    "command": "supervised_run",
+                    "outcome": outcome,
+                    "reason": reason,
+                    "generations": self.config.generations,
+                    "num_workers": self.config.num_workers,
+                    "backend": self.config.backend,
+                },
+                producer=f"{REPORT_SCHEMA}/v{REPORT_SCHEMA_VERSION}",
+            )
+        except Exception:  # noqa: BLE001 - telemetry must never fail a run
+            return None
+
     # -- shutdown ------------------------------------------------------
 
     def _shutdown(self) -> None:
@@ -773,6 +858,7 @@ class _Supervision:
         except _Abort as abort:
             outcome, reason = abort.outcome, abort.reason
         finally:
+            self._harvest_worker_telemetry()
             self._shutdown()
         for t in self.breaker.transitions:
             self.recorder.event(
@@ -809,6 +895,8 @@ class _Supervision:
             degraded_shards=self.degraded,
             wall_time_seconds=self.clock() - self.started,
         )
+        if self.telemetry_on:
+            report.telemetry = self._merged_telemetry(outcome, reason)
         return state, report
 
 

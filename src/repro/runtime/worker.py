@@ -6,7 +6,8 @@ and talks to the supervisor over a duplex pipe in strict lock-step:
 =================================== =====================================
 worker sends                        supervisor replies
 =================================== =====================================
-``("ready", incarnation, gen)``     ``("replay", [(g, above, below)...])``
+``("ready", incarnation, gen,       ``("replay", [(g, above, below)...])``
+``clock)``
 ``("boundary", g, top, bottom)``    ``("halo", g, above, below)``
 ``("checkpoint", g)``               —  (accounting only)
 ``("done", g)``                     ``("collect",)``
@@ -22,6 +23,19 @@ generation in ``ready``, and the supervisor replays the buffered halo
 history to catch it up to the barrier — bit-identically, because the
 kernels are deterministic and the halos are the exact rows the dead
 incarnation saw.
+
+``ready`` also carries a reading of the worker's monotonic clock — the
+supervisor timestamps the receipt and the difference becomes this
+incarnation's clock offset, aligning its spooled span/event times onto
+the coordinator timeline (see :mod:`repro.telemetry.merge`).
+
+Telemetry follows the checkpoint discipline: when
+``WorkerConfig.spool_path`` is set, the worker records into a private
+:class:`~repro.telemetry.InMemoryRecorder` and appends cumulative
+snapshots to a crash-safe spool (:mod:`repro.telemetry.spool`) — at
+every checkpoint and once more before ``done`` — so a killed worker
+loses at most the telemetry since its last checkpoint, exactly what it
+loses in lattice state.
 
 :class:`InducedFault` is the runtime's chaos hook (the process-level
 sibling of :class:`repro.resilience.faults.FaultSpec`): a configured
@@ -42,6 +56,14 @@ import numpy as np
 from repro.resilience.checkpoint import CheckpointStore
 from repro.runtime.modelspec import ModelSpec
 from repro.runtime.sharding import Shard, ShardRunner
+from repro.telemetry import (
+    MONOTONIC,
+    NULL_RECORDER,
+    InMemoryRecorder,
+    Recorder,
+    SpoolWriter,
+    TelemetryError,
+)
 from repro.util.errors import ConfigError
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -122,6 +144,9 @@ class WorkerConfig:
 
     ``initial_slab`` is set on the first incarnation only; later
     incarnations restore from the checkpoint directory instead.
+    ``spool_path`` switches per-worker telemetry on: the worker records
+    into its own recorder and spools snapshots there (one file per
+    incarnation, the supervisor names it).
     """
 
     worker: int
@@ -136,6 +161,7 @@ class WorkerConfig:
     initial_slab: np.ndarray | None = None
     obstacles_mask: np.ndarray | None = None
     induced: tuple[InducedFault, ...] = ()
+    spool_path: str | None = None
 
 
 def _fire_induced(config: WorkerConfig, generation: int) -> None:
@@ -154,14 +180,82 @@ def _fire_induced(config: WorkerConfig, generation: int) -> None:
             )
 
 
+def _spool_snapshot(
+    spool: SpoolWriter | None,
+    recorder: Recorder,
+    status: str,
+    generation: int,
+) -> None:
+    """Best-effort cumulative snapshot frame (telemetry never kills a worker)."""
+    if spool is None:
+        return
+    try:
+        spool.snapshot_frame(
+            recorder.snapshot(),  # type: ignore[attr-defined]
+            status=status,
+            generation=generation,
+        )
+    except TelemetryError:
+        pass
+
+
 def _checkpoint(
-    store: CheckpointStore, runner: ShardRunner, conn: Connection
+    store: CheckpointStore,
+    runner: ShardRunner,
+    conn: Connection,
+    recorder: Recorder,
+    spool: SpoolWriter | None,
 ) -> None:
     store.save(runner.time, runner.interior)
+    _spool_snapshot(spool, recorder, status="checkpoint", generation=runner.time)
     conn.send(("checkpoint", runner.time))
 
 
-def _worker_loop(config: WorkerConfig, conn: Connection) -> None:
+def _advance_to_target(
+    config: WorkerConfig,
+    conn: Connection,
+    runner: ShardRunner,
+    store: CheckpointStore,
+    recorder: Recorder,
+    spool: SpoolWriter | None,
+) -> bool:
+    """Replay buffered halos, then step to the target; False on early stop."""
+    msg = conn.recv()
+    if msg[0] == "stop":
+        return False
+    assert msg[0] == "replay", msg[0]
+    if msg[1]:
+        with recorder.span("worker.replay", generation=runner.time):
+            for generation, above, below in msg[1]:
+                assert generation == runner.time, (generation, runner.time)
+                runner.set_halos(above, below)
+                runner.step()
+                if store.due(runner.time):
+                    _checkpoint(store, runner, conn, recorder, spool)
+
+    with recorder.span("worker.run", generation=runner.time):
+        while runner.time < config.target_generation:
+            generation = runner.time
+            _fire_induced(config, generation)
+            top, bottom = runner.boundary_rows()
+            conn.send(("boundary", generation, top, bottom))
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return False
+            assert msg[0] == "halo" and msg[1] == generation, msg[:2]
+            runner.set_halos(msg[2], msg[3])
+            runner.step()
+            if store.due(runner.time):
+                _checkpoint(store, runner, conn, recorder, spool)
+    return True
+
+
+def _worker_loop(
+    config: WorkerConfig,
+    conn: Connection,
+    recorder: Recorder,
+    spool: SpoolWriter | None,
+) -> None:
     shard = config.shard
     model = config.spec.build(rows=shard.local_rows)
     store = CheckpointStore(
@@ -169,18 +263,8 @@ def _worker_loop(config: WorkerConfig, conn: Connection) -> None:
         keep=config.checkpoint_keep,
         directory=config.checkpoint_dir,
     )
-    if config.initial_slab is not None:
-        runner = ShardRunner(
-            model,
-            shard,
-            config.initial_slab,
-            backend=config.backend,
-            obstacles_mask=config.obstacles_mask,
-            time=0,
-        )
-        conn.send(("ready", config.incarnation, runner.time))
-        _checkpoint(store, runner, conn)
-    else:
+    restored = config.initial_slab is None
+    if restored:
         cp = CheckpointStore.load_latest(config.checkpoint_dir)
         runner = ShardRunner(
             model,
@@ -189,34 +273,50 @@ def _worker_loop(config: WorkerConfig, conn: Connection) -> None:
             backend=config.backend,
             obstacles_mask=config.obstacles_mask,
             time=cp.generation,
+            recorder=recorder,
         )
-        conn.send(("ready", config.incarnation, runner.time))
+    else:
+        runner = ShardRunner(
+            model,
+            shard,
+            config.initial_slab,
+            backend=config.backend,
+            obstacles_mask=config.obstacles_mask,
+            time=0,
+            recorder=recorder,
+        )
+    if spool is not None:
+        spool.open_frame(
+            worker=config.worker,
+            incarnation=config.incarnation,
+            pid=os.getpid(),
+            backend=config.backend,
+            shard={
+                "index": shard.index,
+                "row_start": shard.row_start,
+                "row_stop": shard.row_stop,
+                "halo_top": shard.halo_top,
+                "halo_bottom": shard.halo_bottom,
+            },
+            target_generation=config.target_generation,
+            restored_generation=runner.time if restored else None,
+        )
+    # The clock reading rides in ``ready`` for the alignment handshake;
+    # MONOTONIC is also the spooling recorder's clock, so the offset the
+    # supervisor computes applies to every span/event we record.
+    conn.send(("ready", config.incarnation, runner.time, MONOTONIC()))
+    if not restored:
+        _checkpoint(store, runner, conn, recorder, spool)
 
-    msg = conn.recv()
-    if msg[0] == "stop":
+    finished = _advance_to_target(config, conn, runner, store, recorder, spool)
+    _spool_snapshot(
+        spool,
+        recorder,
+        status="done" if finished else "stopped",
+        generation=runner.time,
+    )
+    if not finished:
         return
-    assert msg[0] == "replay", msg[0]
-    for generation, above, below in msg[1]:
-        assert generation == runner.time, (generation, runner.time)
-        runner.set_halos(above, below)
-        runner.step()
-        if store.due(runner.time):
-            _checkpoint(store, runner, conn)
-
-    while runner.time < config.target_generation:
-        generation = runner.time
-        _fire_induced(config, generation)
-        top, bottom = runner.boundary_rows()
-        conn.send(("boundary", generation, top, bottom))
-        msg = conn.recv()
-        if msg[0] == "stop":
-            return
-        assert msg[0] == "halo" and msg[1] == generation, msg[:2]
-        runner.set_halos(msg[2], msg[3])
-        runner.step()
-        if store.due(runner.time):
-            _checkpoint(store, runner, conn)
-
     conn.send(("done", runner.time))
     msg = conn.recv()
     if msg[0] == "collect":
@@ -229,15 +329,25 @@ def worker_main(config: WorkerConfig, conn: Connection) -> None:
 
     Any exception is reported as an ``("error", ...)`` message before a
     hard exit, so the supervisor can distinguish a backend bug (restart
-    on the fallback backend) from a silent death (plain restart).
+    on the fallback backend) from a silent death (plain restart).  With
+    a spool configured, a last-gasp snapshot is attempted first so the
+    failing incarnation's telemetry survives it.
     """
+    recorder: Recorder = NULL_RECORDER
+    spool: SpoolWriter | None = None
     try:
-        _worker_loop(config, conn)
+        if config.spool_path is not None:
+            recorder = InMemoryRecorder(clock=MONOTONIC)
+            spool = SpoolWriter(config.spool_path)
+        _worker_loop(config, conn, recorder, spool)
     except Exception as exc:  # deliberate last-resort: report, then die
+        _spool_snapshot(spool, recorder, status="error", generation=-1)
         try:
             conn.send(("error", -1, f"{type(exc).__name__}: {exc}"))
         except OSError:
             pass
         os._exit(EXIT_ERROR)
     finally:
+        if spool is not None:
+            spool.close()
         conn.close()

@@ -8,6 +8,13 @@ switched on by passing an
 :class:`~repro.telemetry.core.InMemoryRecorder`, whose contents land in
 a schema-versioned :class:`~repro.telemetry.report.TelemetryReport`.
 
+Multi-process runs extend the spine across process boundaries: workers
+append recorder snapshots to crash-safe spools
+(:mod:`repro.telemetry.spool`), a merger folds them into one v2 report
+(:mod:`repro.telemetry.merge`), and the result exports to Chrome trace
+JSON (:mod:`repro.telemetry.trace`) or gates CI through the
+perf-regression differ (:mod:`repro.telemetry.diff`).
+
 See ``docs/OBSERVABILITY.md`` for the event model and report schema.
 """
 
@@ -24,14 +31,39 @@ from repro.telemetry.core import (
     StepClock,
     Timer,
 )
+from repro.telemetry.diff import (
+    Metric,
+    MetricDelta,
+    diff_payloads,
+    extract_metrics,
+    format_deltas,
+)
+from repro.telemetry.merge import (
+    ProcessTelemetry,
+    coordinator_process,
+    load_worker_spools,
+    merge_processes,
+    merge_timers,
+    spool_process,
+)
 from repro.telemetry.report import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     TelemetryError,
     TelemetryReport,
     check_report,
+    run_metadata,
     validate_report,
 )
+from repro.telemetry.spool import (
+    SpoolFrame,
+    SpoolWriter,
+    WorkerSpool,
+    read_frames,
+    worker_spool_path,
+)
+from repro.telemetry.trace import trace_dict, trace_events, write_trace
 
 __all__ = [
     "Clock",
@@ -47,8 +79,29 @@ __all__ = [
     "NULL_RECORDER",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "TelemetryError",
     "TelemetryReport",
     "check_report",
+    "run_metadata",
     "validate_report",
+    "SpoolFrame",
+    "SpoolWriter",
+    "WorkerSpool",
+    "read_frames",
+    "worker_spool_path",
+    "ProcessTelemetry",
+    "coordinator_process",
+    "spool_process",
+    "load_worker_spools",
+    "merge_processes",
+    "merge_timers",
+    "Metric",
+    "MetricDelta",
+    "extract_metrics",
+    "diff_payloads",
+    "format_deltas",
+    "trace_events",
+    "trace_dict",
+    "write_trace",
 ]

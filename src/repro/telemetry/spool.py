@@ -1,0 +1,264 @@
+"""Crash-safe per-worker telemetry spools: append-only JSONL frames.
+
+The supervised runtime's workers die — that is the point of the
+supervisor — so their telemetry cannot live in process memory the way
+the coordinator's :class:`~repro.telemetry.core.InMemoryRecorder` does.
+Each worker incarnation instead *spools* its recorder snapshots to an
+append-only JSONL file with the same durability discipline as
+:class:`~repro.resilience.checkpoint.CheckpointStore`:
+
+* every frame is written, flushed, and **fsync'd** before the call
+  returns, so a worker killed at any instant loses at most the frame it
+  was mid-writing;
+* frames carry a CRC-32 over their canonical body JSON, so a rotted
+  line is *detected* at load time instead of silently merging garbage;
+* the reader is **torn-tail tolerant**: a truncated or unparsable final
+  line — the signature of a crash mid-append — is dropped without
+  complaint, and corrupt interior frames are skipped and counted.
+
+A spool holds one ``open`` frame (who am I: worker, incarnation, pid,
+backend, shard geometry) followed by ``snapshot`` frames (a full
+recorder snapshot, written at every checkpoint and at exit).  Snapshots
+are cumulative, so the **last intact snapshot** is the worker's best
+recorded state — exactly the recovery rule checkpoints use.  The merger
+(:mod:`repro.telemetry.merge`) folds spools into a multi-process
+:class:`~repro.telemetry.report.TelemetryReport` v2.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.report import TelemetryError
+
+__all__ = [
+    "SPOOL_SCHEMA",
+    "SPOOL_VERSION",
+    "FRAME_OPEN",
+    "FRAME_SNAPSHOT",
+    "SpoolFrame",
+    "SpoolWriter",
+    "read_frames",
+    "WorkerSpool",
+    "worker_spool_path",
+]
+
+#: Spool frame schema identity (stamped into every ``open`` frame).
+SPOOL_SCHEMA = "repro-telemetry-spool"
+#: Bump when the frame layout changes incompatibly.
+SPOOL_VERSION = 1
+
+#: Frame kinds the runtime writes.
+FRAME_OPEN = "open"
+FRAME_SNAPSHOT = "snapshot"
+
+
+def _body_crc(body: dict[str, object]) -> int:
+    """CRC-32 over the canonical (sorted-key) JSON encoding of ``body``."""
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
+def worker_spool_path(directory: str | Path, worker: int, incarnation: int) -> Path:
+    """The canonical spool file for one worker incarnation.
+
+    One file per *incarnation* — a restarted worker never appends to its
+    dead predecessor's spool, so a torn tail stays confined to the life
+    that tore it and the merger sees each life as its own process.
+    """
+    return Path(directory) / f"worker-{worker:02d}.{incarnation:02d}.jsonl"
+
+
+@dataclass(frozen=True)
+class SpoolFrame:
+    """One intact frame read back from a spool."""
+
+    kind: str
+    body: dict[str, object] = field(repr=False)
+
+
+class SpoolWriter:
+    """Append-only, fsync-per-frame JSONL writer for one worker's telemetry.
+
+    Opens the file lazily in append mode (so a restarted *writer* on the
+    same path extends rather than truncates) and fsyncs the directory
+    entry once after the first frame lands, mirroring the checkpoint
+    store's rename-durability rule.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.frames_written = 0
+        self._fh = open(self.path, "ab")
+
+    def append(self, kind: str, body: dict[str, object]) -> None:
+        """Write one frame durably: encode, append, flush, fsync.
+
+        Raises
+        ------
+        TelemetryError
+            When the body is not JSON-serializable or the write fails.
+        """
+        try:
+            line = json.dumps(
+                {"kind": kind, "crc": _body_crc(body), "body": body},
+                sort_keys=True,
+            )
+        except (TypeError, ValueError) as exc:
+            raise TelemetryError(
+                f"spool frame {kind!r} is not JSON-serializable: {exc}"
+            ) from exc
+        try:
+            self._fh.write(line.encode("utf-8") + b"\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot append to spool {self.path}: {exc}"
+            ) from exc
+        if self.frames_written == 0:
+            _fsync_dir(self.path.parent)
+        self.frames_written += 1
+
+    def open_frame(self, **meta: object) -> None:
+        """Write the identifying ``open`` frame (schema-stamped)."""
+        body: dict[str, object] = {
+            "schema": SPOOL_SCHEMA,
+            "schema_version": SPOOL_VERSION,
+        }
+        body.update(meta)
+        self.append(FRAME_OPEN, body)
+
+    def snapshot_frame(
+        self, snapshot: dict[str, object], status: str, generation: int
+    ) -> None:
+        """Write one cumulative recorder snapshot frame."""
+        self.append(
+            FRAME_SNAPSHOT,
+            {"status": status, "generation": generation, "snapshot": snapshot},
+        )
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SpoolWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (platforms without dir fds skip)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def read_frames(path: str | Path) -> tuple[list[SpoolFrame], int]:
+    """Read every intact frame from a spool; returns ``(frames, skipped)``.
+
+    A torn **tail** (truncated or unparsable final line — the normal
+    crash signature of an append interrupted mid-write) is dropped
+    silently and does not count as skipped.  Interior lines that fail to
+    parse or whose CRC does not match their body are skipped and
+    counted, so callers can surface rot without refusing the rest.
+
+    Raises
+    ------
+    TelemetryError
+        When the file cannot be read at all.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read spool {path}: {exc}") from exc
+    lines = raw.split(b"\n")
+    # A well-formed spool ends with a newline, leaving one empty trailer;
+    # anything else in the final slot is a torn tail and is dropped.
+    torn_tail = lines[-1] != b""
+    lines = lines[:-1]
+    frames: list[SpoolFrame] = []
+    skipped = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        last = i == len(lines) - 1
+        try:
+            entry = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            if last and not torn_tail:
+                continue  # torn tail variant: newline landed, body did not
+            skipped += 1
+            continue
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("kind"), str)
+            or not isinstance(entry.get("body"), dict)
+            or entry.get("crc") != _body_crc(entry["body"])
+        ):
+            skipped += 1
+            continue
+        frames.append(SpoolFrame(kind=entry["kind"], body=entry["body"]))
+    return frames, skipped
+
+
+@dataclass(frozen=True)
+class WorkerSpool:
+    """One parsed worker spool: identity plus the last intact snapshot.
+
+    ``meta`` is the ``open`` frame's body; ``snapshot`` is the newest
+    intact ``snapshot`` frame's recorder payload (``None`` when the
+    worker died before its first checkpoint).  ``skipped`` counts
+    corrupt interior frames the reader dropped.
+    """
+
+    path: Path
+    meta: dict[str, object]
+    snapshot: dict[str, object] | None
+    status: str | None
+    generation: int | None
+    skipped: int
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkerSpool":
+        """Parse one spool file (raises :class:`TelemetryError` if unusable).
+
+        Unusable means unreadable or missing an intact ``open`` frame —
+        without identity the frames cannot be attributed to a process.
+        """
+        frames, skipped = read_frames(path)
+        opens = [f for f in frames if f.kind == FRAME_OPEN]
+        if not opens:
+            raise TelemetryError(f"spool {path} has no intact open frame")
+        snapshots = [f for f in frames if f.kind == FRAME_SNAPSHOT]
+        last = snapshots[-1] if snapshots else None
+        snapshot = None
+        status: str | None = None
+        generation: int | None = None
+        if last is not None:
+            snap = last.body.get("snapshot")
+            snapshot = snap if isinstance(snap, dict) else None
+            raw_status = last.body.get("status")
+            status = raw_status if isinstance(raw_status, str) else None
+            raw_gen = last.body.get("generation")
+            generation = raw_gen if isinstance(raw_gen, int) else None
+        return cls(
+            path=Path(path),
+            meta=dict(opens[0].body),
+            snapshot=snapshot,
+            status=status,
+            generation=generation,
+            skipped=skipped,
+        )

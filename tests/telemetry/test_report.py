@@ -1,4 +1,4 @@
-"""Schema round-trip and validation tests for TelemetryReport v1."""
+"""Schema round-trip and validation tests for TelemetryReport v1/v2."""
 
 import json
 
@@ -7,11 +7,13 @@ import pytest
 from repro.telemetry import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     InMemoryRecorder,
     StepClock,
     TelemetryError,
     TelemetryReport,
     check_report,
+    run_metadata,
     validate_report,
 )
 from repro.util.errors import ReproError
@@ -163,6 +165,106 @@ class TestSummaries:
         assert "(1 nested)" in text
         assert "supervisor.spawn x1" in text
 
-    def test_summary_of_empty_report_is_just_the_header(self):
+    def test_summary_of_empty_report_names_every_absent_section(self):
         report = TelemetryReport.from_recorder(InMemoryRecorder(clock=StepClock()))
-        assert len(report.summary_lines()) == 1
+        lines = report.summary_lines()
+        assert lines[0].startswith("telemetry report")
+        # No silent sections: zero spans render an explicit marker rather
+        # than disappearing (the old rendering made "no spans" ambiguous
+        # with "spans not recorded at this schema version").
+        assert "  spans: none recorded" in lines
+        # Run metadata is always stamped, so the empty report still
+        # carries provenance.
+        assert any(line.startswith("  run: ") for line in lines)
+        assert len(lines) == 3
+
+    def test_summary_json_digest(self):
+        report = TelemetryReport.from_recorder(
+            sample_recorder(), meta={"command": "simulate"}
+        )
+        digest = report.summary_json()
+        assert digest["schema"] == SCHEMA_NAME
+        assert digest["schema_version"] == SCHEMA_VERSION
+        assert digest["counters"]["engine.ticks"] == 128
+        timer = digest["timers"]["kernel.bitplane.tick_seconds"]
+        assert timer["count"] == 2
+        assert "buckets" not in timer
+        roots = digest["spans"]["roots"]
+        assert roots[0]["name"] == "engine.run"
+        assert roots[0]["nested"] == 1
+        assert digest["events"]["by_name"]["supervisor.spawn"] == 1
+        assert json.dumps(digest)  # JSON-serializable end to end
+
+
+class TestRunMetadata:
+    def test_run_metadata_fields(self):
+        meta = run_metadata(producer="test")
+        assert set(meta) == {
+            "host", "pid", "python", "cpu_count", "repro_version", "producer",
+        }
+        assert meta["cpu_count"] >= 1
+
+    def test_every_report_is_stamped(self):
+        payload = sample_payload()
+        run = payload["meta"]["run"]
+        for key in ("host", "pid", "python", "cpu_count", "repro_version"):
+            assert key in run
+
+    def test_explicit_run_meta_wins(self):
+        rec = InMemoryRecorder(clock=StepClock())
+        report = TelemetryReport.from_recorder(
+            rec, meta={"run": {"host": "h", "pid": 1, "python": "3",
+                               "cpu_count": 2, "repro_version": "0"}}
+        )
+        assert report.meta["run"]["host"] == "h"
+
+    def test_v2_requires_run_block(self):
+        payload = sample_payload()
+        del payload["meta"]["run"]
+        assert any("meta.run" in p for p in validate_report(payload))
+
+    def test_v2_requires_complete_run_block(self):
+        payload = sample_payload()
+        del payload["meta"]["run"]["host"]
+        assert any("missing key(s): host" in p for p in validate_report(payload))
+
+    def test_v1_tolerates_absent_run_block(self):
+        payload = sample_payload()
+        payload["schema_version"] = 1
+        del payload["meta"]["run"]
+        del payload["processes"]
+        assert validate_report(payload) == []
+
+    def test_v1_payload_still_loads(self):
+        payload = sample_payload()
+        payload["schema_version"] = 1
+        del payload["meta"]["run"]
+        del payload["processes"]
+        report = TelemetryReport.from_dict(payload)
+        assert report.version == 1
+        assert report.to_dict()["schema_version"] == 1
+        assert "processes" not in report.to_dict()
+
+    def test_supported_versions(self):
+        assert SCHEMA_VERSION in SUPPORTED_VERSIONS
+        assert 1 in SUPPORTED_VERSIONS
+
+
+class TestProcessesValidation:
+    def test_processes_must_be_a_list(self):
+        payload = sample_payload()
+        payload["processes"] = {"not": "a list"}
+        assert any("processes" in p for p in validate_report(payload))
+
+    def test_process_entries_need_a_name(self):
+        payload = sample_payload()
+        payload["processes"] = [{"kind": "worker"}]
+        assert any("name" in p for p in validate_report(payload))
+
+    def test_well_formed_process_entry_passes(self):
+        payload = sample_payload()
+        payload["processes"] = [
+            {"name": "worker-0.0", "kind": "worker", "pid": 7,
+             "counters": {"shard.generations": 4}, "timers": {}},
+        ]
+        assert validate_report(payload) == []

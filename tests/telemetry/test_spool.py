@@ -1,0 +1,169 @@
+"""Crash-safety tests for the per-worker telemetry spool.
+
+The spool follows the CheckpointStore discipline: append-only frames,
+fsync on every write, and tolerance for the torn tail a killed process
+leaves behind.  These tests corrupt spool files byte-by-byte and check
+that every intact prefix still loads.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    InMemoryRecorder,
+    SpoolWriter,
+    StepClock,
+    TelemetryError,
+    WorkerSpool,
+    read_frames,
+    worker_spool_path,
+)
+
+
+def snapshot(generations: int = 4) -> dict:
+    rec = InMemoryRecorder(clock=StepClock(step=0.5))
+    rec.counter("shard.generations").add(generations)
+    rec.timer("shard.step_seconds").record(0.002)
+    with rec.span("worker.run", generation=0):
+        pass
+    rec.event("worker.note", generation=generations)
+    return rec.snapshot()
+
+
+def write_spool(path, *, frames: int = 2) -> None:
+    with SpoolWriter(path) as spool:
+        spool.open_frame(
+            worker=0,
+            incarnation=0,
+            pid=1234,
+            backend="reference",
+            shard={"index": 0, "row_start": 0, "row_stop": 12,
+                   "halo_top": 0, "halo_bottom": 2},
+            target_generation=12,
+            restored_generation=None,
+        )
+        for i in range(1, frames + 1):
+            status = "done" if i == frames else "checkpoint"
+            spool.snapshot_frame(snapshot(4 * i), status=status, generation=4 * i)
+
+
+class TestSpoolWriter:
+    def test_path_naming_is_per_incarnation(self, tmp_path):
+        assert worker_spool_path(tmp_path, 3, 1).name == "worker-03.01.jsonl"
+        assert (
+            worker_spool_path(tmp_path, 3, 0).name
+            != worker_spool_path(tmp_path, 3, 1).name
+        )
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "spool.jsonl"
+        write_spool(path)
+        assert path.exists()
+
+    def test_frames_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=2)
+        lines = path.read_bytes().decode().splitlines()
+        assert len(lines) == 3  # open + 2 snapshots
+        for line in lines:
+            frame = json.loads(line)
+            assert {"kind", "crc", "body"} <= set(frame)
+
+    def test_rejects_non_serializable_body(self, tmp_path):
+        with SpoolWriter(tmp_path / "spool.jsonl") as spool:
+            with pytest.raises(TelemetryError, match="serial"):
+                spool.snapshot_frame({"bad": object()}, status="x", generation=0)
+
+
+class TestReadFrames:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=2)
+        frames, skipped = read_frames(path)
+        assert skipped == 0
+        assert [f.kind for f in frames] == ["open", "snapshot", "snapshot"]
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        """A killed worker leaves a partial final line; every intact
+        frame before it must still load, and the tear is not an error."""
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=2)
+        whole = path.read_bytes()
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "snapshot", "crc": 1, "bo')
+        frames, skipped = read_frames(path)
+        assert [f.kind for f in frames] == ["open", "snapshot", "snapshot"]
+        assert path.read_bytes().startswith(whole)
+        assert skipped == 0
+
+    def test_every_truncation_point_yields_an_intact_prefix(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=2)
+        data = path.read_bytes()
+        complete = data.count(b"\n")
+        for cut in range(len(data)):
+            torn = tmp_path / "torn.jsonl"
+            torn.write_bytes(data[:cut])
+            frames, _ = read_frames(torn)
+            assert len(frames) == data[:cut].count(b"\n")
+        assert complete == 3
+
+    def test_interior_corruption_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=3)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = b'{"kind": "snapshot", "crc": 0, "body": {}}\n'  # bad crc
+        path.write_bytes(b"".join(lines))
+        frames, skipped = read_frames(path)
+        assert skipped == 1
+        assert [f.kind for f in frames] == ["open", "snapshot", "snapshot"]
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            read_frames(tmp_path / "absent.jsonl")
+
+
+class TestWorkerSpool:
+    def test_load_takes_the_last_snapshot(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=3)
+        spool = WorkerSpool.load(path)
+        assert spool.status == "done"
+        assert spool.generation == 12
+        assert spool.meta["worker"] == 0
+        assert spool.meta["backend"] == "reference"
+        assert spool.snapshot["counters"]["shard.generations"] == 12
+
+    def test_load_survives_torn_final_snapshot(self, tmp_path):
+        """Mid-write kill: the previous snapshot (the last checkpoint's)
+        wins — exactly the state the restarted worker resumes from."""
+        path = tmp_path / "spool.jsonl"
+        write_spool(path, frames=2)
+        data = path.read_bytes()
+        lines = data.splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        spool = WorkerSpool.load(path)
+        assert spool.status == "checkpoint"
+        assert spool.generation == 4
+
+    def test_load_without_open_frame_is_an_error(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        write_spool(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[1:]))
+        with pytest.raises(TelemetryError, match="open"):
+            WorkerSpool.load(path)
+
+    def test_open_frame_only_spool_has_no_snapshot(self, tmp_path):
+        """A worker killed before its first checkpoint leaves identity
+        but no data — loadable, with an empty snapshot."""
+        path = tmp_path / "spool.jsonl"
+        with SpoolWriter(path) as spool:
+            spool.open_frame(worker=1, incarnation=0, pid=1, backend="bitplane",
+                             shard={}, target_generation=8,
+                             restored_generation=None)
+        loaded = WorkerSpool.load(path)
+        assert loaded.meta["worker"] == 1
+        assert loaded.snapshot is None
+        assert loaded.status is None

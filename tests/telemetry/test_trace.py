@@ -1,0 +1,167 @@
+"""Tests for the Chrome trace-event exporter.
+
+The contract: every generated trace is loadable by chrome://tracing and
+Perfetto, which in practice means balanced ``B``/``E`` pairs per
+process/thread in document order, microsecond timestamps, and the JSON
+object form with ``traceEvents``.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    InMemoryRecorder,
+    StepClock,
+    TelemetryReport,
+    merge_processes,
+    trace_dict,
+    trace_events,
+    write_trace,
+)
+from repro.telemetry.merge import ProcessTelemetry
+
+
+def single_process_report() -> TelemetryReport:
+    rec = InMemoryRecorder(clock=StepClock(step=0.001))
+    rec.counter("engine.ticks").add(7)
+    with rec.span("outer", tick=0):
+        with rec.span("inner"):
+            pass
+        with rec.span("inner"):
+            pass
+    rec.event("marker", worker=1)
+    return TelemetryReport.from_recorder(rec, meta={"command": "test"})
+
+
+def merged_report() -> TelemetryReport:
+    procs = []
+    for i in range(2):
+        rec = InMemoryRecorder(clock=StepClock(step=0.001))
+        with rec.span("worker.run", generation=0):
+            with rec.span("worker.step"):
+                pass
+        rec.event("worker.note", generation=4)
+        procs.append(
+            ProcessTelemetry(
+                name=f"worker-{i}.0",
+                kind="worker",
+                snapshot=rec.snapshot(),
+                pid=100 + i,
+                worker=i,
+                incarnation=0,
+                backend="reference",
+                clock_offset=float(i),
+            )
+        )
+    return merge_processes(procs, meta={"command": "supervised_run"})
+
+
+def balanced(events) -> bool:
+    """B/E balance with LIFO name matching, per (pid, tid) track."""
+    stacks: dict[tuple, list] = {}
+    for e in events:
+        stack = stacks.setdefault((e.get("pid"), e.get("tid")), [])
+        if e["ph"] == "B":
+            stack.append(e["name"])
+        elif e["ph"] == "E":
+            if not stack or stack.pop() != e["name"]:
+                return False
+    return all(not s for s in stacks.values())
+
+
+class TestTraceEvents:
+    def test_duration_events_balance(self):
+        events = trace_events(single_process_report())
+        assert balanced(events)
+        assert sum(1 for e in events if e["ph"] == "B") == 3
+
+    def test_zero_length_spans_stay_balanced_in_document_order(self):
+        rec = InMemoryRecorder(clock=StepClock(step=0.0))
+        with rec.span("zero"):
+            pass
+        events = trace_events(TelemetryReport.from_recorder(rec))
+        assert balanced(events)
+
+    def test_open_span_closes_for_viewers_and_is_flagged(self):
+        rec = InMemoryRecorder(clock=StepClock(step=0.001))
+        rec.span("never.exited").__enter__()
+        events = trace_events(TelemetryReport.from_recorder(rec))
+        assert balanced(events)
+        b = next(e for e in events if e["ph"] == "B" and e["name"] == "never.exited")
+        assert b["args"].get("open") is True
+
+    def test_timestamps_are_microseconds(self):
+        events = trace_events(single_process_report())
+        starts = [e["ts"] for e in events if e["ph"] == "B"]
+        # StepClock ticks in ms steps, so span starts land on whole µs
+        assert all(ts == int(ts) for ts in starts)
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert inner["ts"] > outer["ts"]
+
+    def test_counters_become_counter_samples(self):
+        events = trace_events(single_process_report())
+        samples = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"] == "engine.ticks" for e in samples)
+        sample = next(e for e in samples if e["name"] == "engine.ticks")
+        assert sample["args"] == {"value": 7}
+
+    def test_events_become_instants(self):
+        events = trace_events(single_process_report())
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["name"] == "marker"
+        assert instant["s"] == "p"
+        assert instant["args"]["worker"] == 1
+
+
+class TestMultiProcessTraces:
+    def test_each_process_gets_its_own_synthetic_pid(self):
+        events = trace_events(merged_report())
+        names = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        pids = sorted(names.values())
+        assert len(pids) == len(set(pids)) == len(names)
+        assert all(isinstance(p, int) and p >= 1 for p in pids)
+
+    def test_spans_land_on_their_process_track(self):
+        report = merged_report()
+        events = trace_events(report)
+        name_to_pid = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        run_pids = {e["pid"] for e in events if e["ph"] == "B"}
+        worker_pids = {
+            pid for label, pid in name_to_pid.items() if "worker-" in label
+        }
+        assert run_pids <= worker_pids
+        assert balanced(events)
+
+    def test_clock_offset_separates_worker_timelines(self):
+        events = trace_events(merged_report())
+        b_by_pid: dict[int, float] = {}
+        for e in events:
+            if e["ph"] == "B" and e["name"] == "worker.run":
+                b_by_pid[e["pid"]] = e["ts"]
+        ts = sorted(b_by_pid.values())
+        assert ts[1] - ts[0] == pytest.approx(1_000_000.0)  # the 1s offset
+
+
+class TestTraceDict:
+    def test_object_form_with_trace_events(self):
+        payload = trace_dict(single_process_report())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["schema"] == "repro-telemetry-trace"
+
+    def test_write_trace_is_valid_json(self, tmp_path):
+        out = tmp_path / "t.trace.json"
+        count = write_trace(single_process_report(), out)
+        payload = json.loads(out.read_text())
+        assert len(payload["traceEvents"]) == count
+        assert count > 0

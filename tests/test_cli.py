@@ -483,6 +483,114 @@ class TestRun:
         assert payload["degraded_shards"]
 
 
+class TestTelemetry:
+    def write_report(self, tmp_path, name="base.json"):
+        path = tmp_path / name
+        args = [
+            "simulate", "--rows", "16", "--cols", "16", "--steps", "8",
+            "--backend", "bitplane", "--telemetry", str(path),
+        ]
+        assert main(args) == 0
+        return path
+
+    def test_summarize_text(self, tmp_path, capsys):
+        path = self.write_report(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "kernel.bitplane.generations = 8" in out
+        assert "run: " in out
+
+    def test_summarize_json(self, tmp_path, capsys):
+        path = self.write_report(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summarize", "--json", str(path)]) == 0
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["schema"] == "repro-telemetry"
+        assert digest["counters"]["kernel.bitplane.generations"] == 8
+        assert "buckets" not in next(iter(digest["timers"].values()))
+
+    def test_supervised_run_writes_merged_v2_report(self, tmp_path, capsys):
+        from repro.telemetry import TelemetryReport, validate_report
+
+        path = tmp_path / "run.json"
+        args = [
+            "run", "--supervised",
+            "--rows", "16", "--cols", "16", "--generations", "8",
+            "--workers", "2", "--checkpoint-interval", "4",
+            "--restart-delay", "0.05",
+            "--telemetry", str(path), "--json",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == 2
+        assert validate_report(payload) == []
+        report = TelemetryReport.load(path)
+        names = [p["name"] for p in report.processes]
+        assert names == ["coordinator", "worker-0.0", "worker-1.0"]
+        assert report.meta["command"] == "run"
+        assert report.counters["shard.generations"] == 16
+
+    def test_trace_default_output_path(self, tmp_path, capsys):
+        path = self.write_report(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        trace_path = tmp_path / "base.trace.json"
+        assert str(trace_path) in out
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_trace_explicit_output(self, tmp_path, capsys):
+        path = self.write_report(tmp_path)
+        out_path = tmp_path / "custom.json"
+        assert main(["telemetry", "trace", str(path), "-o", str(out_path)]) == 0
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+    def test_diff_identical_reports_exits_zero(self, tmp_path, capsys):
+        path = self.write_report(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_diff_flags_injected_slowdown(self, tmp_path, capsys):
+        base = self.write_report(tmp_path)
+        head = tmp_path / "head.json"
+        payload = json.loads(base.read_text())
+        for t in payload["timers"].values():
+            t["mean_seconds"] *= 1.2
+            t["total_seconds"] *= 1.2
+        head.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main([
+            "telemetry", "diff", str(base), str(head),
+            "--fail-on-regression", "10",
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_threshold_above_slowdown_passes(self, tmp_path, capsys):
+        base = self.write_report(tmp_path)
+        head = tmp_path / "head.json"
+        payload = json.loads(base.read_text())
+        for t in payload["timers"].values():
+            t["mean_seconds"] *= 1.2
+            t["total_seconds"] *= 1.2
+        head.write_text(json.dumps(payload))
+        assert main([
+            "telemetry", "diff", str(base), str(head),
+            "--fail-on-regression", "30",
+        ]) == 0
+
+    def test_diff_missing_file_is_usage_error(self, tmp_path, capsys):
+        path = self.write_report(tmp_path)
+        assert main(["telemetry", "diff", str(path), str(tmp_path / "no.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as exc:
